@@ -1,0 +1,65 @@
+// Ablation A4: the Fig. 1 motivation, quantified. Compares the unfused and
+// fused two-index transforms on memory footprint and cache misses across
+// cache sizes: fusion contracts the V x V intermediate to a scalar, trading
+// its capacity misses away entirely.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cachesim/sim.hpp"
+#include "ir/gallery.hpp"
+#include "trace/walker.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdlo;
+  CommandLine cli(argc, argv);
+  cli.flag("n", "loop bound (default 128)");
+  cli.flag("csv", "emit CSV");
+  cli.finish();
+  const std::int64_t n = cli.get_int("n", 128);
+
+  auto unfused = ir::two_index_unfused();
+  auto fused = ir::two_index_fused();
+  const auto uenv = unfused.make_env({n, n, n, n}, {});
+  const auto fenv = fused.make_env({n, n, n, n}, {});
+  const auto u_an = model::analyze(unfused.prog);
+  const auto f_an = model::analyze(fused.prog);
+  trace::CompiledProgram ucp(unfused.prog, uenv);
+  trace::CompiledProgram fcp(fused.prog, fenv);
+
+  std::cout << "== Ablation A4: loop fusion (Fig. 1), N=" << n << " ==\n\n";
+  std::cout << "Footprint: unfused "
+            << with_commas(static_cast<std::int64_t>(
+                   ucp.address_space_size()))
+            << " elements (T is " << n << "x" << n << "), fused "
+            << with_commas(static_cast<std::int64_t>(
+                   fcp.address_space_size()))
+            << " elements (T is a scalar)\n\n";
+
+  const auto uprof = cachesim::profile_stack_distances(ucp);
+  const auto fprof = cachesim::profile_stack_distances(fcp);
+
+  TextTable t({"Cache", "Unfused misses (sim)", "Fused misses (sim)",
+               "Unfused (model)", "Fused (model)"});
+  for (std::int64_t kb : {4, 16, 64, 256}) {
+    const std::int64_t cap = bench::kb_to_elems(kb);
+    t.add_row({std::to_string(kb) + "KB",
+               with_commas(static_cast<std::int64_t>(uprof.misses(cap))),
+               with_commas(static_cast<std::int64_t>(fprof.misses(cap))),
+               with_commas(model::predict_misses(u_an, uenv, cap).misses),
+               with_commas(model::predict_misses(f_an, fenv, cap).misses)});
+  }
+  if (cli.get_bool("csv", false)) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  std::cout
+      << "\nReading: fusion's purpose (§2) is the *footprint* column — the\n"
+         "V x V intermediate can exceed physical memory, the scalar cannot.\n"
+         "The miss columns show the price: once the cache is large enough\n"
+         "to hold the intermediate, the unfused form's misses collapse\n"
+         "while the fused form keeps rescanning C2/B per (i,n) iteration.\n"
+         "That is exactly why the paper tiles the fused code (Fig. 6) and\n"
+         "searches tile sizes instead of stopping at fusion.\n";
+  return 0;
+}

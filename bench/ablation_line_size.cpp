@@ -1,0 +1,65 @@
+// Ablation A7: spatial locality — how far does the paper's element-
+// granularity fully-associative model drift from a cache with real lines?
+//
+// The trace is simulated at line granularities 1/2/4/8 elements (8B..64B
+// lines of doubles) with the byte capacity held fixed. The element model
+// (line = 1) is the paper's setting. For unit-stride innermost access the
+// streaming components' misses scale ~1/L, while tile-resident reuse is
+// line-size-insensitive — so the ratio column measures how much of each
+// configuration's traffic is streaming. Extending the analytical model to
+// line granularity is the natural future-work item the measurements here
+// motivate.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cachesim/sim.hpp"
+#include "ir/gallery.hpp"
+#include "trace/walker.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdlo;
+  CommandLine cli(argc, argv);
+  cli.flag("n", "loop bound (default 128)");
+  cli.flag("cache_kb", "cache size in KB (default 16)");
+  cli.flag("csv", "emit CSV");
+  cli.finish();
+  const std::int64_t n = cli.get_int("n", 128);
+  const std::int64_t cap = bench::kb_to_elems(cli.get_int("cache_kb", 16));
+
+  auto g = ir::matmul_tiled();
+  const auto an = model::analyze(g.prog);
+
+  std::cout << "== Ablation A7: line-granularity sensitivity (tiled "
+               "matmul, N=" << n << ") ==\n\n";
+  TextTable t({"Tiles", "Model (elem)", "L=1 sim", "L=2", "L=4", "L=8",
+               "L=8/L=1"});
+  for (const auto& tiles : std::vector<std::vector<std::int64_t>>{
+           {16, 16, 16}, {32, 32, 32}, {16, 64, 16}, {64, 64, 64}}) {
+    const auto env = g.make_env({n, n, n}, tiles);
+    trace::CompiledProgram cp(g.prog, env);
+    const auto pred = model::predict_misses(an, env, cap);
+    std::vector<std::uint64_t> sims;
+    for (std::int64_t line : {1, 2, 4, 8}) {
+      sims.push_back(cachesim::simulate_lru_lines(cp, cap, line).misses);
+    }
+    t.add_row({bench::tuple_str(tiles), with_commas(pred.misses),
+               with_commas(static_cast<std::int64_t>(sims[0])),
+               with_commas(static_cast<std::int64_t>(sims[1])),
+               with_commas(static_cast<std::int64_t>(sims[2])),
+               with_commas(static_cast<std::int64_t>(sims[3])),
+               format_double(static_cast<double>(sims[3]) /
+                                 static_cast<double>(std::max<std::uint64_t>(
+                                     sims[0], 1)),
+                             3)});
+  }
+  if (cli.get_bool("csv", false)) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  std::cout << "\nThe model column equals the L=1 column exactly (the\n"
+               "paper's setting). Ratios well below 1/1 show spatial\n"
+               "locality the element model leaves on the table; ratios\n"
+               "near 1/8 indicate purely streaming traffic.\n";
+  return 0;
+}

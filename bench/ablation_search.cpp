@@ -1,0 +1,65 @@
+// Ablation A2: pruned §6 tile search versus exhaustive enumeration —
+// solution quality (modeled and simulated misses of the returned tile) and
+// cost (number of fast-model evaluations).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cachesim/sim.hpp"
+#include "ir/gallery.hpp"
+#include "tile/fast_model.hpp"
+#include "tile/search.hpp"
+#include "trace/walker.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdlo;
+  CommandLine cli(argc, argv);
+  cli.flag("csv", "emit CSV");
+  cli.finish();
+
+  struct Scenario {
+    std::string name;
+    ir::GalleryProgram g;
+    std::vector<std::int64_t> bounds;
+    std::int64_t cap;
+    std::int64_t max_tile;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"matmul N=256, 64KB", ir::matmul_tiled(),
+                       {256, 256, 256}, bench::kb_to_elems(64), 256});
+  scenarios.push_back({"matmul N=512, 16KB", ir::matmul_tiled(),
+                       {512, 512, 512}, bench::kb_to_elems(16), 512});
+  scenarios.push_back({"two-index N=256, 64KB", ir::two_index_tiled(),
+                       {256, 256, 256, 256}, bench::kb_to_elems(64), 256});
+  scenarios.push_back({"two-index N=512, 256KB", ir::two_index_tiled(),
+                       {512, 512, 512, 512}, bench::kb_to_elems(256), 512});
+
+  std::cout << "== Ablation A2: pruned search vs exhaustive ==\n\n";
+  TextTable t({"Scenario", "Pruned best", "Pruned evals", "Exhaustive best",
+               "Exhaustive evals", "Quality (pruned/exh)"});
+  for (auto& sc : scenarios) {
+    const auto an = model::analyze(sc.g.prog);
+    tile::FastMissModel fast(an);
+    tile::SearchOptions opts;
+    opts.max_tile = sc.max_tile;
+    const auto pruned = tile::search_tiles(sc.g, fast, sc.bounds, sc.cap,
+                                           opts);
+    const auto exh = tile::exhaustive_tiles(sc.g, fast, sc.bounds, sc.cap,
+                                            opts);
+    t.add_row({sc.name, bench::tuple_str(pruned.best.tiles),
+               std::to_string(pruned.evaluations),
+               bench::tuple_str(exh.best.tiles),
+               std::to_string(exh.evaluations),
+               format_double(pruned.best.modeled_misses /
+                                 std::max(1.0, exh.best.modeled_misses),
+                             4)});
+  }
+  if (cli.get_bool("csv", false)) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  std::cout << "\nQuality 1.0000 means the pruned search found the same\n"
+               "optimum as exhaustive enumeration (at lower cost when the\n"
+               "refinement beam is smaller than the grid).\n";
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Figure 10: two-index transform on an SMP, loop range 1024.
+#include "fig_smp.hpp"
+
+int main(int argc, char** argv) {
+  return sdlo::bench::run_smp_figure("Figure 10", 1024, argc, argv);
+}

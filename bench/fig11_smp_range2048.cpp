@@ -1,0 +1,6 @@
+// Figure 11: two-index transform on an SMP, loop range 2048.
+#include "fig_smp.hpp"
+
+int main(int argc, char** argv) {
+  return sdlo::bench::run_smp_figure("Figure 11", 2048, argc, argv);
+}

@@ -1,0 +1,75 @@
+// Performance tracking for the analysis pipeline itself (google-benchmark):
+// how long the symbolic analysis, a concrete miss prediction, a fast-model
+// score and a trace simulation take on the paper's kernels. These are the
+// costs a compiler integrating the model would pay.
+#include <benchmark/benchmark.h>
+
+#include "cachesim/sim.hpp"
+#include "ir/gallery.hpp"
+#include "model/analyzer.hpp"
+#include "tile/fast_model.hpp"
+#include "trace/walker.hpp"
+
+namespace {
+
+using namespace sdlo;
+
+void BM_AnalyzeTwoIndex(benchmark::State& state) {
+  auto g = ir::two_index_tiled();
+  for (auto _ : state) {
+    auto an = model::analyze(g.prog);
+    benchmark::DoNotOptimize(an.parts.size());
+  }
+}
+BENCHMARK(BM_AnalyzeTwoIndex);
+
+void BM_FastModelBuild(benchmark::State& state) {
+  auto g = ir::two_index_tiled();
+  const auto an = model::analyze(g.prog);
+  for (auto _ : state) {
+    tile::FastMissModel fast(an);
+    benchmark::DoNotOptimize(fast.num_rows());
+  }
+}
+BENCHMARK(BM_FastModelBuild);
+
+void BM_FastModelScore(benchmark::State& state) {
+  auto g = ir::two_index_tiled();
+  const auto an = model::analyze(g.prog);
+  tile::FastMissModel fast(an);
+  const auto env = g.make_env({256, 256, 256, 256}, {64, 16, 16, 64});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fast.misses(env, 8192));
+  }
+}
+BENCHMARK(BM_FastModelScore);
+
+void BM_ExactPredict(benchmark::State& state) {
+  auto g = ir::two_index_tiled();
+  const auto an = model::analyze(g.prog);
+  const auto n = state.range(0);
+  const auto env = g.make_env({n, n, n, n}, {n / 4, n / 8, n / 8, n / 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::predict_misses(an, env, 8192).misses);
+  }
+}
+BENCHMARK(BM_ExactPredict)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SimulateLru(benchmark::State& state) {
+  auto g = ir::two_index_tiled();
+  const auto n = state.range(0);
+  const auto env = g.make_env({n, n, n, n}, {n / 4, n / 8, n / 8, n / 4});
+  trace::CompiledProgram cp(g.prog, env);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cachesim::simulate_lru(cp, 8192).misses);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cp.total_accesses()));
+}
+BENCHMARK(BM_SimulateLru)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

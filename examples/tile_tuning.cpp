@@ -1,0 +1,65 @@
+// Tile tuning: find cache-optimal tile sizes for the tiled two-index
+// transform with the §6 pruned search, then validate the choice by
+// simulation — the workflow a TCE-style compiler would run at code
+// generation time.
+//
+//   $ ./tile_tuning [--n 256] [--cache_kb 64]
+#include <iostream>
+
+#include "cachesim/sim.hpp"
+#include "ir/gallery.hpp"
+#include "model/analyzer.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+#include "tile/fast_model.hpp"
+#include "tile/search.hpp"
+#include "trace/walker.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdlo;
+  CommandLine cli(argc, argv);
+  cli.flag("n", "loop bounds (default 256)");
+  cli.flag("cache_kb", "cache size in KB (default 64)");
+  cli.finish();
+  const std::int64_t n = cli.get_int("n", 256);
+  const std::int64_t cap = cli.get_int("cache_kb", 64) * 1024 / 8;
+
+  auto g = ir::two_index_tiled();
+  const auto an = model::analyze(g.prog);
+  tile::FastMissModel fast(an);
+
+  tile::SearchOptions opts;
+  opts.max_tile = n;
+  const auto result = tile::search_tiles(g, fast, {n, n, n, n}, cap, opts);
+
+  std::cout << "Search over (Ti,Tj,Tm,Tn) for N=" << n << ", cache "
+            << cap << " elements: " << result.evaluations
+            << " model evaluations\n\nTop candidates:\n";
+  for (const auto& c : result.candidates) {
+    std::cout << "  (" << c.tiles[0] << "," << c.tiles[1] << ","
+              << c.tiles[2] << "," << c.tiles[3] << ")  ~"
+              << with_commas(static_cast<std::int64_t>(c.modeled_misses))
+              << " modeled misses\n";
+  }
+
+  std::cout << "\nSimulated misses (ground truth):\n";
+  auto simulate = [&](const std::vector<std::int64_t>& tiles) {
+    trace::CompiledProgram cp(g.prog, g.make_env({n, n, n, n}, tiles));
+    return cachesim::simulate_lru(cp, cap).misses;
+  };
+  const auto best = simulate(result.best.tiles);
+  std::cout << "  searched tile: " << with_commas(
+                   static_cast<std::int64_t>(best))
+            << "\n";
+  for (std::int64_t eq : {32, 64, 128}) {
+    if (eq > n) continue;
+    const auto m = simulate({eq, eq, eq, eq});
+    std::cout << "  equal (" << eq << "^4):  "
+              << with_commas(static_cast<std::int64_t>(m)) << "  ("
+              << format_double(static_cast<double>(m) /
+                                   static_cast<double>(best),
+                               2)
+              << "x)\n";
+  }
+  return 0;
+}

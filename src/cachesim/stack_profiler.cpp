@@ -1,0 +1,89 @@
+#include "cachesim/stack_profiler.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace sdlo::cachesim {
+
+StackDistanceProfiler::StackDistanceProfiler(std::size_t expected_addresses) {
+  window_ = std::max<std::size_t>(
+      std::bit_ceil(expected_addresses * 2 + 2), 1 << 10);
+  tree_.assign(window_ + 1, 0);
+  last_pos_.reserve(expected_addresses * 2);
+}
+
+void StackDistanceProfiler::bit_update(std::size_t pos, int delta) {
+  for (std::size_t i = pos + 1; i <= window_; i += i & (~i + 1)) {
+    tree_[i] += delta;
+  }
+}
+
+std::int64_t StackDistanceProfiler::prefix_sum(std::size_t pos) const {
+  std::int64_t s = 0;
+  for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+    s += tree_[i];
+  }
+  return s;
+}
+
+void StackDistanceProfiler::compact() {
+  // Renumber active times to 0..n-1 preserving order; grow the window if
+  // the active set uses more than half of it.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> by_time;
+  by_time.reserve(last_pos_.size());
+  for (const auto& [addr, pos] : last_pos_) by_time.emplace_back(pos, addr);
+  std::sort(by_time.begin(), by_time.end());
+
+  if (by_time.size() * 2 >= window_) {
+    window_ = std::bit_ceil(by_time.size() * 4 + 2);
+  }
+  tree_.assign(window_ + 1, 0);
+  for (std::size_t i = 0; i < by_time.size(); ++i) {
+    last_pos_[by_time[i].second] = i;
+    bit_update(i, +1);
+  }
+  cur_ = by_time.size();
+  SDLO_ENSURES(static_cast<std::size_t>(active_) == by_time.size());
+}
+
+std::int64_t StackDistanceProfiler::access(std::uint64_t addr) {
+  if (cur_ >= window_) compact();
+  ++total_;
+  auto it = last_pos_.find(addr);
+  if (it == last_pos_.end()) {
+    ++cold_;
+    last_pos_.emplace(addr, cur_);
+    bit_update(cur_, +1);
+    ++cur_;
+    ++active_;
+    return 0;
+  }
+  const std::uint64_t prev = it->second;
+  // Depth = number of marks in [prev, cur), which includes addr's own mark.
+  const std::int64_t depth =
+      active_ - (prev == 0 ? 0 : prefix_sum(prev - 1));
+  bit_update(prev, -1);
+  bit_update(cur_, +1);
+  it->second = cur_;
+  ++cur_;
+  ++hist_[depth];
+  return depth;
+}
+
+const std::map<std::int64_t, std::uint64_t>&
+StackDistanceProfiler::histogram() const {
+  return hist_;
+}
+
+std::uint64_t StackDistanceProfiler::misses(std::int64_t capacity) const {
+  SDLO_EXPECTS(capacity > 0);
+  std::uint64_t m = cold_;
+  for (auto it = hist_.upper_bound(capacity); it != hist_.end(); ++it) {
+    m += it->second;
+  }
+  return m;
+}
+
+}  // namespace sdlo::cachesim

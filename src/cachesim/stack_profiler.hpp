@@ -1,0 +1,67 @@
+// Exact LRU stack-distance profiler.
+//
+// Computes, for every access of a trace, its LRU stack depth (the number of
+// distinct addresses touched since the previous access to the same address,
+// inclusive), and accumulates a depth histogram. One pass over the trace
+// then yields the miss count of a fully-associative LRU cache of *any*
+// capacity: an access hits iff depth <= capacity, so
+//   misses(C) = cold + sum_{d > C} hist[d].
+//
+// This is the efficient stack-distance computation of Almasi, Cascaval &
+// Padua [ref 3 of the paper]: a Fenwick tree over access times marks, for
+// each currently-resident address, its most recent access time; the depth of
+// an access is a suffix count, and each access moves one mark. Times are
+// periodically renumbered (compacted) so the tree stays proportional to the
+// number of distinct addresses rather than the trace length.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace sdlo::cachesim {
+
+/// Streaming exact stack-distance histogram.
+class StackDistanceProfiler {
+ public:
+  /// `expected_addresses` sizes the internal tables (a hint; the structure
+  /// grows as needed).
+  explicit StackDistanceProfiler(std::size_t expected_addresses = 1 << 16);
+
+  /// Feeds one access; returns its stack depth, or 0 for a cold (first)
+  /// access.
+  std::int64_t access(std::uint64_t addr);
+
+  /// Number of cold (compulsory) first accesses.
+  std::uint64_t cold_accesses() const { return cold_; }
+
+  /// Total accesses fed.
+  std::uint64_t total_accesses() const { return total_; }
+
+  /// Depth histogram: depth -> number of accesses with that depth (cold
+  /// accesses excluded; they are counted by cold_accesses()).
+  const std::map<std::int64_t, std::uint64_t>& histogram() const;
+
+  /// Misses of a fully-associative LRU cache with `capacity` elements.
+  std::uint64_t misses(std::int64_t capacity) const;
+
+  /// Distinct addresses seen so far.
+  std::uint64_t distinct_addresses() const { return last_pos_.size(); }
+
+ private:
+  std::int64_t prefix_sum(std::size_t pos) const;   // sum of marks [0, pos]
+  void bit_update(std::size_t pos, int delta);
+  void compact();
+
+  std::vector<std::int32_t> tree_;                  // Fenwick array
+  std::size_t window_ = 0;                          // tree capacity
+  std::size_t cur_ = 0;                             // next time stamp
+  std::int64_t active_ = 0;                         // marks in tree
+  std::unordered_map<std::uint64_t, std::uint64_t> last_pos_;
+  mutable std::map<std::int64_t, std::uint64_t> hist_;
+  std::uint64_t cold_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sdlo::cachesim

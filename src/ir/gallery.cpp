@@ -1,0 +1,203 @@
+#include "ir/gallery.hpp"
+
+#include "support/check.hpp"
+
+namespace sdlo::ir {
+
+namespace {
+
+using sym::Expr;
+
+Expr S(const std::string& name) { return Expr::symbol(name); }
+
+ArrayRef read(std::string array, std::vector<Subscript> subs) {
+  return ArrayRef{std::move(array), std::move(subs), AccessMode::kRead};
+}
+
+ArrayRef write(std::string array, std::vector<Subscript> subs) {
+  return ArrayRef{std::move(array), std::move(subs), AccessMode::kWrite};
+}
+
+Subscript sub(std::vector<std::string> vars) {
+  return Subscript{std::move(vars)};
+}
+
+}  // namespace
+
+sym::Env GalleryProgram::make_env(
+    const std::vector<std::int64_t>& bound_values,
+    const std::vector<std::int64_t>& tile_values) const {
+  SDLO_CHECK(bound_values.size() == bounds.size(),
+             "wrong number of bound values");
+  SDLO_CHECK(tile_values.size() == tiles.size(),
+             "wrong number of tile values");
+  sym::Env env;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    SDLO_CHECK(bound_values[i] > 0, "bounds must be positive");
+    env[bounds[i]] = bound_values[i];
+  }
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    SDLO_CHECK(tile_values[i] > 0, "tile sizes must be positive");
+    env[tiles[i]] = tile_values[i];
+    const auto& bound_sym = tile_of.at(tiles[i]);
+    const std::int64_t bound = env.at(bound_sym);
+    if (bound % tile_values[i] != 0) {
+      throw Error("tile size " + std::to_string(tile_values[i]) +
+                  " does not divide bound " + bound_sym + "=" +
+                  std::to_string(bound));
+    }
+  }
+  return env;
+}
+
+GalleryProgram matmul() {
+  GalleryProgram g;
+  g.bounds = {"NI", "NJ", "NK"};
+  Program& p = g.prog;
+  NodeId band = p.add_band(Program::kRoot, {Loop{"i", S("NI")},
+                                            Loop{"j", S("NJ")},
+                                            Loop{"k", S("NK")}});
+  p.add_statement(
+      band,
+      Statement{"S1",
+                {read("A", {sub({"i"}), sub({"j"})}),
+                 read("B", {sub({"j"}), sub({"k"})}),
+                 read("C", {sub({"i"}), sub({"k"})}),
+                 write("C", {sub({"i"}), sub({"k"})})}});
+  p.validate();
+  return g;
+}
+
+GalleryProgram matmul_tiled() {
+  GalleryProgram g;
+  g.bounds = {"NI", "NJ", "NK"};
+  g.tiles = {"Ti", "Tj", "Tk"};
+  g.tile_of = {{"Ti", "NI"}, {"Tj", "NJ"}, {"Tk", "NK"}};
+  Program& p = g.prog;
+  NodeId band = p.add_band(
+      Program::kRoot,
+      {Loop{"iT", sym::floor_div(S("NI"), S("Ti"))},
+       Loop{"jT", sym::floor_div(S("NJ"), S("Tj"))},
+       Loop{"kT", sym::floor_div(S("NK"), S("Tk"))},
+       Loop{"iI", S("Ti")}, Loop{"jI", S("Tj")}, Loop{"kI", S("Tk")}});
+  p.add_statement(
+      band,
+      Statement{"S1",
+                {read("A", {sub({"iT", "iI"}), sub({"jT", "jI"})}),
+                 read("B", {sub({"jT", "jI"}), sub({"kT", "kI"})}),
+                 read("C", {sub({"iT", "iI"}), sub({"kT", "kI"})}),
+                 write("C", {sub({"iT", "iI"}), sub({"kT", "kI"})})}});
+  p.validate();
+  return g;
+}
+
+GalleryProgram two_index_fused() {
+  GalleryProgram g;
+  g.bounds = {"NI", "NJ", "NM", "NN"};
+  Program& p = g.prog;
+  // for i, n { t = 0; for j { t += C2[n,j]*A[i,j] }
+  //            for m { B[m,n] += C1[m,i]*t } }
+  NodeId outer =
+      p.add_band(Program::kRoot, {Loop{"i", S("NI")}, Loop{"n", S("NN")}});
+  p.add_statement(outer, Statement{"S1", {write("t", {})}});
+  NodeId jb = p.add_band(outer, {Loop{"j", S("NJ")}});
+  p.add_statement(jb, Statement{"S2",
+                                {read("C2", {sub({"n"}), sub({"j"})}),
+                                 read("A", {sub({"i"}), sub({"j"})}),
+                                 read("t", {}), write("t", {})}});
+  NodeId mb = p.add_band(outer, {Loop{"m", S("NM")}});
+  p.add_statement(mb, Statement{"S3",
+                                {read("C1", {sub({"m"}), sub({"i"})}),
+                                 read("t", {}),
+                                 read("B", {sub({"m"}), sub({"n"})}),
+                                 write("B", {sub({"m"}), sub({"n"})})}});
+  p.validate();
+  return g;
+}
+
+GalleryProgram two_index_unfused() {
+  GalleryProgram g;
+  g.bounds = {"NI", "NJ", "NM", "NN"};
+  Program& p = g.prog;
+  // for i,n,j: T[n,i] += C2[n,j]*A[i,j]
+  // for i,n,m: B[m,n] += C1[m,i]*T[n,i]
+  NodeId first = p.add_band(Program::kRoot, {Loop{"i", S("NI")},
+                                             Loop{"n", S("NN")},
+                                             Loop{"j", S("NJ")}});
+  p.add_statement(first,
+                  Statement{"S1",
+                            {read("C2", {sub({"n"}), sub({"j"})}),
+                             read("A", {sub({"i"}), sub({"j"})}),
+                             read("T", {sub({"n"}), sub({"i"})}),
+                             write("T", {sub({"n"}), sub({"i"})})}});
+  NodeId second = p.add_band(Program::kRoot, {Loop{"i", S("NI")},
+                                              Loop{"n", S("NN")},
+                                              Loop{"m", S("NM")}});
+  p.add_statement(second,
+                  Statement{"S2",
+                            {read("C1", {sub({"m"}), sub({"i"})}),
+                             read("T", {sub({"n"}), sub({"i"})}),
+                             read("B", {sub({"m"}), sub({"n"})}),
+                             write("B", {sub({"m"}), sub({"n"})})}});
+  p.validate();
+  return g;
+}
+
+GalleryProgram two_index_tiled() {
+  GalleryProgram g;
+  g.bounds = {"NI", "NJ", "NM", "NN"};
+  g.tiles = {"Ti", "Tj", "Tm", "Tn"};
+  g.tile_of = {{"Ti", "NI"}, {"Tj", "NJ"}, {"Tm", "NM"}, {"Tn", "NN"}};
+  Program& p = g.prog;
+  const Expr mT_extent = sym::floor_div(S("NM"), S("Tm"));
+  const Expr nT_extent = sym::floor_div(S("NN"), S("Tn"));
+  const Expr iT_extent = sym::floor_div(S("NI"), S("Ti"));
+  const Expr jT_extent = sym::floor_div(S("NJ"), S("Tj"));
+
+  // S1. FOR mT, nT, mI, nI:  S2. B[mT+mI, nT+nI] = 0
+  NodeId init = p.add_band(Program::kRoot,
+                           {Loop{"mT", mT_extent}, Loop{"nT", nT_extent},
+                            Loop{"mI", S("Tm")}, Loop{"nI", S("Tn")}});
+  p.add_statement(
+      init, Statement{"S2", {write("B", {sub({"mT", "mI"}),
+                                         sub({"nT", "nI"})})}});
+
+  // S3. FOR iT, nT
+  NodeId outer = p.add_band(Program::kRoot,
+                            {Loop{"iT", iT_extent}, Loop{"nT", nT_extent}});
+
+  //   S4. FOR iI, nI:  S5. T[iI,nI] = 0
+  NodeId zero = p.add_band(outer, {Loop{"iI", S("Ti")}, Loop{"nI", S("Tn")}});
+  p.add_statement(zero,
+                  Statement{"S5", {write("T", {sub({"iI"}), sub({"nI"})})}});
+
+  //   S6. FOR jT, iI, nI, jI:
+  //     S7. T[iI,nI] += A[iT+iI,jT+jI] * C2[nT+nI,jT+jI]
+  NodeId prod = p.add_band(outer,
+                           {Loop{"jT", jT_extent}, Loop{"iI", S("Ti")},
+                            Loop{"nI", S("Tn")}, Loop{"jI", S("Tj")}});
+  p.add_statement(
+      prod,
+      Statement{"S7",
+                {read("A", {sub({"iT", "iI"}), sub({"jT", "jI"})}),
+                 read("C2", {sub({"nT", "nI"}), sub({"jT", "jI"})}),
+                 read("T", {sub({"iI"}), sub({"nI"})}),
+                 write("T", {sub({"iI"}), sub({"nI"})})}});
+
+  //   S8. FOR mT, iI, nI, mI:
+  //     S9. B[mT+mI,nT+nI] += T[iI,nI] * C1[mT+mI,iT+iI]
+  NodeId cons = p.add_band(outer,
+                           {Loop{"mT", mT_extent}, Loop{"iI", S("Ti")},
+                            Loop{"nI", S("Tn")}, Loop{"mI", S("Tm")}});
+  p.add_statement(
+      cons,
+      Statement{"S9",
+                {read("T", {sub({"iI"}), sub({"nI"})}),
+                 read("C1", {sub({"mT", "mI"}), sub({"iT", "iI"})}),
+                 read("B", {sub({"mT", "mI"}), sub({"nT", "nI"})}),
+                 write("B", {sub({"mT", "mI"}), sub({"nT", "nI"})})}});
+  p.validate();
+  return g;
+}
+
+}  // namespace sdlo::ir

@@ -1,0 +1,58 @@
+// Canonical programs from the paper, expressed in the IR.
+//
+// These mirror the paper's figures exactly:
+//  * matmul()            — untiled C(i,k) += A(i,j)*B(j,k)
+//  * matmul_tiled()      — Fig. 2: 6-deep tiled matmul (iT,jT,kT,iI,jI,kI)
+//  * two_index_fused()   — Fig. 1(c): fused two-index transform, scalar T
+//  * two_index_tiled()   — Fig. 6: tiled fused two-index transform
+//
+// All loops are 0-based with symbolic extents. Tile-loop extents are
+// bound/tile quotients; concrete bindings must make them divide exactly
+// (checked by make_env).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace sdlo::ir {
+
+/// A gallery program plus the symbol bookkeeping needed to bind it.
+struct GalleryProgram {
+  Program prog;
+  /// Problem-size symbols, e.g. {"N"} or {"NI","NJ","NM","NN"}.
+  std::vector<std::string> bounds;
+  /// Tile-size symbols in the order used by the paper's tuples,
+  /// e.g. {"Ti","Tj","Tk"}; empty for untiled programs.
+  std::vector<std::string> tiles;
+  /// tile symbol -> the bound symbol it tiles (divisibility constraint).
+  std::map<std::string, std::string> tile_of;
+
+  /// Binds bounds and tile sizes into an evaluation environment; validates
+  /// positivity and divisibility (throws sdlo::Error on violation). The two
+  /// vectors follow the order of `bounds` and `tiles`.
+  sym::Env make_env(const std::vector<std::int64_t>& bound_values,
+                    const std::vector<std::int64_t>& tile_values) const;
+};
+
+/// Untiled matrix multiplication: for i,j,k: C[i,k] += A[i,j]*B[j,k].
+/// Bounds {NI,NJ,NK} (use equal values for the paper's square case).
+GalleryProgram matmul();
+
+/// Fig. 2: tiled matmul, loop order (iT,jT,kT,iI,jI,kI); tiles {Ti,Tj,Tk}.
+GalleryProgram matmul_tiled();
+
+/// Fig. 1(c): fused two-index transform with scalar T.
+/// B(m,n) += C1(m,i) * sum_j C2(n,j)*A(i,j); bounds {NI,NJ,NM,NN}.
+GalleryProgram two_index_fused();
+
+/// Fig. 6: tiled fused two-index transform; tiles {Ti,Tj,Tm,Tn}.
+/// Statement labels follow the paper (S2, S5, S7, S9).
+GalleryProgram two_index_tiled();
+
+/// Fig. 1(a): unfused two-index transform with full intermediate T[n,i].
+GalleryProgram two_index_unfused();
+
+}  // namespace sdlo::ir

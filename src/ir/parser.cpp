@@ -1,0 +1,295 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+
+namespace sdlo::ir {
+
+namespace {
+
+using sym::Expr;
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class Tok : std::uint8_t {
+  kIdent, kInt, kFor, kLBrace, kRBrace, kLBracket, kRBracket, kLParen,
+  kRParen, kComma, kColon, kPlus, kMinus, kStar, kSlash, kLess, kGreater,
+  kAssign, kPlusAssign, kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) { tokenize(text); }
+
+  const Token& peek() const { return tokens_[pos_]; }
+  Token next() { return tokens_[pos_ == tokens_.size() - 1 ? pos_ : pos_++]; }
+  bool accept(Tok k) {
+    if (peek().kind != k) return false;
+    next();
+    return true;
+  }
+  Token expect(Tok k, const char* what) {
+    if (peek().kind != k) fail(std::string("expected ") + what);
+    return next();
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("line " + std::to_string(peek().line) + ": " + msg +
+                     " (got '" + (peek().kind == Tok::kEnd ? "<end>"
+                                                           : peek().text) +
+                     "')");
+  }
+
+ private:
+  void push(Tok k, std::string text, int line) {
+    tokens_.push_back(Token{k, std::move(text), line});
+  }
+
+  void tokenize(const std::string& text) {
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    while (i < n) {
+      const char c = text[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '#') {
+        while (i < n && text[i] != '\n') ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t j = i;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                         text[j] == '_')) {
+          ++j;
+        }
+        std::string word = text.substr(i, j - i);
+        const Tok kind = (word == "for") ? Tok::kFor : Tok::kIdent;
+        push(kind, std::move(word), line);
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+          ++j;
+        }
+        push(Tok::kInt, text.substr(i, j - i), line);
+        i = j;
+        continue;
+      }
+      if (c == '+' && i + 1 < n && text[i + 1] == '=') {
+        push(Tok::kPlusAssign, "+=", line);
+        i += 2;
+        continue;
+      }
+      switch (c) {
+        case '{': push(Tok::kLBrace, "{", line); break;
+        case '}': push(Tok::kRBrace, "}", line); break;
+        case '[': push(Tok::kLBracket, "[", line); break;
+        case ']': push(Tok::kRBracket, "]", line); break;
+        case '(': push(Tok::kLParen, "(", line); break;
+        case ')': push(Tok::kRParen, ")", line); break;
+        case ',': push(Tok::kComma, ",", line); break;
+        case ':': push(Tok::kColon, ":", line); break;
+        case '+': push(Tok::kPlus, "+", line); break;
+        case '-': push(Tok::kMinus, "-", line); break;
+        case '*': push(Tok::kStar, "*", line); break;
+        case '/': push(Tok::kSlash, "/", line); break;
+        case '<': push(Tok::kLess, "<", line); break;
+        case '>': push(Tok::kGreater, ">", line); break;
+        case '=': push(Tok::kAssign, "=", line); break;
+        default:
+          throw ParseError("line " + std::to_string(line) +
+                           ": unexpected character '" + std::string(1, c) +
+                           "'");
+      }
+      ++i;
+    }
+    push(Tok::kEnd, "", line);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Expression parser (precedence climbing: + - over *; unary -).
+// ---------------------------------------------------------------------------
+
+Expr parse_additive(Lexer& lx);
+
+Expr parse_primary(Lexer& lx) {
+  if (lx.peek().kind == Tok::kInt) {
+    return Expr::constant(parse_int(lx.next().text));
+  }
+  if (lx.accept(Tok::kMinus)) {
+    return -parse_primary(lx);
+  }
+  if (lx.accept(Tok::kLParen)) {
+    Expr e = parse_additive(lx);
+    lx.expect(Tok::kRParen, "')'");
+    return e;
+  }
+  if (lx.peek().kind == Tok::kIdent) {
+    const std::string name = lx.next().text;
+    if ((name == "floor" || name == "ceil" || name == "min" ||
+         name == "max") &&
+        lx.peek().kind == Tok::kLParen) {
+      lx.expect(Tok::kLParen, "'('");
+      Expr a = parse_additive(lx);
+      if (name == "floor" || name == "ceil") {
+        lx.expect(Tok::kSlash, "'/'");
+        Expr b = parse_additive(lx);
+        lx.expect(Tok::kRParen, "')'");
+        return name == "floor" ? sym::floor_div(a, b) : sym::ceil_div(a, b);
+      }
+      lx.expect(Tok::kComma, "','");
+      Expr b = parse_additive(lx);
+      lx.expect(Tok::kRParen, "')'");
+      return name == "min" ? sym::min(a, b) : sym::max(a, b);
+    }
+    return Expr::symbol(name);
+  }
+  lx.fail("expected expression");
+}
+
+Expr parse_multiplicative(Lexer& lx) {
+  Expr e = parse_primary(lx);
+  while (lx.accept(Tok::kStar)) {
+    e = e * parse_primary(lx);
+  }
+  return e;
+}
+
+Expr parse_additive(Lexer& lx) {
+  Expr e = parse_multiplicative(lx);
+  for (;;) {
+    if (lx.accept(Tok::kPlus)) {
+      e = e + parse_multiplicative(lx);
+    } else if (lx.accept(Tok::kMinus)) {
+      e = e - parse_multiplicative(lx);
+    } else {
+      return e;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Program parser
+// ---------------------------------------------------------------------------
+
+ArrayRef parse_ref(Lexer& lx, AccessMode mode) {
+  ArrayRef ref;
+  ref.mode = mode;
+  ref.array = lx.expect(Tok::kIdent, "array name").text;
+  if (lx.accept(Tok::kLBracket)) {
+    do {
+      Subscript s;
+      s.vars.push_back(lx.expect(Tok::kIdent, "subscript variable").text);
+      while (lx.accept(Tok::kPlus)) {
+        s.vars.push_back(lx.expect(Tok::kIdent, "subscript variable").text);
+      }
+      ref.subscripts.push_back(std::move(s));
+    } while (lx.accept(Tok::kComma));
+    lx.expect(Tok::kRBracket, "']'");
+  }
+  return ref;
+}
+
+void parse_items(Lexer& lx, Program& prog, NodeId parent);
+
+void parse_band(Lexer& lx, Program& prog, NodeId parent) {
+  lx.expect(Tok::kFor, "'for'");
+  std::vector<Loop> loops;
+  do {
+    const std::string var = lx.expect(Tok::kIdent, "loop variable").text;
+    lx.expect(Tok::kLess, "'<extent>'");
+    Expr extent = parse_additive(lx);
+    lx.expect(Tok::kGreater, "'>'");
+    loops.push_back(Loop{var, extent});
+  } while (lx.accept(Tok::kComma));
+  lx.expect(Tok::kLBrace, "'{'");
+  NodeId band = prog.add_band(parent, std::move(loops));
+  parse_items(lx, prog, band);
+  lx.expect(Tok::kRBrace, "'}'");
+}
+
+void parse_statement(Lexer& lx, Program& prog, NodeId parent) {
+  Statement stmt;
+  stmt.label = lx.expect(Tok::kIdent, "statement label").text;
+  lx.expect(Tok::kColon, "':'");
+  ArrayRef target = parse_ref(lx, AccessMode::kWrite);
+  const bool accumulate = (lx.peek().kind == Tok::kPlusAssign);
+  if (!lx.accept(Tok::kPlusAssign)) lx.expect(Tok::kAssign, "'=' or '+='");
+
+  // rhs: "0" or ref ('*' ref)*.
+  if (lx.peek().kind == Tok::kInt) {
+    lx.next();  // literal init; no reads
+  } else {
+    stmt.accesses.push_back(parse_ref(lx, AccessMode::kRead));
+    while (lx.accept(Tok::kStar)) {
+      stmt.accesses.push_back(parse_ref(lx, AccessMode::kRead));
+    }
+  }
+  if (accumulate) {
+    ArrayRef self_read = target;
+    self_read.mode = AccessMode::kRead;
+    stmt.accesses.push_back(std::move(self_read));
+  }
+  stmt.accesses.push_back(std::move(target));
+  prog.add_statement(parent, std::move(stmt));
+}
+
+void parse_items(Lexer& lx, Program& prog, NodeId parent) {
+  for (;;) {
+    switch (lx.peek().kind) {
+      case Tok::kFor:
+        parse_band(lx, prog, parent);
+        break;
+      case Tok::kIdent:
+        parse_statement(lx, prog, parent);
+        break;
+      default:
+        return;
+    }
+  }
+}
+
+}  // namespace
+
+Program parse_program(const std::string& text) {
+  Lexer lx(text);
+  Program prog;
+  parse_items(lx, prog, Program::kRoot);
+  if (lx.peek().kind != Tok::kEnd) lx.fail("unexpected trailing input");
+  prog.validate();
+  return prog;
+}
+
+sym::Expr parse_expr(const std::string& text) {
+  Lexer lx(text);
+  Expr e = parse_additive(lx);
+  if (lx.peek().kind != Tok::kEnd) lx.fail("unexpected trailing input");
+  return e;
+}
+
+}  // namespace sdlo::ir

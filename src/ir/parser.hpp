@@ -1,0 +1,41 @@
+// Textual front end for loop nests, so examples and tests can state
+// programs in a readable form close to the paper's figures:
+//
+//   for mT<floor(NM/Tm)>, nT<floor(NN/Tn)>, mI<Tm>, nI<Tn> {
+//     S2: B[mT+mI, nT+nI] = 0
+//   }
+//   for iT<floor(NI/Ti)>, nT<floor(NN/Tn)> {
+//     for iI<Ti>, nI<Tn> { S5: T[iI,nI] = 0 }
+//     for jT<floor(NJ/Tj)>, iI<Ti>, nI<Tn>, jI<Tj> {
+//       S7: T[iI,nI] += A[iT+iI, jT+jI] * C2[nT+nI, jT+jI]
+//     }
+//   }
+//
+// Grammar (line oriented; '#' starts a comment):
+//   band   = "for" var "<" expr ">" ("," var "<" expr ">")* "{"
+//   close  = "}"
+//   stmt   = LABEL ":" ref ("=" | "+=") rhs
+//   rhs    = "0" | ref ("*" ref)*
+//   ref    = NAME [ "[" sub ("," sub)* "]" ]
+//   sub    = var ("+" var)*
+//   expr   = integer arithmetic over symbols with + - * and
+//            floor(a/b), ceil(a/b), min(a,b), max(a,b), parentheses
+//
+// `W = rhs` emits reads of rhs then a write of W; `W += rhs` additionally
+// reads W before the write (matching real kernel trace order).
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace sdlo::ir {
+
+/// Parses program text; throws sdlo::ParseError with a line number on
+/// malformed input. The returned Program is validated.
+Program parse_program(const std::string& text);
+
+/// Parses a symbolic integer expression (the `expr` grammar above).
+sym::Expr parse_expr(const std::string& text);
+
+}  // namespace sdlo::ir

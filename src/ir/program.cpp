@@ -1,0 +1,265 @@
+#include "ir/program.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+
+namespace sdlo::ir {
+
+Program::Program() {
+  Node root;
+  root.parent = -1;
+  root.seq_no = 0;
+  nodes_.push_back(std::move(root));
+}
+
+const Program::Node& Program::node(NodeId n) const {
+  SDLO_EXPECTS(n >= 0 && static_cast<std::size_t>(n) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(n)];
+}
+
+Program::Node& Program::node(NodeId n) {
+  SDLO_EXPECTS(n >= 0 && static_cast<std::size_t>(n) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(n)];
+}
+
+NodeId Program::add_band(NodeId parent, std::vector<Loop> loops) {
+  SDLO_CHECK(!validated_, "cannot mutate a validated Program");
+  SDLO_CHECK(!is_statement(parent), "cannot nest under a statement");
+  SDLO_CHECK(!loops.empty() || parent == kRoot,
+             "empty band only permitted at the root");
+  for (const auto& l : loops) {
+    SDLO_CHECK(is_identifier(l.var), "loop variable must be an identifier");
+  }
+  Node b;
+  b.loops = std::move(loops);
+  b.parent = parent;
+  b.seq_no = static_cast<int>(node(parent).children.size());
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(b));
+  node(parent).children.push_back(id);
+  return id;
+}
+
+NodeId Program::add_statement(NodeId parent, Statement stmt) {
+  SDLO_CHECK(!validated_, "cannot mutate a validated Program");
+  SDLO_CHECK(!is_statement(parent), "cannot nest under a statement");
+  SDLO_CHECK(!stmt.accesses.empty(), "statement must access something");
+  Node s;
+  s.stmt = std::move(stmt);
+  s.parent = parent;
+  s.seq_no = static_cast<int>(node(parent).children.size());
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(s));
+  node(parent).children.push_back(id);
+  return id;
+}
+
+bool Program::is_statement(NodeId n) const { return node(n).stmt.has_value(); }
+
+const Statement& Program::statement(NodeId n) const {
+  SDLO_EXPECTS(is_statement(n));
+  return *node(n).stmt;
+}
+
+const std::vector<Loop>& Program::band_loops(NodeId n) const {
+  SDLO_EXPECTS(!is_statement(n));
+  return node(n).loops;
+}
+
+NodeId Program::parent(NodeId n) const { return node(n).parent; }
+
+const std::vector<NodeId>& Program::children(NodeId n) const {
+  return node(n).children;
+}
+
+int Program::seq_no(NodeId n) const { return node(n).seq_no; }
+
+std::vector<PathLoop> Program::path_loops(NodeId n) const {
+  std::vector<NodeId> chain;
+  for (NodeId cur = n; cur != -1; cur = node(cur).parent) {
+    chain.push_back(cur);
+  }
+  std::reverse(chain.begin(), chain.end());
+  std::vector<PathLoop> out;
+  for (NodeId b : chain) {
+    if (is_statement(b)) continue;
+    const auto& loops = node(b).loops;
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      out.push_back(PathLoop{loops[i].var, loops[i].extent, b,
+                             static_cast<int>(i)});
+    }
+  }
+  return out;
+}
+
+void Program::collect_statements(NodeId n, std::vector<NodeId>& out) const {
+  if (is_statement(n)) {
+    out.push_back(n);
+    return;
+  }
+  for (NodeId c : node(n).children) collect_statements(c, out);
+}
+
+const std::vector<NodeId>& Program::statements_in_order() const {
+  SDLO_CHECK(validated_, "Program must be validated first");
+  return stmt_order_;
+}
+
+void Program::validate() {
+  SDLO_CHECK(!validated_, "validate() called twice");
+
+  stmt_order_.clear();
+  collect_statements(kRoot, stmt_order_);
+  if (stmt_order_.empty()) {
+    throw UnsupportedProgram("program contains no statements");
+  }
+
+  // Bands must not be empty leaves; loop vars unique along each path and
+  // globally extent-consistent.
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes_.size()); ++n) {
+    if (is_statement(n)) continue;
+    if (node(n).children.empty() && n != kRoot) {
+      throw UnsupportedProgram("band node with no children");
+    }
+    for (const auto& l : node(n).loops) {
+      auto [it, inserted] = var_extent_.emplace(l.var, l.extent);
+      if (inserted) {
+        var_order_.push_back(l.var);
+      } else if (!it->second.equals(l.extent)) {
+        throw UnsupportedProgram("loop variable '" + l.var +
+                                 "' re-declared with a different extent");
+      }
+    }
+  }
+  for (NodeId s : stmt_order_) {
+    std::set<std::string> on_path;
+    for (const auto& pl : path_loops(s)) {
+      if (!on_path.insert(pl.var).second) {
+        throw UnsupportedProgram("loop variable '" + pl.var +
+                                 "' repeated along one nesting path");
+      }
+    }
+    // Each reference: subscript vars enclose the statement, each used once.
+    for (std::size_t a = 0; a < statement(s).accesses.size(); ++a) {
+      const ArrayRef& ref = statement(s).accesses[a];
+      if (!is_identifier(ref.array)) {
+        throw UnsupportedProgram("array name must be an identifier");
+      }
+      std::set<std::string> used;
+      for (const auto& sub : ref.subscripts) {
+        if (sub.vars.empty()) {
+          throw UnsupportedProgram("empty subscript in reference to '" +
+                                   ref.array + "'");
+        }
+        for (const auto& v : sub.vars) {
+          if (on_path.count(v) == 0) {
+            throw UnsupportedProgram(
+                "subscript variable '" + v + "' of array '" + ref.array +
+                "' is not an enclosing loop of statement " +
+                statement(s).label);
+          }
+          if (!used.insert(v).second) {
+            throw UnsupportedProgram("variable '" + v +
+                                     "' used twice in one reference to '" +
+                                     ref.array + "'");
+          }
+        }
+      }
+      // Record / check the per-array common structure.
+      auto [it, inserted] = array_shape_.emplace(ref.array, ref.subscripts);
+      if (inserted) {
+        array_order_.push_back(ref.array);
+        std::vector<std::string> vars;
+        for (const auto& sub : ref.subscripts) {
+          vars.insert(vars.end(), sub.vars.begin(), sub.vars.end());
+        }
+        array_vars_[ref.array] = std::move(vars);
+      } else if (!(it->second ==
+                   std::vector<Subscript>(ref.subscripts))) {
+        throw UnsupportedProgram(
+            "array '" + ref.array +
+            "' referenced with two different subscript structures; the "
+            "model's element-identity rule requires a single structure");
+      }
+      array_refs_[ref.array].push_back(
+          AccessSite{s, static_cast<int>(a)});
+    }
+  }
+  validated_ = true;
+}
+
+const Expr& Program::extent_of(const std::string& var) const {
+  SDLO_CHECK(validated_, "Program must be validated first");
+  auto it = var_extent_.find(var);
+  SDLO_CHECK(it != var_extent_.end(), "unknown loop variable: " + var);
+  return it->second;
+}
+
+const std::vector<std::string>& Program::variables() const {
+  SDLO_CHECK(validated_, "Program must be validated first");
+  return var_order_;
+}
+
+const std::vector<std::string>& Program::arrays() const {
+  SDLO_CHECK(validated_, "Program must be validated first");
+  return array_order_;
+}
+
+const std::vector<Subscript>& Program::array_shape(
+    const std::string& array) const {
+  SDLO_CHECK(validated_, "Program must be validated first");
+  auto it = array_shape_.find(array);
+  SDLO_CHECK(it != array_shape_.end(), "unknown array: " + array);
+  return it->second;
+}
+
+const std::vector<AccessSite>& Program::refs_to(
+    const std::string& array) const {
+  SDLO_CHECK(validated_, "Program must be validated first");
+  auto it = array_refs_.find(array);
+  SDLO_CHECK(it != array_refs_.end(), "unknown array: " + array);
+  return it->second;
+}
+
+Expr Program::array_size(const std::string& array) const {
+  Expr size = Expr::constant(1);
+  for (const auto& sub : array_shape(array)) {
+    for (const auto& v : sub.vars) {
+      size = size * extent_of(v);
+    }
+  }
+  return size;
+}
+
+const std::vector<std::string>& Program::array_vars(
+    const std::string& array) const {
+  SDLO_CHECK(validated_, "Program must be validated first");
+  auto it = array_vars_.find(array);
+  SDLO_CHECK(it != array_vars_.end(), "unknown array: " + array);
+  return it->second;
+}
+
+Expr Program::instances_of(NodeId n) const {
+  SDLO_CHECK(validated_, "Program must be validated first");
+  Expr count = Expr::constant(1);
+  for (const auto& pl : path_loops(n)) {
+    count = count * pl.extent;
+  }
+  return count;
+}
+
+Expr Program::total_accesses() const {
+  SDLO_CHECK(validated_, "Program must be validated first");
+  Expr total = Expr::constant(0);
+  for (NodeId s : stmt_order_) {
+    total = total + instances_of(s) *
+                        Expr::constant(static_cast<std::int64_t>(
+                            statement(s).accesses.size()));
+  }
+  return total;
+}
+
+}  // namespace sdlo::ir

@@ -1,0 +1,119 @@
+#include "ir/transforms.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace sdlo::ir {
+
+GalleryProgram tile_nest(const GalleryProgram& g,
+                         const std::vector<TileSpec>& specs) {
+  const Program& p = g.prog;
+  SDLO_CHECK(p.children(Program::kRoot).size() == 1,
+             "tile_nest requires a single nest");
+  const NodeId band = p.children(Program::kRoot)[0];
+  SDLO_CHECK(!p.is_statement(band), "tile_nest requires a loop band");
+  SDLO_CHECK(p.children(band).size() == 1 &&
+                 p.is_statement(p.children(band)[0]),
+             "tile_nest requires a perfect nest with one statement");
+
+  std::map<std::string, std::string> tile_sym_of;  // var -> tile symbol
+  for (const auto& s : specs) tile_sym_of[s.var] = s.tile_sym;
+
+  const auto& loops = p.band_loops(band);
+  for (const auto& s : specs) {
+    const bool found = std::any_of(loops.begin(), loops.end(),
+                                   [&](const Loop& l) {
+                                     return l.var == s.var;
+                                   });
+    SDLO_CHECK(found, "tile_nest: no loop named " + s.var);
+  }
+
+  GalleryProgram out;
+  out.bounds = g.bounds;
+  out.tiles = g.tiles;
+  out.tile_of = g.tile_of;
+
+  std::vector<Loop> tile_loops;
+  std::vector<Loop> intra_loops;
+  for (const auto& l : loops) {
+    auto it = tile_sym_of.find(l.var);
+    if (it == tile_sym_of.end()) {
+      intra_loops.push_back(l);
+      continue;
+    }
+    const Expr tile = Expr::symbol(it->second);
+    tile_loops.push_back(Loop{l.var + "T", sym::floor_div(l.extent, tile)});
+    intra_loops.push_back(Loop{l.var + "I", tile});
+    out.tiles.push_back(it->second);
+    // The tile divides the loop extent; when the extent is itself a bound
+    // symbol we can record the divisibility pair for make_env().
+    if (l.extent.kind() == sym::Kind::kSymbol) {
+      out.tile_of[it->second] = l.extent.symbol_name();
+    }
+  }
+  std::vector<Loop> all_loops = tile_loops;
+  all_loops.insert(all_loops.end(), intra_loops.begin(), intra_loops.end());
+
+  NodeId new_band = out.prog.add_band(Program::kRoot, std::move(all_loops));
+  Statement s = p.statement(p.children(band)[0]);
+  for (auto& access : s.accesses) {
+    for (auto& subscript : access.subscripts) {
+      Subscript rewritten;
+      for (const auto& v : subscript.vars) {
+        if (tile_sym_of.count(v) != 0) {
+          rewritten.vars.push_back(v + "T");
+          rewritten.vars.push_back(v + "I");
+        } else {
+          rewritten.vars.push_back(v);
+        }
+      }
+      subscript = std::move(rewritten);
+    }
+  }
+  out.prog.add_statement(new_band, std::move(s));
+  out.prog.validate();
+  return out;
+}
+
+Program interchange(const Program& p, NodeId band,
+                    const std::vector<int>& perm) {
+  SDLO_CHECK(!p.is_statement(band), "interchange target must be a band");
+  const auto& loops = p.band_loops(band);
+  SDLO_CHECK(perm.size() == loops.size(), "permutation arity mismatch");
+  std::set<int> seen(perm.begin(), perm.end());
+  SDLO_CHECK(seen.size() == perm.size() &&
+                 *seen.begin() == 0 &&
+                 *seen.rbegin() == static_cast<int>(perm.size()) - 1,
+             "perm must be a permutation of 0..k-1");
+
+  Program out;
+  // Rebuild with a custom walk so we can spot the target band.
+  auto walk = [&](NodeId src_node, NodeId dst_parent, auto&& self) -> void {
+    if (p.is_statement(src_node)) {
+      out.add_statement(dst_parent, p.statement(src_node));
+      return;
+    }
+    NodeId here = dst_parent;
+    if (src_node != Program::kRoot) {
+      std::vector<Loop> ls = p.band_loops(src_node);
+      if (src_node == band) {
+        std::vector<Loop> permuted;
+        permuted.reserve(ls.size());
+        for (int idx : perm) {
+          permuted.push_back(ls[static_cast<std::size_t>(idx)]);
+        }
+        ls = std::move(permuted);
+      }
+      here = out.add_band(dst_parent, std::move(ls));
+    }
+    for (NodeId c : p.children(src_node)) self(c, here, self);
+  };
+  walk(Program::kRoot, Program::kRoot, walk);
+  out.validate();
+  return out;
+}
+
+}  // namespace sdlo::ir

@@ -1,0 +1,38 @@
+// Loop transformations on Program trees.
+//
+// The paper applies tiling to TCE-generated nests before running the model
+// (§4.1, §6). tile_nest() strip-mines chosen loops of a perfect nest and
+// hoists all tile loops outward in original order (the classical rectangular
+// tiling of Fig. 2). interchange() permutes the loops of one band.
+// Transformations return new Programs; inputs are never mutated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/gallery.hpp"
+#include "ir/program.hpp"
+
+namespace sdlo::ir {
+
+/// Tiling directive: split loop `var` by a new symbolic tile size
+/// `tile_sym`; the tile loop is named var+"T" and the intra loop var+"I".
+struct TileSpec {
+  std::string var;
+  std::string tile_sym;
+};
+
+/// Tiles a single perfect nest (root -> one band -> one statement). Loops in
+/// `specs` are split; tile loops come first (in original loop order),
+/// followed by all intra-tile/unsplit loops (in original order). Subscripts
+/// using a split var v become the composed pair {vT, vI}. The tile size must
+/// divide the loop extent at binding time (recorded in tile_of).
+GalleryProgram tile_nest(const GalleryProgram& g,
+                         const std::vector<TileSpec>& specs);
+
+/// Reorders the loops of band `band` according to `perm` (a permutation of
+/// 0..k-1 giving the new outer-to-inner order in terms of old positions).
+Program interchange(const Program& p, NodeId band,
+                    const std::vector<int>& perm);
+
+}  // namespace sdlo::ir

@@ -1,0 +1,69 @@
+#include "kernels/matmul.hpp"
+
+#include "support/check.hpp"
+
+namespace sdlo::kernels {
+
+void matmul_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  SDLO_CHECK(a.cols() == b.rows() && c.rows() == a.rows() &&
+                 c.cols() == b.cols(),
+             "matmul shape mismatch");
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    for (std::int64_t j = 0; j < a.cols(); ++j) {
+      const double av = a(i, j);
+      for (std::int64_t k = 0; k < b.cols(); ++k) {
+        c(i, k) += av * b(j, k);
+      }
+    }
+  }
+}
+
+namespace {
+
+void tiled_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                std::int64_t ti, std::int64_t tj, std::int64_t tk,
+                std::int64_t it_lo, std::int64_t it_hi) {
+  const std::int64_t nj = a.cols();
+  const std::int64_t nk = b.cols();
+  for (std::int64_t iT = it_lo; iT < it_hi; ++iT) {
+    for (std::int64_t jT = 0; jT < nj / tj; ++jT) {
+      for (std::int64_t kT = 0; kT < nk / tk; ++kT) {
+        for (std::int64_t iI = 0; iI < ti; ++iI) {
+          const std::int64_t i = iT * ti + iI;
+          for (std::int64_t jI = 0; jI < tj; ++jI) {
+            const std::int64_t j = jT * tj + jI;
+            const double av = a(i, j);
+            double* crow = c.data().data() + i * c.cols() + kT * tk;
+            const double* brow = b.data().data() + j * b.cols() + kT * tk;
+            for (std::int64_t kI = 0; kI < tk; ++kI) {
+              crow[kI] += av * brow[kI];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void matmul_tiled(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::int64_t ti, std::int64_t tj, std::int64_t tk,
+                  parallel::ThreadPool* pool) {
+  SDLO_CHECK(a.cols() == b.rows() && c.rows() == a.rows() &&
+                 c.cols() == b.cols(),
+             "matmul shape mismatch");
+  SDLO_CHECK(a.rows() % ti == 0 && a.cols() % tj == 0 && b.cols() % tk == 0,
+             "tile sizes must divide the extents");
+  const std::int64_t i_tiles = a.rows() / ti;
+  if (pool == nullptr) {
+    tiled_rows(a, b, c, ti, tj, tk, 0, i_tiles);
+    return;
+  }
+  parallel::parallel_for_blocked(
+      *pool, 0, i_tiles, [&](std::int64_t lo, std::int64_t hi) {
+        tiled_rows(a, b, c, ti, tj, tk, lo, hi);
+      });
+}
+
+}  // namespace sdlo::kernels

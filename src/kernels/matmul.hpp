@@ -1,0 +1,21 @@
+// Runnable matrix-multiplication kernels (Fig. 2 / Fig. 8).
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/matrix.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sdlo::kernels {
+
+/// C(i,k) += A(i,j) * B(j,k), naive i-j-k order.
+void matmul_naive(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Tiled matmul with the Fig. 2 loop order (iT,jT,kT,iI,jI,kI). Tile sizes
+/// must divide the extents. When `pool` is given, the iT loop is
+/// block-partitioned (Fig. 8: rows of C are disjoint across processors).
+void matmul_tiled(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::int64_t ti, std::int64_t tj, std::int64_t tk,
+                  parallel::ThreadPool* pool = nullptr);
+
+}  // namespace sdlo::kernels

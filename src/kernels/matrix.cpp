@@ -1,0 +1,28 @@
+#include "kernels/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace sdlo::kernels {
+
+void Matrix::fill_pattern(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (auto& v : data_) {
+    v = rng.uniform() * 2.0 - 1.0;
+  }
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  SDLO_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    m = std::max(m, std::abs(da[i] - db[i]));
+  }
+  return m;
+}
+
+}  // namespace sdlo::kernels

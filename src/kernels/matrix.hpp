@@ -1,0 +1,46 @@
+// Dense row-major matrix buffer used by the runnable kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace sdlo::kernels {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix(std::int64_t rows, std::int64_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), fill) {
+    SDLO_EXPECTS(rows > 0 && cols > 0);
+  }
+
+  double& operator()(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  double operator()(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// Fills with a cheap deterministic pattern (for correctness checks).
+  void fill_pattern(std::uint64_t seed);
+
+  /// Max absolute elementwise difference.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace sdlo::kernels

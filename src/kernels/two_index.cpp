@@ -1,0 +1,188 @@
+#include "kernels/two_index.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace sdlo::kernels {
+
+namespace {
+
+void check_shapes(const Matrix& a, const Matrix& c1, const Matrix& c2,
+                  const Matrix& b) {
+  SDLO_CHECK(c1.cols() == a.rows(), "C1 cols must equal A rows (I)");
+  SDLO_CHECK(c2.cols() == a.cols(), "C2 cols must equal A cols (J)");
+  SDLO_CHECK(b.rows() == c1.rows(), "B rows must equal C1 rows (M)");
+  SDLO_CHECK(b.cols() == c2.rows(), "B cols must equal C2 rows (N)");
+}
+
+}  // namespace
+
+void two_index_unfused(const Matrix& a, const Matrix& c1, const Matrix& c2,
+                       Matrix& b) {
+  check_shapes(a, c1, c2, b);
+  const std::int64_t ni = a.rows();
+  const std::int64_t nj = a.cols();
+  const std::int64_t nm = b.rows();
+  const std::int64_t nn = b.cols();
+
+  Matrix t(nn, ni, 0.0);
+  for (std::int64_t i = 0; i < ni; ++i) {
+    for (std::int64_t n = 0; n < nn; ++n) {
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < nj; ++j) {
+        acc += c2(n, j) * a(i, j);
+      }
+      t(n, i) = acc;
+    }
+  }
+  for (std::int64_t i = 0; i < ni; ++i) {
+    for (std::int64_t n = 0; n < nn; ++n) {
+      const double tv = t(n, i);
+      for (std::int64_t m = 0; m < nm; ++m) {
+        b(m, n) += c1(m, i) * tv;
+      }
+    }
+  }
+}
+
+void two_index_fused(const Matrix& a, const Matrix& c1, const Matrix& c2,
+                     Matrix& b) {
+  check_shapes(a, c1, c2, b);
+  const std::int64_t ni = a.rows();
+  const std::int64_t nj = a.cols();
+  const std::int64_t nm = b.rows();
+  const std::int64_t nn = b.cols();
+
+  for (std::int64_t i = 0; i < ni; ++i) {
+    for (std::int64_t n = 0; n < nn; ++n) {
+      double t = 0.0;
+      for (std::int64_t j = 0; j < nj; ++j) {
+        t += c2(n, j) * a(i, j);
+      }
+      for (std::int64_t m = 0; m < nm; ++m) {
+        b(m, n) += c1(m, i) * t;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Body of Fig. 6 for one [nT_lo, nT_hi) range of the nT tile loop, with a
+/// caller-provided Ti x Tn tile buffer.
+void tiled_slice(const Matrix& a, const Matrix& c1, const Matrix& c2,
+                 Matrix& b, const TwoIndexTiles& tl, std::int64_t nt_lo,
+                 std::int64_t nt_hi, std::vector<double>& tbuf,
+                 bool copy_tiles) {
+  const std::int64_t ni = a.rows();
+  const std::int64_t nj = a.cols();
+  const std::int64_t nm = b.rows();
+
+  std::vector<double> abuf;
+  std::vector<double> c2buf;
+  if (copy_tiles) {
+    abuf.resize(static_cast<std::size_t>(tl.ti * tl.tj));
+    c2buf.resize(static_cast<std::size_t>(tl.tn * tl.tj));
+  }
+
+  for (std::int64_t nT = nt_lo; nT < nt_hi; ++nT) {
+    for (std::int64_t iT = 0; iT < ni / tl.ti; ++iT) {
+      // S4/S5: zero the tile buffer.
+      for (auto& v : tbuf) v = 0.0;
+
+      // S6/S7: T[iI,nI] += A[iT+iI, jT+jI] * C2[nT+nI, jT+jI].
+      for (std::int64_t jT = 0; jT < nj / tl.tj; ++jT) {
+        const double* ap = nullptr;
+        const double* c2p = nullptr;
+        if (copy_tiles) {
+          for (std::int64_t iI = 0; iI < tl.ti; ++iI) {
+            for (std::int64_t jI = 0; jI < tl.tj; ++jI) {
+              abuf[static_cast<std::size_t>(iI * tl.tj + jI)] =
+                  a(iT * tl.ti + iI, jT * tl.tj + jI);
+            }
+          }
+          for (std::int64_t nI = 0; nI < tl.tn; ++nI) {
+            for (std::int64_t jI = 0; jI < tl.tj; ++jI) {
+              c2buf[static_cast<std::size_t>(nI * tl.tj + jI)] =
+                  c2(nT * tl.tn + nI, jT * tl.tj + jI);
+            }
+          }
+          ap = abuf.data();
+          c2p = c2buf.data();
+        }
+        for (std::int64_t iI = 0; iI < tl.ti; ++iI) {
+          for (std::int64_t nI = 0; nI < tl.tn; ++nI) {
+            double acc = tbuf[static_cast<std::size_t>(iI * tl.tn + nI)];
+            if (copy_tiles) {
+              for (std::int64_t jI = 0; jI < tl.tj; ++jI) {
+                acc += ap[iI * tl.tj + jI] * c2p[nI * tl.tj + jI];
+              }
+            } else {
+              for (std::int64_t jI = 0; jI < tl.tj; ++jI) {
+                acc += a(iT * tl.ti + iI, jT * tl.tj + jI) *
+                       c2(nT * tl.tn + nI, jT * tl.tj + jI);
+              }
+            }
+            tbuf[static_cast<std::size_t>(iI * tl.tn + nI)] = acc;
+          }
+        }
+      }
+
+      // S8/S9: B[mT+mI, nT+nI] += T[iI,nI] * C1[mT+mI, iT+iI].
+      for (std::int64_t mT = 0; mT < nm / tl.tm; ++mT) {
+        for (std::int64_t iI = 0; iI < tl.ti; ++iI) {
+          for (std::int64_t nI = 0; nI < tl.tn; ++nI) {
+            const double tv =
+                tbuf[static_cast<std::size_t>(iI * tl.tn + nI)];
+            const std::int64_t n = nT * tl.tn + nI;
+            const std::int64_t i = iT * tl.ti + iI;
+            for (std::int64_t mI = 0; mI < tl.tm; ++mI) {
+              const std::int64_t m = mT * tl.tm + mI;
+              b(m, n) += tv * c1(m, i);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void two_index_tiled(const Matrix& a, const Matrix& c1, const Matrix& c2,
+                     Matrix& b, const TwoIndexTiles& tiles,
+                     parallel::ThreadPool* pool, bool copy_tiles) {
+  check_shapes(a, c1, c2, b);
+  const std::int64_t ni = a.rows();
+  const std::int64_t nj = a.cols();
+  const std::int64_t nm = b.rows();
+  const std::int64_t nn = b.cols();
+  SDLO_CHECK(ni % tiles.ti == 0 && nj % tiles.tj == 0 &&
+                 nm % tiles.tm == 0 && nn % tiles.tn == 0,
+             "tile sizes must divide the extents");
+
+  const std::int64_t n_tiles = nn / tiles.tn;
+  if (pool == nullptr) {
+    std::vector<double> tbuf(
+        static_cast<std::size_t>(tiles.ti * tiles.tn));
+    tiled_slice(a, c1, c2, b, tiles, 0, n_tiles, tbuf, copy_tiles);
+    return;
+  }
+  // nT iterations write disjoint B columns: block-partition them. Each
+  // worker block owns a private tile buffer.
+  parallel::parallel_for_blocked(
+      *pool, 0, n_tiles, [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<double> tbuf(
+            static_cast<std::size_t>(tiles.ti * tiles.tn));
+        tiled_slice(a, c1, c2, b, tiles, lo, hi, tbuf, copy_tiles);
+      });
+}
+
+double two_index_flops(std::int64_t ni, std::int64_t nj, std::int64_t nm,
+                       std::int64_t nn) {
+  return 2.0 * static_cast<double>(ni) * static_cast<double>(nn) *
+         (static_cast<double>(nj) + static_cast<double>(nm));
+}
+
+}  // namespace sdlo::kernels

@@ -1,0 +1,54 @@
+// Runnable two-index transform kernels (the paper's running example).
+//
+//   B(m,n) = sum_i C1(m,i) * T(n,i),   T(n,i) = sum_j C2(n,j) * A(i,j)
+//
+// Shapes: A(I,J), C2(N,J), C1(M,I), B(M,N).
+//
+// Variants:
+//   two_index_unfused   — materializes the full intermediate T (Fig. 1a)
+//   two_index_fused     — scalar T, fully fused loops (Fig. 1c)
+//   two_index_tiled     — the tiled Fig. 6 structure with a Ti x Tn tile
+//                         buffer, optional tile copying (§7.1) and optional
+//                         parallel execution over the nT tile loop (whose
+//                         iterations write disjoint B columns, so the
+//                         partitioned loop is synchronization-free).
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/matrix.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sdlo::kernels {
+
+/// Tile sizes for the two-index transform, in the paper's (Ti,Tj,Tm,Tn)
+/// order. Each must divide the corresponding extent.
+struct TwoIndexTiles {
+  std::int64_t ti = 1;
+  std::int64_t tj = 1;
+  std::int64_t tm = 1;
+  std::int64_t tn = 1;
+};
+
+/// Unfused reference (Fig. 1a): full intermediate T(N, I).
+void two_index_unfused(const Matrix& a, const Matrix& c1, const Matrix& c2,
+                       Matrix& b);
+
+/// Fused (Fig. 1c): scalar intermediate.
+void two_index_fused(const Matrix& a, const Matrix& c1, const Matrix& c2,
+                     Matrix& b);
+
+/// Tiled (Fig. 6). `pool` may be null for sequential execution; when given,
+/// the nT tile loop is block-partitioned across its threads. `copy_tiles`
+/// copies the A and C2 tiles into contiguous buffers before use (the
+/// paper's conflict-miss avoidance).
+void two_index_tiled(const Matrix& a, const Matrix& c1, const Matrix& c2,
+                     Matrix& b, const TwoIndexTiles& tiles,
+                     parallel::ThreadPool* pool = nullptr,
+                     bool copy_tiles = false);
+
+/// Useful flop count of the transform (two per multiply-add).
+double two_index_flops(std::int64_t ni, std::int64_t nj, std::int64_t nm,
+                       std::int64_t nn);
+
+}  // namespace sdlo::kernels

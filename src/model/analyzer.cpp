@@ -1,0 +1,313 @@
+#include "model/analyzer.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.hpp"
+#include "support/checked_math.hpp"
+#include "support/rng.hpp"
+#include "support/string_util.hpp"
+
+namespace sdlo::model {
+
+namespace {
+
+using sym::Expr;
+
+bool is_coord_symbol(const std::string& s) {
+  return starts_with(s, "__c_") || starts_with(s, "__x_");
+}
+
+std::string var_of_coord(const std::string& s) { return s.substr(4); }
+
+}  // namespace
+
+Analysis analyze(const ir::Program& prog) {
+  SDLO_CHECK(prog.validated(), "analyze requires a validated Program");
+  Analysis an(prog);
+  for (auto& part : enumerate_partitions(prog, an.symtab)) {
+    PartitionAnalysis pa;
+    pa.part = std::move(part);
+    if (pa.part.divergence != Divergence::kCold) {
+      pa.segments = window_segments(prog, *pa.part.source_spec,
+                                    pa.part.target_spec);
+      std::set<std::string> coord_syms;
+      for (const auto& array : prog.arrays()) {
+        auto boxes =
+            boxes_for_array(prog, an.symtab, pa.segments, array);
+        if (boxes.empty()) continue;
+        auto note = [&coord_syms](const Interval& iv) {
+          for (const auto& s : sym::symbols_of(iv.lo)) {
+            if (is_coord_symbol(s)) coord_syms.insert(s);
+          }
+          for (const auto& s : sym::symbols_of(iv.hi)) {
+            if (is_coord_symbol(s)) coord_syms.insert(s);
+          }
+        };
+        for (const auto& b : boxes) {
+          for (const auto& iv : b.dims) note(iv);
+          for (const auto& g : b.guards) note(g);
+        }
+        pa.boxes.emplace(array, std::move(boxes));
+      }
+      for (const auto& s : coord_syms) {
+        pa.coords.emplace_back(s, var_of_coord(s));
+      }
+    }
+    an.parts.push_back(std::move(pa));
+  }
+  return an;
+}
+
+std::int32_t site_index(const ir::Program& prog,
+                        const ir::AccessSite& site) {
+  std::int32_t idx = 0;
+  for (ir::NodeId s : prog.statements_in_order()) {
+    if (s == site.stmt) return idx + site.access;
+    idx += static_cast<std::int32_t>(prog.statement(s).accesses.size());
+  }
+  throw ContractViolation("site_index: unknown statement");
+}
+
+namespace {
+
+/// Per-partition evaluation context: bounds pre-substituted with the size
+/// environment and compiled to affine functions of the coordinate vector.
+struct BoundPartition {
+  std::vector<std::vector<CompiledBox>> boxes;  // per array
+  // Coordinate domains, aligned with coord_syms: [lo, hi] inclusive.
+  std::vector<std::pair<std::int64_t, std::int64_t>> domains;
+  std::vector<std::string> coord_syms;
+  UnionCounter counter;
+
+  std::int64_t depth_at(std::span<const std::int64_t> values) {
+    std::int64_t depth = 0;
+    for (const auto& b : boxes) {
+      depth = sat_add(depth, counter.count(b, values));
+    }
+    return depth;
+  }
+};
+
+BoundPartition bind_partition(const PartitionAnalysis& pa,
+                              const sym::Env& full_env) {
+  BoundPartition bp;
+  for (const auto& [symbol, var] : pa.coords) {
+    const std::int64_t extent = full_env.at(extent_symbol(var));
+    const bool pivot = starts_with(symbol, "__x_");
+    bp.domains.emplace_back(pivot ? 1 : 0, extent - 1);
+    bp.coord_syms.push_back(symbol);
+  }
+  for (const auto& [array, boxes] : pa.boxes) {
+    std::vector<Box> bound;
+    bound.reserve(boxes.size());
+    for (const auto& b : boxes) {
+      Box nb;
+      nb.dims.reserve(b.dims.size());
+      for (const auto& iv : b.dims) {
+        nb.dims.push_back(Interval{sym::substitute(iv.lo, full_env),
+                                   sym::substitute(iv.hi, full_env)});
+      }
+      for (const auto& g : b.guards) {
+        nb.guards.push_back(Interval{sym::substitute(g.lo, full_env),
+                                     sym::substitute(g.hi, full_env)});
+      }
+      bound.push_back(std::move(nb));
+    }
+    bp.boxes.push_back(compile_boxes(bound, bp.coord_syms));
+  }
+  return bp;
+}
+
+}  // namespace
+
+MissPrediction predict_misses(const Analysis& an, const sym::Env& env,
+                              std::int64_t capacity,
+                              const PredictOptions& opts) {
+  SDLO_EXPECTS(capacity > 0);
+  const ir::Program& prog = *an.prog;
+  const sym::Env full_env = an.symtab.bind_extents(env);
+
+  MissPrediction out;
+  out.capacity = capacity;
+  out.total_accesses = sym::evaluate(prog.total_accesses(), env);
+  std::int32_t nsites = 0;
+  for (ir::NodeId s : prog.statements_in_order()) {
+    nsites += static_cast<std::int32_t>(prog.statement(s).accesses.size());
+  }
+  out.misses_by_site.assign(static_cast<std::size_t>(nsites), 0);
+
+  for (std::size_t pi = 0; pi < an.parts.size(); ++pi) {
+    const PartitionAnalysis& pa = an.parts[pi];
+    PartitionOutcome oc;
+    oc.part_index = pi;
+    oc.count = sym::evaluate(pa.part.count, full_env);
+    if (oc.count == 0) continue;
+
+    const auto site =
+        static_cast<std::size_t>(site_index(prog, pa.part.target));
+
+    if (pa.part.divergence == Divergence::kCold) {
+      oc.depth_min = oc.depth_max = kInfDistance;
+      oc.misses = oc.count;
+      out.misses += oc.misses;
+      out.misses_by_site[site] += oc.misses;
+      out.outcomes.push_back(oc);
+      continue;
+    }
+
+    BoundPartition bp = bind_partition(pa, full_env);
+
+    // Total number of coordinate combinations.
+    std::int64_t combos = 1;
+    bool dead = false;
+    for (const auto& [lo, hi] : bp.domains) {
+      if (hi < lo) {
+        dead = true;  // e.g. pivot of an extent-1 loop (count says 0 too)
+        break;
+      }
+      combos = sat_mul(combos, hi - lo + 1);
+    }
+    if (dead) continue;
+
+    if (combos <= opts.enum_limit) {
+      // Exact: enumerate every coordinate assignment; each represents
+      // count/combos target instances.
+      const std::int64_t weight = oc.count / combos;
+      SDLO_CHECK(weight * combos == oc.count,
+                 "coordinate domains must divide the partition count");
+      std::vector<std::int64_t> values;
+      values.reserve(bp.domains.size());
+      for (const auto& [lo, hi] : bp.domains) {
+        (void)hi;
+        values.push_back(lo);
+      }
+      oc.depth_min = kInfDistance;
+      oc.depth_max = 0;
+      std::int64_t miss_combos = 0;
+      for (;;) {
+        const std::int64_t depth = bp.depth_at(values);
+        oc.depth_min = std::min(oc.depth_min, depth);
+        oc.depth_max = std::max(oc.depth_max, depth);
+        if (depth > capacity) ++miss_combos;
+        // Advance mixed-radix counter.
+        std::size_t k = 0;
+        for (; k < values.size(); ++k) {
+          if (values[k] < bp.domains[k].second) {
+            ++values[k];
+            break;
+          }
+          values[k] = bp.domains[k].first;
+        }
+        if (k == values.size()) break;
+      }
+      oc.misses = miss_combos * weight;
+      oc.enumerated = true;
+    } else {
+      // Probe corners + center + random interior points.
+      std::vector<std::vector<std::int64_t>> probes;
+      const std::size_t k = bp.domains.size();
+      if (k <= 12) {
+        for (std::size_t mask = 0; mask < (std::size_t{1} << k); ++mask) {
+          std::vector<std::int64_t> v(k);
+          for (std::size_t i = 0; i < k; ++i) {
+            v[i] = (mask & (std::size_t{1} << i)) ? bp.domains[i].second
+                                                  : bp.domains[i].first;
+          }
+          probes.push_back(std::move(v));
+        }
+      }
+      {
+        std::vector<std::int64_t> mid(k);
+        for (std::size_t i = 0; i < k; ++i) {
+          mid[i] = (bp.domains[i].first + bp.domains[i].second) / 2;
+        }
+        probes.push_back(std::move(mid));
+      }
+      SplitMix64 rng(0x5d10c0ffee ^ pi);
+      for (int r = 0; r < opts.probe_samples; ++r) {
+        std::vector<std::int64_t> v(k);
+        for (std::size_t i = 0; i < k; ++i) {
+          v[i] = rng.range(bp.domains[i].first, bp.domains[i].second);
+        }
+        probes.push_back(std::move(v));
+      }
+      oc.depth_min = kInfDistance;
+      oc.depth_max = 0;
+      for (const auto& pv : probes) {
+        const std::int64_t depth = bp.depth_at(pv);
+        oc.depth_min = std::min(oc.depth_min, depth);
+        oc.depth_max = std::max(oc.depth_max, depth);
+      }
+      if (oc.depth_min == oc.depth_max) {
+        // Constant depth across all probes (translation-invariant window).
+        oc.misses = (oc.depth_min > capacity) ? oc.count : 0;
+      } else if (oc.depth_min > capacity) {
+        oc.misses = oc.count;
+      } else if (oc.depth_max <= capacity) {
+        oc.misses = 0;
+      } else {
+        // Straddling and too large to enumerate: statistical estimate
+        // (generalizes the paper's min/max interpolation).
+        oc.approximated = true;
+        const int trials = 65536;
+        int miss_trials = 0;
+        std::vector<std::int64_t> v(k);
+        for (int t = 0; t < trials; ++t) {
+          for (std::size_t i = 0; i < k; ++i) {
+            v[i] = rng.range(bp.domains[i].first, bp.domains[i].second);
+          }
+          if (bp.depth_at(v) > capacity) ++miss_trials;
+        }
+        oc.misses = static_cast<std::int64_t>(
+            static_cast<double>(oc.count) *
+            (static_cast<double>(miss_trials) / trials));
+      }
+    }
+    out.misses += oc.misses;
+    out.misses_by_site[site] += oc.misses;
+    out.outcomes.push_back(oc);
+  }
+  return out;
+}
+
+std::vector<SymbolicRow> symbolic_report(const Analysis& an) {
+  std::vector<SymbolicRow> rows;
+  // Presentation renaming: coordinates become their loop-variable names,
+  // pivots become "x".
+  for (std::size_t pi = 0; pi < an.parts.size(); ++pi) {
+    const PartitionAnalysis& pa = an.parts[pi];
+    SymbolicRow row;
+    row.part_index = pi;
+    row.description = describe(pa.part);
+    row.count = an.symtab.resolve(pa.part.count);
+    if (pa.part.divergence == Divergence::kCold) {
+      row.infinite = true;
+      row.total = Expr::constant(0);
+      rows.push_back(std::move(row));
+      continue;
+    }
+    std::map<std::string, Expr> rename;
+    for (const auto& [symbol, var] : pa.coords) {
+      rename.emplace(symbol, starts_with(symbol, "__x_")
+                                 ? Expr::symbol("x")
+                                 : Expr::symbol(var));
+    }
+    Expr total = Expr::constant(0);
+    bool all_exact = true;
+    for (const auto& [array, boxes] : pa.boxes) {
+      bool exact = true;
+      Expr cost = symbolic_union(boxes, an.symtab, &exact);
+      all_exact = all_exact && exact;
+      cost = an.symtab.resolve(sym::substitute_exprs(cost, rename));
+      total = total + cost;
+      row.per_array.emplace(array, std::move(cost));
+    }
+    row.total = std::move(total);
+    row.exact = all_exact;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace sdlo::model

@@ -1,0 +1,137 @@
+#include "model/compiled_eval.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace sdlo::model {
+
+AffineFn compile_affine(const sym::Expr& e,
+                        const std::vector<std::string>& coord_syms) {
+  sym::Env zero;
+  for (const auto& s : coord_syms) zero[s] = 0;
+  AffineFn fn;
+  fn.base = sym::evaluate(e, zero);
+  for (std::size_t i = 0; i < coord_syms.size(); ++i) {
+    sym::Env probe = zero;
+    probe[coord_syms[i]] = 1;
+    const std::int64_t coeff = sym::evaluate(e, probe) - fn.base;
+    if (coeff != 0) {
+      fn.terms.emplace_back(static_cast<std::int32_t>(i), coeff);
+    }
+  }
+  // Affinity check at a pseudo-random point.
+  sym::Env check;
+  std::int64_t expect = fn.base;
+  for (std::size_t i = 0; i < coord_syms.size(); ++i) {
+    const auto v = static_cast<std::int64_t>(3 + 7 * i);
+    check[coord_syms[i]] = v;
+  }
+  for (const auto& [idx, coeff] : fn.terms) {
+    expect += coeff * (3 + 7 * static_cast<std::int64_t>(idx));
+  }
+  SDLO_CHECK(sym::evaluate(e, check) == expect,
+             "interval bound is not affine in the coordinates: " +
+                 sym::to_string(e));
+  return fn;
+}
+
+std::vector<CompiledBox> compile_boxes(
+    const std::vector<Box>& boxes,
+    const std::vector<std::string>& coord_syms) {
+  std::vector<CompiledBox> out;
+  out.reserve(boxes.size());
+  for (const auto& b : boxes) {
+    CompiledBox cb;
+    cb.dims.reserve(b.dims.size());
+    for (const auto& iv : b.dims) {
+      cb.dims.emplace_back(compile_affine(iv.lo, coord_syms),
+                           compile_affine(iv.hi, coord_syms));
+    }
+    for (const auto& g : b.guards) {
+      cb.guards.emplace_back(compile_affine(g.lo, coord_syms),
+                             compile_affine(g.hi, coord_syms));
+    }
+    out.push_back(std::move(cb));
+  }
+  return out;
+}
+
+std::int64_t UnionCounter::count(const std::vector<CompiledBox>& boxes,
+                                 std::span<const std::int64_t> coords) {
+  eval_.resize(boxes.size());
+  std::size_t ndims = 0;
+  bool have_scalar = false;
+  std::vector<std::int32_t> roots;
+  roots.reserve(boxes.size());
+
+  std::size_t slot = 0;
+  for (const auto& b : boxes) {
+    bool empty = false;
+    for (const auto& [glo, ghi] : b.guards) {
+      if (ghi.eval(coords) < glo.eval(coords)) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+    if (b.dims.empty()) {
+      have_scalar = true;
+      continue;
+    }
+    auto& row = eval_[slot];
+    row.clear();
+    row.reserve(b.dims.size());
+    for (const auto& [lo, hi] : b.dims) {
+      const std::int64_t l = lo.eval(coords);
+      const std::int64_t h = hi.eval(coords);
+      if (h < l) {
+        empty = true;
+        break;
+      }
+      row.emplace_back(l, h);
+    }
+    if (empty) continue;
+    ndims = b.dims.size();
+    roots.push_back(static_cast<std::int32_t>(slot));
+    ++slot;
+  }
+  if (roots.empty()) return have_scalar ? 1 : 0;
+  if (levels_.size() < ndims) levels_.resize(ndims);
+  return recurse(0, ndims, roots) + (have_scalar ? 1 : 0);
+}
+
+std::int64_t UnionCounter::recurse(std::size_t dim, std::size_t ndims,
+                                   std::span<const std::int32_t> active) {
+  if (dim == ndims) return 1;
+  Level& lvl = levels_[dim];
+  lvl.cuts.clear();
+  for (const std::int32_t b : active) {
+    const auto& iv = eval_[static_cast<std::size_t>(b)][dim];
+    lvl.cuts.push_back(iv.first);
+    lvl.cuts.push_back(iv.second + 1);
+  }
+  std::sort(lvl.cuts.begin(), lvl.cuts.end());
+  lvl.cuts.erase(std::unique(lvl.cuts.begin(), lvl.cuts.end()),
+                 lvl.cuts.end());
+
+  std::int64_t total = 0;
+  for (std::size_t k = 0; k + 1 < lvl.cuts.size(); ++k) {
+    const std::int64_t lo = lvl.cuts[k];
+    const std::int64_t hi = lvl.cuts[k + 1] - 1;
+    lvl.active.clear();
+    for (const std::int32_t b : active) {
+      const auto& iv = eval_[static_cast<std::size_t>(b)][dim];
+      if (iv.first <= lo && hi <= iv.second) lvl.active.push_back(b);
+    }
+    if (lvl.active.empty()) continue;
+    // lvl.active is stable across the recursive call (deeper levels use
+    // their own scratch), so a span is safe here.
+    total += (hi - lo + 1) *
+             recurse(dim + 1, ndims,
+                     std::span<const std::int32_t>(lvl.active));
+  }
+  return total;
+}
+
+}  // namespace sdlo::model

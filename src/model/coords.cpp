@@ -1,0 +1,183 @@
+#include "model/coords.hpp"
+
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+
+namespace sdlo::model {
+
+std::string extent_symbol(const std::string& var) { return "__E_" + var; }
+std::string coord_symbol(const std::string& var) { return "__c_" + var; }
+std::string pivot_symbol(const std::string& var) { return "__x_" + var; }
+
+SymbolTable::SymbolTable(const ir::Program& prog) {
+  SDLO_CHECK(prog.validated(), "SymbolTable requires a validated Program");
+  const sym::Expr zero = sym::Expr::constant(0);
+  const sym::Expr one = sym::Expr::constant(1);
+  for (const auto& var : prog.variables()) {
+    const std::string es = extent_symbol(var);
+    extent_alias_.emplace(es, prog.extent_of(var));
+    const sym::Expr e = sym::Expr::symbol(es);
+    ranges_.emplace(es, Range{one, e});  // E >= 1 (upper self: unbounded)
+    ranges_.emplace(coord_symbol(var), Range{zero, e - one});
+    ranges_.emplace(pivot_symbol(var), Range{one, e - one});
+  }
+}
+
+sym::Expr SymbolTable::extent(const std::string& var) const {
+  return sym::Expr::symbol(extent_symbol(var));
+}
+
+sym::Expr SymbolTable::resolve(const sym::Expr& e) const {
+  // Substitute each extent alias with its real expression. substitute()
+  // only takes integer bindings, so walk manually.
+  using sym::Expr;
+  using sym::Kind;
+  switch (e.kind()) {
+    case Kind::kConst:
+      return e;
+    case Kind::kSymbol: {
+      auto it = extent_alias_.find(e.symbol_name());
+      return it == extent_alias_.end() ? e : it->second;
+    }
+    case Kind::kAdd: {
+      Expr acc = Expr::constant(0);
+      for (const auto& op : e.operands()) acc = acc + resolve(op);
+      return acc;
+    }
+    case Kind::kMul: {
+      Expr acc = Expr::constant(1);
+      for (const auto& op : e.operands()) acc = acc * resolve(op);
+      return acc;
+    }
+    case Kind::kFloorDiv:
+      return sym::floor_div(resolve(e.operands()[0]),
+                            resolve(e.operands()[1]));
+    case Kind::kCeilDiv:
+      return sym::ceil_div(resolve(e.operands()[0]),
+                           resolve(e.operands()[1]));
+    case Kind::kMin: {
+      Expr acc = resolve(e.operands()[0]);
+      for (std::size_t i = 1; i < e.operands().size(); ++i) {
+        acc = sym::min(acc, resolve(e.operands()[i]));
+      }
+      return acc;
+    }
+    case Kind::kMax: {
+      Expr acc = resolve(e.operands()[0]);
+      for (std::size_t i = 1; i < e.operands().size(); ++i) {
+        acc = sym::max(acc, resolve(e.operands()[i]));
+      }
+      return acc;
+    }
+  }
+  throw Error("corrupt expression node");
+}
+
+std::optional<sym::Expr> SymbolTable::lower_of(
+    const std::string& symbol) const {
+  auto it = ranges_.find(symbol);
+  if (it == ranges_.end()) return std::nullopt;
+  return it->second.lo;
+}
+
+std::optional<sym::Expr> SymbolTable::upper_of(
+    const std::string& symbol) const {
+  auto it = ranges_.find(symbol);
+  if (it == ranges_.end()) return std::nullopt;
+  // The extent alias's "upper bound" is itself (unbounded); report none.
+  if (it->second.hi.kind() == sym::Kind::kSymbol &&
+      it->second.hi.symbol_name() == symbol) {
+    return std::nullopt;
+  }
+  return it->second.hi;
+}
+
+bool SymbolTable::prove_nonneg(const sym::Expr& e) const {
+  // Iteratively: pick a symbol with a non-constant-sign position — i.e. a
+  // symbol appearing linearly whose coefficient polynomial we can sign — and
+  // substitute the extreme that minimizes the expression. Bounded number of
+  // rounds (one per distinct symbol).
+  sym::Expr cur = e;
+  for (int round = 0; round < 64; ++round) {
+    if (cur.is_const()) return cur.const_value() >= 0;
+
+    // All-coefficients-nonnegative check over the normalized polynomial
+    // (symbols are >= 0 by convention: user symbols are sizes; internal
+    // symbols have lo >= 0).
+    auto all_nonneg = [](const sym::Expr& x) {
+      if (x.is_const()) return x.const_value() >= 0;
+      auto term_ok = [](const sym::Expr& t) {
+        if (t.is_const()) return t.const_value() >= 0;
+        if (t.kind() == sym::Kind::kMul) {
+          for (const auto& f : t.operands()) {
+            if (f.is_const() && f.const_value() < 0) return false;
+          }
+        }
+        return true;
+      };
+      if (x.kind() == sym::Kind::kAdd) {
+        for (const auto& t : x.operands()) {
+          if (!term_ok(t)) return false;
+        }
+        return true;
+      }
+      return term_ok(x);
+    };
+    if (all_nonneg(cur)) return true;
+
+    // Find a symbol to eliminate: one whose linear coefficient has provable
+    // sign and which has the needed bound. Coordinate/pivot symbols go
+    // first: their bounds reference extent symbols, so eliminating an
+    // extent too early breaks the chain (e.g. E-1-c needs c := E-1 before
+    // E := 1).
+    std::vector<std::string> ordered;
+    for (const auto& s : sym::symbols_of(cur)) {
+      if (ranges_.count(s) != 0 && !starts_with(s, "__E_")) {
+        ordered.push_back(s);
+      }
+    }
+    for (const auto& s : sym::symbols_of(cur)) {
+      if (ranges_.count(s) == 0 || starts_with(s, "__E_")) {
+        ordered.push_back(s);
+      }
+    }
+    bool progressed = false;
+    for (const auto& s : ordered) {
+      auto lin = sym::as_linear(cur, s);
+      if (!lin) continue;
+      if (lin->coeff.is_const() && lin->coeff.const_value() == 0) continue;
+      const bool coeff_nonneg = all_nonneg(lin->coeff);
+      const bool coeff_nonpos = all_nonneg(-lin->coeff);
+      sym::Expr replacement;
+      if (coeff_nonneg) {
+        auto lo = lower_of(s);
+        // Default assumption: every symbol >= 0.
+        replacement = lo ? *lo : sym::Expr::constant(0);
+      } else if (coeff_nonpos) {
+        auto hi = upper_of(s);
+        if (!hi) continue;  // cannot bound from above
+        replacement = *hi;
+      } else {
+        continue;
+      }
+      const sym::Expr next = lin->coeff * replacement + lin->offset;
+      if (!next.equals(cur)) {
+        cur = next;
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) return false;
+  }
+  return false;
+}
+
+sym::Env SymbolTable::bind_extents(const sym::Env& env) const {
+  sym::Env out = env;
+  for (const auto& [alias, real] : extent_alias_) {
+    out[alias] = sym::evaluate(real, env);
+  }
+  return out;
+}
+
+}  // namespace sdlo::model

@@ -1,0 +1,83 @@
+// Symbol conventions and the ordering oracle used by the stack-distance
+// model.
+//
+// The analyzer describes iteration points with three families of internal
+// symbols (all prefixed "__" so they cannot collide with user symbols):
+//   __E_<var>  — the extent of loop <var> (aliases the loop's extent
+//                expression, which may itself be composite, e.g. NI/Ti);
+//                assumed >= 1.
+//   __c_<var>  — a *free coordinate*: the (unknown) value of loop <var> at
+//                the target access; assumed in [0, __E_<var> - 1].
+//   __x_<var>  — the *pivot coordinate* of a loop-divergence partition: the
+//                target's value of the pivot loop; assumed in
+//                [1, __E_<var> - 1] (the partition requires a previous
+//                iteration to exist).
+//
+// SymbolTable records the per-symbol ranges and real extent expressions and
+// provides prove_nonneg(), a sound (incomplete) decision helper for bound
+// comparisons in symbolic mode: it proves e >= 0 by substituting each ranged
+// symbol at the extreme that minimizes e and checking that the residual
+// polynomial has non-negative coefficients.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ir/program.hpp"
+#include "symbolic/expr.hpp"
+
+namespace sdlo::model {
+
+/// Internal symbol name for the extent of loop `var`.
+std::string extent_symbol(const std::string& var);
+/// Internal symbol name for the free coordinate of loop `var`.
+std::string coord_symbol(const std::string& var);
+/// Internal symbol name for the pivot coordinate of loop `var`.
+std::string pivot_symbol(const std::string& var);
+
+/// Per-symbol range assumptions plus the extent alias map.
+class SymbolTable {
+ public:
+  /// Builds the table for a validated program: one extent alias per loop
+  /// variable, plus coordinate/pivot ranges for each.
+  explicit SymbolTable(const ir::Program& prog);
+
+  /// Extent alias expression (the symbol __E_<var>).
+  sym::Expr extent(const std::string& var) const;
+
+  /// Real (user-level) expression behind an extent alias; identity for
+  /// non-alias symbols. resolve() rewrites a whole expression.
+  sym::Expr resolve(const sym::Expr& e) const;
+
+  /// Lower/upper bound expression of an internal symbol, if ranged.
+  std::optional<sym::Expr> lower_of(const std::string& symbol) const;
+  std::optional<sym::Expr> upper_of(const std::string& symbol) const;
+
+  /// Sound, incomplete: returns true only if e >= 0 is provable under the
+  /// recorded ranges (all user symbols assumed >= 0; extent aliases >= 1).
+  bool prove_nonneg(const sym::Expr& e) const;
+
+  /// prove a <= b.
+  bool prove_le(const sym::Expr& a, const sym::Expr& b) const {
+    return prove_nonneg(b - a);
+  }
+  /// prove a < b (integers: a+1 <= b).
+  bool prove_lt(const sym::Expr& a, const sym::Expr& b) const {
+    return prove_nonneg(b - a - sym::Expr::constant(1));
+  }
+
+  /// Extends an evaluation environment with extent-alias values derived
+  /// from `env` (which must bind all user symbols).
+  sym::Env bind_extents(const sym::Env& env) const;
+
+ private:
+  struct Range {
+    sym::Expr lo;
+    sym::Expr hi;
+  };
+  std::map<std::string, sym::Expr> extent_alias_;  // alias symbol -> real
+  std::map<std::string, Range> ranges_;            // symbol -> [lo, hi]
+};
+
+}  // namespace sdlo::model

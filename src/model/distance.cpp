@@ -1,0 +1,367 @@
+#include "model/distance.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/check.hpp"
+#include "support/checked_math.hpp"
+
+namespace sdlo::model {
+
+namespace {
+
+using sym::Expr;
+
+using IntBox = std::vector<std::pair<std::int64_t, std::int64_t>>;
+
+std::int64_t count_union_rec(std::vector<const IntBox*>& active,
+                             std::size_t dim, std::size_t ndims) {
+  if (active.empty()) return 0;
+  if (dim == ndims) return 1;
+
+  // Endpoint strips along `dim`: within a strip the active set is constant.
+  std::vector<std::int64_t> cuts;
+  cuts.reserve(active.size() * 2);
+  for (const IntBox* b : active) {
+    cuts.push_back((*b)[dim].first);
+    cuts.push_back((*b)[dim].second + 1);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::int64_t total = 0;
+  std::vector<const IntBox*> strip_active;
+  for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+    const std::int64_t lo = cuts[k];
+    const std::int64_t hi = cuts[k + 1] - 1;
+    strip_active.clear();
+    for (const IntBox* b : active) {
+      if ((*b)[dim].first <= lo && hi <= (*b)[dim].second) {
+        strip_active.push_back(b);
+      }
+    }
+    if (strip_active.empty()) continue;
+    total = checked_add(
+        total, checked_mul(hi - lo + 1,
+                           count_union_rec(strip_active, dim + 1, ndims)));
+  }
+  return total;
+}
+
+}  // namespace
+
+std::int64_t count_union(const std::vector<IntBox>& boxes) {
+  std::vector<const IntBox*> active;
+  std::size_t ndims = 0;
+  bool have_scalar = false;
+  for (const auto& b : boxes) {
+    bool empty = false;
+    for (const auto& [lo, hi] : b) {
+      if (hi < lo) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+    if (b.empty()) {
+      have_scalar = true;
+      continue;
+    }
+    ndims = b.size();
+    active.push_back(&b);
+  }
+  if (active.empty()) return have_scalar ? 1 : 0;
+  for (const IntBox* b : active) {
+    SDLO_CHECK(b->size() == ndims, "boxes must share dimensionality");
+  }
+  return count_union_rec(active, 0, ndims);
+}
+
+std::int64_t numeric_union(const std::vector<Box>& boxes,
+                           const sym::Env& full_env) {
+  std::vector<IntBox> concrete;
+  concrete.reserve(boxes.size());
+  for (const auto& b : boxes) {
+    bool empty = false;
+    for (const auto& g : b.guards) {
+      if (sym::evaluate(g.hi, full_env) < sym::evaluate(g.lo, full_env)) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+    IntBox ib;
+    ib.reserve(b.dims.size());
+    for (const auto& iv : b.dims) {
+      const std::int64_t lo = sym::evaluate(iv.lo, full_env);
+      const std::int64_t hi = sym::evaluate(iv.hi, full_env);
+      if (hi < lo) {
+        empty = true;
+        break;
+      }
+      ib.emplace_back(lo, hi);
+    }
+    if (!empty) concrete.push_back(std::move(ib));
+  }
+  return count_union(concrete);
+}
+
+sym::Expr interval_size(const Interval& iv, const SymbolTable& symtab) {
+  const Expr raw = iv.hi - iv.lo + Expr::constant(1);
+  if (symtab.prove_nonneg(raw)) return raw;
+  return sym::max(Expr::constant(0), raw);
+}
+
+namespace {
+
+/// Provable containment: a ⊆ b.
+bool contains(const Box& outer, const Box& inner, const SymbolTable& st) {
+  SDLO_EXPECTS(outer.dims.size() == inner.dims.size());
+  for (std::size_t d = 0; d < outer.dims.size(); ++d) {
+    if (!st.prove_le(outer.dims[d].lo, inner.dims[d].lo)) return false;
+    if (!st.prove_le(inner.dims[d].hi, outer.dims[d].hi)) return false;
+  }
+  return true;
+}
+
+/// Provable disjointness: some dimension's intervals cannot overlap.
+bool disjoint(const Box& a, const Box& b, const SymbolTable& st) {
+  for (std::size_t d = 0; d < a.dims.size(); ++d) {
+    if (st.prove_lt(a.dims[d].hi, b.dims[d].lo)) return true;
+    if (st.prove_lt(b.dims[d].hi, a.dims[d].lo)) return true;
+  }
+  return false;
+}
+
+/// Provably empty: some dimension or guard has hi < lo.
+bool provably_empty(const Box& b, const SymbolTable& st) {
+  for (const auto& iv : b.dims) {
+    if (st.prove_lt(iv.hi, iv.lo)) return true;
+  }
+  for (const auto& g : b.guards) {
+    if (st.prove_lt(g.hi, g.lo)) return true;
+  }
+  return false;
+}
+
+
+Expr box_size(const Box& b, const SymbolTable& st) {
+  Expr size = Expr::constant(1);
+  for (const auto& iv : b.dims) {
+    size = size * interval_size(iv, st);
+  }
+  return size;
+}
+
+/// Symbolic endpoint-strip sweep: the exact union cardinality as a sum of
+/// strip-width products, provided every pair of interval endpoints in every
+/// dimension is provably ordered (true for the window boxes of one loop
+/// nest, whose per-dimension endpoints are drawn from {0, c, c+1, E-1} of a
+/// single coordinate). Returns nullopt when an ordering is unprovable.
+std::optional<Expr> sweep_union(const std::vector<const Box*>& boxes,
+                                std::size_t dim, std::size_t ndims,
+                                const SymbolTable& st) {
+  if (boxes.empty()) return Expr::constant(0);
+  if (dim == ndims) return Expr::constant(1);
+
+  // Endpoint set for this dimension: lo and hi+1 of every box.
+  const Expr one = Expr::constant(1);
+  std::vector<Expr> cuts;
+  auto add_cut = [&cuts](const Expr& e) {
+    for (const auto& c : cuts) {
+      if (c.equals(e)) return;
+    }
+    cuts.push_back(e);
+  };
+  for (const Box* b : boxes) {
+    add_cut(b->dims[dim].lo);
+    add_cut(b->dims[dim].hi + one);
+  }
+  // Provable total order (insertion sort with oracle comparisons).
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    Expr key = cuts[i];
+    std::size_t j = i;
+    while (j > 0) {
+      if (st.prove_le(cuts[j - 1], key)) break;
+      if (!st.prove_le(key, cuts[j - 1])) return std::nullopt;
+      cuts[j] = cuts[j - 1];
+      --j;
+    }
+    cuts[j] = key;
+  }
+
+  Expr total = Expr::constant(0);
+  std::vector<const Box*> active;
+  for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+    // Strip [cuts[k], cuts[k+1] - 1]; width provably >= 0 by the order.
+    active.clear();
+    for (const Box* b : boxes) {
+      // Box covers the strip iff lo <= strip.lo and strip.hi <= hi, i.e.
+      // lo <= cuts[k] and cuts[k+1] <= hi+1 — decidable within the cut
+      // order because lo and hi+1 are themselves cuts.
+      if (st.prove_le(b->dims[dim].lo, cuts[k]) &&
+          st.prove_le(cuts[k + 1], b->dims[dim].hi + one)) {
+        active.push_back(b);
+      }
+    }
+    if (active.empty()) continue;
+    auto inner = sweep_union(active, dim + 1, ndims, st);
+    if (!inner) return std::nullopt;
+    total = total + (cuts[k + 1] - cuts[k]) * *inner;
+  }
+  return total;
+}
+
+}  // namespace
+
+sym::Expr symbolic_union(const std::vector<Box>& boxes,
+                         const SymbolTable& symtab, bool* exact,
+                         std::size_t max_boxes_for_ie) {
+  if (exact != nullptr) *exact = true;
+
+  // Scalars: any box present denotes the one element.
+  if (!boxes.empty() && boxes.front().dims.empty()) {
+    return Expr::constant(1);
+  }
+
+  // Drop provably-empty boxes. Symbolic mode evaluates the generic
+  // interior point where the remaining guards are satisfied, so they are
+  // stripped here (the numeric path keeps exact guard semantics).
+  std::vector<Box> live;
+  for (const auto& b : boxes) {
+    if (provably_empty(b, symtab)) continue;
+    Box nb;
+    nb.dims = b.dims;
+    live.push_back(std::move(nb));
+  }
+  if (live.empty()) return Expr::constant(0);
+
+  // Coalesce boxes that agree in all dimensions but one and whose
+  // differing intervals provably overlap or touch: the prefix/point/suffix
+  // families produced by window decomposition collapse to single boxes,
+  // which keeps the inclusion–exclusion fallback small.
+  auto try_merge = [&](Box& x, const Box& y) -> bool {
+    std::size_t diff_dim = x.dims.size();
+    for (std::size_t d = 0; d < x.dims.size(); ++d) {
+      const bool same = x.dims[d].lo.equals(y.dims[d].lo) &&
+                        x.dims[d].hi.equals(y.dims[d].hi);
+      if (same) continue;
+      if (diff_dim != x.dims.size()) return false;  // differs in two dims
+      diff_dim = d;
+    }
+    if (diff_dim == x.dims.size()) return true;  // identical boxes
+    Interval& a = x.dims[diff_dim];
+    const Interval& b = y.dims[diff_dim];
+    const Expr one = Expr::constant(1);
+    // Overlap-or-adjacency both ways, and a provable interval order so the
+    // merged endpoints stay closed-form.
+    if (!symtab.prove_le(a.lo, b.hi + one) ||
+        !symtab.prove_le(b.lo, a.hi + one)) {
+      return false;
+    }
+    if (symtab.prove_le(a.lo, b.lo)) {
+      // keep a.lo
+    } else if (symtab.prove_le(b.lo, a.lo)) {
+      a.lo = b.lo;
+    } else {
+      return false;
+    }
+    if (symtab.prove_le(b.hi, a.hi)) {
+      // keep a.hi
+    } else if (symtab.prove_le(a.hi, b.hi)) {
+      a.hi = b.hi;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t i = 0; i < live.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < live.size(); ++j) {
+        if (try_merge(live[i], live[j])) {
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Symbolic mode evaluates the *generic interior* point, where guards such
+  // as [c+1, E-1] are taken non-empty (only constant-empty guards, handled
+  // above, annihilate a box). The numeric path retains exact guard
+  // semantics; here they are assumed satisfied so absorption applies.
+  std::vector<bool> dead(live.size(), false);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (contains(live[i], live[j], symtab)) dead[j] = true;
+    }
+  }
+  std::vector<Box> kept;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(live[i]));
+  }
+
+  // Exact symbolic strip sweep (compact closed forms, no min/max).
+  {
+    std::vector<const Box*> ptrs;
+    ptrs.reserve(kept.size());
+    for (const auto& b : kept) ptrs.push_back(&b);
+    if (auto swept = sweep_union(ptrs, 0, kept.front().dims.size(),
+                                 symtab)) {
+      return *swept;
+    }
+  }
+
+  // All pairwise provably disjoint: the union is the sum of sizes.
+  bool all_disjoint = true;
+  for (std::size_t i = 0; i < kept.size() && all_disjoint; ++i) {
+    for (std::size_t j = i + 1; j < kept.size(); ++j) {
+      if (!disjoint(kept[i], kept[j], symtab)) {
+        all_disjoint = false;
+        break;
+      }
+    }
+  }
+  if (all_disjoint) {
+    Expr total = Expr::constant(0);
+    for (const auto& b : kept) total = total + box_size(b, symtab);
+    return total;
+  }
+
+  if (kept.size() > max_boxes_for_ie) {
+    // Over-approximate: sum of sizes (upper bound on the union).
+    if (exact != nullptr) *exact = false;
+    Expr total = Expr::constant(0);
+    for (const auto& b : kept) total = total + box_size(b, symtab);
+    return total;
+  }
+
+  // Inclusion–exclusion over clamped intersections (exact).
+  const std::size_t n = kept.size();
+  const std::size_t ndims = kept.front().dims.size();
+  Expr total = Expr::constant(0);
+  for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+    Box inter = kept[static_cast<std::size_t>(
+        std::countr_zero(mask))];
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask & (std::size_t{1} << i)) == 0) continue;
+      for (std::size_t d = 0; d < ndims; ++d) {
+        inter.dims[d].lo = sym::max(inter.dims[d].lo, kept[i].dims[d].lo);
+        inter.dims[d].hi = sym::min(inter.dims[d].hi, kept[i].dims[d].hi);
+      }
+    }
+    const Expr size = box_size(inter, symtab);
+    if (std::popcount(mask) % 2 == 1) {
+      total = total + size;
+    } else {
+      total = total - size;
+    }
+  }
+  return total;
+}
+
+}  // namespace sdlo::model

@@ -1,0 +1,48 @@
+// Stack-distance evaluation from window boxes.
+//
+// Numeric path: with every symbol bound (program sizes via the environment,
+// free/pivot coordinates via a coordinate assignment), each Box becomes a
+// concrete integer box; the number of distinct elements is the exact
+// cardinality of the union (endpoint-strip recursion). The depth of a reuse
+// is the sum over arrays of their union cardinalities.
+//
+// Symbolic path: boxes keep symbolic bounds; the union is computed by
+// absorption + provable pairwise disjointness (SymbolTable oracle), with an
+// inclusion–exclusion fallback using min/max-clamped intersections. This
+// produces the closed-form stack-distance expressions of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/coords.hpp"
+#include "model/window.hpp"
+
+namespace sdlo::model {
+
+/// Exact number of lattice points covered by the union of integer boxes.
+/// Every box must have the same dimensionality; empty boxes are ignored.
+/// Zero-dimensional boxes denote a single point (scalars).
+std::int64_t count_union(
+    const std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>>&
+        boxes);
+
+/// Evaluates symbolic boxes under `full_env` (user symbols + extent aliases
+/// + coordinates) and counts the union exactly.
+std::int64_t numeric_union(const std::vector<Box>& boxes,
+                           const sym::Env& full_env);
+
+/// Symbolic union cardinality. `max_boxes_for_ie` guards the
+/// inclusion–exclusion fallback; beyond it an over-approximating sum of box
+/// sizes is returned with `*exact` set to false (if provided).
+sym::Expr symbolic_union(const std::vector<Box>& boxes,
+                         const SymbolTable& symtab, bool* exact = nullptr,
+                         std::size_t max_boxes_for_ie = 12);
+
+/// Clamped symbolic size of one interval: max(0, hi - lo + 1), with the
+/// clamp dropped when non-negativity is provable.
+sym::Expr interval_size(const Interval& iv, const SymbolTable& symtab);
+
+}  // namespace sdlo::model

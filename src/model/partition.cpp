@@ -1,0 +1,268 @@
+#include "model/partition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace sdlo::model {
+
+namespace {
+
+using sym::Expr;
+
+/// True iff the subtree rooted at `n` contains a reference to `array`.
+bool subtree_contains(const ir::Program& prog, ir::NodeId n,
+                      const std::string& array) {
+  if (prog.is_statement(n)) {
+    for (const auto& a : prog.statement(n).accesses) {
+      if (a.array == array) return true;
+    }
+    return false;
+  }
+  for (ir::NodeId c : prog.children(n)) {
+    if (subtree_contains(prog, c, array)) return true;
+  }
+  return false;
+}
+
+/// Appearing variables of the target reference.
+std::set<std::string> appearing_vars(const ir::ArrayRef& ref) {
+  std::set<std::string> out;
+  for (const auto& s : ref.subscripts) {
+    out.insert(s.vars.begin(), s.vars.end());
+  }
+  return out;
+}
+
+/// Index of the last access (< `before`, or any if before < 0) to `array`
+/// in `stmt`; -1 if none.
+int last_access_to(const ir::Statement& stmt, const std::string& array,
+                   int before) {
+  const int n = (before < 0) ? static_cast<int>(stmt.accesses.size())
+                             : before;
+  for (int a = n - 1; a >= 0; --a) {
+    if (stmt.accesses[static_cast<std::size_t>(a)].array == array) return a;
+  }
+  return -1;
+}
+
+/// Builds the coordinate expression for a loop below the divergence on the
+/// *source* path: appearing loops carry the shared free coordinate (element
+/// identity pins them to the target's value); non-appearing loops sit at
+/// their last iteration (the source is the latest access in its scope).
+Expr below_coord(const std::string& var, const std::set<std::string>& app) {
+  if (app.count(var) != 0) return Expr::symbol(coord_symbol(var));
+  return Expr::symbol(extent_symbol(var)) - Expr::constant(1);
+}
+
+/// Descends to the latest access to `array` within the subtree rooted at
+/// `n`, appending one coordinate per encountered loop; returns the site.
+ir::AccessSite descend_last(const ir::Program& prog, ir::NodeId n,
+                            const std::string& array,
+                            const std::set<std::string>& app,
+                            std::vector<Expr>& coords) {
+  if (prog.is_statement(n)) {
+    const int a = last_access_to(prog.statement(n), array, -1);
+    SDLO_CHECK(a >= 0, "descend_last: statement lacks the array");
+    return ir::AccessSite{n, a};
+  }
+  for (const auto& l : prog.band_loops(n)) {
+    coords.push_back(below_coord(l.var, app));
+  }
+  const auto& kids = prog.children(n);
+  for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+    if (subtree_contains(prog, *it, array)) {
+      return descend_last(prog, *it, array, app, coords);
+    }
+  }
+  throw ContractViolation("descend_last: subtree lacks the array");
+}
+
+/// Shared machinery for one access site.
+class SiteEnumerator {
+ public:
+  SiteEnumerator(const ir::Program& prog, const SymbolTable& symtab,
+                 ir::AccessSite target)
+      : prog_(prog),
+        symtab_(symtab),
+        target_(target),
+        ref_(prog.statement(target.stmt)
+                 .accesses[static_cast<std::size_t>(target.access)]),
+        app_(appearing_vars(ref_)),
+        path_(prog.path_loops(target.stmt)) {}
+
+  void run(std::vector<Partition>& out) {
+    // Innermost scope: an earlier access in the same statement.
+    const int prev = last_access_to(prog_.statement(target_.stmt),
+                                    ref_.array, target_.access);
+    if (prev >= 0) {
+      Partition p = base_partition(Divergence::kIntraStatement);
+      PointSpec src;
+      src.site = ir::AccessSite{target_.stmt, prev};
+      src.coords = p.target_spec.coords;  // same instance
+      p.source_spec = std::move(src);
+      out.push_back(std::move(p));
+      return;
+    }
+
+    // Walk upwards: sibling scope of each ancestor child, then the loop
+    // scopes of its parent band, innermost loop first.
+    ir::NodeId child = target_.stmt;
+    for (ir::NodeId node = prog_.parent(child); node != -1;
+         child = node, node = prog_.parent(node)) {
+      // Sibling scope: rightmost earlier sibling containing the array.
+      const auto& kids = prog_.children(node);
+      const int my_seq = prog_.seq_no(child);
+      for (int s = my_seq - 1; s >= 0; --s) {
+        const ir::NodeId sib = kids[static_cast<std::size_t>(s)];
+        if (!subtree_contains(prog_, sib, ref_.array)) continue;
+        Partition p = base_partition(Divergence::kSibling);
+        PointSpec src;
+        // Shared prefix: loops of `node` and all its ancestors.
+        for (const auto& pl : prog_.path_loops(node)) {
+          src.coords.push_back(Expr::symbol(coord_symbol(pl.var)));
+        }
+        src.site = descend_last(prog_, sib, ref_.array, app_, src.coords);
+        p.source_spec = std::move(src);
+        out.push_back(std::move(p));
+        return;
+      }
+      // Loop scopes of `node`'s band (root has none), innermost first.
+      if (node == ir::Program::kRoot) break;
+      const auto& loops = prog_.band_loops(node);
+      for (std::size_t li = loops.size(); li-- > 0;) {
+        const std::string& var = loops[li].var;
+        if (app_.count(var) != 0) continue;  // appearing: not a pivot
+        out.push_back(make_loop_partition(node, static_cast<int>(li)));
+        pinned_.push_back(var);
+      }
+    }
+    // No scope produced a source: compulsory component.
+    out.push_back(base_partition(Divergence::kCold));
+  }
+
+ private:
+  /// Coordinate of path loop `var` at the *target*, under the current
+  /// pinned set and an optional pivot.
+  Expr target_coord(const std::string& var, const std::string& pivot) const {
+    if (var == pivot) return Expr::symbol(pivot_symbol(var));
+    if (std::find(pinned_.begin(), pinned_.end(), var) != pinned_.end()) {
+      return Expr::constant(0);
+    }
+    return Expr::symbol(coord_symbol(var));
+  }
+
+  Partition base_partition(Divergence d,
+                           const std::string& pivot = {}) const {
+    Partition p;
+    p.array = ref_.array;
+    p.target = target_;
+    p.divergence = d;
+    p.pivot_var = pivot;
+    p.pinned = pinned_;
+    p.target_spec.site = target_;
+    Expr count = Expr::constant(1);
+    for (const auto& pl : path_) {
+      p.target_spec.coords.push_back(target_coord(pl.var, pivot));
+      const Expr extent = symtab_.extent(pl.var);
+      if (pl.var == pivot) {
+        count = count * (extent - Expr::constant(1));
+      } else if (std::find(pinned_.begin(), pinned_.end(), pl.var) ==
+                 pinned_.end()) {
+        count = count * extent;
+      }
+    }
+    p.count = count;
+    return p;
+  }
+
+  Partition make_loop_partition(ir::NodeId band, int loop_index) const {
+    const std::string& var = prog_.band_loops(band)[
+        static_cast<std::size_t>(loop_index)].var;
+    Partition p = base_partition(Divergence::kLoop, var);
+
+    // Source: shared coords above the pivot; pivot at __x - 1; below the
+    // pivot, descend to the latest access in one full pivot iteration.
+    PointSpec src;
+    for (const auto& pl : prog_.path_loops(band)) {
+      const bool above_pivot =
+          pl.band != band || pl.index_in_band < loop_index;
+      if (above_pivot) {
+        src.coords.push_back(Expr::symbol(coord_symbol(pl.var)));
+      } else if (pl.index_in_band == loop_index) {
+        src.coords.push_back(Expr::symbol(pivot_symbol(var)) -
+                             Expr::constant(1));
+      } else {
+        // Remaining loops of the pivot's own band, below the pivot.
+        src.coords.push_back(below_coord(pl.var, app_));
+      }
+    }
+    // Rightmost child of the band containing the array.
+    const auto& kids = prog_.children(band);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      if (subtree_contains(prog_, *it, p.array)) {
+        src.site = descend_last(prog_, *it, p.array, app_, src.coords);
+        p.source_spec = std::move(src);
+        return p;
+      }
+    }
+    throw ContractViolation(
+        "pivot subtree must contain the target's array (the target itself "
+        "is inside it)");
+  }
+
+  const ir::Program& prog_;
+  const SymbolTable& symtab_;
+  const ir::AccessSite target_;
+  const ir::ArrayRef& ref_;
+  const std::set<std::string> app_;
+  const std::vector<ir::PathLoop> path_;
+  std::vector<std::string> pinned_;
+};
+
+}  // namespace
+
+std::vector<Partition> enumerate_partitions(const ir::Program& prog,
+                                            const SymbolTable& symtab) {
+  SDLO_CHECK(prog.validated(), "enumerate_partitions needs validated IR");
+  std::vector<Partition> out;
+  for (ir::NodeId s : prog.statements_in_order()) {
+    const auto& accesses = prog.statement(s).accesses;
+    for (int a = 0; a < static_cast<int>(accesses.size()); ++a) {
+      SiteEnumerator(prog, symtab, ir::AccessSite{s, a}).run(out);
+    }
+  }
+  return out;
+}
+
+std::string describe(const Partition& p) {
+  std::ostringstream os;
+  os << p.array << "@" << p.target.stmt << "." << p.target.access << " ";
+  switch (p.divergence) {
+    case Divergence::kCold:
+      os << "cold";
+      break;
+    case Divergence::kIntraStatement:
+      os << "intra-statement";
+      break;
+    case Divergence::kLoop:
+      os << "pivot " << p.pivot_var;
+      break;
+    case Divergence::kSibling:
+      os << "sibling";
+      break;
+  }
+  if (!p.pinned.empty()) {
+    os << ", pinned {";
+    for (std::size_t i = 0; i < p.pinned.size(); ++i) {
+      if (i != 0) os << ",";
+      os << p.pinned[i];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+}  // namespace sdlo::model

@@ -1,0 +1,77 @@
+// Reuse-partition enumeration (the paper's Fig. 3 "Partition" algorithm).
+//
+// For every access site R the iteration space is split into components such
+// that every instance in a component has the same incoming dependence — the
+// same *shape* of previous access to the same array element. The previous
+// access diverges from R at a unique scope; enumerating scopes from the
+// innermost outwards yields the components:
+//
+//   kIntraStatement — an earlier access in the same statement instance
+//                     touches the element (e.g. the load before a store);
+//                     covers all instances, terminating enumeration.
+//   kLoop           — the pivot loop (an enclosing loop whose index does not
+//                     appear in the subscripts) steps back one iteration;
+//                     requires every inner non-appearing loop to be at 0.
+//   kSibling        — the element was last touched in an earlier sibling
+//                     subtree (imperfect-nest reuse, §5.2's inter-statement
+//                     case); covers everything not claimed by inner scopes,
+//                     terminating enumeration.
+//   kCold           — no previous access exists (compulsory miss).
+//
+// Points are described by one symbolic coordinate per path loop, drawn from
+// the SymbolTable vocabulary: free coordinates __c_v, pivot __x_v (source
+// uses __x_v - 1), pinned 0, and "last iteration" __E_v - 1.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "model/coords.hpp"
+#include "symbolic/expr.hpp"
+
+namespace sdlo::model {
+
+/// A fully-located access instance: the site plus a symbolic value for each
+/// loop on the statement's path (outermost first, aligned with
+/// Program::path_loops).
+struct PointSpec {
+  ir::AccessSite site;
+  std::vector<sym::Expr> coords;
+};
+
+/// How the reuse source diverges from the target (see file comment).
+enum class Divergence : std::uint8_t {
+  kCold,
+  kIntraStatement,
+  kLoop,
+  kSibling,
+};
+
+/// One reuse component of one access site.
+struct Partition {
+  std::string array;
+  ir::AccessSite target;
+  Divergence divergence = Divergence::kCold;
+  /// kLoop only: the loop that steps back one iteration.
+  std::string pivot_var;
+  /// Target path loops pinned to 0 by the partition condition.
+  std::vector<std::string> pinned;
+  PointSpec target_spec;
+  /// Absent for kCold.
+  std::optional<PointSpec> source_spec;
+  /// Number of accesses in this component, over extent-alias symbols.
+  sym::Expr count;
+};
+
+/// Enumerates the partitions of every access site of `prog`, in program
+/// order of targets. The union of components of one site covers its
+/// instance space exactly once.
+std::vector<Partition> enumerate_partitions(const ir::Program& prog,
+                                            const SymbolTable& symtab);
+
+/// Human-readable one-line description ("pivot kT, pinned {kI}").
+std::string describe(const Partition& p);
+
+}  // namespace sdlo::model

@@ -1,0 +1,335 @@
+#include "model/window.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace sdlo::model {
+
+namespace {
+
+using sym::Expr;
+
+// One element of a point's global position sequence (root to leaf):
+// child-selection, loop-value and access-index steps in order.
+struct Pos {
+  enum class Kind : std::uint8_t { kChild, kLoop, kAccess };
+  Kind kind = Kind::kChild;
+  ir::NodeId node = 0;  // kChild: parent; kLoop: band; kAccess: stmt
+  int index = 0;        // child seq / loop index / access index
+  Expr value;           // kLoop: the coordinate
+  std::string var;      // kLoop: the loop variable
+};
+
+std::vector<Pos> position_sequence(const ir::Program& prog,
+                                   const PointSpec& p) {
+  // Path of nodes root..stmt.
+  std::vector<ir::NodeId> chain;
+  for (ir::NodeId n = p.site.stmt; n != -1; n = prog.parent(n)) {
+    chain.push_back(n);
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  std::vector<Pos> seq;
+  std::size_t coord = 0;
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const ir::NodeId parent = chain[i - 1];
+    const ir::NodeId child = chain[i];
+    Pos c;
+    c.kind = Pos::Kind::kChild;
+    c.node = parent;
+    c.index = prog.seq_no(child);
+    seq.push_back(std::move(c));
+    if (!prog.is_statement(child)) {
+      const auto& loops = prog.band_loops(child);
+      for (std::size_t li = 0; li < loops.size(); ++li) {
+        Pos l;
+        l.kind = Pos::Kind::kLoop;
+        l.node = child;
+        l.index = static_cast<int>(li);
+        SDLO_CHECK(coord < p.coords.size(),
+                   "PointSpec coords do not cover the path");
+        l.value = p.coords[coord++];
+        l.var = loops[li].var;
+        seq.push_back(std::move(l));
+      }
+    }
+  }
+  SDLO_CHECK(coord == p.coords.size(), "PointSpec coords overflow the path");
+  Pos a;
+  a.kind = Pos::Kind::kAccess;
+  a.node = p.site.stmt;
+  a.index = p.site.access;
+  seq.push_back(std::move(a));
+  return seq;
+}
+
+bool same_pos(const Pos& a, const Pos& b) {
+  if (a.kind != b.kind || a.node != b.node || a.index != b.index) {
+    return false;
+  }
+  if (a.kind == Pos::Kind::kLoop) return a.value.equals(b.value);
+  return true;
+}
+
+/// Fixed loop values at positions [0, upto) of a sequence.
+std::map<std::string, Expr> fixed_prefix(const std::vector<Pos>& seq,
+                                         std::size_t upto) {
+  std::map<std::string, Expr> fixed;
+  for (std::size_t i = 0; i < upto; ++i) {
+    if (seq[i].kind == Pos::Kind::kLoop) {
+      fixed.emplace(seq[i].var, seq[i].value);
+    }
+  }
+  return fixed;
+}
+
+/// True when [lo, hi] is provably empty (hi - lo is a negative constant).
+bool provably_empty(const Expr& lo, const Expr& hi) {
+  const Expr d = hi - lo;
+  return d.is_const() && d.const_value() < 0;
+}
+
+void push_loop_segment(std::vector<Segment>& out, const ir::Program& prog,
+                       const Pos& pos, Expr lo, Expr hi,
+                       std::map<std::string, Expr> fixed) {
+  (void)prog;
+  if (provably_empty(lo, hi)) return;
+  Segment s;
+  s.kind = Segment::Kind::kLoopRange;
+  s.node = pos.node;
+  s.loop_index = pos.index;
+  s.lo = std::move(lo);
+  s.hi = std::move(hi);
+  s.fixed = std::move(fixed);
+  out.push_back(std::move(s));
+}
+
+void push_child_segment(std::vector<Segment>& out, const Pos& pos,
+                        int lo, int hi, std::map<std::string, Expr> fixed) {
+  if (lo > hi) return;
+  Segment s;
+  s.kind = Segment::Kind::kChildRange;
+  s.node = pos.node;
+  s.child_lo = lo;
+  s.child_hi = hi;
+  s.fixed = std::move(fixed);
+  out.push_back(std::move(s));
+}
+
+void push_access_segment(std::vector<Segment>& out, const Pos& pos,
+                         int lo, int hi,
+                         std::map<std::string, Expr> fixed) {
+  if (lo > hi) return;
+  Segment s;
+  s.kind = Segment::Kind::kAccessRange;
+  s.node = pos.node;
+  s.child_lo = lo;
+  s.child_hi = hi;
+  s.fixed = std::move(fixed);
+  out.push_back(std::move(s));
+}
+
+}  // namespace
+
+std::vector<Segment> window_segments(const ir::Program& prog,
+                                     const PointSpec& src,
+                                     const PointSpec& tgt) {
+  const auto ps = position_sequence(prog, src);
+  const auto qs = position_sequence(prog, tgt);
+
+  // Locate the divergence.
+  std::size_t d = 0;
+  while (d < ps.size() && d < qs.size() && same_pos(ps[d], qs[d])) ++d;
+  SDLO_CHECK(d < ps.size() && d < qs.size(),
+             "source and target describe the same access instance");
+
+  const Expr one = Expr::constant(1);
+  std::vector<Segment> out;
+
+  auto extent_minus_1 = [&](const Pos& pos) {
+    const auto& var = prog.band_loops(pos.node)[
+        static_cast<std::size_t>(pos.index)].var;
+    return Expr::symbol(extent_symbol(var)) - one;
+  };
+
+  // Source suffix: deepest position first (order of segments is irrelevant
+  // to a set union).
+  for (std::size_t j = ps.size(); j-- > d + 1;) {
+    const Pos& pos = ps[j];
+    auto fixed = fixed_prefix(ps, j);
+    switch (pos.kind) {
+      case Pos::Kind::kAccess: {
+        const int arity = static_cast<int>(
+            prog.statement(pos.node).accesses.size());
+        push_access_segment(out, pos, pos.index, arity - 1,
+                            std::move(fixed));
+        break;
+      }
+      case Pos::Kind::kLoop:
+        push_loop_segment(out, prog, pos, pos.value + one,
+                          extent_minus_1(pos), std::move(fixed));
+        break;
+      case Pos::Kind::kChild: {
+        const int n = static_cast<int>(prog.children(pos.node).size());
+        push_child_segment(out, pos, pos.index + 1, n - 1,
+                           std::move(fixed));
+        break;
+      }
+    }
+  }
+
+  // Divergence position.
+  {
+    const Pos& pp = ps[d];
+    const Pos& qq = qs[d];
+    SDLO_CHECK(pp.kind == qq.kind && pp.node == qq.node,
+               "divergence positions must be structurally aligned");
+    auto fixed = fixed_prefix(ps, d);
+    switch (pp.kind) {
+      case Pos::Kind::kAccess:
+        push_access_segment(out, pp, pp.index, qq.index - 1,
+                            std::move(fixed));
+        break;
+      case Pos::Kind::kLoop:
+        push_loop_segment(out, prog, pp, pp.value + one, qq.value - one,
+                          std::move(fixed));
+        break;
+      case Pos::Kind::kChild:
+        push_child_segment(out, pp, pp.index + 1, qq.index - 1,
+                           std::move(fixed));
+        break;
+    }
+  }
+
+  // Target prefix.
+  for (std::size_t j = d + 1; j < qs.size(); ++j) {
+    const Pos& pos = qs[j];
+    auto fixed = fixed_prefix(qs, j);
+    switch (pos.kind) {
+      case Pos::Kind::kAccess:
+        push_access_segment(out, pos, 0, pos.index - 1, std::move(fixed));
+        break;
+      case Pos::Kind::kLoop:
+        push_loop_segment(out, prog, pos, Expr::constant(0),
+                          pos.value - one, std::move(fixed));
+        break;
+      case Pos::Kind::kChild:
+        push_child_segment(out, pos, 0, pos.index - 1, std::move(fixed));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<ir::AccessSite> sites_in_subtree(const ir::Program& prog,
+                                             ir::NodeId node,
+                                             const std::string& array) {
+  std::vector<ir::AccessSite> out;
+  auto walk = [&](ir::NodeId n, auto&& self) -> void {
+    if (prog.is_statement(n)) {
+      const auto& accesses = prog.statement(n).accesses;
+      for (int a = 0; a < static_cast<int>(accesses.size()); ++a) {
+        if (accesses[static_cast<std::size_t>(a)].array == array) {
+          out.push_back(ir::AccessSite{n, a});
+        }
+      }
+      return;
+    }
+    for (ir::NodeId c : prog.children(n)) self(c, self);
+  };
+  walk(node, walk);
+  return out;
+}
+
+namespace {
+
+/// Builds the box of one site under one segment.
+Box box_for_site(const ir::Program& prog, const SymbolTable& symtab,
+                 const Segment& seg, const ir::AccessSite& site) {
+  const Expr zero = Expr::constant(0);
+  const Expr one = Expr::constant(1);
+  const std::string* varying_var = nullptr;
+  std::string varying_storage;
+  if (seg.kind == Segment::Kind::kLoopRange) {
+    varying_storage = prog.band_loops(seg.node)[
+        static_cast<std::size_t>(seg.loop_index)].var;
+    varying_var = &varying_storage;
+  }
+
+  const auto& ref = prog.statement(site.stmt)
+                        .accesses[static_cast<std::size_t>(site.access)];
+  Box box;
+  bool uses_varying = false;
+  for (const auto& subscript : ref.subscripts) {
+    for (const auto& v : subscript.vars) {
+      Interval iv;
+      auto it = seg.fixed.find(v);
+      if (it != seg.fixed.end()) {
+        iv.lo = it->second;
+        iv.hi = it->second;
+      } else if (varying_var != nullptr && v == *varying_var) {
+        uses_varying = true;
+        iv.lo = seg.lo;
+        iv.hi = seg.hi;
+      } else {
+        iv.lo = zero;
+        iv.hi = symtab.extent(v) - one;
+      }
+      box.dims.push_back(std::move(iv));
+    }
+  }
+  // A loop-range segment whose varying loop does not index the array still
+  // gates the box's existence: no iterations, no accesses.
+  if (varying_var != nullptr && !uses_varying) {
+    box.guards.push_back(Interval{seg.lo, seg.hi});
+  }
+  return box;
+}
+
+}  // namespace
+
+std::vector<Box> boxes_for_array(const ir::Program& prog,
+                                 const SymbolTable& symtab,
+                                 const std::vector<Segment>& segments,
+                                 const std::string& array) {
+  std::vector<Box> out;
+  for (const auto& seg : segments) {
+    std::vector<ir::AccessSite> sites;
+    switch (seg.kind) {
+      case Segment::Kind::kAccessRange: {
+        const auto& accesses = prog.statement(seg.node).accesses;
+        for (int a = seg.child_lo; a <= seg.child_hi; ++a) {
+          if (accesses[static_cast<std::size_t>(a)].array == array) {
+            sites.push_back(ir::AccessSite{seg.node, a});
+          }
+        }
+        break;
+      }
+      case Segment::Kind::kChildRange: {
+        const auto& kids = prog.children(seg.node);
+        for (int c = seg.child_lo; c <= seg.child_hi; ++c) {
+          auto sub = sites_in_subtree(
+              prog, kids[static_cast<std::size_t>(c)], array);
+          sites.insert(sites.end(), sub.begin(), sub.end());
+        }
+        break;
+      }
+      case Segment::Kind::kLoopRange: {
+        // Scope: the varying loop plus everything below it, i.e. all
+        // statements under the band's children.
+        for (ir::NodeId c : prog.children(seg.node)) {
+          auto sub = sites_in_subtree(prog, c, array);
+          sites.insert(sites.end(), sub.begin(), sub.end());
+        }
+        break;
+      }
+    }
+    for (const auto& site : sites) {
+      out.push_back(box_for_site(prog, symtab, seg, site));
+    }
+  }
+  return out;
+}
+
+}  // namespace sdlo::model

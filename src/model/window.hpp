@@ -1,0 +1,79 @@
+// Reuse-window decomposition and box projection.
+//
+// The stack distance of a reuse is the number of distinct elements accessed
+// in the half-open time window [source, target). This module decomposes that
+// window into canonical tree segments (the suffix of the source's position,
+// whole subtrees between the two positions, and the prefix of the target's
+// position — the uniform generalization of the paper's Figs. 4 and 5 and of
+// the auxiliary-branch cases a/b/c of §5.2), then projects every reference
+// to a given array inside a segment onto the array's subscript variables,
+// producing a *box*: one symbolic interval per subscript variable. The
+// number of distinct elements touched in the window is the cardinality of
+// the union of these boxes (model/distance.hpp).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "model/partition.hpp"
+#include "symbolic/expr.hpp"
+
+namespace sdlo::model {
+
+/// Inclusive symbolic interval; empty when hi < lo.
+struct Interval {
+  sym::Expr lo;
+  sym::Expr hi;
+};
+
+/// Product of intervals over an array's subscript variables (aligned with
+/// Program::array_vars). A scalar array has an empty dims vector and
+/// denotes its single element.
+///
+/// `guards` are existence conditions: when the segment that produced the box
+/// varies a loop that does not appear in the array's subscripts, the box
+/// contributes elements only if that loop's range is non-empty. An empty
+/// guard interval annihilates the box without shrinking it.
+struct Box {
+  std::vector<Interval> dims;
+  std::vector<Interval> guards;
+};
+
+/// One canonical piece of a reuse window.
+struct Segment {
+  enum class Kind : std::uint8_t {
+    kLoopRange,   ///< one loop sweeps [lo, hi]; everything below is full
+    kChildRange,  ///< whole child subtrees [child_lo, child_hi] of a node
+    kAccessRange, ///< accesses [acc_lo, acc_hi] of one statement instance
+  };
+  Kind kind = Kind::kAccessRange;
+  ir::NodeId node = 0;  ///< band (kLoopRange), parent (kChildRange) or stmt
+  int loop_index = 0;   ///< kLoopRange: which loop of the band varies
+  sym::Expr lo, hi;     ///< kLoopRange: inclusive loop-value range
+  int child_lo = 0, child_hi = -1;  ///< kChildRange / kAccessRange bounds
+  /// Values of every loop above the varying position.
+  std::map<std::string, sym::Expr> fixed;
+};
+
+/// Decomposes [src, tgt) into segments. Segments that are provably empty
+/// (constant-negative extent) are dropped; others may still be empty for
+/// particular coordinate values (interval arithmetic handles that).
+std::vector<Segment> window_segments(const ir::Program& prog,
+                                     const PointSpec& src,
+                                     const PointSpec& tgt);
+
+/// Projects every reference to `array` inside the segments onto the array's
+/// subscript variables. Extents are expressed with extent-alias symbols.
+std::vector<Box> boxes_for_array(const ir::Program& prog,
+                                 const SymbolTable& symtab,
+                                 const std::vector<Segment>& segments,
+                                 const std::string& array);
+
+/// All access sites referencing `array` in the subtree rooted at `node`.
+std::vector<ir::AccessSite> sites_in_subtree(const ir::Program& prog,
+                                             ir::NodeId node,
+                                             const std::string& array);
+
+}  // namespace sdlo::model

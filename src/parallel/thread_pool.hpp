@@ -1,0 +1,57 @@
+// Minimal task-based thread pool (CP.4: think tasks, not threads).
+//
+// Used by the kernels for real shared-memory execution of the partitioned
+// outer loops (§7), and by the SMP calibration runs. Workers are jthreads
+// joined on destruction (CP.23/CP.25); tasks are plain function objects.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdlo::parallel {
+
+/// Fixed-size pool executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop(std::stop_token st);
+
+  std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::int64_t in_flight_ = 0;  // queued + running
+  std::vector<std::jthread> workers_;
+};
+
+/// Runs fn(i) for i in [begin, end) across `pool`, splitting the range into
+/// one contiguous block per thread (the paper's block partitioning of the
+/// outer parallel loop, Fig. 8/9). Blocks until completion.
+void parallel_for_blocked(ThreadPool& pool, std::int64_t begin,
+                          std::int64_t end,
+                          const std::function<void(std::int64_t,
+                                                   std::int64_t)>& body);
+
+}  // namespace sdlo::parallel

@@ -1,0 +1,15 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace sdlo::detail {
+
+void contract_fail(const char* kind, const char* cond, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace sdlo::detail

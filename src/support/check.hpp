@@ -1,0 +1,70 @@
+// Contract-checking macros and the library-wide exception hierarchy.
+//
+// Following the C++ Core Guidelines (I.6/I.8, E.2) we express preconditions
+// and invariants as checked contracts that throw typed exceptions rather than
+// aborting: the analysis code is used inside long-running drivers (tile
+// search, benches) where a diagnosable failure beats a core dump.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sdlo {
+
+/// Base class of all exceptions thrown by the sdlo library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a precondition / postcondition / invariant check fails.
+class ContractViolation : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when user-provided input (IR text, tensor expressions, CLI flags)
+/// is malformed.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an IR structure violates the constrained class of programs the
+/// model supports (see DESIGN.md §3).
+class UnsupportedProgram : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* cond,
+                                const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace sdlo
+
+/// Precondition check: active in all build types.
+#define SDLO_EXPECTS(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::sdlo::detail::contract_fail("Precondition", #cond, __FILE__,       \
+                                    __LINE__, {});                         \
+  } while (false)
+
+/// Postcondition check: active in all build types.
+#define SDLO_ENSURES(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::sdlo::detail::contract_fail("Postcondition", #cond, __FILE__,      \
+                                    __LINE__, {});                         \
+  } while (false)
+
+/// General invariant check with a message.
+#define SDLO_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::sdlo::detail::contract_fail("Check", #cond, __FILE__, __LINE__,    \
+                                    (msg));                                \
+  } while (false)

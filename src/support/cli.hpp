@@ -1,0 +1,52 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags raise ParseError so typos in bench invocations fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sdlo {
+
+/// Parsed command line. Construct once from (argc, argv), then query flags.
+class CommandLine {
+ public:
+  CommandLine(int argc, const char* const* argv);
+
+  /// Registers a flag with help text; returns *this for chaining. Querying a
+  /// flag that was never registered is a ContractViolation (catches typos in
+  /// the binary itself).
+  CommandLine& flag(const std::string& name, const std::string& help);
+
+  /// After registering all flags, validates that every flag given by the user
+  /// was registered. Call exactly once. Prints help and exits(0) if --help.
+  void finish();
+
+  bool has(const std::string& name) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// argv[0].
+  const std::string& program() const { return program_; }
+
+ private:
+  void require_registered(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> registered_;
+  std::vector<std::string> positional_;
+  bool finished_ = false;
+};
+
+}  // namespace sdlo

@@ -1,0 +1,624 @@
+#include "symbolic/expr.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/checked_math.hpp"
+#include "support/string_util.hpp"
+
+namespace sdlo::sym {
+
+namespace detail {
+
+struct ExprNode {
+  Kind kind = Kind::kConst;
+  std::int64_t value = 0;     // kConst
+  std::string name;           // kSymbol
+  std::vector<Expr> ops;      // interior nodes
+};
+
+}  // namespace detail
+
+using detail::ExprNode;
+
+namespace {
+
+Expr make_leaf_const(std::int64_t v) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = Kind::kConst;
+  n->value = v;
+  return Expr(static_cast<std::shared_ptr<const ExprNode>>(n));
+}
+
+int kind_rank(Kind k) { return static_cast<int>(k); }
+
+}  // namespace
+
+Expr::Expr(std::shared_ptr<const detail::ExprNode> n) : node_(std::move(n)) {}
+
+Expr::Expr() : Expr(constant(0)) {}
+
+Expr Expr::constant(std::int64_t v) { return make_leaf_const(v); }
+
+Expr Expr::symbol(const std::string& name) {
+  SDLO_EXPECTS(is_identifier(name));
+  auto n = std::make_shared<ExprNode>();
+  n->kind = Kind::kSymbol;
+  n->name = name;
+  return Expr(static_cast<std::shared_ptr<const ExprNode>>(n));
+}
+
+Kind Expr::kind() const { return node_->kind; }
+
+bool Expr::is_const_value(std::int64_t v) const {
+  return is_const() && node_->value == v;
+}
+
+std::int64_t Expr::const_value() const {
+  SDLO_EXPECTS(is_const());
+  return node_->value;
+}
+
+const std::string& Expr::symbol_name() const {
+  SDLO_EXPECTS(kind() == Kind::kSymbol);
+  return node_->name;
+}
+
+std::span<const Expr> Expr::operands() const { return node_->ops; }
+
+int Expr::compare(const Expr& a, const Expr& b) {
+  if (a.node_ == b.node_) return 0;
+  if (kind_rank(a.kind()) != kind_rank(b.kind())) {
+    return kind_rank(a.kind()) < kind_rank(b.kind()) ? -1 : 1;
+  }
+  switch (a.kind()) {
+    case Kind::kConst: {
+      if (a.const_value() == b.const_value()) return 0;
+      return a.const_value() < b.const_value() ? -1 : 1;
+    }
+    case Kind::kSymbol:
+      return a.symbol_name().compare(b.symbol_name());
+    default: {
+      const auto& ao = a.operands();
+      const auto& bo = b.operands();
+      if (ao.size() != bo.size()) return ao.size() < bo.size() ? -1 : 1;
+      for (std::size_t i = 0; i < ao.size(); ++i) {
+        int c = compare(ao[i], bo[i]);
+        if (c != 0) return c;
+      }
+      return 0;
+    }
+  }
+}
+
+bool Expr::equals(const Expr& other) const {
+  return compare(*this, other) == 0;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Normalization. The canonical form is a polynomial:
+//   Add( c0, c1*atom..., c2*atom*atom..., ... )
+// where an atom is a Symbol, FloorDiv, CeilDiv, Min or Max node (divisions
+// and min/max are treated as opaque factors). Products distribute over sums;
+// like monomials are collected.
+// ---------------------------------------------------------------------------
+
+Expr make_raw(Kind k, std::vector<Expr> ops) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = k;
+  n->ops = std::move(ops);
+  return Expr(static_cast<std::shared_ptr<const ExprNode>>(n));
+}
+
+// A monomial: integer coefficient times a sorted list of atomic factors.
+struct Monomial {
+  std::int64_t coeff = 1;
+  std::vector<Expr> atoms;  // sorted by Expr::compare
+};
+
+int compare_atoms(const std::vector<Expr>& a, const std::vector<Expr>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    int c = Expr::compare(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+// Polynomial = sum of monomials with distinct atom lists.
+using Poly = std::vector<Monomial>;
+
+void add_monomial(Poly& p, Monomial m) {
+  if (m.coeff == 0) return;
+  for (auto& existing : p) {
+    if (compare_atoms(existing.atoms, m.atoms) == 0) {
+      existing.coeff = checked_add(existing.coeff, m.coeff);
+      return;
+    }
+  }
+  p.push_back(std::move(m));
+}
+
+Poly poly_add(const Poly& a, const Poly& b) {
+  Poly out = a;
+  for (const auto& m : b) add_monomial(out, m);
+  std::erase_if(out, [](const Monomial& m) { return m.coeff == 0; });
+  return out;
+}
+
+Poly poly_mul(const Poly& a, const Poly& b) {
+  Poly out;
+  for (const auto& ma : a) {
+    for (const auto& mb : b) {
+      Monomial m;
+      m.coeff = checked_mul(ma.coeff, mb.coeff);
+      m.atoms = ma.atoms;
+      m.atoms.insert(m.atoms.end(), mb.atoms.begin(), mb.atoms.end());
+      std::sort(m.atoms.begin(), m.atoms.end(),
+                [](const Expr& x, const Expr& y) {
+                  return Expr::compare(x, y) < 0;
+                });
+      add_monomial(out, std::move(m));
+    }
+  }
+  std::erase_if(out, [](const Monomial& m) { return m.coeff == 0; });
+  return out;
+}
+
+Expr poly_to_expr(const Poly& p);
+
+// Converts an arbitrary (already-normalized-children) expression to Poly.
+Poly to_poly(const Expr& e) {
+  switch (e.kind()) {
+    case Kind::kConst: {
+      if (e.const_value() == 0) return {};
+      Monomial m;
+      m.coeff = e.const_value();
+      return {std::move(m)};
+    }
+    case Kind::kAdd: {
+      Poly out;
+      for (const auto& op : e.operands()) out = poly_add(out, to_poly(op));
+      return out;
+    }
+    case Kind::kMul: {
+      Poly out;
+      Monomial unit;
+      out.push_back(unit);
+      for (const auto& op : e.operands()) out = poly_mul(out, to_poly(op));
+      return out;
+    }
+    default: {
+      // Symbol / Div / Min / Max: opaque atom.
+      Monomial m;
+      m.atoms.push_back(e);
+      return {std::move(m)};
+    }
+  }
+}
+
+bool monomial_less(const Monomial& a, const Monomial& b) {
+  int c = compare_atoms(a.atoms, b.atoms);
+  if (c != 0) return c < 0;
+  return a.coeff < b.coeff;
+}
+
+Expr poly_to_expr(const Poly& p) {
+  if (p.empty()) return Expr::constant(0);
+  Poly sorted = p;
+  std::sort(sorted.begin(), sorted.end(), monomial_less);
+  std::vector<Expr> terms;
+  terms.reserve(sorted.size());
+  for (const auto& m : sorted) {
+    if (m.atoms.empty()) {
+      terms.push_back(Expr::constant(m.coeff));
+      continue;
+    }
+    std::vector<Expr> factors;
+    if (m.coeff != 1) factors.push_back(Expr::constant(m.coeff));
+    factors.insert(factors.end(), m.atoms.begin(), m.atoms.end());
+    terms.push_back(factors.size() == 1 ? factors[0]
+                                        : make_raw(Kind::kMul, factors));
+  }
+  if (terms.size() == 1) return terms[0];
+  return make_raw(Kind::kAdd, std::move(terms));
+}
+
+Expr normalize_poly(const Expr& e) { return poly_to_expr(to_poly(e)); }
+
+}  // namespace
+
+Expr operator+(const Expr& a, const Expr& b) {
+  return poly_to_expr(poly_add(to_poly(a), to_poly(b)));
+}
+
+Expr operator-(const Expr& a, const Expr& b) {
+  return a + (-b);
+}
+
+Expr operator-(const Expr& a) {
+  return Expr::constant(-1) * a;
+}
+
+Expr operator*(const Expr& a, const Expr& b) {
+  return poly_to_expr(poly_mul(to_poly(a), to_poly(b)));
+}
+
+Expr floor_div(const Expr& a, const Expr& b) {
+  if (b.is_const_value(1)) return a;
+  if (a.is_const() && b.is_const() && b.const_value() > 0) {
+    return Expr::constant(sdlo::floor_div(a.const_value(), b.const_value()));
+  }
+  if (a.equals(b)) return Expr::constant(1);
+  return normalize_poly(make_raw(Kind::kFloorDiv, {a, b}));
+}
+
+Expr ceil_div(const Expr& a, const Expr& b) {
+  if (b.is_const_value(1)) return a;
+  if (a.is_const() && b.is_const() && b.const_value() > 0) {
+    return Expr::constant(sdlo::ceil_div(a.const_value(), b.const_value()));
+  }
+  if (a.equals(b)) return Expr::constant(1);
+  return normalize_poly(make_raw(Kind::kCeilDiv, {a, b}));
+}
+
+namespace {
+
+Expr make_minmax(Kind k, const Expr& a, const Expr& b) {
+  // Flatten, dedupe, fold constants.
+  std::vector<Expr> ops;
+  std::int64_t folded = (k == Kind::kMin)
+                            ? std::numeric_limits<std::int64_t>::max()
+                            : std::numeric_limits<std::int64_t>::min();
+  bool have_const = false;
+  auto absorb = [&](const Expr& e, auto&& self) -> void {
+    if (e.kind() == k) {
+      for (const auto& op : e.operands()) self(op, self);
+      return;
+    }
+    if (e.is_const()) {
+      have_const = true;
+      folded = (k == Kind::kMin) ? std::min(folded, e.const_value())
+                                 : std::max(folded, e.const_value());
+      return;
+    }
+    for (const auto& existing : ops) {
+      if (existing.equals(e)) return;
+    }
+    ops.push_back(e);
+  };
+  absorb(a, absorb);
+  absorb(b, absorb);
+  if (have_const) ops.push_back(Expr::constant(folded));
+  SDLO_ENSURES(!ops.empty());
+  if (ops.size() == 1) return ops[0];
+  std::sort(ops.begin(), ops.end(), [](const Expr& x, const Expr& y) {
+    return Expr::compare(x, y) < 0;
+  });
+  return make_raw(k, std::move(ops));
+}
+
+}  // namespace
+
+Expr min(const Expr& a, const Expr& b) { return make_minmax(Kind::kMin, a, b); }
+Expr max(const Expr& a, const Expr& b) { return make_minmax(Kind::kMax, a, b); }
+
+std::int64_t evaluate(const Expr& e, const Env& env) {
+  switch (e.kind()) {
+    case Kind::kConst:
+      return e.const_value();
+    case Kind::kSymbol: {
+      auto it = env.find(e.symbol_name());
+      if (it == env.end()) {
+        throw Error("unbound symbol in evaluate(): " + e.symbol_name());
+      }
+      return it->second;
+    }
+    case Kind::kAdd: {
+      std::int64_t acc = 0;
+      for (const auto& op : e.operands()) {
+        acc = checked_add(acc, evaluate(op, env));
+      }
+      return acc;
+    }
+    case Kind::kMul: {
+      std::int64_t acc = 1;
+      for (const auto& op : e.operands()) {
+        acc = checked_mul(acc, evaluate(op, env));
+      }
+      return acc;
+    }
+    case Kind::kFloorDiv: {
+      const std::int64_t num = evaluate(e.operands()[0], env);
+      const std::int64_t den = evaluate(e.operands()[1], env);
+      SDLO_CHECK(den > 0, "floor_div by non-positive divisor");
+      return sdlo::floor_div(num, den);
+    }
+    case Kind::kCeilDiv: {
+      const std::int64_t num = evaluate(e.operands()[0], env);
+      const std::int64_t den = evaluate(e.operands()[1], env);
+      SDLO_CHECK(den > 0, "ceil_div by non-positive divisor");
+      return sdlo::ceil_div(num, den);
+    }
+    case Kind::kMin: {
+      std::int64_t acc = std::numeric_limits<std::int64_t>::max();
+      for (const auto& op : e.operands()) {
+        acc = std::min(acc, evaluate(op, env));
+      }
+      return acc;
+    }
+    case Kind::kMax: {
+      std::int64_t acc = std::numeric_limits<std::int64_t>::min();
+      for (const auto& op : e.operands()) {
+        acc = std::max(acc, evaluate(op, env));
+      }
+      return acc;
+    }
+  }
+  throw Error("corrupt expression node");
+}
+
+std::optional<std::int64_t> try_evaluate(const Expr& e, const Env& env) {
+  for (const auto& s : symbols_of(e)) {
+    if (env.find(s) == env.end()) return std::nullopt;
+  }
+  return evaluate(e, env);
+}
+
+Expr substitute(const Expr& e, const Env& env) {
+  switch (e.kind()) {
+    case Kind::kConst:
+      return e;
+    case Kind::kSymbol: {
+      auto it = env.find(e.symbol_name());
+      return it == env.end() ? e : Expr::constant(it->second);
+    }
+    case Kind::kAdd: {
+      Expr acc = Expr::constant(0);
+      for (const auto& op : e.operands()) acc = acc + substitute(op, env);
+      return acc;
+    }
+    case Kind::kMul: {
+      Expr acc = Expr::constant(1);
+      for (const auto& op : e.operands()) acc = acc * substitute(op, env);
+      return acc;
+    }
+    case Kind::kFloorDiv:
+      return floor_div(substitute(e.operands()[0], env),
+                       substitute(e.operands()[1], env));
+    case Kind::kCeilDiv:
+      return ceil_div(substitute(e.operands()[0], env),
+                      substitute(e.operands()[1], env));
+    case Kind::kMin: {
+      Expr acc = substitute(e.operands()[0], env);
+      for (std::size_t i = 1; i < e.operands().size(); ++i) {
+        acc = min(acc, substitute(e.operands()[i], env));
+      }
+      return acc;
+    }
+    case Kind::kMax: {
+      Expr acc = substitute(e.operands()[0], env);
+      for (std::size_t i = 1; i < e.operands().size(); ++i) {
+        acc = max(acc, substitute(e.operands()[i], env));
+      }
+      return acc;
+    }
+  }
+  throw Error("corrupt expression node");
+}
+
+Expr substitute_exprs(const Expr& e,
+                      const std::map<std::string, Expr>& map) {
+  switch (e.kind()) {
+    case Kind::kConst:
+      return e;
+    case Kind::kSymbol: {
+      auto it = map.find(e.symbol_name());
+      return it == map.end() ? e : it->second;
+    }
+    case Kind::kAdd: {
+      Expr acc = Expr::constant(0);
+      for (const auto& op : e.operands()) {
+        acc = acc + substitute_exprs(op, map);
+      }
+      return acc;
+    }
+    case Kind::kMul: {
+      Expr acc = Expr::constant(1);
+      for (const auto& op : e.operands()) {
+        acc = acc * substitute_exprs(op, map);
+      }
+      return acc;
+    }
+    case Kind::kFloorDiv:
+      return floor_div(substitute_exprs(e.operands()[0], map),
+                       substitute_exprs(e.operands()[1], map));
+    case Kind::kCeilDiv:
+      return ceil_div(substitute_exprs(e.operands()[0], map),
+                      substitute_exprs(e.operands()[1], map));
+    case Kind::kMin:
+    case Kind::kMax: {
+      Expr acc = substitute_exprs(e.operands()[0], map);
+      for (std::size_t i = 1; i < e.operands().size(); ++i) {
+        const Expr rhs = substitute_exprs(e.operands()[i], map);
+        acc = (e.kind() == Kind::kMin) ? min(acc, rhs) : max(acc, rhs);
+      }
+      return acc;
+    }
+  }
+  throw Error("corrupt expression node");
+}
+
+std::set<std::string> symbols_of(const Expr& e) {
+  std::set<std::string> out;
+  auto walk = [&](const Expr& x, auto&& self) -> void {
+    if (x.kind() == Kind::kSymbol) {
+      out.insert(x.symbol_name());
+      return;
+    }
+    for (const auto& op : x.operands()) self(op, self);
+  };
+  walk(e, walk);
+  return out;
+}
+
+namespace {
+
+void render(const Expr& e, std::ostream& os, int parent_rank);
+
+// Precedence ranks: 0 = additive, 1 = multiplicative, 2 = atom.
+int rank_of(const Expr& e) {
+  switch (e.kind()) {
+    case Kind::kAdd:
+      return 0;
+    case Kind::kMul:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+void render(const Expr& e, std::ostream& os, int parent_rank) {
+  const int my_rank = rank_of(e);
+  const bool paren = my_rank < parent_rank;
+  if (paren) os << "(";
+  switch (e.kind()) {
+    case Kind::kConst:
+      os << e.const_value();
+      break;
+    case Kind::kSymbol:
+      os << e.symbol_name();
+      break;
+    case Kind::kAdd: {
+      bool first = true;
+      for (const auto& op : e.operands()) {
+        // Render "+ -k*x" as "- k*x".
+        bool negative = false;
+        Expr to_render = op;
+        if (op.is_const() && op.const_value() < 0) {
+          negative = true;
+          to_render = Expr::constant(-op.const_value());
+        } else if (op.kind() == Kind::kMul && !op.operands().empty() &&
+                   op.operands()[0].is_const() &&
+                   op.operands()[0].const_value() < 0) {
+          negative = true;
+          Expr acc = Expr::constant(-op.operands()[0].const_value());
+          for (std::size_t i = 1; i < op.operands().size(); ++i) {
+            acc = acc * op.operands()[i];
+          }
+          to_render = acc;
+        }
+        if (first) {
+          if (negative) os << "-";
+        } else {
+          os << (negative ? " - " : " + ");
+        }
+        first = false;
+        render(to_render, os, 1);
+      }
+      break;
+    }
+    case Kind::kMul: {
+      bool first = true;
+      for (const auto& op : e.operands()) {
+        if (first && op.is_const_value(-1)) {
+          os << "-";  // leading -1 coefficient renders as unary minus
+          continue;   // the next factor still counts as the first
+        }
+        if (!first) os << "*";
+        first = false;
+        render(op, os, 2);
+      }
+      break;
+    }
+    case Kind::kFloorDiv:
+      os << "floor(";
+      render(e.operands()[0], os, 0);
+      os << "/";
+      render(e.operands()[1], os, 0);
+      os << ")";
+      break;
+    case Kind::kCeilDiv:
+      os << "ceil(";
+      render(e.operands()[0], os, 0);
+      os << "/";
+      render(e.operands()[1], os, 0);
+      os << ")";
+      break;
+    case Kind::kMin:
+    case Kind::kMax: {
+      os << (e.kind() == Kind::kMin ? "min(" : "max(");
+      bool first = true;
+      for (const auto& op : e.operands()) {
+        if (!first) os << ", ";
+        first = false;
+        render(op, os, 0);
+      }
+      os << ")";
+      break;
+    }
+  }
+  if (paren) os << ")";
+}
+
+}  // namespace
+
+std::string to_string(const Expr& e) {
+  std::ostringstream os;
+  render(e, os, 0);
+  return os.str();
+}
+
+std::optional<Linear> as_linear(const Expr& e, const std::string& x) {
+  // Work over the normalized polynomial: every monomial either lacks x, has
+  // exactly one atom == Symbol(x) (and no other atom mentioning x), or is
+  // non-linear in x.
+  auto mentions_x = [&](const Expr& atom) {
+    return symbols_of(atom).count(x) != 0;
+  };
+  Expr coeff = Expr::constant(0);
+  Expr offset = Expr::constant(0);
+  const Expr xs = Expr::symbol(x);
+
+  auto handle_term = [&](const Expr& term) -> bool {
+    std::vector<Expr> factors;
+    if (term.kind() == Kind::kMul) {
+      factors.assign(term.operands().begin(), term.operands().end());
+    } else {
+      factors.push_back(term);
+    }
+    Expr rest = Expr::constant(1);
+    int x_power = 0;
+    for (const auto& f : factors) {
+      if (f.equals(xs)) {
+        ++x_power;
+      } else if (mentions_x(f)) {
+        return false;  // x inside a div/min/max or a foreign symbol product
+      } else {
+        rest = rest * f;
+      }
+    }
+    if (x_power == 0) {
+      offset = offset + term;
+    } else if (x_power == 1) {
+      coeff = coeff + rest;
+    } else {
+      return false;
+    }
+    return true;
+  };
+
+  if (e.kind() == Kind::kAdd) {
+    for (const auto& term : e.operands()) {
+      if (!handle_term(term)) return std::nullopt;
+    }
+  } else {
+    if (!handle_term(e)) return std::nullopt;
+  }
+  return Linear{coeff, offset};
+}
+
+}  // namespace sdlo::sym

@@ -1,0 +1,135 @@
+// Integer symbolic expressions.
+//
+// The stack-distance model of §5 manipulates counts that are polynomials in
+// symbolic loop bounds (N, V), tile sizes (Ti, Tj, ...) and partition pivots
+// (x), combined with floor/ceil division (number of tiles) and min/max
+// (clamped ranges). This module provides an immutable expression DAG with a
+// normalizing simplifier, an evaluator, substitution, and printing.
+//
+// Expressions are handles (`Expr`) over shared immutable nodes; copying is
+// O(1) and thread-safe (CP.31: values, not shared mutable state).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sdlo::sym {
+
+/// Node discriminator for Expr.
+enum class Kind : std::uint8_t {
+  kConst,     ///< 64-bit integer literal
+  kSymbol,    ///< named free variable
+  kAdd,       ///< n-ary sum
+  kMul,       ///< n-ary product
+  kFloorDiv,  ///< floor(a / b), b > 0
+  kCeilDiv,   ///< ceil(a / b), b > 0
+  kMin,       ///< n-ary minimum
+  kMax,       ///< n-ary maximum
+};
+
+class Expr;
+
+/// Variable binding environment for evaluate()/substitute().
+using Env = std::map<std::string, std::int64_t>;
+
+namespace detail {
+struct ExprNode;
+}
+
+/// Immutable handle to a symbolic integer expression.
+///
+/// Default-constructed Expr is the constant 0. All arithmetic helpers
+/// normalize eagerly (constants folded, sums/products flattened, like terms
+/// collected), so structural equality `equals()` is a usable semantic check
+/// for the forms the model produces.
+class Expr {
+ public:
+  /// The constant 0.
+  Expr();
+
+  /// Integer literal.
+  static Expr constant(std::int64_t v);
+  /// Named symbol (must be a valid identifier).
+  static Expr symbol(const std::string& name);
+
+  Kind kind() const;
+  bool is_const() const { return kind() == Kind::kConst; }
+  /// True iff this is the literal `v`.
+  bool is_const_value(std::int64_t v) const;
+  /// Literal value; requires kind() == kConst.
+  std::int64_t const_value() const;
+  /// Symbol name; requires kind() == kSymbol.
+  const std::string& symbol_name() const;
+  /// Child expressions (empty for leaves).
+  std::span<const Expr> operands() const;
+
+  /// Structural equality on normalized forms.
+  bool equals(const Expr& other) const;
+
+  /// Deterministic total order (used to canonicalize operand order).
+  static int compare(const Expr& a, const Expr& b);
+
+  // Normalizing constructors. Division requires a positive divisor at
+  // evaluation time (checked there).
+  friend Expr operator+(const Expr& a, const Expr& b);
+  friend Expr operator-(const Expr& a, const Expr& b);
+  friend Expr operator-(const Expr& a);
+  friend Expr operator*(const Expr& a, const Expr& b);
+
+  const detail::ExprNode* node() const { return node_.get(); }
+
+  /// Internal: wraps an already-built node. Not part of the public API.
+  explicit Expr(std::shared_ptr<const detail::ExprNode> n);
+
+ private:
+  std::shared_ptr<const detail::ExprNode> node_;
+};
+
+/// floor(a/b). b must evaluate to a positive value.
+Expr floor_div(const Expr& a, const Expr& b);
+/// ceil(a/b). b must evaluate to a positive value.
+Expr ceil_div(const Expr& a, const Expr& b);
+/// min(a, b).
+Expr min(const Expr& a, const Expr& b);
+/// max(a, b).
+Expr max(const Expr& a, const Expr& b);
+
+/// Evaluates with all symbols bound; throws sdlo::Error if a symbol is
+/// unbound or a divisor is non-positive. Overflow throws ContractViolation.
+std::int64_t evaluate(const Expr& e, const Env& env);
+
+/// evaluate() returning nullopt instead of throwing on unbound symbols.
+std::optional<std::int64_t> try_evaluate(const Expr& e, const Env& env);
+
+/// Replaces bound symbols by literals and re-normalizes. Unbound symbols
+/// remain symbolic.
+Expr substitute(const Expr& e, const Env& env);
+
+/// Replaces symbols by expressions (single pass, no fixpoint) and
+/// re-normalizes.
+Expr substitute_exprs(const Expr& e, const std::map<std::string, Expr>& map);
+
+/// Free symbols of `e`.
+std::set<std::string> symbols_of(const Expr& e);
+
+/// Renders in infix notation, e.g. "2*Ti*Tj + N - 1".
+std::string to_string(const Expr& e);
+
+/// Decomposition of an expression as `a*x + b` with `a`, `b` free of `x`.
+struct Linear {
+  Expr coeff;   ///< a
+  Expr offset;  ///< b
+};
+
+/// If `e` is linear in symbol `x` (after normalization), returns {a, b} such
+/// that e == a*x + b and neither contains x; otherwise nullopt. Min/Max/Div
+/// nodes containing x are treated as non-linear.
+std::optional<Linear> as_linear(const Expr& e, const std::string& x);
+
+}  // namespace sdlo::sym

@@ -1,0 +1,160 @@
+#include "tce/expr.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+
+namespace sdlo::tce {
+
+std::vector<std::string> Contraction::all_indices() const {
+  std::vector<std::string> out;
+  auto add = [&out](const std::string& idx) {
+    if (std::find(out.begin(), out.end(), idx) == out.end()) {
+      out.push_back(idx);
+    }
+  };
+  for (const auto& i : output.indices) add(i);
+  for (const auto& i : sum_indices) add(i);
+  for (const auto& t : inputs) {
+    for (const auto& i : t.indices) add(i);
+  }
+  return out;
+}
+
+void Contraction::validate() const {
+  SDLO_CHECK(!inputs.empty(), "contraction needs at least one input");
+  std::set<std::string> outs(output.indices.begin(), output.indices.end());
+  SDLO_CHECK(outs.size() == output.indices.size(),
+             "repeated output index");
+  std::set<std::string> sums(sum_indices.begin(), sum_indices.end());
+  SDLO_CHECK(sums.size() == sum_indices.size(), "repeated sum index");
+  for (const auto& s : sum_indices) {
+    if (outs.count(s) != 0) {
+      throw UnsupportedProgram("index '" + s +
+                               "' is both an output and a sum index");
+    }
+  }
+  std::set<std::string> used;
+  for (const auto& t : inputs) {
+    std::set<std::string> seen;
+    for (const auto& i : t.indices) {
+      if (!seen.insert(i).second) {
+        throw UnsupportedProgram("index '" + i + "' repeated in tensor " +
+                                 t.name);
+      }
+      if (outs.count(i) == 0 && sums.count(i) == 0) {
+        throw UnsupportedProgram("index '" + i +
+                                 "' is neither an output nor a sum index");
+      }
+      used.insert(i);
+    }
+  }
+  for (const auto& o : output.indices) {
+    if (used.count(o) == 0) {
+      throw UnsupportedProgram("output index '" + o +
+                               "' never appears in an input");
+    }
+  }
+  for (const auto& s : sum_indices) {
+    if (used.count(s) == 0) {
+      throw UnsupportedProgram("sum index '" + s +
+                               "' never appears in an input");
+    }
+  }
+}
+
+namespace {
+
+TensorRef parse_ref(std::string_view text) {
+  auto lb = text.find('[');
+  TensorRef r;
+  if (lb == std::string_view::npos) {
+    r.name = std::string(trim(text));
+    SDLO_CHECK(is_identifier(r.name), "malformed tensor: " +
+                                          std::string(text));
+    return r;
+  }
+  r.name = std::string(trim(text.substr(0, lb)));
+  auto rb = text.rfind(']');
+  if (!is_identifier(r.name) || rb == std::string_view::npos || rb < lb) {
+    throw ParseError("malformed tensor reference: " + std::string(text));
+  }
+  for (const auto& idx :
+       split_trimmed(text.substr(lb + 1, rb - lb - 1), ',')) {
+    if (!is_identifier(idx)) {
+      throw ParseError("malformed index '" + idx + "' in " +
+                       std::string(text));
+    }
+    r.indices.push_back(idx);
+  }
+  return r;
+}
+
+}  // namespace
+
+Contraction parse_contraction(const std::string& text) {
+  const auto eq = text.find('=');
+  if (eq == std::string::npos) {
+    throw ParseError("contraction needs '=': " + text);
+  }
+  Contraction c;
+  c.output = parse_ref(std::string_view(text).substr(0, eq));
+
+  std::string_view rhs = trim(std::string_view(text).substr(eq + 1));
+  if (starts_with(rhs, "sum")) {
+    auto lp = rhs.find('(');
+    auto rp = rhs.find(')');
+    if (lp == std::string_view::npos || rp == std::string_view::npos ||
+        rp < lp) {
+      throw ParseError("malformed sum(...) clause: " + std::string(rhs));
+    }
+    for (const auto& idx : split_trimmed(rhs.substr(lp + 1, rp - lp - 1),
+                                         ',')) {
+      if (!is_identifier(idx)) {
+        throw ParseError("malformed sum index '" + idx + "'");
+      }
+      c.sum_indices.push_back(idx);
+    }
+    rhs = trim(rhs.substr(rp + 1));
+  }
+  for (const auto& factor : split_trimmed(rhs, '*')) {
+    c.inputs.push_back(parse_ref(factor));
+  }
+  c.validate();
+  return c;
+}
+
+std::string to_string(const Contraction& c) {
+  std::ostringstream os;
+  auto emit_ref = [&os](const TensorRef& r) {
+    os << r.name;
+    if (!r.indices.empty()) {
+      os << "[";
+      for (std::size_t i = 0; i < r.indices.size(); ++i) {
+        if (i != 0) os << ",";
+        os << r.indices[i];
+      }
+      os << "]";
+    }
+  };
+  emit_ref(c.output);
+  os << " = ";
+  if (!c.sum_indices.empty()) {
+    os << "sum(";
+    for (std::size_t i = 0; i < c.sum_indices.size(); ++i) {
+      if (i != 0) os << ",";
+      os << c.sum_indices[i];
+    }
+    os << ") ";
+  }
+  for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+    if (i != 0) os << " * ";
+    emit_ref(c.inputs[i]);
+  }
+  return os.str();
+}
+
+}  // namespace sdlo::tce

@@ -1,0 +1,52 @@
+// Tensor contraction expressions (the TCE front end of §2).
+//
+// A contraction computes
+//     OUT[o1,...,ok] = sum(s1,...,sm) T1[...] * T2[...] * ... * Tp[...]
+// where every subscript is an index variable. Index extents are symbolic
+// (bound at evaluation time). Example (the four-index transform):
+//
+//     B[a,b,c,d] = sum(p,q,r,s) C1[a,p]*C2[b,q]*C3[c,r]*C4[d,s]*A[p,q,r,s]
+//
+// parse_contraction() accepts exactly this textual form.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.hpp"
+
+namespace sdlo::tce {
+
+/// A tensor occurrence: name plus ordered index variables.
+struct TensorRef {
+  std::string name;
+  std::vector<std::string> indices;
+};
+
+/// One multi-tensor contraction statement.
+struct Contraction {
+  TensorRef output;
+  std::vector<std::string> sum_indices;
+  std::vector<TensorRef> inputs;
+
+  /// Every index variable, in first-appearance order (output first).
+  std::vector<std::string> all_indices() const;
+
+  /// Validates shape rules: output indices appear in inputs, sum indices
+  /// are disjoint from output indices, every input index is either an
+  /// output or a sum index. Throws sdlo::UnsupportedProgram.
+  void validate() const;
+};
+
+/// Index extents: index variable -> symbolic extent.
+using IndexExtents = std::map<std::string, sym::Expr>;
+
+/// Parses "OUT[a,b] = sum(i,j) X[a,i] * Y[i,j] * Z[j,b]". The sum clause
+/// may be omitted for pure products. Throws ParseError.
+Contraction parse_contraction(const std::string& text);
+
+/// Renders a contraction in the textual form above.
+std::string to_string(const Contraction& c);
+
+}  // namespace sdlo::tce

@@ -1,0 +1,243 @@
+#include "tce/lower.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace sdlo::tce {
+
+namespace {
+
+using ir::AccessMode;
+using ir::ArrayRef;
+using ir::Loop;
+using ir::Statement;
+using ir::Subscript;
+using sym::Expr;
+
+std::string bound_name(const std::string& index) { return "N_" + index; }
+
+Expr bound_sym(const std::string& index) {
+  return Expr::symbol(bound_name(index));
+}
+
+ArrayRef make_ref(const TensorRef& t, AccessMode mode) {
+  ArrayRef r;
+  r.array = t.name;
+  r.mode = mode;
+  for (const auto& idx : t.indices) {
+    r.subscripts.push_back(Subscript{{idx}});
+  }
+  return r;
+}
+
+std::vector<Loop> loops_over(const std::vector<std::string>& indices) {
+  std::vector<Loop> loops;
+  loops.reserve(indices.size());
+  for (const auto& idx : indices) {
+    loops.push_back(Loop{idx, bound_sym(idx)});
+  }
+  return loops;
+}
+
+void record_bounds(ir::GalleryProgram& g,
+                   const std::vector<std::string>& indices) {
+  for (const auto& idx : indices) {
+    const std::string b = bound_name(idx);
+    if (std::find(g.bounds.begin(), g.bounds.end(), b) == g.bounds.end()) {
+      g.bounds.push_back(b);
+    }
+  }
+}
+
+/// Emits "result = 0" + "result += lhs (* rhs)" nests for one step.
+void emit_step_unfused(ir::GalleryProgram& g, const ContractionStep& step,
+                       int* stmt_counter) {
+  record_bounds(g, step.result.indices);
+  record_bounds(g, step.sum_indices);
+
+  if (!step.result.indices.empty()) {
+    ir::NodeId init =
+        g.prog.add_band(ir::Program::kRoot, loops_over(step.result.indices));
+    g.prog.add_statement(
+        init, Statement{"S" + std::to_string((*stmt_counter)++),
+                        {make_ref(step.result, AccessMode::kWrite)}});
+  }
+
+  std::vector<std::string> all = step.result.indices;
+  all.insert(all.end(), step.sum_indices.begin(), step.sum_indices.end());
+  SDLO_CHECK(!all.empty(), "degenerate scalar-only contraction step");
+  ir::NodeId body = g.prog.add_band(ir::Program::kRoot, loops_over(all));
+  Statement s;
+  s.label = "S" + std::to_string((*stmt_counter)++);
+  s.accesses.push_back(make_ref(step.lhs, AccessMode::kRead));
+  if (!step.rhs.name.empty()) {
+    s.accesses.push_back(make_ref(step.rhs, AccessMode::kRead));
+  }
+  s.accesses.push_back(make_ref(step.result, AccessMode::kRead));
+  s.accesses.push_back(make_ref(step.result, AccessMode::kWrite));
+  g.prog.add_statement(body, std::move(s));
+}
+
+/// True when `cons` consumes `prod`'s result (as either operand).
+bool consumes(const ContractionStep& cons, const ContractionStep& prod) {
+  return cons.lhs.name == prod.result.name ||
+         cons.rhs.name == prod.result.name;
+}
+
+/// Emits the Fig. 1(c) fused structure for a producer/consumer pair whose
+/// intermediate contracts to a scalar. Returns false (emitting nothing)
+/// when the pair cannot be fused this way.
+bool emit_fused_pair(ir::GalleryProgram& g, const ContractionStep& prod,
+                     const ContractionStep& cons, int* stmt_counter) {
+  if (!consumes(cons, prod)) return false;
+  const bool inter_is_lhs = (cons.lhs.name == prod.result.name);
+  const TensorRef& other = inter_is_lhs ? cons.rhs : cons.lhs;
+  if (other.name.empty()) return false;
+  if (prod.sum_indices.empty()) return false;
+
+  const std::vector<std::string>& fused = prod.result.indices;
+  if (fused.empty()) return false;
+  std::set<std::string> fused_set(fused.begin(), fused.end());
+  std::vector<std::string> cons_rest;
+  for (const auto& idx : cons.result.indices) {
+    if (fused_set.count(idx) == 0) cons_rest.push_back(idx);
+  }
+  for (const auto& idx : cons.sum_indices) {
+    if (fused_set.count(idx) == 0) cons_rest.push_back(idx);
+  }
+  if (cons_rest.empty()) return false;
+
+  record_bounds(g, cons.result.indices);
+  record_bounds(g, fused);
+  record_bounds(g, prod.sum_indices);
+  record_bounds(g, cons_rest);
+
+  // Output initialization nest.
+  if (!cons.result.indices.empty()) {
+    ir::NodeId init = g.prog.add_band(ir::Program::kRoot,
+                                      loops_over(cons.result.indices));
+    g.prog.add_statement(
+        init, Statement{"S" + std::to_string((*stmt_counter)++),
+                        {make_ref(cons.result, AccessMode::kWrite)}});
+  }
+
+  ir::NodeId outer = g.prog.add_band(ir::Program::kRoot, loops_over(fused));
+  const TensorRef scalar_t{"t_" + prod.result.name, {}};
+  g.prog.add_statement(
+      outer, Statement{"S" + std::to_string((*stmt_counter)++),
+                       {make_ref(scalar_t, AccessMode::kWrite)}});
+
+  ir::NodeId pbody = g.prog.add_band(outer, loops_over(prod.sum_indices));
+  {
+    Statement s;
+    s.label = "S" + std::to_string((*stmt_counter)++);
+    s.accesses.push_back(make_ref(prod.lhs, AccessMode::kRead));
+    if (!prod.rhs.name.empty()) {
+      s.accesses.push_back(make_ref(prod.rhs, AccessMode::kRead));
+    }
+    s.accesses.push_back(make_ref(scalar_t, AccessMode::kRead));
+    s.accesses.push_back(make_ref(scalar_t, AccessMode::kWrite));
+    g.prog.add_statement(pbody, std::move(s));
+  }
+
+  ir::NodeId cbody = g.prog.add_band(outer, loops_over(cons_rest));
+  {
+    Statement s;
+    s.label = "S" + std::to_string((*stmt_counter)++);
+    s.accesses.push_back(make_ref(other, AccessMode::kRead));
+    s.accesses.push_back(make_ref(scalar_t, AccessMode::kRead));
+    s.accesses.push_back(make_ref(cons.result, AccessMode::kRead));
+    s.accesses.push_back(make_ref(cons.result, AccessMode::kWrite));
+    g.prog.add_statement(cbody, std::move(s));
+  }
+  return true;
+}
+
+}  // namespace
+
+sym::Expr intermediate_footprint(const ContractionPlan& plan,
+                                 const IndexExtents& extents) {
+  Expr total = Expr::constant(0);
+  for (std::size_t i = 0; i + 1 < plan.steps.size(); ++i) {
+    Expr size = Expr::constant(1);
+    for (const auto& idx : plan.steps[i].result.indices) {
+      size = size * extents.at(idx);
+    }
+    total = total + size;
+  }
+  return total;
+}
+
+ir::GalleryProgram lower_unfused(const ContractionPlan& plan,
+                                 const IndexExtents& extents) {
+  (void)extents;
+  SDLO_CHECK(!plan.steps.empty(), "empty plan");
+  ir::GalleryProgram g;
+  int counter = 1;
+  for (const auto& step : plan.steps) {
+    emit_step_unfused(g, step, &counter);
+  }
+  g.prog.validate();
+  return g;
+}
+
+ir::GalleryProgram lower_fused_pair(const ContractionPlan& plan,
+                                    const IndexExtents& extents) {
+  (void)extents;
+  if (plan.steps.size() != 2) {
+    throw UnsupportedProgram(
+        "lower_fused_pair requires a two-step chain; use "
+        "lower_chain_greedy for longer chains");
+  }
+  ir::GalleryProgram g;
+  int counter = 1;
+  if (!emit_fused_pair(g, plan.steps[0], plan.steps[1], &counter)) {
+    throw UnsupportedProgram("step 2 does not consume step 1's result in a "
+                             "fusable form");
+  }
+  g.prog.validate();
+  return g;
+}
+
+ir::GalleryProgram lower_chain_greedy(const ContractionPlan& plan,
+                                      const IndexExtents& extents) {
+  (void)extents;
+  SDLO_CHECK(!plan.steps.empty(), "empty plan");
+  ir::GalleryProgram g;
+  int counter = 1;
+  std::size_t t = 0;
+  while (t < plan.steps.size()) {
+    if (t + 1 < plan.steps.size() &&
+        emit_fused_pair(g, plan.steps[t], plan.steps[t + 1], &counter)) {
+      t += 2;
+      continue;
+    }
+    emit_step_unfused(g, plan.steps[t], &counter);
+    ++t;
+  }
+  g.prog.validate();
+  return g;
+}
+
+sym::Expr fused_chain_footprint(const ContractionPlan& plan,
+                                const IndexExtents& extents) {
+  // Derived from the lowering itself so it can never drift from it: the
+  // intermediates of the fused program are the "__I*" arrays that remain
+  // materialized plus the "t_*" scalars.
+  (void)extents;
+  auto g = lower_chain_greedy(plan, extents);
+  sym::Expr total = sym::Expr::constant(0);
+  const std::string& output = plan.steps.back().result.name;
+  for (const auto& array : g.prog.arrays()) {
+    const bool intermediate =
+        array.rfind("__I", 0) == 0 || array.rfind("t___I", 0) == 0;
+    if (intermediate && array != output) {
+      total = total + g.prog.array_size(array);
+    }
+  }
+  return total;
+}
+
+}  // namespace sdlo::tce

@@ -1,0 +1,55 @@
+// Lowering contraction plans to loop-nest IR (§2's synthesis pipeline).
+//
+//   lower_unfused()      one perfect nest per step (plus an initialization
+//                        nest), with full intermediate arrays — Fig. 1(a).
+//   lower_fused_pair()   for two-step chains, fuses the loops shared by the
+//                        producer and consumer of the intermediate and
+//                        contracts the intermediate to the unfused
+//                        dimensions — Fig. 1(c) (scalar T for the two-index
+//                        transform). General multi-step fusion (refs
+//                        [15][17]) is out of scope; longer chains lower
+//                        unfused.
+//
+// The produced Programs are in the model's constrained class, so the whole
+// pipeline — contraction text -> op-min -> fusion -> IR -> stack-distance
+// model / tile search — runs end to end.
+#pragma once
+
+#include <string>
+
+#include "ir/gallery.hpp"
+#include "tce/opmin.hpp"
+
+namespace sdlo::tce {
+
+/// Memory footprint (elements) of every intermediate of a plan.
+sym::Expr intermediate_footprint(const ContractionPlan& plan,
+                                 const IndexExtents& extents);
+
+/// Lowers each step to its own perfect nest with full intermediates.
+/// Bounds are named "N_<index>".
+ir::GalleryProgram lower_unfused(const ContractionPlan& plan,
+                                 const IndexExtents& extents);
+
+/// Fuses a two-step chain (step 2 consumes step 1's result) over their
+/// shared loops, contracting the intermediate's fused dimensions. Throws
+/// UnsupportedProgram if the plan is not a two-step chain.
+ir::GalleryProgram lower_fused_pair(const ContractionPlan& plan,
+                                    const IndexExtents& extents);
+
+/// Chain lowering with greedy pairwise fusion: walks the steps of a chain
+/// (each step consumes the previous step's result) left to right, fusing
+/// disjoint adjacent pairs whenever legal — each fused pair contracts its
+/// intermediate to a scalar while later steps read the (materialized)
+/// pair output. For the four-index transform this eliminates two of the
+/// three O(V^4) intermediates. Non-chain plans and unfusable pairs fall
+/// back to unfused steps; the result is always valid IR.
+ir::GalleryProgram lower_chain_greedy(const ContractionPlan& plan,
+                                      const IndexExtents& extents);
+
+/// Memory footprint (elements) of the intermediates that remain after
+/// greedy pairwise fusion.
+sym::Expr fused_chain_footprint(const ContractionPlan& plan,
+                                const IndexExtents& extents);
+
+}  // namespace sdlo::tce

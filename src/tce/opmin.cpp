@@ -1,0 +1,193 @@
+#include "tce/opmin.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace sdlo::tce {
+
+namespace {
+
+using IndexSet = std::uint32_t;  // bitmask over c.all_indices()
+
+struct DpState {
+  double cost = std::numeric_limits<double>::infinity();
+  std::uint32_t left = 0;   // subset masks of the winning split
+  std::uint32_t right = 0;
+  IndexSet result_indices = 0;
+};
+
+}  // namespace
+
+ContractionPlan optimize_order(const Contraction& c,
+                               const IndexExtents& extents,
+                               const sym::Env& sizes) {
+  c.validate();
+  const auto index_names = c.all_indices();
+  const std::size_t nidx = index_names.size();
+  SDLO_CHECK(nidx <= 30, "too many distinct indices");
+  const std::size_t p = c.inputs.size();
+  SDLO_CHECK(p <= 16, "too many input tensors");
+
+  // Index numbering and evaluated extents.
+  std::map<std::string, int> idx_of;
+  std::vector<double> extent(nidx);
+  for (std::size_t i = 0; i < nidx; ++i) {
+    idx_of[index_names[i]] = static_cast<int>(i);
+    auto it = extents.find(index_names[i]);
+    SDLO_CHECK(it != extents.end(), "missing extent for index " +
+                                        index_names[i]);
+    extent[i] = static_cast<double>(sym::evaluate(it->second, sizes));
+  }
+  auto mask_of = [&](const std::vector<std::string>& indices) {
+    IndexSet m = 0;
+    for (const auto& s : indices) {
+      m |= IndexSet{1} << idx_of.at(s);
+    }
+    return m;
+  };
+  auto size_of = [&](IndexSet m) {
+    double s = 1;
+    for (std::size_t i = 0; i < nidx; ++i) {
+      if (m & (IndexSet{1} << i)) s *= extent[i];
+    }
+    return s;
+  };
+
+  std::vector<IndexSet> input_mask(p);
+  for (std::size_t t = 0; t < p; ++t) {
+    input_mask[t] = mask_of(c.inputs[t].indices);
+  }
+  const IndexSet out_mask = mask_of(c.output.indices);
+
+  // Indices needed by a subset's result: its own indices that are either
+  // output indices or appear in some input outside the subset.
+  const std::uint32_t full = (p == 32) ? ~0u
+                                       : ((std::uint32_t{1} << p) - 1);
+  auto result_indices = [&](std::uint32_t subset) {
+    IndexSet inside = 0;
+    IndexSet outside = out_mask;
+    for (std::size_t t = 0; t < p; ++t) {
+      if (subset & (std::uint32_t{1} << t)) {
+        inside |= input_mask[t];
+      } else {
+        outside |= input_mask[t];
+      }
+    }
+    return static_cast<IndexSet>(inside & outside);
+  };
+
+  std::vector<DpState> dp(full + 1);
+  for (std::size_t t = 0; t < p; ++t) {
+    auto& st = dp[std::uint32_t{1} << t];
+    st.cost = 0;
+    st.result_indices = result_indices(std::uint32_t{1} << t);
+  }
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;  // singleton
+    auto& st = dp[s];
+    st.result_indices = result_indices(s);
+    // Enumerate proper sub-splits (canonical: left contains lowest bit).
+    const std::uint32_t lowest = s & (~s + 1);
+    for (std::uint32_t left = (s - 1) & s; left != 0;
+         left = (left - 1) & s) {
+      if ((left & lowest) == 0) continue;
+      const std::uint32_t right = s ^ left;
+      // Combining costs 2 flops per point of the union index space.
+      const IndexSet involved = static_cast<IndexSet>(
+          dp[left].result_indices | dp[right].result_indices);
+      const double step = 2.0 * size_of(involved);
+      const double total = dp[left].cost + dp[right].cost + step;
+      if (total < st.cost) {
+        st.cost = total;
+        st.left = left;
+        st.right = right;
+      }
+    }
+  }
+
+  // Reconstruct the plan bottom-up.
+  ContractionPlan plan;
+  int next_tmp = 1;
+  std::map<std::uint32_t, TensorRef> tensor_of;
+  auto indices_vec = [&](IndexSet m) {
+    std::vector<std::string> v;
+    for (std::size_t i = 0; i < nidx; ++i) {
+      if (m & (IndexSet{1} << i)) v.push_back(index_names[i]);
+    }
+    return v;
+  };
+  for (std::size_t t = 0; t < p; ++t) {
+    tensor_of[std::uint32_t{1} << t] = c.inputs[t];
+  }
+  auto build = [&](std::uint32_t s, auto&& self) -> TensorRef {
+    auto it = tensor_of.find(s);
+    if (it != tensor_of.end()) return it->second;
+    const auto& st = dp[s];
+    const TensorRef lhs = self(st.left, self);
+    const TensorRef rhs = self(st.right, self);
+    ContractionStep step;
+    step.lhs = lhs;
+    step.rhs = rhs;
+    if (s == full) {
+      step.result = c.output;
+    } else {
+      step.result.name = "__I" + std::to_string(next_tmp++);
+      step.result.indices = indices_vec(st.result_indices);
+    }
+    const IndexSet involved = static_cast<IndexSet>(
+        dp[st.left].result_indices | dp[st.right].result_indices);
+    step.flops = 2.0 * size_of(involved);
+    // Summed here: involved indices absent from the result.
+    for (const auto& name : indices_vec(static_cast<IndexSet>(
+             involved & ~dp[s].result_indices))) {
+      step.sum_indices.push_back(name);
+    }
+    plan.steps.push_back(step);
+    tensor_of[s] = step.result;
+    return step.result;
+  };
+
+  if (p == 1) {
+    // Degenerate: a unary reduction / copy.
+    ContractionStep step;
+    step.lhs = c.inputs[0];
+    step.rhs = TensorRef{};  // none
+    step.result = c.output;
+    step.sum_indices = c.sum_indices;
+    step.flops = 2.0 * size_of(input_mask[0]);
+    plan.steps.push_back(step);
+    plan.total_flops = step.flops;
+  } else {
+    build(full, build);
+    plan.total_flops = dp[full].cost;
+  }
+
+  // Naive cost: one deep nest over every index, (p-1) multiplies and one
+  // add per point.
+  IndexSet all_mask = 0;
+  for (std::size_t t = 0; t < p; ++t) all_mask |= input_mask[t];
+  all_mask |= out_mask;
+  plan.naive_flops = static_cast<double>(p) * size_of(all_mask);
+  return plan;
+}
+
+std::string to_string(const ContractionPlan& plan) {
+  std::ostringstream os;
+  for (const auto& s : plan.steps) {
+    Contraction c;
+    c.output = s.result;
+    c.sum_indices = s.sum_indices;
+    c.inputs.push_back(s.lhs);
+    if (!s.rhs.name.empty()) c.inputs.push_back(s.rhs);
+    os << to_string(c) << "   # " << s.flops << " flops\n";
+  }
+  os << "total " << plan.total_flops << " flops (naive "
+     << plan.naive_flops << ")\n";
+  return os.str();
+}
+
+}  // namespace sdlo::tce

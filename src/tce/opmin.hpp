@@ -1,0 +1,46 @@
+// Operation minimization (§2's algebraic transformation, refs [18][19]).
+//
+// A p-tensor contraction evaluated directly costs O(prod of all extents)
+// operations; factoring it into a sequence of binary contractions with
+// intermediates can reduce this dramatically (the four-index transform
+// drops from O(V^8) to O(V^5)). optimize_order() finds the optimal
+// binarization by dynamic programming over input subsets, minimizing total
+// multiply-add count under the given symbolic extents evaluated at a
+// representative size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tce/expr.hpp"
+
+namespace sdlo::tce {
+
+/// One binary (or unary passthrough) step of the factored evaluation.
+struct ContractionStep {
+  TensorRef lhs;        ///< first operand (input or earlier intermediate)
+  TensorRef rhs;        ///< second operand
+  TensorRef result;     ///< produced tensor ("__I1", ... or the output)
+  std::vector<std::string> sum_indices;  ///< indices summed at this step
+  double flops = 0;     ///< 2 * prod(extent of every involved index)
+};
+
+/// A full evaluation plan.
+struct ContractionPlan {
+  std::vector<ContractionStep> steps;
+  double total_flops = 0;
+  double naive_flops = 0;  ///< single-nest evaluation cost for comparison
+};
+
+/// Computes the optimal binary contraction order. `extents` must bind every
+/// index; symbolic extents are evaluated under `sizes` for costing. The
+/// final step's result carries the contraction's output name and indices.
+ContractionPlan optimize_order(const Contraction& c,
+                               const IndexExtents& extents,
+                               const sym::Env& sizes);
+
+/// Renders the plan, one step per line.
+std::string to_string(const ContractionPlan& plan);
+
+}  // namespace sdlo::tce

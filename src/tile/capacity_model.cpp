@@ -1,0 +1,85 @@
+#include "tile/capacity_model.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/checked_math.hpp"
+
+namespace sdlo::tile {
+
+namespace {
+
+/// Distinct elements of `array` accessed during one complete iteration of
+/// the scope in which the outermost `fixed_loops` loops of `site`'s path
+/// are held fixed. With the constrained reference class this is the product
+/// of the extents of the array's subscript variables that lie strictly
+/// below the fixed prefix (fixed variables contribute one value each).
+std::int64_t scope_footprint(const ir::Program& prog, const sym::Env& env,
+                             ir::NodeId stmt, const std::string& array,
+                             std::size_t fixed_loops) {
+  const auto path = prog.path_loops(stmt);
+  std::set<std::string> fixed;
+  for (std::size_t i = 0; i < fixed_loops && i < path.size(); ++i) {
+    fixed.insert(path[i].var);
+  }
+  std::int64_t elems = 1;
+  for (const auto& v : prog.array_vars(array)) {
+    if (fixed.count(v) != 0) continue;
+    elems = checked_mul(elems, sym::evaluate(prog.extent_of(v), env));
+  }
+  return elems;
+}
+
+}  // namespace
+
+std::int64_t capacity_model_misses(const ir::Program& prog,
+                                   const sym::Env& env,
+                                   std::int64_t capacity) {
+  SDLO_CHECK(prog.validated(), "capacity model requires validated IR");
+  std::int64_t total = 0;
+
+  for (ir::NodeId stmt : prog.statements_in_order()) {
+    const auto path = prog.path_loops(stmt);
+
+    // Arrays this statement touches (deduplicated: a load+store pair of the
+    // same reference costs one fetch, as in the capacity model).
+    std::set<std::string> arrays;
+    for (const auto& a : prog.statement(stmt).accesses) {
+      arrays.insert(a.array);
+    }
+
+    // Total footprint of one scope iteration, per prefix length k.
+    // k = path.size() means all loops fixed (a single instance).
+    for (const auto& array : arrays) {
+      // Find the smallest k (widest scope) whose *total* footprint over all
+      // arrays of this statement fits in cache.
+      std::size_t k_fit = path.size();
+      for (std::size_t k = 0; k <= path.size(); ++k) {
+        std::int64_t fp = 0;
+        for (const auto& a2 : arrays) {
+          fp = checked_add(fp, scope_footprint(prog, env, stmt, a2, k));
+        }
+        if (fp <= capacity) {
+          k_fit = k;
+          break;
+        }
+      }
+      // Every distinct element of `array` is fetched once per execution of
+      // the fitting scope.
+      std::int64_t scope_runs = 1;
+      for (std::size_t i = 0; i < k_fit; ++i) {
+        scope_runs = checked_mul(scope_runs,
+                                 sym::evaluate(path[i].extent, env));
+      }
+      total = checked_add(
+          total, checked_mul(scope_runs, scope_footprint(prog, env, stmt,
+                                                         array, k_fit)));
+    }
+  }
+  return total;
+}
+
+}  // namespace sdlo::tile

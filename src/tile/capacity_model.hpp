@@ -1,0 +1,27 @@
+// Capacity-miss baseline model (the approach of the paper's ref [10],
+// sketched in §3).
+//
+// That model ignores interference between references: for each access site
+// it finds the largest enclosing loop scope whose total data footprint fits
+// in the cache and assumes every distinct element is fetched exactly once
+// per execution of that scope. The paper argues this is coarser than stack
+// distances ("although the total number of memory locations accessed may
+// exceed the cache size, some of the array references might still exhibit
+// reuse"); the ablation bench A3 quantifies the accuracy gap on the same
+// kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/program.hpp"
+#include "symbolic/expr.hpp"
+
+namespace sdlo::tile {
+
+/// Capacity-model miss estimate for a fully-associative cache of `capacity`
+/// elements under the concrete binding `env`.
+std::int64_t capacity_model_misses(const ir::Program& prog,
+                                   const sym::Env& env,
+                                   std::int64_t capacity);
+
+}  // namespace sdlo::tile

@@ -1,0 +1,121 @@
+#include "tile/fast_model.hpp"
+
+#include <algorithm>
+
+#include "model/distance.hpp"
+#include "support/check.hpp"
+#include "support/checked_math.hpp"
+#include "support/string_util.hpp"
+
+namespace sdlo::tile {
+
+using sym::Expr;
+
+FastMissModel::FastMissModel(const model::Analysis& an) {
+  for (const auto& pa : an.parts) {
+    if (pa.part.divergence == model::Divergence::kCold) {
+      ColdRow c;
+      c.count = an.symtab.resolve(pa.part.count);
+      for (const auto& s : sym::symbols_of(c.count)) symbols_.insert(s);
+      cold_.push_back(std::move(c));
+      continue;
+    }
+    Row r;
+    r.count = an.symtab.resolve(pa.part.count);
+    Expr sd = Expr::constant(0);
+    for (const auto& [array, boxes] : pa.boxes) {
+      (void)array;
+      sd = sd + model::symbolic_union(boxes, an.symtab);
+    }
+
+    // Substitute coordinate extremes: free coordinates range over
+    // [0, E-1], pivots over [1, E-1]. Multilinear distances attain their
+    // extremes at corners (the paper's min/max treatment); when the sign of
+    // a coordinate's coefficient is provable, only one corner matters, so
+    // the expansion usually collapses to a single min and a single max
+    // expression. Unprovable coordinates branch both ways.
+    std::vector<Expr> lo_exprs{sd};   // candidates for the minimum
+    std::vector<Expr> hi_exprs{sd};   // candidates for the maximum
+    for (const auto& [symbol, var] : pa.coords) {
+      const Expr lo_val =
+          Expr::constant(starts_with(symbol, "__x_") ? 1 : 0);
+      const Expr hi_val = an.symtab.extent(var) - Expr::constant(1);
+      auto subst = [&symbol](const Expr& e, const Expr& v) {
+        return sym::substitute_exprs(e, {{symbol, v}});
+      };
+      auto expand = [&](std::vector<Expr>& exprs, bool want_min) {
+        std::vector<Expr> next;
+        for (const auto& e : exprs) {
+          const auto lin = sym::as_linear(e, symbol);
+          if (lin) {
+            const bool up = an.symtab.prove_nonneg(lin->coeff);
+            const bool down = an.symtab.prove_nonneg(-lin->coeff);
+            if (up || down) {
+              const bool take_lo = (want_min == up);
+              next.push_back(subst(e, take_lo ? lo_val : hi_val));
+              continue;
+            }
+          }
+          next.push_back(subst(e, lo_val));
+          next.push_back(subst(e, hi_val));
+        }
+        exprs = std::move(next);
+        SDLO_CHECK(exprs.size() <= 64, "corner expansion blow-up");
+      };
+      expand(lo_exprs, /*want_min=*/true);
+      expand(hi_exprs, /*want_min=*/false);
+    }
+    for (auto& e : lo_exprs) {
+      r.min_sds.push_back(an.symtab.resolve(e));
+    }
+    for (auto& e : hi_exprs) {
+      r.max_sds.push_back(an.symtab.resolve(e));
+    }
+    for (const auto& s : sym::symbols_of(r.count)) symbols_.insert(s);
+    for (const auto* vec : {&r.min_sds, &r.max_sds}) {
+      for (const auto& ce : *vec) {
+        for (const auto& s : sym::symbols_of(ce)) {
+          if (!starts_with(s, "__")) symbols_.insert(s);
+        }
+      }
+    }
+    rows_.push_back(std::move(r));
+  }
+}
+
+FastMissModel::Score FastMissModel::score(const sym::Env& env,
+                                          std::int64_t capacity) const {
+  Score out;
+  out.min.reserve(rows_.size());
+  out.max.reserve(rows_.size());
+  for (const auto& c : cold_) {
+    out.misses += static_cast<double>(sym::evaluate(c.count, env));
+  }
+  for (const auto& r : rows_) {
+    std::int64_t mn = kInfDistance;
+    std::int64_t mx = 0;
+    for (const auto& ce : r.min_sds) {
+      mn = std::min(mn, sym::evaluate(ce, env));
+    }
+    for (const auto& ce : r.max_sds) {
+      mx = std::max(mx, sym::evaluate(ce, env));
+    }
+    out.min.push_back(mn);
+    out.max.push_back(mx);
+
+    const auto count = static_cast<double>(sym::evaluate(r.count, env));
+    if (count <= 0) continue;
+    if (mn > capacity) {
+      out.misses += count;
+    } else if (mx <= capacity) {
+      // all hits
+    } else {
+      // Straddling: linear interpolation between the extremes (§5.2).
+      out.misses += count * (static_cast<double>(mx - capacity) /
+                             static_cast<double>(mx - mn));
+    }
+  }
+  return out;
+}
+
+}  // namespace sdlo::tile

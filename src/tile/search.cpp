@@ -1,0 +1,214 @@
+#include "tile/search.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace sdlo::tile {
+
+namespace {
+
+/// Candidate tile values for one dimension: powers of two in
+/// [min_tile, min(max_tile, bound)] dividing the bound.
+std::vector<std::int64_t> value_ladder(std::int64_t bound,
+                                       const SearchOptions& opts) {
+  std::vector<std::int64_t> out;
+  for (std::int64_t v = 1; v <= bound && v <= opts.max_tile; v *= 2) {
+    if (v >= opts.min_tile && bound % v == 0) out.push_back(v);
+  }
+  SDLO_CHECK(!out.empty(), "no admissible tile values for this bound");
+  return out;
+}
+
+sym::Env bind(const ir::GalleryProgram& g,
+              const std::vector<std::int64_t>& bounds,
+              const std::vector<std::int64_t>& tiles) {
+  return g.make_env(bounds, tiles);
+}
+
+struct Scorer {
+  const ir::GalleryProgram& g;
+  const FastMissModel& fast;
+  std::vector<std::int64_t> bounds;
+  std::int64_t capacity;
+  std::size_t evaluations = 0;
+
+  FastMissModel::Score operator()(const std::vector<std::int64_t>& tiles) {
+    ++evaluations;
+    return fast.score(bind(g, bounds, tiles), capacity);
+  }
+};
+
+void sort_and_dedupe(std::vector<Candidate>& cs) {
+  std::sort(cs.begin(), cs.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.modeled_misses != b.modeled_misses) {
+      return a.modeled_misses < b.modeled_misses;
+    }
+    // Tie-break towards larger tiles: equal miss counts (e.g. everything
+    // cache-resident) favour fewer tile-loop iterations.
+    return a.tiles > b.tiles;
+  });
+  cs.erase(std::unique(cs.begin(), cs.end(),
+                       [](const Candidate& a, const Candidate& b) {
+                         return a.tiles == b.tiles;
+                       }),
+           cs.end());
+}
+
+/// Enumerates the cross product of ladders, invoking fn(tiles).
+template <typename Fn>
+void for_each_tuple(const std::vector<std::vector<std::int64_t>>& ladders,
+                    Fn&& fn) {
+  std::vector<std::size_t> idx(ladders.size(), 0);
+  std::vector<std::int64_t> tiles(ladders.size());
+  for (;;) {
+    for (std::size_t d = 0; d < ladders.size(); ++d) {
+      tiles[d] = ladders[d][idx[d]];
+    }
+    fn(tiles);
+    std::size_t d = 0;
+    for (; d < ladders.size(); ++d) {
+      if (++idx[d] < ladders[d].size()) break;
+      idx[d] = 0;
+    }
+    if (d == ladders.size()) break;
+  }
+}
+
+}  // namespace
+
+SearchResult search_tiles(const ir::GalleryProgram& g,
+                          const FastMissModel& fast,
+                          const std::vector<std::int64_t>& bounds,
+                          std::int64_t capacity,
+                          const SearchOptions& opts) {
+  SDLO_CHECK(!g.tiles.empty(), "program has no tile symbols to search");
+  std::vector<std::int64_t> eff_bounds = bounds;
+  if (opts.unknown_bounds) {
+    eff_bounds.assign(g.bounds.size(), opts.virtual_bound);
+  }
+  SDLO_CHECK(eff_bounds.size() == g.bounds.size(),
+             "bounds arity mismatch");
+
+  std::vector<std::vector<std::int64_t>> ladders;
+  for (const auto& tile_sym : g.tiles) {
+    const auto& bound_sym = g.tile_of.at(tile_sym);
+    const auto pos = static_cast<std::size_t>(
+        std::find(g.bounds.begin(), g.bounds.end(), bound_sym) -
+        g.bounds.begin());
+    ladders.push_back(value_ladder(eff_bounds[pos], opts));
+  }
+
+  Scorer score{g, fast, eff_bounds, capacity, 0};
+
+  // Coarse pass: score the whole power-of-two grid, remembering each
+  // tuple's fitting set for crossing detection.
+  struct GridPoint {
+    std::vector<std::int64_t> tiles;
+    double misses;
+    std::set<std::size_t> fitting;
+  };
+  std::vector<GridPoint> grid;
+  for_each_tuple(ladders, [&](const std::vector<std::int64_t>& tiles) {
+    GridPoint gp;
+    gp.tiles = tiles;
+    const auto s = score(tiles);
+    gp.misses = s.misses;
+    gp.fitting = s.fitting(capacity);
+    grid.push_back(std::move(gp));
+  });
+
+  // Crossing-maximal selection: a point is kept when every single-dimension
+  // step up loses some currently-fitting reuse (or is at the ladder top).
+  std::map<std::vector<std::int64_t>, const GridPoint*> by_tiles;
+  for (const auto& gp : grid) by_tiles[gp.tiles] = &gp;
+  std::vector<Candidate> pool;
+  for (const auto& gp : grid) {
+    bool maximal = true;
+    for (std::size_t d = 0; d < ladders.size() && maximal; ++d) {
+      auto it = std::find(ladders[d].begin(), ladders[d].end(),
+                          gp.tiles[d]);
+      if (it + 1 == ladders[d].end()) continue;  // at the top: fine
+      std::vector<std::int64_t> up = gp.tiles;
+      up[d] = *(it + 1);
+      const GridPoint* neighbor = by_tiles.at(up);
+      // Does stepping up keep every fitting reuse fitting?
+      const bool keeps_all = std::includes(
+          neighbor->fitting.begin(), neighbor->fitting.end(),
+          gp.fitting.begin(), gp.fitting.end());
+      if (keeps_all) maximal = false;  // the larger tile dominates
+    }
+    if (maximal) pool.push_back(Candidate{gp.tiles, gp.misses});
+  }
+  // Always carry the grid's best scorer.
+  const auto* best_gp = &grid.front();
+  for (const auto& gp : grid) {
+    if (gp.misses < best_gp->misses) best_gp = &gp;
+  }
+  pool.push_back(Candidate{best_gp->tiles, best_gp->misses});
+  sort_and_dedupe(pool);
+  if (pool.size() > opts.beam) pool.resize(opts.beam);
+
+  // Refinement: explore divisor neighbours of each candidate.
+  for (int round = 0; round < opts.refine_rounds; ++round) {
+    std::vector<Candidate> next = pool;
+    for (const auto& c : pool) {
+      for (std::size_t d = 0; d < ladders.size(); ++d) {
+        auto it = std::find(ladders[d].begin(), ladders[d].end(),
+                            c.tiles[d]);
+        SDLO_CHECK(it != ladders[d].end(), "candidate off the ladder");
+        for (int dir : {-1, +1}) {
+          auto jt = it + dir;
+          if (jt < ladders[d].begin() || jt >= ladders[d].end()) continue;
+          std::vector<std::int64_t> t = c.tiles;
+          t[d] = *jt;
+          next.push_back(Candidate{t, score(t).misses});
+        }
+      }
+    }
+    sort_and_dedupe(next);
+    if (next.size() > opts.beam) next.resize(opts.beam);
+    pool = std::move(next);
+  }
+
+  SearchResult r;
+  r.candidates = pool;
+  r.best = pool.front();
+  r.evaluations = score.evaluations;
+  return r;
+}
+
+SearchResult exhaustive_tiles(const ir::GalleryProgram& g,
+                              const FastMissModel& fast,
+                              const std::vector<std::int64_t>& bounds,
+                              std::int64_t capacity,
+                              const SearchOptions& opts) {
+  std::vector<std::int64_t> eff_bounds = bounds;
+  if (opts.unknown_bounds) {
+    eff_bounds.assign(g.bounds.size(), opts.virtual_bound);
+  }
+  std::vector<std::vector<std::int64_t>> ladders;
+  for (const auto& tile_sym : g.tiles) {
+    const auto& bound_sym = g.tile_of.at(tile_sym);
+    const auto pos = static_cast<std::size_t>(
+        std::find(g.bounds.begin(), g.bounds.end(), bound_sym) -
+        g.bounds.begin());
+    ladders.push_back(value_ladder(eff_bounds[pos], opts));
+  }
+  Scorer score{g, fast, eff_bounds, capacity, 0};
+  std::vector<Candidate> all;
+  for_each_tuple(ladders, [&](const std::vector<std::int64_t>& tiles) {
+    all.push_back(Candidate{tiles, score(tiles).misses});
+  });
+  sort_and_dedupe(all);
+  SearchResult r;
+  r.best = all.front();
+  if (all.size() > opts.beam) all.resize(opts.beam);
+  r.candidates = std::move(all);
+  r.evaluations = score.evaluations;
+  return r;
+}
+
+}  // namespace sdlo::tile

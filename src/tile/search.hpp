@@ -1,0 +1,80 @@
+// Tile-size search (§6).
+//
+// The paper's search exploits the phase structure of the miss-count
+// function: as tile sizes grow, misses decrease monotonically until some
+// stack distance crosses the cache size, where they jump. Only tile tuples
+// *just below a crossing* (maximal tuples: no single dimension can grow
+// without a new distance exceeding the capacity) need be considered, plus a
+// finer search around them. The search therefore:
+//
+//   1. scores a coarse multiplicative grid with the FastMissModel,
+//   2. keeps crossing-maximal candidates (and the grid's best scorer),
+//   3. refines around each candidate over neighbouring divisor values,
+//   4. deduplicates and returns tuples ranked by modeled misses.
+//
+// Unknown loop bounds (Table 4) are handled by scoring in the large-bound
+// limit: bounds are bound to a huge virtual value, which drives every
+// bound-dependent (inter-tile) stack distance past any finite cache — the
+// ranking is then governed purely by the intra-tile expressions, exactly as
+// in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/gallery.hpp"
+#include "tile/fast_model.hpp"
+
+namespace sdlo::tile {
+
+/// One scored tile tuple.
+struct Candidate {
+  std::vector<std::int64_t> tiles;
+  double modeled_misses = 0;
+};
+
+/// Search configuration.
+struct SearchOptions {
+  /// Largest tile value considered per dimension (paper: 512).
+  std::int64_t max_tile = 512;
+  /// Smallest tile value considered.
+  std::int64_t min_tile = 1;
+  /// Candidates carried into refinement.
+  std::size_t beam = 8;
+  /// Refinement rounds (each explores neighbouring divisor values).
+  int refine_rounds = 3;
+  /// When true, bounds are replaced by a large virtual value (the
+  /// unknown-loop-bounds mode of §6 / Table 4).
+  bool unknown_bounds = false;
+  /// Virtual bound used in unknown-bounds mode (must be divisible by every
+  /// candidate tile value; a large power of two). Kept at 2^14 so that
+  /// four-bound reference-count products stay within 64-bit range.
+  std::int64_t virtual_bound = std::int64_t{1} << 14;
+};
+
+/// Search outcome with bookkeeping for the ablation benches.
+struct SearchResult {
+  Candidate best;
+  std::vector<Candidate> candidates;  ///< ranked, post-refinement
+  std::size_t evaluations = 0;        ///< fast-model scores performed
+};
+
+/// Runs the pruned search for `g` (a tiled gallery program) with the given
+/// concrete bounds (ignored in unknown-bounds mode) and cache capacity in
+/// elements. Tile values are powers of two dividing the bound.
+SearchResult search_tiles(const ir::GalleryProgram& g,
+                          const FastMissModel& fast,
+                          const std::vector<std::int64_t>& bounds,
+                          std::int64_t capacity,
+                          const SearchOptions& opts = {});
+
+/// Exhaustive baseline: scores every power-of-two combination (ablation
+/// A2). Same result contract as search_tiles.
+SearchResult exhaustive_tiles(const ir::GalleryProgram& g,
+                              const FastMissModel& fast,
+                              const std::vector<std::int64_t>& bounds,
+                              std::int64_t capacity,
+                              const SearchOptions& opts = {});
+
+}  // namespace sdlo::tile

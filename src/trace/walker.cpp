@@ -1,0 +1,152 @@
+#include "trace/walker.hpp"
+
+#include "support/checked_math.hpp"
+
+namespace sdlo::trace {
+
+namespace {
+
+std::int64_t eval_positive(const sym::Expr& e, const sym::Env& env,
+                           const char* what) {
+  const std::int64_t v = sym::evaluate(e, env);
+  SDLO_CHECK(v > 0, std::string(what) + " must be positive");
+  return v;
+}
+
+}  // namespace
+
+CompiledProgram::CompiledProgram(const ir::Program& prog,
+                                 const sym::Env& env) {
+  SDLO_CHECK(prog.validated(), "CompiledProgram requires a validated Program");
+
+  // Lay out arrays: row-major over dims, mixed radix within a dim.
+  for (const auto& array : prog.arrays()) {
+    std::uint64_t size = 1;
+    for (const auto& subscript : prog.array_shape(array)) {
+      for (const auto& var : subscript.vars) {
+        size = static_cast<std::uint64_t>(checked_mul(
+            static_cast<std::int64_t>(size),
+            eval_positive(prog.extent_of(var), env, "extent")));
+      }
+    }
+    if (size == 0) size = 1;  // scalar
+    base_of_[array] = next_base_;
+    elements_of_[array] = size;
+    next_base_ += size;
+  }
+
+  // Assign access-site ids in program order.
+  for (ir::NodeId s : prog.statements_in_order()) {
+    first_site_of_stmt_[s] = num_sites_;
+    num_sites_ += static_cast<std::int32_t>(
+        prog.statement(s).accesses.size());
+  }
+
+  std::map<std::string, std::int32_t> slot_of;
+  for (ir::NodeId c : prog.children(ir::Program::kRoot)) {
+    top_.push_back(lower(prog, c, env, slot_of));
+  }
+
+  // Total access count: sum over statements of instances * arity.
+  total_accesses_ = 0;
+  for (ir::NodeId s : prog.statements_in_order()) {
+    std::int64_t inst = 1;
+    for (const auto& pl : prog.path_loops(s)) {
+      inst = checked_mul(inst, eval_positive(pl.extent, env, "extent"));
+    }
+    total_accesses_ += static_cast<std::uint64_t>(inst) *
+                       prog.statement(s).accesses.size();
+  }
+}
+
+CompiledProgram::PlanOp CompiledProgram::lower(
+    const ir::Program& prog, ir::NodeId node, const sym::Env& env,
+    std::map<std::string, std::int32_t>& slot_of) {
+  if (prog.is_statement(node)) {
+    PlanOp op;
+    op.extent = -1;
+    const auto& stmt = prog.statement(node);
+    for (std::size_t a = 0; a < stmt.accesses.size(); ++a) {
+      const ir::ArrayRef& ref = stmt.accesses[a];
+      PlanRef pr;
+      pr.base = base_of_.at(ref.array);
+      pr.mode = ref.mode;
+      pr.site = first_site_of_stmt_.at(node) + static_cast<std::int32_t>(a);
+
+      // Row-major dim strides; mixed radix within each dim.
+      std::vector<std::int64_t> dim_extent;
+      for (const auto& subscript : ref.subscripts) {
+        std::int64_t e = 1;
+        for (const auto& var : subscript.vars) {
+          e = checked_mul(e, eval_positive(prog.extent_of(var), env,
+                                           "extent"));
+        }
+        dim_extent.push_back(e);
+      }
+      std::int64_t dim_stride = 1;
+      for (std::size_t d = ref.subscripts.size(); d-- > 0;) {
+        std::int64_t within = dim_stride;
+        const auto& vars = ref.subscripts[d].vars;
+        for (std::size_t k = vars.size(); k-- > 0;) {
+          auto it = slot_of.find(vars[k]);
+          SDLO_CHECK(it != slot_of.end(),
+                     "subscript variable not in scope: " + vars[k]);
+          pr.terms.emplace_back(it->second, within);
+          within = checked_mul(
+              within, eval_positive(prog.extent_of(vars[k]), env, "extent"));
+        }
+        dim_stride = checked_mul(dim_stride, dim_extent[d]);
+      }
+      op.refs.push_back(std::move(pr));
+    }
+    return op;
+  }
+
+  // Band: one PlanOp per loop, nested. A variable name re-declared in a
+  // sibling band reuses its slot (extent equality is guaranteed by
+  // Program::validate, and only enclosed statements ever read the slot).
+  const auto& loops = prog.band_loops(node);
+  SDLO_EXPECTS(!loops.empty());
+  PlanOp outer;
+  PlanOp* cur = &outer;
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    PlanOp* target = cur;
+    if (i != 0) {
+      cur->body.emplace_back();
+      target = &cur->body.back();
+    }
+    target->extent = eval_positive(loops[i].extent, env, "loop extent");
+    auto it = slot_of.find(loops[i].var);
+    if (it != slot_of.end()) {
+      target->slot = it->second;
+    } else {
+      target->slot = num_slots_++;
+      slot_of[loops[i].var] = target->slot;
+    }
+    cur = target;
+  }
+  for (ir::NodeId c : prog.children(node)) {
+    cur->body.push_back(lower(prog, c, env, slot_of));
+  }
+  return outer;
+}
+
+std::uint64_t CompiledProgram::array_base(const std::string& array) const {
+  auto it = base_of_.find(array);
+  SDLO_CHECK(it != base_of_.end(), "unknown array: " + array);
+  return it->second;
+}
+
+std::uint64_t CompiledProgram::array_elements(const std::string& array) const {
+  auto it = elements_of_.find(array);
+  SDLO_CHECK(it != elements_of_.end(), "unknown array: " + array);
+  return it->second;
+}
+
+std::int32_t CompiledProgram::site_of(ir::NodeId stmt, int access) const {
+  auto it = first_site_of_stmt_.find(stmt);
+  SDLO_CHECK(it != first_site_of_stmt_.end(), "unknown statement node");
+  return it->second + access;
+}
+
+}  // namespace sdlo::trace

@@ -1,0 +1,123 @@
+// Reference-trace generation.
+//
+// CompiledProgram lowers a validated ir::Program plus a concrete binding of
+// its symbols into a flat execution plan, then streams every array access in
+// program order to a caller-provided sink. This is the substitute for the
+// paper's SimpleScalar memory traces: the trace of the IR *is* the trace of
+// the loop nest the model analyzes, at array-element granularity.
+//
+// Addresses are element indices into a single flat address space; each array
+// occupies a contiguous base..base+size-1 block (row-major, tiled subscript
+// pairs composed in mixed radix), so distinct elements <=> distinct
+// addresses, which is the identity the stack-distance model uses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "support/check.hpp"
+#include "symbolic/expr.hpp"
+
+namespace sdlo::trace {
+
+/// One memory access in the trace.
+struct Access {
+  std::uint64_t addr = 0;
+  ir::AccessMode mode = ir::AccessMode::kRead;
+  /// Global index of the access site (see CompiledProgram::site_of).
+  std::int32_t site = 0;
+};
+
+/// A Program bound to concrete sizes, lowered for fast iteration.
+class CompiledProgram {
+ public:
+  /// Binds `prog` (validated) with `env` covering every free symbol.
+  /// Extents must evaluate to positive values.
+  CompiledProgram(const ir::Program& prog, const sym::Env& env);
+
+  /// Calls `sink(const Access&)` for every access in program order.
+  template <typename Sink>
+  void walk(Sink&& sink) const {
+    std::vector<std::int64_t> values(static_cast<std::size_t>(num_slots_),
+                                     0);
+    for (const auto& op : top_) run(op, values, sink);
+  }
+
+  /// Total number of accesses the walk will produce.
+  std::uint64_t total_accesses() const { return total_accesses_; }
+
+  /// Base address of an array.
+  std::uint64_t array_base(const std::string& array) const;
+
+  /// Number of elements of an array.
+  std::uint64_t array_elements(const std::string& array) const;
+
+  /// One past the largest address (total footprint in elements).
+  std::uint64_t address_space_size() const { return next_base_; }
+
+  /// Global access-site index for (statement node, access position); sites
+  /// are numbered in program order of their statements.
+  std::int32_t site_of(ir::NodeId stmt, int access) const;
+
+  /// Number of access sites.
+  std::int32_t num_sites() const { return num_sites_; }
+
+ private:
+  struct PlanRef {
+    std::uint64_t base = 0;
+    // addr = base + sum(values[slot] * stride)
+    std::vector<std::pair<std::int32_t, std::int64_t>> terms;
+    ir::AccessMode mode = ir::AccessMode::kRead;
+    std::int32_t site = 0;
+  };
+
+  struct PlanOp {
+    // extent < 0 marks a statement op; otherwise a loop over [0, extent).
+    std::int64_t extent = -1;
+    std::int32_t slot = -1;
+    std::vector<PlanOp> body;     // loop body
+    std::vector<PlanRef> refs;    // statement refs
+  };
+
+  template <typename Sink>
+  void run(const PlanOp& op, std::vector<std::int64_t>& values,
+           Sink&& sink) const {
+    if (op.extent < 0) {
+      Access a;
+      for (const auto& ref : op.refs) {
+        std::uint64_t addr = ref.base;
+        for (const auto& [slot, stride] : ref.terms) {
+          addr += static_cast<std::uint64_t>(values[
+                      static_cast<std::size_t>(slot)] * stride);
+        }
+        a.addr = addr;
+        a.mode = ref.mode;
+        a.site = ref.site;
+        sink(static_cast<const Access&>(a));
+      }
+      return;
+    }
+    auto& v = values[static_cast<std::size_t>(op.slot)];
+    for (v = 0; v < op.extent; ++v) {
+      for (const auto& child : op.body) run(child, values, sink);
+    }
+    v = 0;
+  }
+
+  PlanOp lower(const ir::Program& prog, ir::NodeId node, const sym::Env& env,
+               std::map<std::string, std::int32_t>& slot_of);
+
+  std::vector<PlanOp> top_;
+  std::int32_t num_slots_ = 0;
+  std::int32_t num_sites_ = 0;
+  std::uint64_t next_base_ = 0;
+  std::uint64_t total_accesses_ = 0;
+  std::map<std::string, std::uint64_t> base_of_;
+  std::map<std::string, std::uint64_t> elements_of_;
+  std::map<ir::NodeId, std::int32_t> first_site_of_stmt_;
+};
+
+}  // namespace sdlo::trace

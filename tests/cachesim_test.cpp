@@ -1,0 +1,217 @@
+// Unit + property tests for the cache simulators and the exact
+// stack-distance profiler.
+#include "support/check.hpp"
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cachesim/lru_cache.hpp"
+#include "cachesim/set_assoc_cache.hpp"
+#include "cachesim/sim.hpp"
+#include "cachesim/stack_profiler.hpp"
+#include "ir/gallery.hpp"
+#include "support/rng.hpp"
+#include "trace/walker.hpp"
+
+namespace sdlo::cachesim {
+namespace {
+
+TEST(LruCache, BasicHitMiss) {
+  LruCache c(2);
+  EXPECT_FALSE(c.access(1));
+  EXPECT_FALSE(c.access(2));
+  EXPECT_TRUE(c.access(1));   // 1 is resident
+  EXPECT_FALSE(c.access(3));  // evicts 2 (LRU)
+  EXPECT_TRUE(c.access(1));
+  EXPECT_FALSE(c.access(2));  // 2 was evicted
+  EXPECT_EQ(c.misses(), 4u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(LruCache, CapacityOne) {
+  LruCache c(1);
+  EXPECT_FALSE(c.access(7));
+  EXPECT_TRUE(c.access(7));
+  EXPECT_FALSE(c.access(8));
+  EXPECT_FALSE(c.access(7));
+  EXPECT_EQ(c.size(), 1);
+}
+
+TEST(LruCache, ResetClearsEverything) {
+  LruCache c(4);
+  c.access(1);
+  c.access(2);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_FALSE(c.access(1));  // cold again
+}
+
+// Reference LRU built on std::list + unordered_map, for differential
+// testing of the open-addressing implementation.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(std::int64_t cap) : cap_(cap) {}
+  bool access(std::uint64_t addr) {
+    auto it = map_.find(addr);
+    if (it != map_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return true;
+    }
+    if (static_cast<std::int64_t>(map_.size()) == cap_) {
+      map_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(addr);
+    map_[addr] = order_.begin();
+    return false;
+  }
+
+ private:
+  std::int64_t cap_;
+  std::list<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+};
+
+class LruDifferentialTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LruDifferentialTest, MatchesReferenceOnRandomTraces) {
+  const auto [cap, range] = GetParam();
+  LruCache fast(cap);
+  ReferenceLru ref(cap);
+  StackDistanceProfiler prof(64);
+  SplitMix64 rng(static_cast<std::uint64_t>(cap * 7919 + range));
+  std::uint64_t prof_misses_check = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto addr = rng.below(static_cast<std::uint64_t>(range));
+    const bool hit_fast = fast.access(addr);
+    const bool hit_ref = ref.access(addr);
+    ASSERT_EQ(hit_fast, hit_ref) << "step " << i;
+    // Profiler agreement: hit iff depth in [1, cap].
+    const auto depth = prof.access(addr);
+    const bool hit_prof = depth != 0 && depth <= cap;
+    ASSERT_EQ(hit_fast, hit_prof) << "step " << i;
+    if (!hit_prof) ++prof_misses_check;
+  }
+  EXPECT_EQ(fast.misses(), prof_misses_check);
+  EXPECT_EQ(prof.misses(cap), fast.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapRange, LruDifferentialTest,
+    ::testing::Values(std::pair{1, 4}, std::pair{2, 8}, std::pair{7, 16},
+                      std::pair{16, 16}, std::pair{32, 1024},
+                      std::pair{255, 4096}, std::pair{1024, 700}));
+
+TEST(StackProfiler, DepthsAreExact) {
+  StackDistanceProfiler p(16);
+  EXPECT_EQ(p.access(10), 0);  // cold
+  EXPECT_EQ(p.access(11), 0);
+  EXPECT_EQ(p.access(10), 2);  // {11, 10}
+  EXPECT_EQ(p.access(10), 1);  // immediate reuse
+  EXPECT_EQ(p.access(12), 0);
+  EXPECT_EQ(p.access(11), 3);  // {12, 10, 11}
+  EXPECT_EQ(p.cold_accesses(), 3u);
+  EXPECT_EQ(p.total_accesses(), 6u);
+}
+
+TEST(StackProfiler, HistogramAndMisses) {
+  StackDistanceProfiler p(16);
+  // a b a b a b -> depths: 0 0 2 2 2 2
+  for (int i = 0; i < 3; ++i) {
+    p.access(1);
+    p.access(2);
+  }
+  EXPECT_EQ(p.histogram().at(2), 4u);
+  EXPECT_EQ(p.misses(1), 2u + 4u);  // cold + all depth-2
+  EXPECT_EQ(p.misses(2), 2u);
+  EXPECT_EQ(p.misses(100), 2u);
+}
+
+TEST(StackProfiler, CompactionPreservesDepths) {
+  // Tiny window forces many compactions.
+  StackDistanceProfiler small(1);  // window = max(bit_ceil(4), 1024)
+  StackDistanceProfiler big(1 << 16);
+  SplitMix64 rng(99);
+  for (int i = 0; i < 300000; ++i) {
+    const auto addr = rng.below(2000);
+    ASSERT_EQ(small.access(addr), big.access(addr)) << i;
+  }
+  EXPECT_EQ(small.distinct_addresses(), big.distinct_addresses());
+}
+
+TEST(SetAssoc, FullyAssociativeLruMatchesLruCache) {
+  SetAssocCache sa(64, 64, 1, Replacement::kLru);
+  LruCache lru(64);
+  SplitMix64 rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    const auto addr = rng.below(300);
+    ASSERT_EQ(sa.access(addr), lru.access(addr)) << i;
+  }
+}
+
+TEST(SetAssoc, DirectMappedConflicts) {
+  // Two addresses mapping to the same set of a direct-mapped cache thrash.
+  SetAssocCache dm(8, 1, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(dm.access(0));
+    EXPECT_FALSE(dm.access(8));  // same set, evicts 0
+  }
+  EXPECT_EQ(dm.hits(), 0u);
+}
+
+TEST(SetAssoc, LineGranularityGivesSpatialHits) {
+  SetAssocCache c(64, 4, 8);  // 8-element lines
+  EXPECT_FALSE(c.access(0));
+  for (std::uint64_t a = 1; a < 8; ++a) {
+    EXPECT_TRUE(c.access(a)) << a;  // same line
+  }
+  EXPECT_FALSE(c.access(8));  // next line
+}
+
+TEST(SetAssoc, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache(10, 4, 1), Error);  // 10 % 4 != 0
+  EXPECT_THROW(SetAssocCache(64, 4, 3), Error);  // line not a power of two
+}
+
+TEST(SimDrivers, LruAndProfilerAgreeOnProgramTraces) {
+  auto g = ir::matmul_tiled();
+  const auto env = g.make_env({16, 16, 16}, {4, 4, 8});
+  trace::CompiledProgram cp(g.prog, env);
+  const auto profile = profile_stack_distances(cp);
+  for (std::int64_t cap : {1, 2, 8, 32, 100, 512, 5000}) {
+    const auto sim = simulate_lru(cp, cap);
+    EXPECT_EQ(sim.misses, profile.misses(cap)) << "cap " << cap;
+    EXPECT_EQ(sim.accesses, profile.accesses);
+  }
+}
+
+TEST(SimDrivers, PerSiteMissesSumToTotal) {
+  auto g = ir::two_index_tiled();
+  const auto env = g.make_env({8, 8, 8, 8}, {4, 2, 4, 2});
+  trace::CompiledProgram cp(g.prog, env);
+  const auto sim = simulate_lru(cp, 24);
+  std::uint64_t sum = 0;
+  for (auto m : sim.misses_by_site) sum += m;
+  EXPECT_EQ(sum, sim.misses);
+}
+
+TEST(SimDrivers, MissesMonotoneInCapacity) {
+  auto g = ir::matmul();
+  const auto env = g.make_env({12, 12, 12}, {});
+  trace::CompiledProgram cp(g.prog, env);
+  const auto profile = profile_stack_distances(cp);
+  std::uint64_t prev = profile.misses(1);
+  for (std::int64_t cap = 2; cap < 600; cap += 7) {
+    const auto m = profile.misses(cap);
+    EXPECT_LE(m, prev);
+    prev = m;
+  }
+  // At huge capacity only cold misses remain: the total footprint.
+  EXPECT_EQ(profile.misses(1 << 30), cp.address_space_size());
+}
+
+}  // namespace
+}  // namespace sdlo::cachesim

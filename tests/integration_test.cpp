@@ -1,0 +1,157 @@
+// Cross-module integration tests: the full pipelines a user of the library
+// would run, wired end to end.
+#include "support/check.hpp"
+#include <gtest/gtest.h>
+
+#include "cachesim/sim.hpp"
+#include "ir/gallery.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/transforms.hpp"
+#include "kernels/two_index.hpp"
+#include "model/analyzer.hpp"
+#include "parallel/smp_model.hpp"
+#include "tce/lower.hpp"
+#include "tce/opmin.hpp"
+#include "tile/fast_model.hpp"
+#include "tile/search.hpp"
+#include "trace/walker.hpp"
+
+namespace sdlo {
+namespace {
+
+TEST(Integration, TextToPredictionToSimulation) {
+  // Author a program textually, tile it, bind sizes, and check the model
+  // against the simulator — the full §4 workflow.
+  ir::GalleryProgram g;
+  g.prog = ir::parse_program(R"(
+    for i<NI>, j<NJ>, k<NK> {
+      S1: C[i,k] += A[i,j] * B[j,k]
+    }
+  )");
+  g.bounds = {"NI", "NJ", "NK"};
+  auto tiled = ir::tile_nest(g, {{"i", "Ti"}, {"j", "Tj"}, {"k", "Tk"}});
+  const auto env = tiled.make_env({16, 16, 16}, {4, 4, 4});
+  trace::CompiledProgram cp(tiled.prog, env);
+  const auto an = model::analyze(tiled.prog);
+  for (std::int64_t cap : {16, 48, 200}) {
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  model::predict_misses(an, env, cap).misses),
+              cachesim::simulate_lru(cp, cap).misses)
+        << cap;
+  }
+}
+
+TEST(Integration, TceToTileSearch) {
+  // Contraction text -> op-min -> fused IR -> tiled by hand-built gallery
+  // equivalent -> tile search returns a sane configuration.
+  auto g = ir::two_index_tiled();
+  const auto an = model::analyze(g.prog);
+  tile::FastMissModel fast(an);
+  tile::SearchOptions opts;
+  opts.max_tile = 32;
+  const auto r = tile::search_tiles(g, fast, {64, 64, 64, 64}, 1024, opts);
+  ASSERT_EQ(r.best.tiles.size(), 4u);
+  for (auto t : r.best.tiles) {
+    EXPECT_GE(t, 1);
+    EXPECT_LE(t, 32);
+  }
+  // The searched tile must beat the all-ones and all-max corners by the
+  // exact model's count.
+  const auto score = [&](const std::vector<std::int64_t>& tiles) {
+    return model::predict_misses(an, g.make_env({64, 64, 64, 64}, tiles),
+                                 1024)
+        .misses;
+  };
+  EXPECT_LE(score(r.best.tiles), score({1, 1, 1, 1}));
+  EXPECT_LE(score(r.best.tiles), score({32, 32, 32, 32}));
+}
+
+TEST(Integration, SearchedTileBeatsEqualTilesInSimulation) {
+  // §7.1's claim, in miniature: the model-chosen tile outperforms the
+  // "equal tiles" convention — validated by the trace simulator.
+  auto g = ir::two_index_tiled();
+  const auto an = model::analyze(g.prog);
+  tile::FastMissModel fast(an);
+  tile::SearchOptions opts;
+  opts.max_tile = 32;
+  const std::vector<std::int64_t> bounds{64, 64, 64, 64};
+  const std::int64_t cap = 1024;
+  const auto r = tile::search_tiles(g, fast, bounds, cap, opts);
+
+  auto sim_misses = [&](const std::vector<std::int64_t>& tiles) {
+    trace::CompiledProgram cp(g.prog, g.make_env(bounds, tiles));
+    return cachesim::simulate_lru(cp, cap).misses;
+  };
+  const auto best = sim_misses(r.best.tiles);
+  for (std::int64_t eq : {4, 8, 16, 32}) {
+    EXPECT_LE(best, sim_misses({eq, eq, eq, eq})) << "equal tile " << eq;
+  }
+}
+
+TEST(Integration, KernelTrafficMatchesIrModel) {
+  // The runnable two-index kernel and the IR describe the same algorithm:
+  // their flop counts agree, and the kernel's result is correct while the
+  // IR drives the cache analysis.
+  const std::int64_t ni = 8, nj = 8, nm = 8, nn = 8;
+  auto g = ir::two_index_tiled();
+  const auto env = g.make_env({ni, nj, nm, nn}, {4, 2, 4, 2});
+  EXPECT_DOUBLE_EQ(parallel::count_flops(g.prog, env),
+                   kernels::two_index_flops(ni, nj, nm, nn));
+}
+
+TEST(Integration, SmpEstimateUsesExactSliceModel) {
+  auto g = ir::two_index_tiled();
+  const auto an = model::analyze(g.prog);
+  parallel::CostCalibration cal;
+  const auto est = parallel::estimate_smp(an, g, "NN", {32, 32, 32, 32},
+                                          {4, 4, 4, 4}, 2, 256, cal);
+  // Cross-check the slice miss count against a direct simulation of the
+  // half-sized problem.
+  const auto slice_env = g.make_env({32, 32, 32, 16}, {4, 4, 4, 4});
+  trace::CompiledProgram cp(g.prog, slice_env);
+  EXPECT_EQ(static_cast<std::uint64_t>(est.per_proc_misses),
+            cachesim::simulate_lru(cp, 256).misses);
+}
+
+TEST(Integration, FourIndexPipelineUnfused) {
+  // The paper's motivating computation end-to-end at toy size: parse,
+  // op-minimize, lower, and verify the model against the simulator.
+  const auto c = tce::parse_contraction(
+      "B[a,b,c,d] = sum(p,q,r,s) "
+      "C1[a,p] * C2[b,q] * C3[c,r] * C4[d,s] * A[p,q,r,s]");
+  tce::IndexExtents ext;
+  for (const auto& idx : c.all_indices()) {
+    ext[idx] = sym::Expr::symbol("V");
+  }
+  const auto plan = tce::optimize_order(c, ext, {{"V", 4}});
+  auto g = tce::lower_unfused(plan, ext);
+  sym::Env env;
+  for (const auto& b : g.bounds) env[b] = 4;
+  trace::CompiledProgram cp(g.prog, env);
+  const auto an = model::analyze(g.prog);
+  for (std::int64_t cap : {8, 64, 300}) {
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  model::predict_misses(an, env, cap).misses),
+              cachesim::simulate_lru(cp, cap).misses)
+        << cap;
+  }
+}
+
+TEST(Integration, ProfilerSupportsCapacitySweepLikeTable) {
+  // One profiler pass answers every capacity of a Table-2-style sweep.
+  auto g = ir::two_index_tiled();
+  const auto env = g.make_env({16, 16, 16, 16}, {4, 4, 4, 4});
+  trace::CompiledProgram cp(g.prog, env);
+  const auto prof = cachesim::profile_stack_distances(cp);
+  const auto an = model::analyze(g.prog);
+  for (std::int64_t cap = 1; cap <= 4096; cap *= 4) {
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  model::predict_misses(an, env, cap).misses),
+              prof.misses(cap))
+        << cap;
+  }
+}
+
+}  // namespace
+}  // namespace sdlo

@@ -1,0 +1,224 @@
+// Tests for distance machinery: exact union counting, the symbolic union
+// with the ordering oracle, and the compiled affine evaluator.
+#include "support/check.hpp"
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "model/compiled_eval.hpp"
+#include "model/coords.hpp"
+#include "model/distance.hpp"
+#include "ir/gallery.hpp"
+#include "support/rng.hpp"
+
+namespace sdlo::model {
+namespace {
+
+using sym::Expr;
+using IntBox = std::vector<std::pair<std::int64_t, std::int64_t>>;
+
+TEST(CountUnion, Basics) {
+  EXPECT_EQ(count_union({}), 0);
+  EXPECT_EQ(count_union({IntBox{{0, 4}}}), 5);
+  EXPECT_EQ(count_union({IntBox{{0, 4}}, IntBox{{3, 9}}}), 10);
+  EXPECT_EQ(count_union({IntBox{{0, 4}}, IntBox{{6, 9}}}), 9);
+  // Empty interval annihilates the box.
+  EXPECT_EQ(count_union({IntBox{{4, 3}}}), 0);
+  // Zero-dimensional boxes denote one point.
+  EXPECT_EQ(count_union({IntBox{}}), 1);
+  EXPECT_EQ(count_union({IntBox{}, IntBox{}}), 1);
+}
+
+TEST(CountUnion, TwoDim) {
+  // Cross shape: 3x1 row + 1x3 column overlapping in one cell.
+  EXPECT_EQ(count_union({IntBox{{0, 2}, {1, 1}}, IntBox{{1, 1}, {0, 2}}}),
+            5);
+  // Nested boxes.
+  EXPECT_EQ(count_union({IntBox{{0, 9}, {0, 9}}, IntBox{{2, 4}, {2, 4}}}),
+            100);
+}
+
+TEST(CountUnion, RandomAgainstBitmap) {
+  SplitMix64 rng(321);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int dims = 1 + static_cast<int>(rng.below(3));
+    const int nboxes = 1 + static_cast<int>(rng.below(5));
+    std::vector<IntBox> boxes;
+    for (int b = 0; b < nboxes; ++b) {
+      IntBox box;
+      for (int d = 0; d < dims; ++d) {
+        const std::int64_t lo = rng.range(0, 7);
+        const std::int64_t hi = rng.range(lo - 1, 7);  // sometimes empty
+        box.emplace_back(lo, hi);
+      }
+      boxes.push_back(std::move(box));
+    }
+    // Bitmap reference over the 8^dims grid.
+    std::vector<bool> grid(static_cast<std::size_t>(std::pow(8, dims)),
+                           false);
+    for (const auto& box : boxes) {
+      bool empty = false;
+      for (const auto& [lo, hi] : box) {
+        if (hi < lo) empty = true;
+      }
+      if (empty) continue;
+      std::vector<std::int64_t> pt(static_cast<std::size_t>(dims));
+      for (auto& v : pt) v = 0;
+      auto fill = [&](auto&& self, std::size_t d) -> void {
+        if (d == box.size()) {
+          std::size_t idx = 0;
+          for (auto v : pt) idx = idx * 8 + static_cast<std::size_t>(v);
+          grid[idx] = true;
+          return;
+        }
+        for (pt[d] = box[d].first; pt[d] <= box[d].second; ++pt[d]) {
+          self(self, d + 1);
+        }
+      };
+      fill(fill, 0);
+    }
+    std::int64_t want = 0;
+    for (bool b : grid) want += b ? 1 : 0;
+    EXPECT_EQ(count_union(boxes), want) << "trial " << trial;
+  }
+}
+
+TEST(Oracle, ProvesSimpleFacts) {
+  auto g = ir::matmul_tiled();
+  SymbolTable st(g.prog);
+  const Expr e_iI = st.extent("iI");
+  const Expr c_iI = Expr::symbol(coord_symbol("iI"));
+  const Expr x_kT = Expr::symbol(pivot_symbol("kT"));
+  const Expr zero = Expr::constant(0);
+  const Expr one = Expr::constant(1);
+
+  EXPECT_TRUE(st.prove_nonneg(zero));
+  EXPECT_TRUE(st.prove_nonneg(e_iI - one));          // extents >= 1
+  EXPECT_TRUE(st.prove_nonneg(c_iI));                // coords >= 0
+  EXPECT_TRUE(st.prove_nonneg(e_iI - one - c_iI));   // coord <= E-1
+  EXPECT_TRUE(st.prove_nonneg(x_kT - one));          // pivot >= 1
+  EXPECT_TRUE(st.prove_le(c_iI, e_iI - one));
+  EXPECT_TRUE(st.prove_lt(c_iI, e_iI));
+  // Products: E_iI*E_jI >= E_iI.
+  EXPECT_TRUE(st.prove_nonneg(st.extent("iI") * st.extent("jI") -
+                              st.extent("iI")));
+  // Unprovable (actually false) statements are rejected.
+  EXPECT_FALSE(st.prove_nonneg(-one));
+  EXPECT_FALSE(st.prove_nonneg(c_iI - e_iI));
+  EXPECT_FALSE(st.prove_nonneg(st.extent("iI") - st.extent("jI")));
+}
+
+TEST(Oracle, ResolveRewritesAliases) {
+  auto g = ir::matmul_tiled();
+  SymbolTable st(g.prog);
+  const Expr resolved = st.resolve(st.extent("iT"));
+  EXPECT_TRUE(resolved.equals(
+      sym::floor_div(Expr::symbol("NI"), Expr::symbol("Ti"))));
+  EXPECT_TRUE(st.resolve(st.extent("iI")).equals(Expr::symbol("Ti")));
+}
+
+TEST(Oracle, BindExtents) {
+  auto g = ir::matmul_tiled();
+  SymbolTable st(g.prog);
+  const auto env = g.make_env({16, 16, 16}, {4, 8, 2});
+  const auto full = st.bind_extents(env);
+  EXPECT_EQ(full.at(extent_symbol("iT")), 4);
+  EXPECT_EQ(full.at(extent_symbol("iI")), 4);
+  EXPECT_EQ(full.at(extent_symbol("jT")), 2);
+  EXPECT_EQ(full.at(extent_symbol("kI")), 2);
+}
+
+TEST(SymbolicUnion, DisjointBoxesSum) {
+  auto g = ir::matmul_tiled();
+  SymbolTable st(g.prog);
+  const Expr zero = Expr::constant(0);
+  const Expr one = Expr::constant(1);
+  const Expr e = st.extent("iI");
+  // [0, E-1] and a contained [0,0] point: absorbed -> size E.
+  Box big{{Interval{zero, e - one}}, {}};
+  Box point{{Interval{zero, zero}}, {}};
+  bool exact = false;
+  const Expr u = symbolic_union({big, point}, st, &exact);
+  EXPECT_TRUE(exact);
+  EXPECT_TRUE(u.equals(e));
+}
+
+TEST(SymbolicUnion, GuardAnnihilatesProvablyEmptyBox) {
+  auto g = ir::matmul_tiled();
+  SymbolTable st(g.prog);
+  const Expr zero = Expr::constant(0);
+  const Expr e = st.extent("iI");
+  Box guarded{{Interval{zero, e - Expr::constant(1)}},
+              {Interval{Expr::constant(3), Expr::constant(2)}}};
+  const Expr u = symbolic_union({guarded}, st);
+  EXPECT_TRUE(u.is_const_value(0));
+}
+
+TEST(NumericUnion, EvaluatesBoundsAndGuards) {
+  auto g = ir::matmul_tiled();
+  const std::string c = coord_symbol("iI");
+  const std::string e = extent_symbol("iI");
+  // Box over [0, E-1] guarded by [c+1, E-1]: present iff c < E-1.
+  Box guarded{{Interval{Expr::constant(0),
+                        Expr::symbol(e) - Expr::constant(1)}},
+              {Interval{Expr::symbol(c) + Expr::constant(1),
+                        Expr::symbol(e) - Expr::constant(1)}}};
+  sym::Env env{{e, 8}, {c, 3}};
+  EXPECT_EQ(numeric_union({guarded}, env), 8);  // guard [4,7] non-empty
+  env[c] = 7;
+  EXPECT_EQ(numeric_union({guarded}, env), 0);  // guard [8,7] empty
+  // An empty dimension also annihilates the box.
+  Box empty_dim{{Interval{Expr::constant(5), Expr::constant(2)}}, {}};
+  EXPECT_EQ(numeric_union({empty_dim}, env), 0);
+}
+
+TEST(SymbolicUnion, InclusionExclusionOverlap) {
+  auto g = ir::matmul_tiled();
+  SymbolTable st(g.prog);
+  auto C = [](std::int64_t v) { return Expr::constant(v); };
+  // [0,4] u [3,9] over one dim: 10. Not provably disjoint -> IE.
+  Box a{{Interval{C(0), C(4)}}, {}};
+  Box b{{Interval{C(3), C(9)}}, {}};
+  const Expr u = symbolic_union({a, b}, st);
+  EXPECT_TRUE(u.is_const_value(10));
+}
+
+TEST(CompiledEval, AffineCompilation) {
+  const std::vector<std::string> syms{"a", "b"};
+  const Expr e = Expr::symbol("a") * Expr::constant(3) +
+                 Expr::symbol("b") * Expr::constant(-1) + Expr::constant(7);
+  const AffineFn fn = compile_affine(e, syms);
+  const std::int64_t coords[] = {2, 5};
+  EXPECT_EQ(fn.eval(coords), 2 * 3 - 5 + 7);
+  // Non-affine input is rejected.
+  EXPECT_THROW(
+      compile_affine(Expr::symbol("a") * Expr::symbol("b"), syms),
+      Error);
+}
+
+TEST(CompiledEval, UnionCounterMatchesCountUnion) {
+  SplitMix64 rng(777);
+  UnionCounter counter;
+  for (int trial = 0; trial < 100; ++trial) {
+    const int dims = 1 + static_cast<int>(rng.below(3));
+    const int nboxes = 1 + static_cast<int>(rng.below(6));
+    std::vector<Box> sym_boxes;
+    std::vector<IntBox> int_boxes;
+    for (int b = 0; b < nboxes; ++b) {
+      Box sb;
+      IntBox ib;
+      for (int d = 0; d < dims; ++d) {
+        const std::int64_t lo = rng.range(0, 9);
+        const std::int64_t hi = rng.range(lo - 1, 9);
+        sb.dims.push_back(Interval{Expr::constant(lo), Expr::constant(hi)});
+        ib.emplace_back(lo, hi);
+      }
+      sym_boxes.push_back(std::move(sb));
+      int_boxes.push_back(std::move(ib));
+    }
+    const auto compiled = compile_boxes(sym_boxes, {});
+    EXPECT_EQ(counter.count(compiled, {}), count_union(int_boxes));
+  }
+}
+
+}  // namespace
+}  // namespace sdlo::model

@@ -1,0 +1,85 @@
+// Tests for the prediction strategy knobs: the probe path (enum_limit
+// forced to zero) must agree with exhaustive enumeration on
+// constant-depth partitions and stay within the interpolation error bound
+// on straddling ones; the bookkeeping flags must reflect the path taken.
+#include "support/check.hpp"
+#include <gtest/gtest.h>
+
+#include "cachesim/sim.hpp"
+#include "ir/gallery.hpp"
+#include "model/analyzer.hpp"
+#include "support/checked_math.hpp"
+#include "trace/walker.hpp"
+
+namespace sdlo::model {
+namespace {
+
+TEST(PredictOptions, ProbePathMatchesExactOnGallery) {
+  // Force the probe path everywhere; for these kernels every partition is
+  // either constant-depth or cleanly classified by its corner extremes, so
+  // the result must still be exact.
+  PredictOptions probe_only;
+  probe_only.enum_limit = 0;
+  for (auto g : {ir::matmul_tiled(), ir::two_index_tiled()}) {
+    std::vector<std::int64_t> bounds(g.bounds.size(), 32);
+    std::vector<std::int64_t> tiles(g.tiles.size(), 8);
+    const auto env = g.make_env(bounds, tiles);
+    const auto an = analyze(g.prog);
+    for (std::int64_t cap : {64, 4096}) {
+      const auto exact = predict_misses(an, env, cap);
+      const auto probed = predict_misses(an, env, cap, probe_only);
+      // Straddling partitions may be statistically estimated: allow 2%
+      // total slack, and require exactness when nothing was approximated.
+      bool any_approx = false;
+      for (const auto& oc : probed.outcomes) {
+        any_approx = any_approx || oc.approximated;
+      }
+      if (!any_approx) {
+        EXPECT_EQ(probed.misses, exact.misses) << cap;
+      } else {
+        EXPECT_NEAR(static_cast<double>(probed.misses),
+                    static_cast<double>(exact.misses),
+                    0.02 * static_cast<double>(exact.misses) + 64.0)
+            << cap;
+      }
+    }
+  }
+}
+
+TEST(PredictOptions, EnumeratedFlagSetOnExactPath) {
+  auto g = ir::matmul_tiled();
+  const auto env = g.make_env({8, 8, 8}, {4, 4, 4});
+  const auto an = analyze(g.prog);
+  const auto pred = predict_misses(an, env, 32);
+  bool saw_enumerated = false;
+  for (const auto& oc : pred.outcomes) {
+    if (oc.depth_min != kInfDistance) {
+      EXPECT_TRUE(oc.enumerated);
+      saw_enumerated = true;
+      EXPECT_FALSE(oc.approximated);
+    }
+  }
+  EXPECT_TRUE(saw_enumerated);
+}
+
+TEST(PredictOptions, ProbeFlagsOnForcedProbePath) {
+  PredictOptions probe_only;
+  probe_only.enum_limit = 0;
+  auto g = ir::matmul_tiled();
+  const auto env = g.make_env({8, 8, 8}, {4, 4, 4});
+  const auto an = analyze(g.prog);
+  const auto pred = predict_misses(an, env, 32, probe_only);
+  for (const auto& oc : pred.outcomes) {
+    EXPECT_FALSE(oc.enumerated);
+  }
+}
+
+TEST(PredictOptions, RejectsNonPositiveCapacity) {
+  auto g = ir::matmul();
+  const auto an = analyze(g.prog);
+  EXPECT_THROW(predict_misses(an, g.make_env({4, 4, 4}, {}), 0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace sdlo::model

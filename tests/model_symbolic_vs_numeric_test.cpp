@@ -1,0 +1,93 @@
+// Property test pinning the symbolic union (sweep / absorption / IE) to
+// the exact numeric counter on the constrained endpoint vocabulary the
+// window decomposition produces: per dimension, interval bounds drawn from
+// {0, c, c+1, E-1} of one coordinate. The symbolic result, evaluated at any
+// concrete coordinate assignment with non-empty-guard semantics stripped,
+// must equal count_union — this is the contract the Table-1 expressions and
+// the FastMissModel rely on.
+#include "support/check.hpp"
+#include <gtest/gtest.h>
+
+#include "ir/gallery.hpp"
+#include "model/coords.hpp"
+#include "model/distance.hpp"
+#include "support/rng.hpp"
+
+namespace sdlo::model {
+namespace {
+
+using sym::Expr;
+
+class SweepUnionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SweepUnionProperty, SymbolicEqualsNumericOnWindowVocabulary) {
+  // Use matmul_tiled's symbol table: vars iI, jI, kI with coordinates.
+  auto g = ir::matmul_tiled();
+  SymbolTable st(g.prog);
+  const std::vector<std::string> vars{"iI", "jI", "kI"};
+
+  SplitMix64 rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t ndims = 1 + rng.below(3);
+    const std::size_t nboxes = 1 + rng.below(6);
+
+    // Candidate bounds per dimension, in the window vocabulary.
+    auto lo_candidates = [&](const std::string& v) {
+      const Expr c = Expr::symbol(coord_symbol(v));
+      return std::vector<Expr>{Expr::constant(0), c, c + Expr::constant(1)};
+    };
+    auto hi_candidates = [&](const std::string& v) {
+      const Expr c = Expr::symbol(coord_symbol(v));
+      const Expr e = st.extent(v);
+      return std::vector<Expr>{c - Expr::constant(1), c,
+                               e - Expr::constant(1)};
+    };
+
+    std::vector<Box> boxes;
+    for (std::size_t b = 0; b < nboxes; ++b) {
+      Box box;
+      for (std::size_t d = 0; d < ndims; ++d) {
+        const auto& v = vars[d];
+        const auto los = lo_candidates(v);
+        const auto his = hi_candidates(v);
+        box.dims.push_back(Interval{los[rng.below(los.size())],
+                                    his[rng.below(his.size())]});
+      }
+      boxes.push_back(std::move(box));
+    }
+
+    bool exact = true;
+    const Expr u = symbolic_union(boxes, st, &exact);
+    if (!exact) continue;  // over-approximation is allowed to differ
+
+    // Evaluate at random concrete extents/coordinates and compare against
+    // the exact numeric union.
+    for (int eval = 0; eval < 10; ++eval) {
+      sym::Env env;
+      for (const auto& v : vars) {
+        const std::int64_t extent = rng.range(1, 6);
+        env[extent_symbol(v)] = extent;
+        env[coord_symbol(v)] = rng.range(0, extent - 1);
+      }
+      std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>>
+          concrete;
+      for (const auto& box : boxes) {
+        std::vector<std::pair<std::int64_t, std::int64_t>> cb;
+        for (const auto& iv : box.dims) {
+          cb.emplace_back(sym::evaluate(iv.lo, env),
+                          sym::evaluate(iv.hi, env));
+        }
+        concrete.push_back(std::move(cb));
+      }
+      ASSERT_EQ(sym::evaluate(u, env), count_union(concrete))
+          << "seed " << GetParam() << " trial " << trial << " expr "
+          << sym::to_string(u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepUnionProperty,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace sdlo::model

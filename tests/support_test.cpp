@@ -1,0 +1,165 @@
+// Unit tests for the support module: contracts, checked arithmetic, string
+// helpers, the table printer and the CLI parser.
+#include "support/check.hpp"
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/checked_math.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace sdlo {
+namespace {
+
+TEST(Check, MacrosThrowTypedExceptions) {
+  EXPECT_THROW([] { SDLO_EXPECTS(false); }(), ContractViolation);
+  EXPECT_THROW([] { SDLO_ENSURES(1 == 2); }(), ContractViolation);
+  EXPECT_THROW([] { SDLO_CHECK(false, "message"); }(), ContractViolation);
+  EXPECT_NO_THROW([] { SDLO_CHECK(true, "fine"); }());
+  try {
+    SDLO_CHECK(false, "the-detail");
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("the-detail"), std::string::npos);
+  }
+}
+
+TEST(CheckedMath, AddMul) {
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_mul(-4, 5), -20);
+  EXPECT_THROW(checked_add(std::numeric_limits<std::int64_t>::max(), 1),
+               ContractViolation);
+  EXPECT_THROW(checked_mul(std::int64_t{1} << 40, std::int64_t{1} << 40),
+               ContractViolation);
+}
+
+TEST(CheckedMath, SaturatingInfinity) {
+  EXPECT_EQ(sat_add(kInfDistance, 5), kInfDistance);
+  EXPECT_EQ(sat_add(5, kInfDistance), kInfDistance);
+  EXPECT_EQ(sat_add(2, 3), 5);
+  EXPECT_EQ(sat_mul(kInfDistance, 2), kInfDistance);
+  EXPECT_EQ(sat_mul(std::int64_t{1} << 40, std::int64_t{1} << 40),
+            kInfDistance);  // saturates instead of throwing
+}
+
+TEST(CheckedMath, FloorCeilDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(floor_div(8, 4), 2);
+  EXPECT_EQ(ceil_div(8, 4), 2);
+  EXPECT_THROW(floor_div(1, 0), ContractViolation);
+}
+
+TEST(StringUtil, TrimSplit) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split_trimmed(" a , b ,, c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtil, Numbers) {
+  EXPECT_TRUE(is_integer("42"));
+  EXPECT_TRUE(is_integer("-7"));
+  EXPECT_FALSE(is_integer(""));
+  EXPECT_FALSE(is_integer("-"));
+  EXPECT_FALSE(is_integer("4x"));
+  EXPECT_EQ(parse_int("123"), 123);
+  EXPECT_EQ(parse_int("-5"), -5);
+  EXPECT_THROW(parse_int("12a"), ParseError);
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1000), "-1,000");
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+}
+
+TEST(StringUtil, Identifiers) {
+  EXPECT_TRUE(is_identifier("abc_1"));
+  EXPECT_TRUE(is_identifier("_x"));
+  EXPECT_FALSE(is_identifier("1x"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+TEST(TextTable, AlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22,222"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| alpha |"), std::string::npos);
+  EXPECT_NE(s.find("22,222 |"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1\nb,22,222\n");
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(CommandLine, ParsesForms) {
+  // Note: a bare "--flag value" is greedy, so the boolean --gamma comes
+  // last and the positional argument precedes the flags.
+  const char* argv[] = {"prog",   "positional", "--alpha=3",
+                        "--beta", "7",          "--gamma"};
+  CommandLine cli(6, argv);
+  cli.flag("alpha", "a").flag("beta", "b").flag("gamma", "g");
+  cli.finish();
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.get_bool("gamma", false));
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"positional"}));
+  EXPECT_EQ(cli.get_string("alpha", ""), "3");
+  EXPECT_FALSE(cli.has("beta") && false);
+}
+
+TEST(CommandLine, UnknownFlagRejected) {
+  const char* argv[] = {"prog", "--nope"};
+  CommandLine cli(2, argv);
+  cli.flag("known", "k");
+  EXPECT_THROW(cli.finish(), ParseError);
+}
+
+TEST(CommandLine, QueryingUnregisteredFlagIsAContractViolation) {
+  const char* argv[] = {"prog"};
+  CommandLine cli(1, argv);
+  cli.flag("known", "k");
+  cli.finish();
+  EXPECT_THROW(cli.get_int("typo", 1), ContractViolation);
+}
+
+TEST(SplitMix, DeterministicAndBounded) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  SplitMix64 c(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = c.below(13);
+    EXPECT_LT(v, 13u);
+    const auto r = c.range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    const double u = c.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sdlo

@@ -1,0 +1,218 @@
+// Unit tests for the symbolic expression engine.
+#include "support/check.hpp"
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "symbolic/expr.hpp"
+
+namespace sdlo::sym {
+namespace {
+
+Expr C(std::int64_t v) { return Expr::constant(v); }
+Expr S(const std::string& n) { return Expr::symbol(n); }
+
+TEST(ExprBasics, DefaultIsZero) {
+  Expr e;
+  EXPECT_TRUE(e.is_const_value(0));
+}
+
+TEST(ExprBasics, ConstantFolding) {
+  EXPECT_TRUE((C(2) + C(3)).is_const_value(5));
+  EXPECT_TRUE((C(2) * C(3)).is_const_value(6));
+  EXPECT_TRUE((C(2) - C(3)).is_const_value(-1));
+  EXPECT_TRUE((-C(7)).is_const_value(-7));
+}
+
+TEST(ExprBasics, LikeTermCollection) {
+  const Expr x = S("x");
+  EXPECT_TRUE((x + x).equals(C(2) * x));
+  EXPECT_TRUE((x - x).is_const_value(0));
+  EXPECT_TRUE((C(3) * x + C(4) * x).equals(C(7) * x));
+}
+
+TEST(ExprBasics, ProductsDistributeOverSums) {
+  const Expr x = S("x");
+  const Expr y = S("y");
+  // (x+1)*(y+1) == x*y + x + y + 1
+  const Expr lhs = (x + C(1)) * (y + C(1));
+  const Expr rhs = x * y + x + y + C(1);
+  EXPECT_TRUE(lhs.equals(rhs)) << to_string(lhs) << " vs " << to_string(rhs);
+}
+
+TEST(ExprBasics, CommutativityNormalizes) {
+  const Expr x = S("x");
+  const Expr y = S("y");
+  EXPECT_TRUE((x * y).equals(y * x));
+  EXPECT_TRUE((x + y).equals(y + x));
+}
+
+TEST(ExprBasics, MulByZeroAndOne) {
+  const Expr x = S("x");
+  EXPECT_TRUE((x * C(0)).is_const_value(0));
+  EXPECT_TRUE((x * C(1)).equals(x));
+  EXPECT_TRUE((x + C(0)).equals(x));
+}
+
+TEST(ExprDivision, ConstantCases) {
+  EXPECT_TRUE(floor_div(C(7), C(2)).is_const_value(3));
+  EXPECT_TRUE(ceil_div(C(7), C(2)).is_const_value(4));
+  EXPECT_TRUE(floor_div(C(-7), C(2)).is_const_value(-4));
+  EXPECT_TRUE(ceil_div(C(-7), C(2)).is_const_value(-3));
+  EXPECT_TRUE(floor_div(C(8), C(2)).is_const_value(4));
+}
+
+TEST(ExprDivision, SymbolicIdentities) {
+  const Expr n = S("N");
+  EXPECT_TRUE(floor_div(n, C(1)).equals(n));
+  EXPECT_TRUE(floor_div(n, n).is_const_value(1));
+}
+
+TEST(ExprMinMax, Folding) {
+  const Expr x = S("x");
+  EXPECT_TRUE(min(C(3), C(5)).is_const_value(3));
+  EXPECT_TRUE(max(C(3), C(5)).is_const_value(5));
+  EXPECT_TRUE(min(x, x).equals(x));
+  // Flattening + dedupe + constant folding.
+  const Expr m = min(min(x, C(4)), min(C(2), x));
+  EXPECT_EQ(m.kind(), Kind::kMin);
+  EXPECT_EQ(m.operands().size(), 2u);
+}
+
+TEST(ExprEvaluate, Basic) {
+  const Env env{{"x", 5}, {"y", 3}};
+  EXPECT_EQ(evaluate(S("x") * S("y") + C(1), env), 16);
+  EXPECT_EQ(evaluate(min(S("x"), S("y")), env), 3);
+  EXPECT_EQ(evaluate(max(S("x"), S("y")), env), 5);
+  EXPECT_EQ(evaluate(floor_div(S("x"), S("y")), env), 1);
+  EXPECT_EQ(evaluate(ceil_div(S("x"), S("y")), env), 2);
+}
+
+TEST(ExprEvaluate, UnboundSymbolThrows) {
+  EXPECT_THROW(evaluate(S("zz"), {}), Error);
+  EXPECT_EQ(try_evaluate(S("zz"), {}), std::nullopt);
+  EXPECT_EQ(try_evaluate(C(4), {}), 4);
+}
+
+TEST(ExprEvaluate, NonPositiveDivisorThrows) {
+  const Env env{{"d", 0}};
+  EXPECT_THROW(evaluate(floor_div(C(4), S("d")), env), Error);
+}
+
+TEST(ExprEvaluate, OverflowDetected) {
+  const Env env{{"big", std::int64_t{1} << 62}};
+  EXPECT_THROW(evaluate(S("big") * C(4), env), Error);
+}
+
+TEST(ExprSubstitute, PartialBinding) {
+  const Expr e = S("x") * S("y") + S("x");
+  const Expr got = substitute(e, {{"x", 3}});
+  EXPECT_TRUE(got.equals(C(3) * S("y") + C(3)));
+}
+
+TEST(ExprSubstitute, ExprSubstitution) {
+  const Expr e = S("x") * S("x") + C(1);
+  const Expr got = substitute_exprs(e, {{"x", S("a") + C(1)}});
+  const Expr want = (S("a") + C(1)) * (S("a") + C(1)) + C(1);
+  EXPECT_TRUE(got.equals(want));
+}
+
+TEST(ExprSymbols, Collection) {
+  const Expr e = floor_div(S("a") + S("b"), S("c")) * S("a");
+  const auto syms = symbols_of(e);
+  EXPECT_EQ(syms, (std::set<std::string>{"a", "b", "c"}));
+}
+
+TEST(ExprPrint, ReadableForms) {
+  EXPECT_EQ(to_string(S("x") + C(1)), "1 + x");
+  EXPECT_EQ(to_string(S("x") * S("y")), "x*y");
+  EXPECT_EQ(to_string(S("x") - S("y")), "x - y");
+  EXPECT_EQ(to_string(C(0)), "0");
+  EXPECT_EQ(to_string(-S("x")), "-x");
+}
+
+TEST(ExprLinear, Detection) {
+  const Expr x = S("x");
+  const Expr n = S("N");
+  auto lin = as_linear(C(3) * x * n + n + C(2), "x");
+  ASSERT_TRUE(lin.has_value());
+  EXPECT_TRUE(lin->coeff.equals(C(3) * n));
+  EXPECT_TRUE(lin->offset.equals(n + C(2)));
+
+  EXPECT_FALSE(as_linear(x * x, "x").has_value());
+  EXPECT_FALSE(as_linear(min(x, n), "x").has_value());
+
+  auto free = as_linear(n * n, "x");
+  ASSERT_TRUE(free.has_value());
+  EXPECT_TRUE(free->coeff.is_const_value(0));
+}
+
+TEST(ExprOrdering, TotalOrderIsConsistent) {
+  const Expr a = S("a");
+  const Expr b = S("b");
+  EXPECT_EQ(Expr::compare(a, a), 0);
+  EXPECT_EQ(Expr::compare(a, b), -Expr::compare(b, a));
+}
+
+// Property: normalization preserves value under random environments.
+class ExprPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExprPropertyTest, RandomExprNormalizationPreservesValue) {
+  SplitMix64 rng(GetParam());
+  const std::vector<std::string> names{"a", "b", "c"};
+  // Build a random expression tree and an equivalent "raw" evaluation.
+  struct Node {
+    Expr expr;
+    std::function<std::int64_t(const Env&)> eval;
+  };
+  std::vector<Node> pool;
+  for (const auto& n : names) {
+    pool.push_back({S(n), [n](const Env& e) { return e.at(n); }});
+  }
+  for (int v : {0, 1, 2, 3}) {
+    pool.push_back({C(v), [v](const Env&) -> std::int64_t { return v; }});
+  }
+  for (int step = 0; step < 24; ++step) {
+    const auto& x = pool[rng.below(pool.size())];
+    const auto& y = pool[rng.below(pool.size())];
+    switch (rng.below(4)) {
+      case 0:
+        pool.push_back({x.expr + y.expr,
+                        [xe = x.eval, ye = y.eval](const Env& e) {
+                          return xe(e) + ye(e);
+                        }});
+        break;
+      case 1:
+        pool.push_back({x.expr - y.expr,
+                        [xe = x.eval, ye = y.eval](const Env& e) {
+                          return xe(e) - ye(e);
+                        }});
+        break;
+      case 2:
+        pool.push_back({x.expr * y.expr,
+                        [xe = x.eval, ye = y.eval](const Env& e) {
+                          return xe(e) * ye(e);
+                        }});
+        break;
+      case 3:
+        pool.push_back({min(x.expr, y.expr),
+                        [xe = x.eval, ye = y.eval](const Env& e) {
+                          return std::min(xe(e), ye(e));
+                        }});
+        break;
+    }
+  }
+  for (int trial = 0; trial < 8; ++trial) {
+    Env env;
+    for (const auto& n : names) env[n] = rng.range(-4, 9);
+    for (const auto& node : pool) {
+      EXPECT_EQ(evaluate(node.expr, env), node.eval(env))
+          << to_string(node.expr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace sdlo::sym

@@ -1,0 +1,239 @@
+// Tests for the TCE front end: expression parsing, operation minimization
+// (the O(V^8) -> O(V^5) four-index transform), lowering and fusion.
+#include "support/check.hpp"
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "cachesim/sim.hpp"
+#include "ir/printer.hpp"
+#include "model/analyzer.hpp"
+#include "tce/expr.hpp"
+#include "tce/lower.hpp"
+#include "tce/opmin.hpp"
+#include "trace/walker.hpp"
+
+namespace sdlo::tce {
+namespace {
+
+using sym::Expr;
+
+IndexExtents uniform_extents(const Contraction& c, const std::string& sym) {
+  IndexExtents e;
+  for (const auto& idx : c.all_indices()) {
+    e[idx] = Expr::symbol(sym);
+  }
+  return e;
+}
+
+TEST(TceParser, TwoIndexTransform) {
+  const auto c =
+      parse_contraction("B[m,n] = sum(i,j) C1[m,i] * C2[n,j] * A[i,j]");
+  EXPECT_EQ(c.output.name, "B");
+  EXPECT_EQ(c.output.indices, (std::vector<std::string>{"m", "n"}));
+  EXPECT_EQ(c.sum_indices, (std::vector<std::string>{"i", "j"}));
+  ASSERT_EQ(c.inputs.size(), 3u);
+  EXPECT_EQ(c.inputs[2].name, "A");
+  // Round trip.
+  EXPECT_EQ(to_string(parse_contraction(to_string(c))), to_string(c));
+}
+
+TEST(TceParser, Errors) {
+  EXPECT_THROW(parse_contraction("B[m n] = A[m,n]"), Error);
+  EXPECT_THROW(parse_contraction("no equals sign"), ParseError);
+  // Sum index also an output index.
+  EXPECT_THROW(parse_contraction("B[i] = sum(i) A[i]"), UnsupportedProgram);
+  // Dangling index.
+  EXPECT_THROW(parse_contraction("B[m] = sum(i) A[i,q]"),
+               UnsupportedProgram);
+  // Repeated index within one tensor.
+  EXPECT_THROW(parse_contraction("B[m] = sum(i) A[i,i] * X[m]"),
+               UnsupportedProgram);
+}
+
+TEST(OpMin, TwoIndexTransformFactorsThroughT) {
+  const auto c =
+      parse_contraction("B[m,n] = sum(i,j) C1[m,i] * C2[n,j] * A[i,j]");
+  const auto ext = uniform_extents(c, "V");
+  const sym::Env sizes{{"V", 100}};
+  const auto plan = optimize_order(c, ext, sizes);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  // Optimal: contract A with C2 (or C1) first: 2*V^3 + 2*V^3 flops,
+  // versus the naive 3*V^4.
+  EXPECT_DOUBLE_EQ(plan.total_flops, 4.0 * 100 * 100 * 100);
+  EXPECT_LT(plan.total_flops, plan.naive_flops);
+  // The intermediate has two indices.
+  EXPECT_EQ(plan.steps[0].result.indices.size(), 2u);
+  EXPECT_EQ(plan.steps[1].result.name, "B");
+}
+
+TEST(OpMin, FourIndexTransformIsOrderV5) {
+  const auto c = parse_contraction(
+      "B[a,b,c,d] = sum(p,q,r,s) "
+      "C1[a,p] * C2[b,q] * C3[c,r] * C4[d,s] * A[p,q,r,s]");
+  const auto ext = uniform_extents(c, "V");
+  const double v = 64;
+  const sym::Env sizes{{"V", 64}};
+  const auto plan = optimize_order(c, ext, sizes);
+  // Four binary contractions, each 2*V^5: the classical result of §2.
+  ASSERT_EQ(plan.steps.size(), 4u);
+  EXPECT_DOUBLE_EQ(plan.total_flops, 4.0 * 2.0 * std::pow(v, 5));
+  // Naive evaluation is O(V^8).
+  EXPECT_DOUBLE_EQ(plan.naive_flops, 5.0 * std::pow(v, 8));
+}
+
+TEST(OpMin, MatrixChainOrderMatters) {
+  // (X*Y)*Z vs X*(Y*Z) with skewed extents: i=2, k=100, j=2, l=100.
+  const auto c = parse_contraction("O[i,l] = sum(k,j) X[i,k] * Y[k,j] "
+                                   "* Z[j,l]");
+  IndexExtents ext{{"i", Expr::symbol("Si")},
+                   {"k", Expr::symbol("Sk")},
+                   {"j", Expr::symbol("Sj")},
+                   {"l", Expr::symbol("Sl")}};
+  const sym::Env sizes{{"Si", 2}, {"Sk", 100}, {"Sj", 2}, {"Sl", 100}};
+  const auto plan = optimize_order(c, ext, sizes);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  // Best: X*Y first (2*2*100*2 = 800), then (XY)*Z (2*2*2*100 = 800).
+  EXPECT_DOUBLE_EQ(plan.total_flops, 1600.0);
+}
+
+TEST(OpMin, UnaryReduction) {
+  const auto c = parse_contraction("S[i] = sum(j) A[i,j]");
+  const auto ext = uniform_extents(c, "N");
+  const auto plan = optimize_order(c, ext, {{"N", 10}});
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].result.name, "S");
+}
+
+TEST(Lower, UnfusedProducesValidConstrainedIR) {
+  const auto c =
+      parse_contraction("B[m,n] = sum(i,j) C1[m,i] * C2[n,j] * A[i,j]");
+  const auto ext = uniform_extents(c, "V");
+  const auto plan = optimize_order(c, ext, {{"V", 6}});
+  auto g = lower_unfused(plan, ext);
+  EXPECT_TRUE(g.prog.validated());
+  // Init + compute nests per step.
+  EXPECT_EQ(g.prog.statements_in_order().size(), 4u);
+  // The whole pipeline runs: model == simulator on the lowered IR.
+  sym::Env env;
+  for (const auto& b : g.bounds) env[b] = 6;
+  trace::CompiledProgram cp(g.prog, env);
+  const auto an = model::analyze(g.prog);
+  for (std::int64_t cap : {4, 12, 40, 400}) {
+    const auto sim = cachesim::simulate_lru(cp, cap);
+    const auto pred = model::predict_misses(an, env, cap);
+    EXPECT_EQ(static_cast<std::uint64_t>(pred.misses), sim.misses) << cap;
+  }
+}
+
+TEST(Lower, FusedPairReproducesFig1cStructure) {
+  const auto c =
+      parse_contraction("B[m,n] = sum(i,j) C1[m,i] * C2[n,j] * A[i,j]");
+  const auto ext = uniform_extents(c, "V");
+  const auto plan = optimize_order(c, ext, {{"V", 6}});
+  auto g = lower_fused_pair(plan, ext);
+  const std::string code = ir::to_code_string(g.prog);
+  // The intermediate is contracted to a scalar.
+  EXPECT_NE(code.find("t___I1"), std::string::npos) << code;
+  // Model == simulator on the fused IR too.
+  sym::Env env;
+  for (const auto& b : g.bounds) env[b] = 6;
+  trace::CompiledProgram cp(g.prog, env);
+  const auto an = model::analyze(g.prog);
+  for (std::int64_t cap : {3, 10, 50}) {
+    const auto sim = cachesim::simulate_lru(cp, cap);
+    const auto pred = model::predict_misses(an, env, cap);
+    EXPECT_EQ(static_cast<std::uint64_t>(pred.misses), sim.misses) << cap;
+  }
+}
+
+TEST(Lower, FusionEliminatesIntermediateStorage) {
+  const auto c =
+      parse_contraction("B[m,n] = sum(i,j) C1[m,i] * C2[n,j] * A[i,j]");
+  const auto ext = uniform_extents(c, "V");
+  const auto plan = optimize_order(c, ext, {{"V", 64}});
+  const auto footprint = intermediate_footprint(plan, ext);
+  EXPECT_EQ(sym::evaluate(footprint, {{"V", 64}}), 64 * 64);
+
+  auto unfused = lower_unfused(plan, ext);
+  auto fused = lower_fused_pair(plan, ext);
+  sym::Env env;
+  for (const auto& b : unfused.bounds) env[b] = 16;
+  trace::CompiledProgram ucp(unfused.prog, env);
+  sym::Env fenv;
+  for (const auto& b : fused.bounds) fenv[b] = 16;
+  trace::CompiledProgram fcp(fused.prog, fenv);
+  // Fig. 1's point: fusion removes the V*V intermediate (to one scalar).
+  EXPECT_EQ(ucp.address_space_size() - fcp.address_space_size(),
+            16u * 16u - 1u);
+}
+
+TEST(Lower, RejectsNonChainFusion) {
+  const auto c = parse_contraction(
+      "B[a,b,c,d] = sum(p,q,r,s) "
+      "C1[a,p] * C2[b,q] * C3[c,r] * C4[d,s] * A[p,q,r,s]");
+  const auto ext = uniform_extents(c, "V");
+  const auto plan = optimize_order(c, ext, {{"V", 8}});
+  EXPECT_THROW(lower_fused_pair(plan, ext), UnsupportedProgram);
+}
+
+TEST(Lower, ChainGreedyFusesFourIndexPairwise) {
+  const auto c = parse_contraction(
+      "B[a,b,c,d] = sum(p,q,r,s) "
+      "C1[a,p] * C2[b,q] * C3[c,r] * C4[d,s] * A[p,q,r,s]");
+  const auto ext = uniform_extents(c, "V");
+  const auto plan = optimize_order(c, ext, {{"V", 4}});
+  ASSERT_EQ(plan.steps.size(), 4u);
+
+  auto fused = lower_chain_greedy(plan, ext);
+  // Steps (1,2) and (3,4) fuse: their intermediates become scalars and
+  // only the pair-boundary intermediate stays materialized.
+  int scalars = 0;
+  int materialized = 0;
+  for (const auto& array : fused.prog.arrays()) {
+    if (array.rfind("t___I", 0) == 0) ++scalars;
+    if (array.rfind("__I", 0) == 0) ++materialized;
+  }
+  EXPECT_EQ(scalars, 2);
+  EXPECT_EQ(materialized, 1);
+
+  // Footprint: V^4 (the surviving intermediate) + 2 scalars, versus the
+  // unfused 3*V^4. The fused footprint is expressed over the lowered
+  // program's per-index bounds N_<idx>.
+  sym::Env env;
+  for (const auto& b : fused.bounds) env[b] = 4;
+  const auto fp = fused_chain_footprint(plan, ext);
+  EXPECT_EQ(sym::evaluate(fp, env), 4 * 4 * 4 * 4 + 2);
+  const auto ufp = intermediate_footprint(plan, ext);
+  EXPECT_EQ(sym::evaluate(ufp, {{"V", 4}}), 3 * 4 * 4 * 4 * 4);
+
+  // The fused chain is analyzable and the model stays exact on it.
+  trace::CompiledProgram cp(fused.prog, env);
+  const auto an = model::analyze(fused.prog);
+  for (std::int64_t cap : {6, 30, 200}) {
+    const auto sim = cachesim::simulate_lru(cp, cap);
+    const auto pred = model::predict_misses(an, env, cap);
+    EXPECT_EQ(static_cast<std::uint64_t>(pred.misses), sim.misses) << cap;
+  }
+}
+
+TEST(Lower, ChainGreedyOnTwoStepsMatchesFusedPair) {
+  const auto c =
+      parse_contraction("B[m,n] = sum(i,j) C1[m,i] * C2[n,j] * A[i,j]");
+  const auto ext = uniform_extents(c, "V");
+  const auto plan = optimize_order(c, ext, {{"V", 6}});
+  auto a = lower_fused_pair(plan, ext);
+  auto b = lower_chain_greedy(plan, ext);
+  EXPECT_EQ(ir::to_code_string(a.prog), ir::to_code_string(b.prog));
+}
+
+TEST(Lower, ChainGreedySingleStepIsUnfused) {
+  const auto c = parse_contraction("S[i] = sum(j) A[i,j]");
+  const auto ext = uniform_extents(c, "N");
+  const auto plan = optimize_order(c, ext, {{"N", 5}});
+  auto g = lower_chain_greedy(plan, ext);
+  EXPECT_TRUE(g.prog.validated());
+  EXPECT_TRUE(fused_chain_footprint(plan, ext).is_const_value(0));
+}
+
+}  // namespace
+}  // namespace sdlo::tce

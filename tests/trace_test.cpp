@@ -1,0 +1,150 @@
+// Unit tests for trace generation: program order, address binding, counts.
+#include "support/check.hpp"
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ir/gallery.hpp"
+#include "ir/parser.hpp"
+#include "trace/walker.hpp"
+
+namespace sdlo::trace {
+namespace {
+
+std::vector<Access> collect(const CompiledProgram& cp) {
+  std::vector<Access> out;
+  cp.walk([&](const Access& a) { out.push_back(a); });
+  return out;
+}
+
+TEST(Walker, SimpleNestOrderAndAddresses) {
+  // for i<2>, j<3> { S1: B[j,i] += A[i] } — reads A, reads B, writes B.
+  ir::Program p = ir::parse_program(R"(
+    for i<2>, j<3> { S1: B[j,i] += A[i] }
+  )");
+  CompiledProgram cp(p, {});
+  EXPECT_EQ(cp.total_accesses(), 2u * 3u * 3u);
+  EXPECT_EQ(cp.array_elements("A"), 2u);
+  EXPECT_EQ(cp.array_elements("B"), 6u);
+  EXPECT_EQ(cp.address_space_size(), 8u);
+
+  const auto t = collect(cp);
+  ASSERT_EQ(t.size(), 18u);
+  const std::uint64_t base_a = cp.array_base("A");
+  const std::uint64_t base_b = cp.array_base("B");
+  // First instance (i=0, j=0): A[0], B[0,0]r, B[0,0]w.
+  EXPECT_EQ(t[0].addr, base_a + 0);
+  EXPECT_EQ(t[0].mode, ir::AccessMode::kRead);
+  EXPECT_EQ(t[1].addr, base_b + 0);
+  EXPECT_EQ(t[2].addr, base_b + 0);
+  EXPECT_EQ(t[2].mode, ir::AccessMode::kWrite);
+  // Second instance (i=0, j=1): B[1,0] = row-major index 1*2+0 = 2.
+  EXPECT_EQ(t[3].addr, base_a + 0);
+  EXPECT_EQ(t[4].addr, base_b + 2);
+  // Last instance (i=1, j=2): B[2,1] = 2*2+1 = 5.
+  EXPECT_EQ(t.back().addr, base_b + 5);
+}
+
+TEST(Walker, ImperfectNestOrder) {
+  ir::Program p = ir::parse_program(R"(
+    for i<2> {
+      S1: X[i] = 0
+      for j<2> { S2: Y[j,i] = 0 }
+      S3: Z[i] = 0
+    }
+  )");
+  CompiledProgram cp(p, {});
+  const auto t = collect(cp);
+  ASSERT_EQ(t.size(), 2u * (1 + 2 + 1));
+  const auto x = cp.array_base("X");
+  const auto y = cp.array_base("Y");
+  const auto z = cp.array_base("Z");
+  const std::vector<std::uint64_t> want{
+      x + 0, y + 0, y + 2, z + 0,   // i=0: Y[0,0]=0, Y[1,0]=2
+      x + 1, y + 1, y + 3, z + 1};  // i=1
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    EXPECT_EQ(t[k].addr, want[k]) << k;
+  }
+}
+
+TEST(Walker, TiledSubscriptComposition) {
+  ir::Program p = ir::parse_program(R"(
+    for iT<2>, iI<3> { S1: A[iT+iI] = 0 }
+  )");
+  CompiledProgram cp(p, {});
+  EXPECT_EQ(cp.array_elements("A"), 6u);
+  const auto t = collect(cp);
+  for (std::size_t k = 0; k < t.size(); ++k) {
+    EXPECT_EQ(t[k].addr, cp.array_base("A") + k);  // iT*3 + iI, in order
+  }
+}
+
+TEST(Walker, ScalarArray) {
+  ir::Program p = ir::parse_program(R"(
+    for i<4> { S1: t = 0 }
+  )");
+  CompiledProgram cp(p, {});
+  EXPECT_EQ(cp.array_elements("t"), 1u);
+  const auto t = collect(cp);
+  for (const auto& a : t) EXPECT_EQ(a.addr, cp.array_base("t"));
+}
+
+TEST(Walker, SymbolicBoundsBinding) {
+  auto g = ir::matmul();
+  const auto env = g.make_env({4, 5, 6}, {});
+  CompiledProgram cp(g.prog, env);
+  EXPECT_EQ(cp.total_accesses(), 4u * 5u * 6u * 4u);
+  EXPECT_EQ(cp.array_elements("A"), 20u);
+  EXPECT_EQ(cp.array_elements("B"), 30u);
+  EXPECT_EQ(cp.array_elements("C"), 24u);
+}
+
+TEST(Walker, SiteIdsAreDense) {
+  auto g = ir::two_index_tiled();
+  const auto env = g.make_env({4, 4, 4, 4}, {2, 2, 2, 2});
+  CompiledProgram cp(g.prog, env);
+  EXPECT_EQ(cp.num_sites(), 10);  // 1 + 1 + 4 + 4
+  std::vector<bool> seen(static_cast<std::size_t>(cp.num_sites()), false);
+  cp.walk([&](const Access& a) {
+    ASSERT_GE(a.site, 0);
+    ASSERT_LT(a.site, cp.num_sites());
+    seen[static_cast<std::size_t>(a.site)] = true;
+  });
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Walker, VarNameReuseAcrossSiblingsSharesAddresses) {
+  // T[i] written in one nest and read in a sibling nest must alias.
+  ir::Program p = ir::parse_program(R"(
+    for i<3> { S1: T[i] = 0 }
+    for i<3> { S2: U[i] = T[i] }
+  )");
+  CompiledProgram cp(p, {});
+  std::vector<std::uint64_t> writes;
+  std::vector<std::uint64_t> reads;
+  cp.walk([&](const Access& a) {
+    if (a.site == 0) writes.push_back(a.addr);
+    if (a.site == 1) reads.push_back(a.addr);
+  });
+  EXPECT_EQ(writes, reads);
+}
+
+TEST(Walker, RejectsUnvalidatedProgram) {
+  ir::Program p;
+  ir::NodeId b = p.add_band(ir::Program::kRoot,
+                            {ir::Loop{"i", sym::Expr::constant(2)}});
+  p.add_statement(b, ir::Statement{"S1",
+                                   {ir::ArrayRef{"A",
+                                                 {ir::Subscript{{"i"}}},
+                                                 ir::AccessMode::kRead}}});
+  EXPECT_THROW(CompiledProgram(p, {}), Error);
+}
+
+TEST(Walker, RejectsNonPositiveExtent) {
+  auto g = ir::matmul();
+  sym::Env env{{"NI", 0}, {"NJ", 2}, {"NK", 2}};
+  EXPECT_THROW(CompiledProgram(g.prog, env), Error);
+}
+
+}  // namespace
+}  // namespace sdlo::trace

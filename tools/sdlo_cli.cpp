@@ -1,0 +1,169 @@
+// sdlo — command-line driver for the library.
+//
+// Reads a loop-nest program (the textual IR of ir/parser.hpp) from a file
+// or stdin and runs the analysis pipeline on it:
+//
+//   sdlo analyze  prog.sdlo                      # partitions + distances
+//   sdlo misses   prog.sdlo --cap 8192 --set N=512 [--simulate]
+//   sdlo sweep    prog.sdlo --set N=512           # misses vs capacity
+//   sdlo trace    prog.sdlo --set N=8 [--limit 100]
+//
+// Symbols are bound with repeated --set NAME=VALUE flags. `misses` prints
+// the model's prediction and, with --simulate, cross-checks it against the
+// trace simulator. `sweep` uses the stack-distance profiler to answer every
+// capacity from one pass.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cachesim/sim.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "model/analyzer.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+#include "trace/walker.hpp"
+
+namespace {
+
+using namespace sdlo;
+
+std::string read_input(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream os;
+    os << std::cin.rdbuf();
+    return os.str();
+  }
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+sym::Env parse_sets(const std::vector<std::string>& positional) {
+  // --set flags arrive as positional "NAME=VALUE" after the CommandLine
+  // pass; parse them here.
+  sym::Env env;
+  for (const auto& p : positional) {
+    auto eq = p.find('=');
+    if (eq == std::string::npos) continue;
+    env[p.substr(0, eq)] = parse_int(p.substr(eq + 1));
+  }
+  return env;
+}
+
+int cmd_analyze(const ir::Program& prog) {
+  std::cout << ir::to_code_string(prog) << "\n";
+  const auto an = model::analyze(prog);
+  TextTable t({"Partition", "#References", "Stack distance"});
+  for (const auto& row : model::symbolic_report(an)) {
+    t.add_row({row.description, sym::to_string(row.count),
+               row.infinite ? "inf" : sym::to_string(row.total)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_misses(const ir::Program& prog, const sym::Env& env,
+               std::int64_t cap, bool simulate) {
+  const auto an = model::analyze(prog);
+  const auto pred = model::predict_misses(an, env, cap);
+  std::cout << "capacity " << cap << " elements\n"
+            << "accesses  " << with_commas(pred.total_accesses) << "\n"
+            << "predicted " << with_commas(pred.misses) << " misses ("
+            << format_double(100.0 * pred.miss_ratio(), 3) << "%)\n";
+  if (simulate) {
+    trace::CompiledProgram cp(prog, env);
+    const auto sim = cachesim::simulate_lru(cp, cap);
+    std::cout << "simulated " << with_commas(
+                     static_cast<std::int64_t>(sim.misses))
+              << " misses — "
+              << (sim.misses == static_cast<std::uint64_t>(pred.misses)
+                      ? "exact match"
+                      : "MISMATCH")
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(const ir::Program& prog, const sym::Env& env) {
+  trace::CompiledProgram cp(prog, env);
+  const auto prof = cachesim::profile_stack_distances(cp);
+  TextTable t({"capacity", "misses", "miss ratio"});
+  for (std::int64_t cap = 1;
+       cap <= static_cast<std::int64_t>(cp.address_space_size()) * 2;
+       cap *= 2) {
+    const auto m = prof.misses(cap);
+    t.add_row({with_commas(cap),
+               with_commas(static_cast<std::int64_t>(m)),
+               format_double(100.0 * static_cast<double>(m) /
+                                 static_cast<double>(prof.accesses),
+                             3) +
+                   "%"});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_trace(const ir::Program& prog, const sym::Env& env,
+              std::int64_t limit) {
+  trace::CompiledProgram cp(prog, env);
+  std::int64_t shown = 0;
+  cp.walk([&](const trace::Access& a) {
+    if (shown++ >= limit) return;
+    std::cout << a.addr << (a.mode == ir::AccessMode::kWrite ? " W" : " R")
+              << " site=" << a.site << "\n";
+  });
+  if (shown > limit) {
+    std::cout << "... (" << with_commas(shown - limit) << " more)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CommandLine cli(argc, argv);
+    cli.flag("cap", "cache capacity in elements (misses)")
+        .flag("set", "bind a symbol: --set N=512 (repeatable)")
+        .flag("simulate", "cross-check the model with the simulator")
+        .flag("limit", "max trace records to print (trace)");
+    cli.finish();
+
+    const auto& pos = cli.positional();
+    if (pos.size() < 2) {
+      std::cerr << "usage: sdlo {analyze|misses|sweep|trace} <file|-> "
+                   "[NAME=VALUE...] [flags]\n";
+      return 2;
+    }
+    const std::string& verb = pos[0];
+    ir::Program prog = ir::parse_program(read_input(pos[1]));
+    sym::Env env = parse_sets(pos);
+    // --set NAME=VALUE also lands in the "set" flag slot; accept both.
+    const std::string set_flag = cli.get_string("set", "");
+    if (!set_flag.empty()) {
+      auto eq = set_flag.find('=');
+      if (eq != std::string::npos) {
+        env[set_flag.substr(0, eq)] = parse_int(set_flag.substr(eq + 1));
+      }
+    }
+
+    if (verb == "analyze") return cmd_analyze(prog);
+    if (verb == "misses") {
+      return cmd_misses(prog, env, cli.get_int("cap", 8192),
+                        cli.get_bool("simulate", false));
+    }
+    if (verb == "sweep") return cmd_sweep(prog, env);
+    if (verb == "trace") {
+      return cmd_trace(prog, env, cli.get_int("limit", 50));
+    }
+    std::cerr << "unknown command: " << verb << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "sdlo: " << e.what() << "\n";
+    return 1;
+  }
+}
