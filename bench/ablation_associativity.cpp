@@ -5,7 +5,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "cachesim/sim.hpp"
+#include "cachesim/sweep.hpp"
 #include "ir/gallery.hpp"
 #include "trace/walker.hpp"
 
@@ -27,10 +27,17 @@ int main(int argc, char** argv) {
            {16, 16, 16}, {32, 32, 32}, {64, 64, 64}}) {
     const auto env = g.make_env({n, n, n}, tiles);
     trace::CompiledProgram cp(g.prog, env);
-    const auto fa = cachesim::simulate_lru(cp, cap).misses;
-    const auto w16 = cachesim::simulate_set_assoc(cp, cap, 16, 1).misses;
-    const auto w4 = cachesim::simulate_set_assoc(cp, cap, 4, 1).misses;
-    const auto dm = cachesim::simulate_set_assoc(cp, cap, 1, 1).misses;
+    // One sweep call: the FA config rides the marker engine, the three
+    // set-associative geometries share a single fallback trace walk.
+    const auto sims = cachesim::simulate_sweep(
+        cp, {{cap, 1, 0, cachesim::Replacement::kLru},
+             {cap, 1, 16, cachesim::Replacement::kLru},
+             {cap, 1, 4, cachesim::Replacement::kLru},
+             {cap, 1, 1, cachesim::Replacement::kLru}});
+    const auto fa = sims[0].misses;
+    const auto w16 = sims[1].misses;
+    const auto w4 = sims[2].misses;
+    const auto dm = sims[3].misses;
     t.add_row({bench::tuple_str(tiles),
                with_commas(static_cast<std::int64_t>(fa)),
                with_commas(static_cast<std::int64_t>(w16)),

@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "cachesim/sim.hpp"
+#include "cachesim/sweep.hpp"
 #include "ir/gallery.hpp"
 #include "trace/walker.hpp"
 
@@ -38,9 +38,14 @@ int main(int argc, char** argv) {
     const auto env = g.make_env({n, n, n}, tiles);
     trace::CompiledProgram cp(g.prog, env);
     const auto pred = model::predict_misses(an, env, cap);
-    std::vector<std::uint64_t> sims;
+    // All four line granularities from one trace walk.
+    std::vector<cachesim::SweepConfig> configs;
     for (std::int64_t line : {1, 2, 4, 8}) {
-      sims.push_back(cachesim::simulate_lru_lines(cp, cap, line).misses);
+      configs.push_back({cap, line, 0, cachesim::Replacement::kLru});
+    }
+    std::vector<std::uint64_t> sims;
+    for (const auto& r : cachesim::simulate_sweep(cp, configs)) {
+      sims.push_back(r.misses);
     }
     t.add_row({bench::tuple_str(tiles), with_commas(pred.misses),
                with_commas(static_cast<std::int64_t>(sims[0])),

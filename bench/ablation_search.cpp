@@ -34,8 +34,9 @@ int main(int argc, char** argv) {
                        {512, 512, 512, 512}, bench::kb_to_elems(256), 512});
 
   std::cout << "== Ablation A2: pruned search vs exhaustive ==\n\n";
-  TextTable t({"Scenario", "Pruned best", "Pruned evals", "Exhaustive best",
-               "Exhaustive evals", "Quality (pruned/exh)"});
+  TextTable t({"Scenario", "Pruned best", "Pruned evals", "Memo hits",
+               "Exhaustive best", "Exhaustive evals",
+               "Quality (pruned/exh)"});
   for (auto& sc : scenarios) {
     const auto an = model::analyze(sc.g.prog);
     tile::FastMissModel fast(an);
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
                                             opts);
     t.add_row({sc.name, bench::tuple_str(pruned.best.tiles),
                std::to_string(pruned.evaluations),
+               std::to_string(pruned.cache_hits),
                bench::tuple_str(exh.best.tiles),
                std::to_string(exh.evaluations),
                format_double(pruned.best.modeled_misses /

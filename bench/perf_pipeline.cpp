@@ -1,12 +1,28 @@
-// Performance tracking for the analysis pipeline itself (google-benchmark):
-// how long the symbolic analysis, a concrete miss prediction, a fast-model
-// score and a trace simulation take on the paper's kernels. These are the
-// costs a compiler integrating the model would pay.
+// Performance tracking for the analysis pipeline itself: how long the
+// symbolic analysis, a concrete miss prediction, a fast-model score and a
+// trace simulation take on the paper's kernels, plus the headline sweep
+// comparison — one 8-capacity LRU sweep over tiled matmul via the
+// single-pass marker engine versus eight independent simulate_lru walks.
+//
+// The sweep comparison runs first (outside google-benchmark, since it
+// compares two whole algorithms rather than timing one) and writes its
+// measurements to BENCH_sweep.json. Environment overrides:
+//   SDLO_SWEEP_N      loop bound (default 256)
+//   SDLO_SWEEP_JSON   output path (default BENCH_sweep.json)
+//   SDLO_SWEEP_SKIP   set to skip the sweep comparison entirely
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "cachesim/sim.hpp"
+#include "cachesim/sweep.hpp"
 #include "ir/gallery.hpp"
 #include "model/analyzer.hpp"
+#include "support/timer.hpp"
 #include "tile/fast_model.hpp"
 #include "trace/walker.hpp"
 
@@ -70,6 +86,116 @@ void BM_SimulateLru(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateLru)->Arg(32)->Arg(64);
 
+void BM_SimulateSweep8(benchmark::State& state) {
+  auto g = ir::two_index_tiled();
+  const auto n = state.range(0);
+  const auto env = g.make_env({n, n, n, n}, {n / 4, n / 8, n / 8, n / 4});
+  trace::CompiledProgram cp(g.prog, env);
+  std::vector<cachesim::SweepConfig> configs;
+  for (std::int64_t c = 256; c <= 32768; c *= 2) {
+    configs.push_back({c, 1, 0, cachesim::Replacement::kLru});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cachesim::simulate_sweep(cp, configs).front().misses);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cp.total_accesses()));
+}
+BENCHMARK(BM_SimulateSweep8)->Arg(32)->Arg(64);
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : fallback;
+}
+
+/// Headline comparison: 8 LRU capacities over tiled matmul, baseline loop
+/// (one simulate_lru walk per capacity) versus one simulate_sweep call.
+/// Verifies the two produce identical results and writes the timings to
+/// BENCH_sweep.json.
+int run_sweep_comparison() {
+  if (std::getenv("SDLO_SWEEP_SKIP") != nullptr) return 0;
+  const std::int64_t n = env_int("SDLO_SWEEP_N", 256);
+  const char* json_env = std::getenv("SDLO_SWEEP_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_sweep.json";
+
+  auto g = ir::matmul_tiled();
+  const auto env = g.make_env({n, n, n}, {32, 32, 32});
+  trace::CompiledProgram cp(g.prog, env);
+
+  std::vector<std::int64_t> capacities;
+  for (std::int64_t c = 256; c <= 32768; c *= 2) capacities.push_back(c);
+
+  // Warm-up walk so neither path pays first-touch costs.
+  (void)cachesim::simulate_lru(cp, capacities.front());
+
+  WallTimer timer;
+  std::vector<cachesim::SimResult> baseline;
+  for (std::int64_t c : capacities) {
+    baseline.push_back(cachesim::simulate_lru(cp, c));
+  }
+  const double baseline_seconds = timer.seconds();
+
+  std::vector<cachesim::SweepConfig> configs;
+  for (std::int64_t c : capacities) {
+    configs.push_back({c, 1, 0, cachesim::Replacement::kLru});
+  }
+  timer.reset();
+  const auto swept = cachesim::simulate_sweep(cp, configs);
+  const double sweep_seconds = timer.seconds();
+
+  bool identical = swept.size() == baseline.size();
+  for (std::size_t i = 0; identical && i < swept.size(); ++i) {
+    identical = swept[i].accesses == baseline[i].accesses &&
+                swept[i].misses == baseline[i].misses &&
+                swept[i].misses_by_site == baseline[i].misses_by_site;
+  }
+  const double speedup =
+      sweep_seconds > 0 ? baseline_seconds / sweep_seconds : 0;
+
+  std::cout << "== Sweep engine: 8-capacity LRU sweep, tiled matmul N=" << n
+            << " ==\n"
+            << "  baseline (8x simulate_lru): " << baseline_seconds
+            << " s\n"
+            << "  simulate_sweep (one pass):  " << sweep_seconds << " s\n"
+            << "  speedup: " << speedup << "x   results identical: "
+            << (identical ? "yes" : "NO") << "\n\n";
+
+  std::ofstream out(json_path);
+  out << "{\n"
+      << "  \"kernel\": \"matmul_tiled\",\n"
+      << "  \"n\": " << n << ",\n"
+      << "  \"tiles\": [32, 32, 32],\n"
+      << "  \"capacities\": [";
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    out << (i != 0 ? ", " : "") << capacities[i];
+  }
+  out << "],\n"
+      << "  \"accesses\": " << cp.total_accesses() << ",\n"
+      << "  \"baseline_seconds\": " << baseline_seconds << ",\n"
+      << "  \"sweep_seconds\": " << sweep_seconds << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << "wrote " << json_path << "\n\n";
+
+  if (!identical) {
+    std::cerr << "FATAL: sweep results differ from per-capacity baseline\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int rc = run_sweep_comparison();
+  if (rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

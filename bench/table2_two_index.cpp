@@ -17,7 +17,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "cachesim/sim.hpp"
+#include "cachesim/sweep.hpp"
 #include "ir/gallery.hpp"
 #include "trace/walker.hpp"
 
@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
 
     WallTimer sim_timer;
     trace::CompiledProgram cp(g.prog, env);
-    const auto sim = cachesim::simulate_lru(cp, cap);
+    const auto sim = cachesim::simulate_sweep(
+        cp, {{cap, 1, 0, cachesim::Replacement::kLru}})[0];
     const double sim_s = sim_timer.seconds();
 
     t.add_row({bench::tuple_str(bounds), bench::tuple_str(tiles),

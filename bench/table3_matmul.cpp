@@ -9,10 +9,12 @@
 //   N=256 (64,64,64)    16KB : 17,301,504  / 17,303,166
 //   N=256 (32,64,128)   16KB : 17,170,432  / 17,172,096
 #include <iostream>
+#include <thread>
 
 #include "bench_common.hpp"
-#include "cachesim/sim.hpp"
+#include "cachesim/sweep.hpp"
 #include "ir/gallery.hpp"
+#include "parallel/thread_pool.hpp"
 #include "trace/walker.hpp"
 
 int main(int argc, char** argv) {
@@ -44,23 +46,42 @@ int main(int argc, char** argv) {
 
   TextTable t({"Loop Bounds (N)", "Tile Sizes", "Cache", "#Predicted",
                "#Actual", "Error"});
-  for (const auto& cfg : configs) {
-    const std::int64_t n = cfg.n / scale;
-    std::vector<std::int64_t> tiles = cfg.tiles;
-    for (auto& tv : tiles) tv /= scale;
+  // Rows are independent simulations of distinct programs: fan them out
+  // over a pool and collect results in row order.
+  struct Row {
+    std::int64_t n = 0;
+    std::vector<std::int64_t> tiles;
+    std::int64_t cache_kb = 0;
+    std::int64_t predicted = 0;
+    cachesim::SimResult sim;
+  };
+  std::vector<Row> rows(configs.size());
+  parallel::ThreadPool pool(std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency())));
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& cfg = configs[i];
+    Row& row = rows[i];
+    row.n = cfg.n / scale;
+    row.tiles = cfg.tiles;
+    for (auto& tv : row.tiles) tv /= scale;
+    row.cache_kb = cfg.cache_kb / (scale * scale);
     const std::int64_t cap = bench::kb_to_elems(cfg.cache_kb) /
                              (scale * scale);
-
-    const auto env = g.make_env({n, n, n}, tiles);
-    const auto pred = model::predict_misses(an, env, cap);
-    trace::CompiledProgram cp(g.prog, env);
-    const auto sim = cachesim::simulate_lru(cp, cap);
-
-    t.add_row({std::to_string(n), bench::tuple_str(tiles),
-               std::to_string(cfg.cache_kb / (scale * scale)) + "KB",
-               with_commas(pred.misses),
-               with_commas(static_cast<std::int64_t>(sim.misses)),
-               bench::rel_err_pct(pred.misses, sim.misses)});
+    pool.submit([&g, &an, &row, cap] {
+      const auto env = g.make_env({row.n, row.n, row.n}, row.tiles);
+      row.predicted = model::predict_misses(an, env, cap).misses;
+      trace::CompiledProgram cp(g.prog, env);
+      row.sim = cachesim::simulate_sweep(
+          cp, {{cap, 1, 0, cachesim::Replacement::kLru}})[0];
+    });
+  }
+  pool.wait_idle();
+  for (const auto& row : rows) {
+    t.add_row({std::to_string(row.n), bench::tuple_str(row.tiles),
+               std::to_string(row.cache_kb) + "KB",
+               with_commas(row.predicted),
+               with_commas(static_cast<std::int64_t>(row.sim.misses)),
+               bench::rel_err_pct(row.predicted, row.sim.misses)});
   }
   if (cli.get_bool("csv", false)) {
     t.print_csv(std::cout);

@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "cachesim/sim.hpp"
+#include "cachesim/sweep.hpp"
 #include "ir/gallery.hpp"
 #include "tile/fast_model.hpp"
 #include "tile/search.hpp"
@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
   WallTimer ut;
   const auto unknown = tile::search_tiles(g, fast, {}, cap, uopts);
   std::cerr << "  unknown-bounds search: " << unknown.evaluations
-            << " evaluations, " << ut.seconds() << "s\n";
+            << " evaluations (+" << unknown.cache_hits
+            << " memo hits), " << ut.seconds() << "s\n";
 
   TextTable t({"Loop Bound (N)", "Best tile (known bounds)",
                "Modeled misses", "Best tile (unknown bounds)"});
@@ -65,7 +66,9 @@ int main(int argc, char** argv) {
   auto sim_misses = [&](const std::vector<std::int64_t>& tiles) {
     trace::CompiledProgram cp(g.prog, g.make_env({256, 256, 256, 256},
                                                  tiles));
-    return cachesim::simulate_lru(cp, cap).misses;
+    return cachesim::simulate_sweep(
+               cp, {{cap, 1, 0, cachesim::Replacement::kLru}})[0]
+        .misses;
   };
   const auto searched = sim_misses(unknown.best.tiles);
   std::cout << "  searched " << bench::tuple_str(unknown.best.tiles)

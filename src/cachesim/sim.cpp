@@ -58,23 +58,47 @@ SimResult simulate_lru_lines(const trace::CompiledProgram& prog,
   return r;
 }
 
-std::uint64_t ProfileResult::misses(std::int64_t capacity) const {
-  std::uint64_t m = cold;
-  for (auto it = histogram.upper_bound(capacity); it != histogram.end();
-       ++it) {
-    m += it->second;
-  }
-  return m;
+std::uint64_t ProfileResult::misses(std::int64_t capacity_elems) const {
+  return misses_from_histogram(histogram, cold, capacity_elems / line_elems);
 }
 
-ProfileResult profile_stack_distances(const trace::CompiledProgram& prog) {
-  StackDistanceProfiler profiler(
-      static_cast<std::size_t>(prog.address_space_size()));
-  prog.walk([&](const trace::Access& a) { profiler.access(a.addr); });
+SimResult ProfileResult::result(std::int64_t capacity_elems) const {
+  const std::int64_t cap_lines = capacity_elems / line_elems;
+  SimResult r;
+  r.accesses = accesses;
+  r.misses = misses_from_histogram(histogram, cold, cap_lines);
+  r.misses_by_site.resize(histogram_by_site.size());
+  for (std::size_t s = 0; s < histogram_by_site.size(); ++s) {
+    r.misses_by_site[s] = misses_from_histogram(histogram_by_site[s],
+                                                cold_by_site[s], cap_lines);
+  }
+  return r;
+}
+
+ProfileResult profile_stack_distances(const trace::CompiledProgram& prog,
+                                      std::int64_t line_elems) {
+  SDLO_EXPECTS(line_elems > 0);
+  SDLO_EXPECTS(std::has_single_bit(
+      static_cast<std::uint64_t>(line_elems)));
+  const int shift =
+      std::countr_zero(static_cast<std::uint64_t>(line_elems));
+  StackDistanceProfiler profiler(static_cast<std::size_t>(
+      prog.address_space_size() >> shift));
+  profiler.enable_site_tracking(prog.num_sites());
+  prog.walk([&](const trace::Access& a) {
+    profiler.access(a.addr >> shift, a.site);
+  });
   ProfileResult r;
   r.accesses = profiler.total_accesses();
   r.cold = profiler.cold_accesses();
+  r.line_elems = line_elems;
   r.histogram = profiler.histogram();
+  r.cold_by_site.reserve(static_cast<std::size_t>(prog.num_sites()));
+  r.histogram_by_site.reserve(static_cast<std::size_t>(prog.num_sites()));
+  for (std::int32_t s = 0; s < prog.num_sites(); ++s) {
+    r.cold_by_site.push_back(profiler.site_cold(s));
+    r.histogram_by_site.push_back(profiler.site_histogram(s));
+  }
   return r;
 }
 

@@ -50,15 +50,31 @@ SimResult simulate_lru_lines(const trace::CompiledProgram& prog,
                              std::int64_t line_elems);
 
 /// Exact stack-distance profile of the full trace; `misses(C)` then answers
-/// every capacity in O(log #depths).
+/// every capacity in O(log #depths), and `result(C)` reconstructs the full
+/// SimResult — per-site miss counts included — without another walk.
 struct ProfileResult {
   std::uint64_t accesses = 0;
   std::uint64_t cold = 0;
+  /// Line granularity the trace was profiled at (depths are in lines).
+  std::int64_t line_elems = 1;
   std::map<std::int64_t, std::uint64_t> histogram;
+  /// Per-site cold counts and depth histograms (indexed by site id).
+  std::vector<std::uint64_t> cold_by_site;
+  std::vector<std::map<std::int64_t, std::uint64_t>> histogram_by_site;
 
-  std::uint64_t misses(std::int64_t capacity) const;
+  /// Misses of a fully-associative LRU cache of `capacity_elems` elements
+  /// (holding capacity_elems / line_elems lines).
+  std::uint64_t misses(std::int64_t capacity_elems) const;
+
+  /// Full SimResult for one capacity, equivalent to
+  /// simulate_lru_lines(prog, capacity_elems, line_elems).
+  SimResult result(std::int64_t capacity_elems) const;
 };
 
-ProfileResult profile_stack_distances(const trace::CompiledProgram& prog);
+/// Profiles the trace at `line_elems` granularity (a power of two dividing
+/// nothing in particular — addresses are grouped into lines), recording
+/// global and per-site depth histograms in one walk.
+ProfileResult profile_stack_distances(const trace::CompiledProgram& prog,
+                                      std::int64_t line_elems = 1);
 
 }  // namespace sdlo::cachesim

@@ -7,6 +7,17 @@
 
 namespace sdlo::cachesim {
 
+std::uint64_t misses_from_histogram(
+    const std::map<std::int64_t, std::uint64_t>& histogram,
+    std::uint64_t cold, std::int64_t capacity) {
+  std::uint64_t m = cold;
+  for (auto it = histogram.upper_bound(capacity); it != histogram.end();
+       ++it) {
+    m += it->second;
+  }
+  return m;
+}
+
 StackDistanceProfiler::StackDistanceProfiler(std::size_t expected_addresses) {
   window_ = std::max<std::size_t>(
       std::bit_ceil(expected_addresses * 2 + 2), 1 << 10);
@@ -72,6 +83,25 @@ std::int64_t StackDistanceProfiler::access(std::uint64_t addr) {
   return depth;
 }
 
+void StackDistanceProfiler::enable_site_tracking(std::int32_t num_sites) {
+  SDLO_EXPECTS(num_sites >= 0);
+  site_hist_.resize(static_cast<std::size_t>(num_sites));
+  site_cold_.resize(static_cast<std::size_t>(num_sites), 0);
+}
+
+std::int64_t StackDistanceProfiler::access(std::uint64_t addr,
+                                           std::int32_t site) {
+  SDLO_EXPECTS(site >= 0 &&
+               static_cast<std::size_t>(site) < site_hist_.size());
+  const std::int64_t depth = access(addr);
+  if (depth == 0) {
+    ++site_cold_[static_cast<std::size_t>(site)];
+  } else {
+    ++site_hist_[static_cast<std::size_t>(site)][depth];
+  }
+  return depth;
+}
+
 const std::map<std::int64_t, std::uint64_t>&
 StackDistanceProfiler::histogram() const {
   return hist_;
@@ -79,11 +109,20 @@ StackDistanceProfiler::histogram() const {
 
 std::uint64_t StackDistanceProfiler::misses(std::int64_t capacity) const {
   SDLO_EXPECTS(capacity > 0);
-  std::uint64_t m = cold_;
-  for (auto it = hist_.upper_bound(capacity); it != hist_.end(); ++it) {
-    m += it->second;
-  }
-  return m;
+  return misses_from_histogram(hist_, cold_, capacity);
+}
+
+const std::map<std::int64_t, std::uint64_t>&
+StackDistanceProfiler::site_histogram(std::int32_t site) const {
+  SDLO_EXPECTS(site >= 0 &&
+               static_cast<std::size_t>(site) < site_hist_.size());
+  return site_hist_[static_cast<std::size_t>(site)];
+}
+
+std::uint64_t StackDistanceProfiler::site_cold(std::int32_t site) const {
+  SDLO_EXPECTS(site >= 0 &&
+               static_cast<std::size_t>(site) < site_cold_.size());
+  return site_cold_[static_cast<std::size_t>(site)];
 }
 
 }  // namespace sdlo::cachesim

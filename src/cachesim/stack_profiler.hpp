@@ -13,6 +13,11 @@
 // an access is a suffix count, and each access moves one mark. Times are
 // periodically renumbered (compacted) so the tree stays proportional to the
 // number of distinct addresses rather than the trace length.
+//
+// With per-site tracking enabled (enable_site_tracking), the profiler
+// additionally keeps one depth histogram per access site, so the same walk
+// also answers misses_by_site(C) for every capacity — the per-partition
+// breakdown the validation tables need.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +27,14 @@
 
 namespace sdlo::cachesim {
 
+/// Folds a stack-distance histogram into the miss count of a
+/// fully-associative LRU cache of `capacity` elements: cold accesses plus
+/// every access whose depth exceeds the capacity. Shared by every
+/// histogram-shaped result in the library.
+std::uint64_t misses_from_histogram(
+    const std::map<std::int64_t, std::uint64_t>& histogram,
+    std::uint64_t cold, std::int64_t capacity);
+
 /// Streaming exact stack-distance histogram.
 class StackDistanceProfiler {
  public:
@@ -29,9 +42,16 @@ class StackDistanceProfiler {
   /// grows as needed).
   explicit StackDistanceProfiler(std::size_t expected_addresses = 1 << 16);
 
+  /// Allocates per-site histograms for sites [0, num_sites); from now on
+  /// access(addr, site) records into them.
+  void enable_site_tracking(std::int32_t num_sites);
+
   /// Feeds one access; returns its stack depth, or 0 for a cold (first)
   /// access.
   std::int64_t access(std::uint64_t addr);
+
+  /// Feeds one access attributed to `site` (requires enable_site_tracking).
+  std::int64_t access(std::uint64_t addr, std::int32_t site);
 
   /// Number of cold (compulsory) first accesses.
   std::uint64_t cold_accesses() const { return cold_; }
@@ -45,6 +65,18 @@ class StackDistanceProfiler {
 
   /// Misses of a fully-associative LRU cache with `capacity` elements.
   std::uint64_t misses(std::int64_t capacity) const;
+
+  /// Per-site depth histogram (requires enable_site_tracking).
+  const std::map<std::int64_t, std::uint64_t>& site_histogram(
+      std::int32_t site) const;
+
+  /// Per-site cold accesses (requires enable_site_tracking).
+  std::uint64_t site_cold(std::int32_t site) const;
+
+  /// Number of sites registered by enable_site_tracking (0 if disabled).
+  std::int32_t num_sites() const {
+    return static_cast<std::int32_t>(site_hist_.size());
+  }
 
   /// Distinct addresses seen so far.
   std::uint64_t distinct_addresses() const { return last_pos_.size(); }
@@ -60,6 +92,8 @@ class StackDistanceProfiler {
   std::int64_t active_ = 0;                         // marks in tree
   std::unordered_map<std::uint64_t, std::uint64_t> last_pos_;
   mutable std::map<std::int64_t, std::uint64_t> hist_;
+  std::vector<std::map<std::int64_t, std::uint64_t>> site_hist_;
+  std::vector<std::uint64_t> site_cold_;
   std::uint64_t cold_ = 0;
   std::uint64_t total_ = 0;
 };

@@ -1,0 +1,353 @@
+#include "cachesim/sweep.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "support/check.hpp"
+
+namespace sdlo::cachesim {
+
+namespace {
+
+using trace::Access;
+
+/// One independently simulatable consumer of the trace.
+class SweepUnit {
+ public:
+  virtual ~SweepUnit() = default;
+  virtual void consume(const Access* a, std::size_t n) = 0;
+  /// Writes this unit's SimResults into their `configs`-order slots.
+  virtual void finish(std::vector<SimResult>& out) const = 0;
+};
+
+void check_line_geometry(const SweepConfig& c) {
+  SDLO_CHECK(c.capacity_elems > 0, "sweep capacity must be positive");
+  SDLO_CHECK(c.line_elems > 0 &&
+                 std::has_single_bit(
+                     static_cast<std::uint64_t>(c.line_elems)),
+             "sweep line size must be a positive power of two");
+  SDLO_CHECK(c.capacity_elems % c.line_elems == 0,
+             "sweep capacity must be a whole number of lines");
+}
+
+/// Marker-augmented LRU stack: one pass, exact misses for every capacity of
+/// one line-size group (Mattson's inclusion property). The stack is a
+/// doubly-linked list over an arena; markers[j] pins the node at stack
+/// position cap[j]; each node carries the index of the capacity segment its
+/// position falls in, so one hash lookup classifies an access against all
+/// capacities and each stack rotation touches only the boundary nodes.
+class MultiLruStackUnit final : public SweepUnit {
+ public:
+  /// `slots` pairs each distinct capacity (ascending, in lines) with the
+  /// `configs` indices it answers.
+  MultiLruStackUnit(std::vector<std::int64_t> caps_lines,
+                    std::vector<std::vector<std::size_t>> slots,
+                    std::int64_t line_elems, std::int32_t num_sites,
+                    std::uint64_t footprint_lines)
+      : caps_(std::move(caps_lines)),
+        slots_(std::move(slots)),
+        line_elems_(line_elems),
+        shift_(std::countr_zero(static_cast<std::uint64_t>(line_elems))),
+        num_sites_(num_sites),
+        markers_(caps_.size(), -1),
+        buckets_(static_cast<std::size_t>(num_sites) * (caps_.size() + 1),
+                 0),
+        cold_by_site_(static_cast<std::size_t>(num_sites), 0) {
+    const std::uint64_t want = std::max<std::uint64_t>(
+        16, std::bit_ceil(footprint_lines * 2 + 2));
+    keys_.assign(want, 0);
+    vals_.assign(want, -1);
+    mask_ = want - 1;
+    nodes_.reserve(footprint_lines + 1);
+  }
+
+  void consume(const Access* a, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      step(a[i].addr >> shift_, a[i].site);
+    }
+    accesses_ += n;
+  }
+
+  void finish(std::vector<SimResult>& out) const override {
+    const std::size_t k = caps_.size();
+    for (std::size_t r = 0; r < k; ++r) {
+      for (std::size_t slot : slots_[r]) {
+        SimResult& res = out[slot];
+        res.accesses = accesses_;
+        res.misses = 0;
+        res.misses_by_site.assign(static_cast<std::size_t>(num_sites_), 0);
+        for (std::int32_t s = 0; s < num_sites_; ++s) {
+          std::uint64_t m = cold_by_site_[static_cast<std::size_t>(s)];
+          const std::uint64_t* b =
+              buckets_.data() + static_cast<std::size_t>(s) * (k + 1);
+          for (std::size_t seg = r + 1; seg <= k; ++seg) m += b[seg];
+          res.misses_by_site[static_cast<std::size_t>(s)] = m;
+          res.misses += m;
+        }
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    std::uint64_t addr = 0;
+    std::int32_t prev = -1;  // towards the MRU end
+    std::int32_t next = -1;  // towards the LRU end
+    std::int32_t seg = 0;    // capacity segment of the node's position
+  };
+
+  void step(std::uint64_t addr, std::int32_t site) {
+    const std::size_t k = caps_.size();
+    std::size_t h = hash(addr);
+    std::int32_t ni;
+    for (;;) {
+      ni = vals_[h];
+      if (ni < 0 || keys_[h] == addr) break;
+      h = (h + 1) & mask_;
+    }
+    if (ni < 0) {  // cold: push a new node on top of the stack
+      ni = static_cast<std::int32_t>(nodes_.size());
+      nodes_.push_back(Node{addr, -1, head_, 0});
+      keys_[h] = addr;
+      vals_[h] = ni;
+      if (head_ >= 0) nodes_[static_cast<std::size_t>(head_)].prev = ni;
+      head_ = ni;
+      if (tail_ < 0) tail_ = ni;
+      ++size_;
+      ++cold_by_site_[static_cast<std::size_t>(site)];
+      // Every resident position grew by one: each boundary node crosses
+      // into the next segment; stacks that just reached cap[j] gain their
+      // marker at the tail.
+      for (std::size_t j = 0; j < k; ++j) {
+        if (markers_[j] >= 0) {
+          Node& m = nodes_[static_cast<std::size_t>(markers_[j])];
+          m.seg = static_cast<std::int32_t>(j) + 1;
+          markers_[j] = m.prev;
+        } else if (size_ == caps_[j]) {
+          markers_[j] = tail_;
+        }
+      }
+      return;
+    }
+
+    Node& x = nodes_[static_cast<std::size_t>(ni)];
+    const auto s = static_cast<std::size_t>(x.seg);
+    // The access hits every capacity of segment >= s, misses every smaller
+    // one; segment 0 (position <= smallest capacity) misses none.
+    ++buckets_[static_cast<std::size_t>(site) * (k + 1) + s];
+    if (ni == head_) return;
+    // Rotating x to the top shifts positions 1..pos(x)-1 down by one: the
+    // node sitting exactly on each boundary below x crosses it. The new
+    // boundary node is its predecessor — or x itself when the boundary is
+    // position 1 (cap[j] == 1) and the old boundary node was the head.
+    for (std::size_t j = 0; j < s; ++j) {
+      Node& m = nodes_[static_cast<std::size_t>(markers_[j])];
+      m.seg = static_cast<std::int32_t>(j) + 1;
+      markers_[j] = m.prev >= 0 ? m.prev : ni;
+    }
+    // If x itself sat on boundary s, its predecessor shifts onto it.
+    if (s < k && markers_[s] == ni) markers_[s] = x.prev;
+    // Unlink (x is not the head, so x.prev exists).
+    nodes_[static_cast<std::size_t>(x.prev)].next = x.next;
+    if (x.next >= 0) {
+      nodes_[static_cast<std::size_t>(x.next)].prev = x.prev;
+    } else {
+      tail_ = x.prev;
+    }
+    // Push front.
+    x.prev = -1;
+    x.next = head_;
+    nodes_[static_cast<std::size_t>(head_)].prev = ni;
+    head_ = ni;
+    x.seg = 0;
+  }
+
+  std::size_t hash(std::uint64_t addr) const {
+    return static_cast<std::size_t>(
+               (addr * 0x9E3779B97F4A7C15ull) >> 32) &
+           mask_;
+  }
+
+  std::vector<std::int64_t> caps_;               // ascending, in lines
+  std::vector<std::vector<std::size_t>> slots_;  // result slots per capacity
+  std::int64_t line_elems_;
+  int shift_;
+  std::int32_t num_sites_;
+
+  std::vector<Node> nodes_;
+  std::int32_t head_ = -1;
+  std::int32_t tail_ = -1;
+  std::int64_t size_ = 0;
+  std::vector<std::int32_t> markers_;
+
+  std::vector<std::uint64_t> keys_;  // open-addressing addr -> node index
+  std::vector<std::int32_t> vals_;
+  std::size_t mask_ = 0;
+
+  std::vector<std::uint64_t> buckets_;  // [site][segment] hit-at counts
+  std::vector<std::uint64_t> cold_by_site_;
+  std::uint64_t accesses_ = 0;
+};
+
+/// Shared-walk fallback unit: one real cache instance per configuration.
+class CacheUnit final : public SweepUnit {
+ public:
+  CacheUnit(const SweepConfig& cfg, std::size_t slot, std::int32_t num_sites)
+      : slot_(slot),
+        misses_by_site_(static_cast<std::size_t>(num_sites), 0) {
+    check_line_geometry(cfg);
+    if (cfg.ways == 0) {
+      shift_ = std::countr_zero(static_cast<std::uint64_t>(cfg.line_elems));
+      lru_ = std::make_unique<LruCache>(cfg.capacity_elems / cfg.line_elems);
+    } else {
+      set_assoc_ = std::make_unique<SetAssocCache>(
+          cfg.capacity_elems, cfg.ways, cfg.line_elems, cfg.policy);
+    }
+  }
+
+  void consume(const Access* a, std::size_t n) override {
+    if (lru_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!lru_->access(a[i].addr >> shift_)) {
+          ++misses_;
+          ++misses_by_site_[static_cast<std::size_t>(a[i].site)];
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!set_assoc_->access(a[i].addr)) {
+          ++misses_;
+          ++misses_by_site_[static_cast<std::size_t>(a[i].site)];
+        }
+      }
+    }
+    accesses_ += n;
+  }
+
+  void finish(std::vector<SimResult>& out) const override {
+    SimResult& res = out[slot_];
+    res.accesses = accesses_;
+    res.misses = misses_;
+    res.misses_by_site = misses_by_site_;
+  }
+
+ private:
+  std::size_t slot_;
+  int shift_ = 0;
+  std::unique_ptr<LruCache> lru_;
+  std::unique_ptr<SetAssocCache> set_assoc_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<std::uint64_t> misses_by_site_;
+};
+
+/// Walks the trace through `units`: one shared walk when serial, one walk
+/// per round-robin chunk of units when a pool is available.
+void run_units(const trace::CompiledProgram& prog,
+               std::vector<std::unique_ptr<SweepUnit>>& units,
+               parallel::ThreadPool* pool) {
+  if (units.empty()) return;
+  const int threads = pool ? pool->num_threads() : 1;
+  if (threads <= 1 || units.size() == 1) {
+    prog.walk_batched([&units](const Access* a, std::size_t n) {
+      for (auto& u : units) u->consume(a, n);
+    });
+    return;
+  }
+  const std::size_t chunks =
+      std::min<std::size_t>(units.size(), static_cast<std::size_t>(threads));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    pool->submit([&, c] {
+      try {
+        std::vector<SweepUnit*> mine;
+        for (std::size_t u = c; u < units.size(); u += chunks) {
+          mine.push_back(units[u].get());
+        }
+        prog.walk_batched([&mine](const Access* a, std::size_t n) {
+          for (auto* u : mine) u->consume(a, n);
+        });
+      } catch (...) {
+        std::scoped_lock lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool->wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+std::vector<SimResult> simulate_sweep(const trace::CompiledProgram& prog,
+                                      const std::vector<SweepConfig>& configs,
+                                      parallel::ThreadPool* pool) {
+  std::vector<SimResult> out(configs.size());
+  if (configs.empty()) return out;
+
+  std::vector<std::unique_ptr<SweepUnit>> units;
+  // Group fully-associative configurations by line size: one marker stack
+  // answers every capacity of a group in a single pass.
+  std::vector<std::int64_t> lines_seen;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const SweepConfig& c = configs[i];
+    if (c.ways != 0) {
+      units.push_back(std::make_unique<CacheUnit>(c, i, prog.num_sites()));
+      continue;
+    }
+    check_line_geometry(c);
+    if (std::find(lines_seen.begin(), lines_seen.end(), c.line_elems) ==
+        lines_seen.end()) {
+      lines_seen.push_back(c.line_elems);
+    }
+  }
+  for (std::int64_t line : lines_seen) {
+    // Distinct capacities (in lines) ascending, each with its result slots.
+    std::vector<std::pair<std::int64_t, std::size_t>> caps;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (configs[i].ways == 0 && configs[i].line_elems == line) {
+        caps.emplace_back(configs[i].capacity_elems / line, i);
+      }
+    }
+    std::sort(caps.begin(), caps.end());
+    std::vector<std::int64_t> distinct;
+    std::vector<std::vector<std::size_t>> slots;
+    for (const auto& [cap, slot] : caps) {
+      if (distinct.empty() || distinct.back() != cap) {
+        distinct.push_back(cap);
+        slots.emplace_back();
+      }
+      slots.back().push_back(slot);
+    }
+    const int shift = std::countr_zero(static_cast<std::uint64_t>(line));
+    units.push_back(std::make_unique<MultiLruStackUnit>(
+        std::move(distinct), std::move(slots), line, prog.num_sites(),
+        prog.address_space_size() >> shift));
+  }
+
+  run_units(prog, units, pool);
+  for (const auto& u : units) u->finish(out);
+  return out;
+}
+
+std::vector<SimResult> simulate_many(const trace::CompiledProgram& prog,
+                                     const std::vector<SweepConfig>& configs,
+                                     parallel::ThreadPool* pool) {
+  std::vector<SimResult> out(configs.size());
+  if (configs.empty()) return out;
+  std::vector<std::unique_ptr<SweepUnit>> units;
+  units.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    units.push_back(
+        std::make_unique<CacheUnit>(configs[i], i, prog.num_sites()));
+  }
+  run_units(prog, units, pool);
+  for (const auto& u : units) u->finish(out);
+  return out;
+}
+
+}  // namespace sdlo::cachesim

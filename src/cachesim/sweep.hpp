@@ -1,0 +1,69 @@
+// Batched multi-configuration cache simulation (the sweep engine).
+//
+// Every validation table and tile-search ablation wants the same trace
+// evaluated against many cache configurations. Walking the trace once per
+// configuration wastes both the trace generation and — for fully
+// associative LRU — the simulation itself: by Mattson's inclusion property
+// the LRU stack of a small cache is a prefix of the LRU stack of a larger
+// one, so a single annotated stack answers every capacity at once.
+//
+// simulate_sweep() exploits this with a marker-augmented LRU stack: one
+// doubly-linked stack plus one boundary marker per requested capacity.
+// Each access costs O(1) hash work plus O(#capacities) pointer updates —
+// no Fenwick tree, no per-capacity replay — and yields, exactly, the
+// SimResult (including misses_by_site) of every fully-associative
+// configuration sharing that line size. Set-associative configurations,
+// which the inclusion property does not cover, fall back to
+// simulate_many(): real LruCache/SetAssocCache instances fed from a single
+// shared trace walk.
+//
+// Both entry points accept an optional parallel::ThreadPool. Independent
+// simulation units (one per line-size group / per cache chunk) then run on
+// worker threads, each performing its own walk of the shared
+// CompiledProgram (walks are const and re-entrant).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/sim.hpp"
+#include "parallel/thread_pool.hpp"
+#include "trace/walker.hpp"
+
+namespace sdlo::cachesim {
+
+/// One cache configuration of a sweep.
+struct SweepConfig {
+  /// Total capacity in elements (> 0; a multiple of line_elems).
+  std::int64_t capacity_elems = 0;
+  /// Line size in elements (a power of two; 1 = the paper's element model).
+  std::int64_t line_elems = 1;
+  /// Associativity: 0 = fully associative (single-pass marker engine);
+  /// otherwise a W-way set-associative geometry (shared-walk fallback).
+  int ways = 0;
+  /// Replacement policy for set-associative configurations.
+  Replacement policy = Replacement::kLru;
+};
+
+/// Simulates every configuration with as few trace walks as possible:
+/// fully-associative configurations sharing a line size are answered by one
+/// marker-augmented LRU stack each; set-associative configurations are fed
+/// from shared walks. Results are exact and returned in `configs` order,
+/// bit-identical to per-configuration simulate_lru / simulate_lru_lines /
+/// simulate_set_assoc. With a pool, independent units run in parallel.
+std::vector<SimResult> simulate_sweep(
+    const trace::CompiledProgram& prog,
+    const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool = nullptr);
+
+/// Shared-walk fallback: instantiates one real cache per configuration
+/// (LruCache for ways == 0, SetAssocCache otherwise) and feeds all of them
+/// from a single batched trace walk (or one walk per worker with a pool).
+/// Exact but O(#configs) work per access; prefer simulate_sweep, which
+/// routes each configuration to the cheapest engine.
+std::vector<SimResult> simulate_many(
+    const trace::CompiledProgram& prog,
+    const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool = nullptr);
+
+}  // namespace sdlo::cachesim

@@ -1,7 +1,7 @@
 #include "tile/search.hpp"
 
 #include <algorithm>
-#include <map>
+#include <exception>
 #include <set>
 
 #include "support/check.hpp"
@@ -11,7 +11,7 @@ namespace sdlo::tile {
 namespace {
 
 /// Candidate tile values for one dimension: powers of two in
-/// [min_tile, min(max_tile, bound)] dividing the bound.
+/// [min_tile, min(max_tile, bound)] dividing the bound, ascending.
 std::vector<std::int64_t> value_ladder(std::int64_t bound,
                                        const SearchOptions& opts) {
   std::vector<std::int64_t> out;
@@ -27,19 +27,6 @@ sym::Env bind(const ir::GalleryProgram& g,
               const std::vector<std::int64_t>& tiles) {
   return g.make_env(bounds, tiles);
 }
-
-struct Scorer {
-  const ir::GalleryProgram& g;
-  const FastMissModel& fast;
-  std::vector<std::int64_t> bounds;
-  std::int64_t capacity;
-  std::size_t evaluations = 0;
-
-  FastMissModel::Score operator()(const std::vector<std::int64_t>& tiles) {
-    ++evaluations;
-    return fast.score(bind(g, bounds, tiles), capacity);
-  }
-};
 
 void sort_and_dedupe(std::vector<Candidate>& cs) {
   std::sort(cs.begin(), cs.end(), [](const Candidate& a, const Candidate& b) {
@@ -57,27 +44,137 @@ void sort_and_dedupe(std::vector<Candidate>& cs) {
            cs.end());
 }
 
-/// Enumerates the cross product of ladders, invoking fn(tiles).
-template <typename Fn>
-void for_each_tuple(const std::vector<std::vector<std::int64_t>>& ladders,
-                    Fn&& fn) {
+/// Row-major index layout over the ladder grid: the last dimension varies
+/// fastest; stepping dimension d up one ladder rung adds stride[d].
+struct GridLayout {
+  std::vector<std::size_t> sizes;
+  std::vector<std::size_t> strides;
+  std::size_t total = 1;
+
+  explicit GridLayout(const std::vector<std::vector<std::int64_t>>& ladders) {
+    sizes.reserve(ladders.size());
+    for (const auto& l : ladders) sizes.push_back(l.size());
+    strides.assign(ladders.size(), 1);
+    for (std::size_t d = ladders.size(); d-- > 0;) {
+      strides[d] = total;
+      total *= sizes[d];
+    }
+  }
+
+  std::size_t index_in_dim(std::size_t flat, std::size_t d) const {
+    return (flat / strides[d]) % sizes[d];
+  }
+};
+
+/// All grid tuples in flat row-major order.
+std::vector<std::vector<std::int64_t>> grid_tuples(
+    const std::vector<std::vector<std::int64_t>>& ladders,
+    const GridLayout& layout) {
+  std::vector<std::vector<std::int64_t>> tuples;
+  tuples.reserve(layout.total);
   std::vector<std::size_t> idx(ladders.size(), 0);
   std::vector<std::int64_t> tiles(ladders.size());
-  for (;;) {
+  for (std::size_t flat = 0; flat < layout.total; ++flat) {
     for (std::size_t d = 0; d < ladders.size(); ++d) {
       tiles[d] = ladders[d][idx[d]];
     }
-    fn(tiles);
-    std::size_t d = 0;
-    for (; d < ladders.size(); ++d) {
+    tuples.push_back(tiles);
+    for (std::size_t d = ladders.size(); d-- > 0;) {
       if (++idx[d] < ladders[d].size()) break;
       idx[d] = 0;
     }
-    if (d == ladders.size()) break;
   }
+  return tuples;
+}
+
+/// Ladder position of a value (the ladder is sorted ascending).
+std::size_t ladder_pos(const std::vector<std::int64_t>& ladder,
+                       std::int64_t value) {
+  const auto it = std::lower_bound(ladder.begin(), ladder.end(), value);
+  SDLO_CHECK(it != ladder.end() && *it == value, "candidate off the ladder");
+  return static_cast<std::size_t>(it - ladder.begin());
+}
+
+std::vector<std::vector<std::int64_t>> make_ladders(
+    const ir::GalleryProgram& g, const std::vector<std::int64_t>& eff_bounds,
+    const SearchOptions& opts) {
+  std::vector<std::vector<std::int64_t>> ladders;
+  for (const auto& tile_sym : g.tiles) {
+    const auto& bound_sym = g.tile_of.at(tile_sym);
+    const auto pos = static_cast<std::size_t>(
+        std::find(g.bounds.begin(), g.bounds.end(), bound_sym) -
+        g.bounds.begin());
+    ladders.push_back(value_ladder(eff_bounds[pos], opts));
+  }
+  return ladders;
 }
 
 }  // namespace
+
+Scorer::Scorer(const ir::GalleryProgram& g, const FastMissModel& fast,
+               std::vector<std::int64_t> bounds, std::int64_t capacity,
+               parallel::ThreadPool* pool)
+    : g_(g),
+      fast_(fast),
+      bounds_(std::move(bounds)),
+      capacity_(capacity),
+      pool_(pool) {}
+
+FastMissModel::Score Scorer::evaluate(
+    const std::vector<std::int64_t>& tiles) const {
+  return fast_.score(bind(g_, bounds_, tiles), capacity_);
+}
+
+const FastMissModel::Score& Scorer::operator()(
+    const std::vector<std::int64_t>& tiles) {
+  auto it = memo_.find(tiles);
+  if (it != memo_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++evaluations_;
+  return memo_.emplace(tiles, evaluate(tiles)).first->second;
+}
+
+void Scorer::prefetch(const std::vector<std::vector<std::int64_t>>& tuples) {
+  // Unscored tuples, deduplicated.
+  std::vector<const std::vector<std::int64_t>*> missing;
+  std::set<std::vector<std::int64_t>> batch_seen;
+  for (const auto& t : tuples) {
+    if (memo_.count(t) != 0 || !batch_seen.insert(t).second) continue;
+    missing.push_back(&t);
+  }
+  if (missing.empty()) return;
+  evaluations_ += missing.size();
+
+  const int threads = pool_ ? pool_->num_threads() : 1;
+  if (threads <= 1 || missing.size() == 1) {
+    for (const auto* t : missing) memo_.emplace(*t, evaluate(*t));
+    return;
+  }
+  std::vector<FastMissModel::Score> scores(missing.size());
+  const std::size_t chunks = std::min<std::size_t>(
+      missing.size(), static_cast<std::size_t>(threads));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    pool_->submit([&, c] {
+      try {
+        for (std::size_t i = c; i < missing.size(); i += chunks) {
+          scores[i] = evaluate(*missing[i]);
+        }
+      } catch (...) {
+        std::scoped_lock lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool_->wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    memo_.emplace(*missing[i], std::move(scores[i]));
+  }
+}
 
 SearchResult search_tiles(const ir::GalleryProgram& g,
                           const FastMissModel& fast,
@@ -92,81 +189,77 @@ SearchResult search_tiles(const ir::GalleryProgram& g,
   SDLO_CHECK(eff_bounds.size() == g.bounds.size(),
              "bounds arity mismatch");
 
-  std::vector<std::vector<std::int64_t>> ladders;
-  for (const auto& tile_sym : g.tiles) {
-    const auto& bound_sym = g.tile_of.at(tile_sym);
-    const auto pos = static_cast<std::size_t>(
-        std::find(g.bounds.begin(), g.bounds.end(), bound_sym) -
-        g.bounds.begin());
-    ladders.push_back(value_ladder(eff_bounds[pos], opts));
-  }
+  const auto ladders = make_ladders(g, eff_bounds, opts);
+  const GridLayout layout(ladders);
+  Scorer score(g, fast, eff_bounds, capacity, opts.pool);
 
-  Scorer score{g, fast, eff_bounds, capacity, 0};
-
-  // Coarse pass: score the whole power-of-two grid, remembering each
-  // tuple's fitting set for crossing detection.
+  // Coarse pass: score the whole power-of-two grid (in parallel when a pool
+  // is available), remembering each tuple's fitting set for crossing
+  // detection. Tuples live at their flat grid index, so the single-step
+  // neighbour of tuple `flat` in dimension d is flat + strides[d] — no
+  // associative lookup needed.
+  const auto tuples = grid_tuples(ladders, layout);
+  score.prefetch(tuples);
   struct GridPoint {
-    std::vector<std::int64_t> tiles;
     double misses;
     std::set<std::size_t> fitting;
   };
   std::vector<GridPoint> grid;
-  for_each_tuple(ladders, [&](const std::vector<std::int64_t>& tiles) {
-    GridPoint gp;
-    gp.tiles = tiles;
-    const auto s = score(tiles);
-    gp.misses = s.misses;
-    gp.fitting = s.fitting(capacity);
-    grid.push_back(std::move(gp));
-  });
+  grid.reserve(layout.total);
+  for (const auto& tiles : tuples) {
+    const auto& s = score(tiles);
+    grid.push_back(GridPoint{s.misses, s.fitting(capacity)});
+  }
 
   // Crossing-maximal selection: a point is kept when every single-dimension
   // step up loses some currently-fitting reuse (or is at the ladder top).
-  std::map<std::vector<std::int64_t>, const GridPoint*> by_tiles;
-  for (const auto& gp : grid) by_tiles[gp.tiles] = &gp;
   std::vector<Candidate> pool;
-  for (const auto& gp : grid) {
+  for (std::size_t flat = 0; flat < layout.total; ++flat) {
     bool maximal = true;
     for (std::size_t d = 0; d < ladders.size() && maximal; ++d) {
-      auto it = std::find(ladders[d].begin(), ladders[d].end(),
-                          gp.tiles[d]);
-      if (it + 1 == ladders[d].end()) continue;  // at the top: fine
-      std::vector<std::int64_t> up = gp.tiles;
-      up[d] = *(it + 1);
-      const GridPoint* neighbor = by_tiles.at(up);
+      if (layout.index_in_dim(flat, d) + 1 >= layout.sizes[d]) {
+        continue;  // at the top: fine
+      }
+      const GridPoint& neighbor = grid[flat + layout.strides[d]];
       // Does stepping up keep every fitting reuse fitting?
       const bool keeps_all = std::includes(
-          neighbor->fitting.begin(), neighbor->fitting.end(),
-          gp.fitting.begin(), gp.fitting.end());
+          neighbor.fitting.begin(), neighbor.fitting.end(),
+          grid[flat].fitting.begin(), grid[flat].fitting.end());
       if (keeps_all) maximal = false;  // the larger tile dominates
     }
-    if (maximal) pool.push_back(Candidate{gp.tiles, gp.misses});
+    if (maximal) pool.push_back(Candidate{tuples[flat], grid[flat].misses});
   }
   // Always carry the grid's best scorer.
-  const auto* best_gp = &grid.front();
-  for (const auto& gp : grid) {
-    if (gp.misses < best_gp->misses) best_gp = &gp;
+  std::size_t best_flat = 0;
+  for (std::size_t flat = 1; flat < layout.total; ++flat) {
+    if (grid[flat].misses < grid[best_flat].misses) best_flat = flat;
   }
-  pool.push_back(Candidate{best_gp->tiles, best_gp->misses});
+  pool.push_back(Candidate{tuples[best_flat], grid[best_flat].misses});
   sort_and_dedupe(pool);
   if (pool.size() > opts.beam) pool.resize(opts.beam);
 
-  // Refinement: explore divisor neighbours of each candidate.
+  // Refinement: explore divisor neighbours of each candidate. Each round
+  // batches every neighbour through the scorer (memoized, so revisited
+  // tuples cost a hash lookup, and fresh ones can score in parallel).
   for (int round = 0; round < opts.refine_rounds; ++round) {
-    std::vector<Candidate> next = pool;
+    std::vector<std::vector<std::int64_t>> neighbours;
     for (const auto& c : pool) {
       for (std::size_t d = 0; d < ladders.size(); ++d) {
-        auto it = std::find(ladders[d].begin(), ladders[d].end(),
-                            c.tiles[d]);
-        SDLO_CHECK(it != ladders[d].end(), "candidate off the ladder");
+        const std::size_t at = ladder_pos(ladders[d], c.tiles[d]);
         for (int dir : {-1, +1}) {
-          auto jt = it + dir;
-          if (jt < ladders[d].begin() || jt >= ladders[d].end()) continue;
+          const std::size_t j = at + static_cast<std::size_t>(dir);
+          if (j >= ladders[d].size()) continue;  // wraps below 0 too
           std::vector<std::int64_t> t = c.tiles;
-          t[d] = *jt;
-          next.push_back(Candidate{t, score(t).misses});
+          t[d] = ladders[d][j];
+          neighbours.push_back(std::move(t));
         }
       }
+    }
+    score.prefetch(neighbours);
+    std::vector<Candidate> next = pool;
+    for (auto& t : neighbours) {
+      const double m = score(t).misses;
+      next.push_back(Candidate{std::move(t), m});
     }
     sort_and_dedupe(next);
     if (next.size() > opts.beam) next.resize(opts.beam);
@@ -176,7 +269,8 @@ SearchResult search_tiles(const ir::GalleryProgram& g,
   SearchResult r;
   r.candidates = pool;
   r.best = pool.front();
-  r.evaluations = score.evaluations;
+  r.evaluations = score.evaluations();
+  r.cache_hits = score.cache_hits();
   return r;
 }
 
@@ -189,25 +283,23 @@ SearchResult exhaustive_tiles(const ir::GalleryProgram& g,
   if (opts.unknown_bounds) {
     eff_bounds.assign(g.bounds.size(), opts.virtual_bound);
   }
-  std::vector<std::vector<std::int64_t>> ladders;
-  for (const auto& tile_sym : g.tiles) {
-    const auto& bound_sym = g.tile_of.at(tile_sym);
-    const auto pos = static_cast<std::size_t>(
-        std::find(g.bounds.begin(), g.bounds.end(), bound_sym) -
-        g.bounds.begin());
-    ladders.push_back(value_ladder(eff_bounds[pos], opts));
-  }
-  Scorer score{g, fast, eff_bounds, capacity, 0};
+  const auto ladders = make_ladders(g, eff_bounds, opts);
+  const GridLayout layout(ladders);
+  Scorer score(g, fast, eff_bounds, capacity, opts.pool);
+  const auto tuples = grid_tuples(ladders, layout);
+  score.prefetch(tuples);
   std::vector<Candidate> all;
-  for_each_tuple(ladders, [&](const std::vector<std::int64_t>& tiles) {
+  all.reserve(tuples.size());
+  for (const auto& tiles : tuples) {
     all.push_back(Candidate{tiles, score(tiles).misses});
-  });
+  }
   sort_and_dedupe(all);
   SearchResult r;
   r.best = all.front();
   if (all.size() > opts.beam) all.resize(opts.beam);
   r.candidates = std::move(all);
-  r.evaluations = score.evaluations;
+  r.evaluations = score.evaluations();
+  r.cache_hits = score.cache_hits();
   return r;
 }
 

@@ -12,6 +12,10 @@
 //   3. refines around each candidate over neighbouring divisor values,
 //   4. deduplicates and returns tuples ranked by modeled misses.
 //
+// Scoring goes through tile::Scorer, which memoizes on the tile tuple (the
+// refinement rounds revisit many neighbours) and can fan a batch of
+// unscored tuples out over a parallel::ThreadPool.
+//
 // Unknown loop bounds (Table 4) are handled by scoring in the large-bound
 // limit: bounds are bound to a huge virtual value, which drives every
 // bound-dependent (inter-tile) stack distance past any finite cache — the
@@ -20,10 +24,13 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/gallery.hpp"
+#include "parallel/thread_pool.hpp"
 #include "tile/fast_model.hpp"
 
 namespace sdlo::tile {
@@ -51,6 +58,9 @@ struct SearchOptions {
   /// candidate tile value; a large power of two). Kept at 2^14 so that
   /// four-bound reference-count products stay within 64-bit range.
   std::int64_t virtual_bound = std::int64_t{1} << 14;
+  /// Optional worker pool: batches of unscored tuples are evaluated in
+  /// parallel (the FastMissModel is immutable and thread-safe).
+  parallel::ThreadPool* pool = nullptr;
 };
 
 /// Search outcome with bookkeeping for the ablation benches.
@@ -58,6 +68,56 @@ struct SearchResult {
   Candidate best;
   std::vector<Candidate> candidates;  ///< ranked, post-refinement
   std::size_t evaluations = 0;        ///< fast-model scores performed
+  std::size_t cache_hits = 0;         ///< scores served from the memo table
+};
+
+/// Memoizing fast-model scorer over tile tuples. operator() and prefetch()
+/// are intended for one driving thread; prefetch() internally fans work out
+/// over the pool.
+class Scorer {
+ public:
+  Scorer(const ir::GalleryProgram& g, const FastMissModel& fast,
+         std::vector<std::int64_t> bounds, std::int64_t capacity,
+         parallel::ThreadPool* pool = nullptr);
+
+  /// Score of one tile tuple, memoized on the tuple.
+  const FastMissModel::Score& operator()(
+      const std::vector<std::int64_t>& tiles);
+
+  /// Ensures every tuple is memoized, scoring missing ones (in parallel
+  /// when a pool is available).
+  void prefetch(const std::vector<std::vector<std::int64_t>>& tuples);
+
+  /// Fast-model evaluations actually performed.
+  std::size_t evaluations() const { return evaluations_; }
+
+  /// Lookups answered from the memo table without re-scoring.
+  std::size_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct TupleHash {
+    std::size_t operator()(const std::vector<std::int64_t>& t) const {
+      std::size_t h = 0x9E3779B97F4A7C15ull ^ t.size();
+      for (std::int64_t v : t) {
+        h ^= static_cast<std::size_t>(v) + 0x9E3779B97F4A7C15ull +
+             (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  FastMissModel::Score evaluate(const std::vector<std::int64_t>& tiles) const;
+
+  const ir::GalleryProgram& g_;
+  const FastMissModel& fast_;
+  std::vector<std::int64_t> bounds_;
+  std::int64_t capacity_;
+  parallel::ThreadPool* pool_;
+  std::unordered_map<std::vector<std::int64_t>, FastMissModel::Score,
+                     TupleHash>
+      memo_;
+  std::size_t evaluations_ = 0;
+  std::size_t cache_hits_ = 0;
 };
 
 /// Runs the pruned search for `g` (a tiled gallery program) with the given

@@ -46,6 +46,7 @@ CompiledProgram::CompiledProgram(const ir::Program& prog,
   for (ir::NodeId c : prog.children(ir::Program::kRoot)) {
     top_.push_back(lower(prog, c, env, slot_of));
   }
+  for (auto& op : top_) flatten_leaves(op);
 
   // Total access count: sum over statements of instances * arity.
   total_accesses_ = 0;
@@ -129,6 +130,43 @@ CompiledProgram::PlanOp CompiledProgram::lower(
     cur->body.push_back(lower(prog, c, env, slot_of));
   }
   return outer;
+}
+
+void CompiledProgram::flatten_leaves(PlanOp& op) {
+  if (op.extent < 0) return;
+  for (auto& child : op.body) flatten_leaves(child);
+
+  bool all_statements = !op.body.empty();
+  std::size_t total_refs = 0;
+  for (const auto& child : op.body) {
+    if (child.extent >= 0) {
+      all_statements = false;
+      break;
+    }
+    total_refs += child.refs.size();
+  }
+  if (!all_statements || total_refs == 0 || total_refs > kMaxLeafRefs) {
+    return;
+  }
+  // Innermost loop over pure statements: split each reference's subscript
+  // terms into the loop-variable stride and the outer-value remainder.
+  for (const auto& child : op.body) {
+    for (const auto& ref : child.refs) {
+      LeafRef lr;
+      lr.base = ref.base;
+      lr.mode = ref.mode;
+      lr.site = ref.site;
+      for (const auto& term : ref.terms) {
+        if (term.first == op.slot) {
+          lr.inner_stride += term.second;
+        } else {
+          lr.outer_terms.push_back(term);
+        }
+      }
+      op.leaf_refs.push_back(std::move(lr));
+    }
+  }
+  op.body.clear();
 }
 
 std::uint64_t CompiledProgram::array_base(const std::string& array) const {

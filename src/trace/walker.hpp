@@ -10,6 +10,16 @@
 // occupies a contiguous base..base+size-1 block (row-major, tiled subscript
 // pairs composed in mixed radix), so distinct elements <=> distinct
 // addresses, which is the identity the stack-distance model uses.
+//
+// Two sink shapes are supported:
+//  * walk(sink)          — sink(const Access&) per access (compatibility).
+//  * walk_batched(sink)  — sink(const Access*, std::size_t) over buffers of
+//    ~4K accesses. The generator fills each buffer with a flattened hot
+//    loop: innermost loops whose bodies are pure statements are executed
+//    with per-reference strides (the subscript dot-product is hoisted out
+//    of the loop), so trace generation no longer dominates simulation.
+// walk() is a thin adapter over walk_batched(), so every caller gets the
+// flattened generator.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +41,9 @@ struct Access {
   std::int32_t site = 0;
 };
 
+/// Default number of accesses buffered per walk_batched() delivery.
+inline constexpr std::size_t kTraceBatch = 4096;
+
 /// A Program bound to concrete sizes, lowered for fast iteration.
 class CompiledProgram {
  public:
@@ -38,12 +51,27 @@ class CompiledProgram {
   /// Extents must evaluate to positive values.
   CompiledProgram(const ir::Program& prog, const sym::Env& env);
 
+  /// Calls `sink(const Access*, std::size_t)` with successive program-order
+  /// trace segments of at most `batch` accesses each. Re-entrant and const:
+  /// concurrent walks of the same CompiledProgram are safe.
+  template <typename BatchSink>
+  void walk_batched(BatchSink&& sink, std::size_t batch = kTraceBatch) const {
+    SDLO_EXPECTS(batch > 0);
+    std::vector<std::int64_t> values(static_cast<std::size_t>(num_slots_),
+                                     0);
+    std::vector<Access> buf;
+    buf.reserve(batch + kMaxLeafRefs);
+    for (const auto& op : top_) run(op, values, buf, batch, sink);
+    if (!buf.empty()) sink(static_cast<const Access*>(buf.data()),
+                           buf.size());
+  }
+
   /// Calls `sink(const Access&)` for every access in program order.
   template <typename Sink>
   void walk(Sink&& sink) const {
-    std::vector<std::int64_t> values(static_cast<std::size_t>(num_slots_),
-                                     0);
-    for (const auto& op : top_) run(op, values, sink);
+    walk_batched([&sink](const Access* a, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) sink(a[i]);
+    });
   }
 
   /// Total number of accesses the walk will produce.
@@ -66,6 +94,10 @@ class CompiledProgram {
   std::int32_t num_sites() const { return num_sites_; }
 
  private:
+  /// Leaf-loop flattening covers statement bodies of up to this many refs;
+  /// larger bodies fall back to the generic path.
+  static constexpr std::size_t kMaxLeafRefs = 32;
+
   struct PlanRef {
     std::uint64_t base = 0;
     // addr = base + sum(values[slot] * stride)
@@ -74,41 +106,81 @@ class CompiledProgram {
     std::int32_t site = 0;
   };
 
+  /// One reference of a flattened innermost loop: addr(v) = addr0(outer
+  /// values) + v * inner_stride, where v is the leaf-loop variable.
+  struct LeafRef {
+    std::uint64_t base = 0;
+    std::vector<std::pair<std::int32_t, std::int64_t>> outer_terms;
+    std::int64_t inner_stride = 0;
+    ir::AccessMode mode = ir::AccessMode::kRead;
+    std::int32_t site = 0;
+  };
+
   struct PlanOp {
     // extent < 0 marks a statement op; otherwise a loop over [0, extent).
     std::int64_t extent = -1;
     std::int32_t slot = -1;
-    std::vector<PlanOp> body;     // loop body
-    std::vector<PlanRef> refs;    // statement refs
+    std::vector<PlanOp> body;         // loop body
+    std::vector<PlanRef> refs;        // statement refs
+    std::vector<LeafRef> leaf_refs;   // non-empty: flattened innermost loop
   };
 
-  template <typename Sink>
+  template <typename BatchSink>
   void run(const PlanOp& op, std::vector<std::int64_t>& values,
-           Sink&& sink) const {
+           std::vector<Access>& buf, std::size_t batch,
+           BatchSink& sink) const {
     if (op.extent < 0) {
-      Access a;
       for (const auto& ref : op.refs) {
         std::uint64_t addr = ref.base;
         for (const auto& [slot, stride] : ref.terms) {
           addr += static_cast<std::uint64_t>(values[
                       static_cast<std::size_t>(slot)] * stride);
         }
-        a.addr = addr;
-        a.mode = ref.mode;
-        a.site = ref.site;
-        sink(static_cast<const Access&>(a));
+        buf.push_back(Access{addr, ref.mode, ref.site});
+      }
+      if (buf.size() >= batch) {
+        sink(static_cast<const Access*>(buf.data()), buf.size());
+        buf.clear();
+      }
+      return;
+    }
+    if (!op.leaf_refs.empty()) {
+      // Flattened innermost loop: hoist each reference's subscript
+      // dot-product out of the loop and advance by a constant stride.
+      std::uint64_t addr[kMaxLeafRefs];
+      const std::size_t nrefs = op.leaf_refs.size();
+      for (std::size_t r = 0; r < nrefs; ++r) {
+        const LeafRef& lr = op.leaf_refs[r];
+        std::uint64_t a = lr.base;
+        for (const auto& [slot, stride] : lr.outer_terms) {
+          a += static_cast<std::uint64_t>(values[
+                   static_cast<std::size_t>(slot)] * stride);
+        }
+        addr[r] = a;
+      }
+      for (std::int64_t v = 0; v < op.extent; ++v) {
+        for (std::size_t r = 0; r < nrefs; ++r) {
+          const LeafRef& lr = op.leaf_refs[r];
+          buf.push_back(Access{addr[r], lr.mode, lr.site});
+          addr[r] += static_cast<std::uint64_t>(lr.inner_stride);
+        }
+        if (buf.size() >= batch) {
+          sink(static_cast<const Access*>(buf.data()), buf.size());
+          buf.clear();
+        }
       }
       return;
     }
     auto& v = values[static_cast<std::size_t>(op.slot)];
     for (v = 0; v < op.extent; ++v) {
-      for (const auto& child : op.body) run(child, values, sink);
+      for (const auto& child : op.body) run(child, values, buf, batch, sink);
     }
     v = 0;
   }
 
   PlanOp lower(const ir::Program& prog, ir::NodeId node, const sym::Env& env,
                std::map<std::string, std::int32_t>& slot_of);
+  static void flatten_leaves(PlanOp& op);
 
   std::vector<PlanOp> top_;
   std::int32_t num_slots_ = 0;

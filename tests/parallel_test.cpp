@@ -39,6 +39,31 @@ TEST(ThreadPool, ReusableAfterWait) {
   EXPECT_EQ(count.load(), 2);
 }
 
+TEST(ThreadPool, ConcurrentSubmittersAndWaiters) {
+  // Stress the queue under contention: several outside threads submit
+  // batches while others call wait_idle() concurrently. Every submitted
+  // task must run exactly once and every wait_idle() must return.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kBatches = 50;
+  constexpr int kTasksPerBatch = 20;
+  std::atomic<int> count{0};
+  std::vector<std::jthread> outside;
+  for (int s = 0; s < kSubmitters; ++s) {
+    outside.emplace_back([&pool, &count] {
+      for (int b = 0; b < kBatches; ++b) {
+        for (int t = 0; t < kTasksPerBatch; ++t) {
+          pool.submit([&count] { count.fetch_add(1); });
+        }
+        pool.wait_idle();  // interleaves with other submitters' batches
+      }
+    });
+  }
+  outside.clear();  // joins all submitters
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), kSubmitters * kBatches * kTasksPerBatch);
+}
+
 TEST(ParallelFor, CoversRangeExactlyOnce) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(101);

@@ -1,0 +1,221 @@
+// Differential tests for the sweep engine: simulate_sweep / simulate_many
+// must be bit-identical to the per-configuration simulators on every
+// gallery program, for every capacity, line size and associativity tried —
+// including the per-site miss breakdown. Also covers the batched walker
+// (walk_batched vs walk) and pool-vs-serial equivalence.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cachesim/sim.hpp"
+#include "cachesim/sweep.hpp"
+#include "ir/gallery.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/check.hpp"
+#include "trace/walker.hpp"
+
+namespace {
+
+using namespace sdlo;
+
+struct GalleryCase {
+  std::string name;
+  ir::GalleryProgram g;
+  std::vector<std::int64_t> bounds;
+  std::vector<std::int64_t> tiles;
+};
+
+std::vector<GalleryCase> gallery_cases() {
+  std::vector<GalleryCase> cases;
+  cases.push_back({"matmul", ir::matmul(), {12, 12, 12}, {}});
+  cases.push_back({"matmul_tiled", ir::matmul_tiled(),
+                   {16, 16, 16}, {4, 8, 4}});
+  cases.push_back({"two_index_fused", ir::two_index_fused(),
+                   {8, 8, 8, 8}, {}});
+  cases.push_back({"two_index_tiled", ir::two_index_tiled(),
+                   {16, 16, 16, 16}, {4, 8, 8, 4}});
+  cases.push_back({"two_index_unfused", ir::two_index_unfused(),
+                   {8, 8, 8, 8}, {}});
+  return cases;
+}
+
+trace::CompiledProgram compile(const GalleryCase& c) {
+  return trace::CompiledProgram(c.g.prog, c.g.make_env(c.bounds, c.tiles));
+}
+
+void expect_same(const cachesim::SimResult& got,
+                 const cachesim::SimResult& want, const std::string& what) {
+  EXPECT_EQ(got.accesses, want.accesses) << what;
+  EXPECT_EQ(got.misses, want.misses) << what;
+  EXPECT_EQ(got.misses_by_site, want.misses_by_site) << what;
+}
+
+TEST(SweepTest, MatchesSimulateLruOnEveryGalleryProgram) {
+  const std::vector<std::int64_t> caps{1, 2, 3, 16, 64, 250, 1024, 65536};
+  for (const auto& c : gallery_cases()) {
+    const auto cp = compile(c);
+    std::vector<cachesim::SweepConfig> configs;
+    for (std::int64_t cap : caps) {
+      configs.push_back({cap, 1, 0, cachesim::Replacement::kLru});
+    }
+    const auto swept = cachesim::simulate_sweep(cp, configs);
+    ASSERT_EQ(swept.size(), caps.size());
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      expect_same(swept[i], cachesim::simulate_lru(cp, caps[i]),
+                  c.name + " cap=" + std::to_string(caps[i]));
+    }
+  }
+}
+
+TEST(SweepTest, MatchesSimulateLruLinesAcrossLineSizes) {
+  for (const auto& c : gallery_cases()) {
+    const auto cp = compile(c);
+    std::vector<cachesim::SweepConfig> configs;
+    for (std::int64_t line : {2, 4, 8}) {
+      for (std::int64_t mult : {1, 16, 256}) {
+        configs.push_back(
+            {line * mult, line, 0, cachesim::Replacement::kLru});
+      }
+    }
+    const auto swept = cachesim::simulate_sweep(cp, configs);
+    ASSERT_EQ(swept.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      expect_same(swept[i],
+                  cachesim::simulate_lru_lines(cp, configs[i].capacity_elems,
+                                               configs[i].line_elems),
+                  c.name + " cap=" +
+                      std::to_string(configs[i].capacity_elems) + " line=" +
+                      std::to_string(configs[i].line_elems));
+    }
+  }
+}
+
+TEST(SweepTest, MixedConfigListWithDuplicatesKeepsOrder) {
+  const auto cases = gallery_cases();
+  const auto cp = compile(cases[1]);  // matmul_tiled
+  const std::vector<cachesim::SweepConfig> configs{
+      {64, 1, 0, cachesim::Replacement::kLru},
+      {256, 4, 0, cachesim::Replacement::kLru},
+      {64, 1, 4, cachesim::Replacement::kLru},   // set-associative
+      {64, 1, 0, cachesim::Replacement::kLru},   // duplicate of [0]
+      {1024, 1, 0, cachesim::Replacement::kLru},
+      {128, 2, 1, cachesim::Replacement::kLru},  // direct-mapped, lines
+  };
+  const auto swept = cachesim::simulate_sweep(cp, configs);
+  ASSERT_EQ(swept.size(), configs.size());
+  expect_same(swept[0], cachesim::simulate_lru(cp, 64), "cap=64");
+  expect_same(swept[1], cachesim::simulate_lru_lines(cp, 256, 4),
+              "cap=256 line=4");
+  expect_same(swept[2], cachesim::simulate_set_assoc(cp, 64, 4, 1),
+              "cap=64 4-way");
+  expect_same(swept[3], swept[0], "duplicate config");
+  expect_same(swept[4], cachesim::simulate_lru(cp, 1024), "cap=1024");
+  expect_same(swept[5], cachesim::simulate_set_assoc(cp, 128, 1, 2),
+              "cap=128 direct-mapped line=2");
+}
+
+TEST(SweepTest, SimulateManyMatchesSetAssoc) {
+  for (const auto& c : gallery_cases()) {
+    const auto cp = compile(c);
+    const std::vector<cachesim::SweepConfig> configs{
+        {64, 1, 1, cachesim::Replacement::kLru},
+        {64, 1, 4, cachesim::Replacement::kLru},
+        {256, 4, 8, cachesim::Replacement::kLru},
+        {128, 1, 0, cachesim::Replacement::kLru},  // FA via LruCache
+    };
+    const auto many = cachesim::simulate_many(cp, configs);
+    ASSERT_EQ(many.size(), configs.size());
+    expect_same(many[0], cachesim::simulate_set_assoc(cp, 64, 1, 1),
+                c.name + " dm");
+    expect_same(many[1], cachesim::simulate_set_assoc(cp, 64, 4, 1),
+                c.name + " 4-way");
+    expect_same(many[2], cachesim::simulate_set_assoc(cp, 256, 8, 4),
+                c.name + " 8-way line=4");
+    expect_same(many[3], cachesim::simulate_lru(cp, 128), c.name + " fa");
+  }
+}
+
+TEST(SweepTest, ProfileResultMatchesSimulation) {
+  for (const auto& c : gallery_cases()) {
+    const auto cp = compile(c);
+    for (std::int64_t line : {1, 4}) {
+      const auto prof = cachesim::profile_stack_distances(cp, line);
+      for (std::int64_t cap : {line, 8 * line, 512 * line}) {
+        expect_same(prof.result(cap),
+                    cachesim::simulate_lru_lines(cp, cap, line),
+                    c.name + " profile cap=" + std::to_string(cap) +
+                        " line=" + std::to_string(line));
+      }
+    }
+  }
+}
+
+TEST(SweepTest, PoolAndSerialAgree) {
+  parallel::ThreadPool pool(4);
+  for (const auto& c : gallery_cases()) {
+    const auto cp = compile(c);
+    std::vector<cachesim::SweepConfig> configs;
+    for (std::int64_t cap : {16, 256, 4096}) {
+      configs.push_back({cap, 1, 0, cachesim::Replacement::kLru});
+      configs.push_back({cap, 1, 2, cachesim::Replacement::kLru});
+    }
+    const auto serial = cachesim::simulate_sweep(cp, configs, nullptr);
+    const auto pooled = cachesim::simulate_sweep(cp, configs, &pool);
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_same(pooled[i], serial[i], c.name + " pooled config " +
+                                            std::to_string(i));
+    }
+    const auto many_serial = cachesim::simulate_many(cp, configs, nullptr);
+    const auto many_pooled = cachesim::simulate_many(cp, configs, &pool);
+    for (std::size_t i = 0; i < many_serial.size(); ++i) {
+      expect_same(many_pooled[i], many_serial[i],
+                  c.name + " pooled many " + std::to_string(i));
+    }
+  }
+}
+
+TEST(SweepTest, RejectsBadGeometry) {
+  const auto cases = gallery_cases();
+  const auto cp = compile(cases[0]);
+  EXPECT_THROW(cachesim::simulate_sweep(
+                   cp, {{0, 1, 0, cachesim::Replacement::kLru}}),
+               Error);
+  EXPECT_THROW(cachesim::simulate_sweep(
+                   cp, {{64, 3, 0, cachesim::Replacement::kLru}}),
+               Error);
+  EXPECT_THROW(cachesim::simulate_sweep(
+                   cp, {{66, 4, 0, cachesim::Replacement::kLru}}),
+               Error);
+}
+
+TEST(SweepTest, BatchedWalkMatchesPerAccessWalk) {
+  for (const auto& c : gallery_cases()) {
+    const auto cp = compile(c);
+    std::vector<trace::Access> one_by_one;
+    cp.walk([&](const trace::Access& a) { one_by_one.push_back(a); });
+    for (std::size_t batch : {std::size_t{1}, std::size_t{7},
+                              trace::kTraceBatch}) {
+      std::vector<trace::Access> batched;
+      cp.walk_batched(
+          [&](const trace::Access* a, std::size_t n) {
+            batched.insert(batched.end(), a, a + n);
+          },
+          batch);
+      ASSERT_EQ(batched.size(), one_by_one.size())
+          << c.name << " batch=" << batch;
+      for (std::size_t i = 0; i < batched.size(); ++i) {
+        ASSERT_EQ(batched[i].addr, one_by_one[i].addr)
+            << c.name << " batch=" << batch << " i=" << i;
+        ASSERT_EQ(batched[i].site, one_by_one[i].site)
+            << c.name << " batch=" << batch << " i=" << i;
+        ASSERT_EQ(static_cast<int>(batched[i].mode),
+                  static_cast<int>(one_by_one[i].mode))
+            << c.name << " batch=" << batch << " i=" << i;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -5,18 +5,20 @@
 //
 //   sdlo analyze  prog.sdlo                      # partitions + distances
 //   sdlo misses   prog.sdlo --cap 8192 --set N=512 [--simulate]
-//   sdlo sweep    prog.sdlo --set N=512           # misses vs capacity
+//   sdlo sweep    prog.sdlo --set N=512 [--line 4] [--sites]
 //   sdlo trace    prog.sdlo --set N=8 [--limit 100]
 //
 // Symbols are bound with repeated --set NAME=VALUE flags. `misses` prints
 // the model's prediction and, with --simulate, cross-checks it against the
-// trace simulator. `sweep` uses the stack-distance profiler to answer every
-// capacity from one pass.
+// sweep engine's simulator. `sweep` uses the stack-distance profiler to
+// answer every capacity from one pass — at line granularity with --line,
+// and with a per-site miss breakdown under --sites.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "cachesim/sim.hpp"
+#include "cachesim/sweep.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "model/analyzer.hpp"
@@ -76,7 +78,8 @@ int cmd_misses(const ir::Program& prog, const sym::Env& env,
             << format_double(100.0 * pred.miss_ratio(), 3) << "%)\n";
   if (simulate) {
     trace::CompiledProgram cp(prog, env);
-    const auto sim = cachesim::simulate_lru(cp, cap);
+    const auto sim = cachesim::simulate_sweep(
+        cp, {{cap, 1, 0, cachesim::Replacement::kLru}})[0];
     std::cout << "simulated " << with_commas(
                      static_cast<std::int64_t>(sim.misses))
               << " misses — "
@@ -88,22 +91,39 @@ int cmd_misses(const ir::Program& prog, const sym::Env& env,
   return 0;
 }
 
-int cmd_sweep(const ir::Program& prog, const sym::Env& env) {
+int cmd_sweep(const ir::Program& prog, const sym::Env& env,
+              std::int64_t line, bool sites) {
   trace::CompiledProgram cp(prog, env);
-  const auto prof = cachesim::profile_stack_distances(cp);
-  TextTable t({"capacity", "misses", "miss ratio"});
-  for (std::int64_t cap = 1;
+  const auto prof = cachesim::profile_stack_distances(cp, line);
+  std::vector<std::string> header{"capacity", "misses", "miss ratio"};
+  if (sites) {
+    for (std::size_t s = 0; s < prof.histogram_by_site.size(); ++s) {
+      header.push_back("site " + std::to_string(s));
+    }
+  }
+  TextTable t(header);
+  for (std::int64_t cap = line;
        cap <= static_cast<std::int64_t>(cp.address_space_size()) * 2;
        cap *= 2) {
-    const auto m = prof.misses(cap);
-    t.add_row({with_commas(cap),
-               with_commas(static_cast<std::int64_t>(m)),
-               format_double(100.0 * static_cast<double>(m) /
-                                 static_cast<double>(prof.accesses),
-                             3) +
-                   "%"});
+    const auto r = prof.result(cap);
+    std::vector<std::string> row{
+        with_commas(cap), with_commas(static_cast<std::int64_t>(r.misses)),
+        format_double(100.0 * static_cast<double>(r.misses) /
+                          static_cast<double>(prof.accesses),
+                      3) +
+            "%"};
+    if (sites) {
+      for (const auto m : r.misses_by_site) {
+        row.push_back(with_commas(static_cast<std::int64_t>(m)));
+      }
+    }
+    t.add_row(row);
   }
   t.print(std::cout);
+  if (line != 1) {
+    std::cout << "(line granularity: " << line
+              << " elements per line; capacities in elements)\n";
+  }
   return 0;
 }
 
@@ -130,6 +150,8 @@ int main(int argc, char** argv) {
     cli.flag("cap", "cache capacity in elements (misses)")
         .flag("set", "bind a symbol: --set N=512 (repeatable)")
         .flag("simulate", "cross-check the model with the simulator")
+        .flag("line", "line size in elements for sweep (default 1)")
+        .flag("sites", "per-site miss breakdown (sweep)")
         .flag("limit", "max trace records to print (trace)");
     cli.finish();
 
@@ -156,7 +178,10 @@ int main(int argc, char** argv) {
       return cmd_misses(prog, env, cli.get_int("cap", 8192),
                         cli.get_bool("simulate", false));
     }
-    if (verb == "sweep") return cmd_sweep(prog, env);
+    if (verb == "sweep") {
+      return cmd_sweep(prog, env, cli.get_int("line", 1),
+                       cli.get_bool("sites", false));
+    }
     if (verb == "trace") {
       return cmd_trace(prog, env, cli.get_int("limit", 50));
     }
