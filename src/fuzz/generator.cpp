@@ -1,0 +1,167 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sdlo::fuzz {
+
+using sym::Expr;
+
+ProgramGenerator::ProgramGenerator(std::uint64_t seed, GeneratorOptions opts)
+    : opts_(std::move(opts)), seed_(seed), rng_(seed) {
+  for (int i = 0; i < opts_.num_variables; ++i) {
+    var_extent_["v" + std::to_string(i)] =
+        rng_.range(opts_.min_extent, opts_.max_extent);
+  }
+}
+
+Expr ProgramGenerator::extent_of(const std::string& var) const {
+  return Expr::symbol(var + "_N");
+}
+
+sym::Env ProgramGenerator::env() const {
+  sym::Env e;
+  for (const auto& [name, extent] : var_extent_) e[name + "_N"] = extent;
+  return e;
+}
+
+GeneratedProgram ProgramGenerator::generate() {
+  GeneratedProgram out;
+  out.seed = seed_;
+  out.index = index_++;
+  arrays_.clear();
+  stmt_counter_ = 0;
+  ir::Program& p = out.prog;
+  const int top = static_cast<int>(rng_.range(1, opts_.max_top_bands));
+  for (int i = 0; i < top; ++i) {
+    gen_band(p, ir::Program::kRoot, {}, 0);
+  }
+  if (stmt_counter_ == 0) {
+    // Guarantee at least one statement.
+    ir::NodeId b =
+        p.add_band(ir::Program::kRoot, {ir::Loop{"v0", extent_of("v0")}});
+    add_statement(p, b, {"v0"});
+  }
+  p.validate();
+  out.env = env();
+  return out;
+}
+
+void ProgramGenerator::gen_band(ir::Program& p, ir::NodeId parent,
+                                std::vector<std::string> path, int depth) {
+  // Pick 1-2 fresh loop variables for this band (the pool is shared with
+  // sibling bands, which is what creates cross-branch reuse).
+  std::vector<std::string> avail;
+  for (const auto& [name, extent] : var_extent_) {
+    (void)extent;
+    if (std::find(path.begin(), path.end(), name) == path.end()) {
+      avail.push_back(name);
+    }
+  }
+  if (avail.empty()) return;
+  const int nloops = std::min<int>(static_cast<int>(rng_.range(1, 2)),
+                                   static_cast<int>(avail.size()));
+  std::vector<ir::Loop> loops;
+  for (int i = 0; i < nloops; ++i) {
+    const auto pick = rng_.below(avail.size());
+    const std::string var = avail[pick];
+    avail.erase(avail.begin() + static_cast<std::ptrdiff_t>(pick));
+    loops.push_back(ir::Loop{var, extent_of(var)});
+    path.push_back(var);
+  }
+  ir::NodeId band = p.add_band(parent, std::move(loops));
+
+  const int kids = static_cast<int>(rng_.range(1, opts_.max_children));
+  for (int k = 0; k < kids; ++k) {
+    if (depth < opts_.max_depth &&
+        rng_.below(100) < static_cast<std::uint64_t>(opts_.subband_pct)) {
+      gen_band(p, band, path, depth + 1);
+    } else {
+      add_statement(p, band, path);
+    }
+  }
+  // A band whose sub-band recursion produced nothing (variable pool
+  // exhausted) must not stay a childless leaf.
+  if (p.children(band).empty()) add_statement(p, band, path);
+}
+
+void ProgramGenerator::add_statement(ir::Program& p, ir::NodeId band,
+                                     const std::vector<std::string>& path) {
+  ir::Statement s;
+  s.label = "S" + std::to_string(++stmt_counter_);
+  // Grammar-compatible access order: reads of other arrays, an optional
+  // self-read of the target, then the write. The target is chosen first so
+  // reads can avoid aliasing it (the printer folds any read of the target
+  // into "+=", so a second aliasing read would not round-trip).
+  ir::ArrayRef target = make_ref(path, ir::AccessMode::kWrite, "");
+  const int nreads = static_cast<int>(rng_.range(0, opts_.max_reads));
+  for (int r = 0; r < nreads; ++r) {
+    s.accesses.push_back(
+        make_ref(path, ir::AccessMode::kRead, target.array));
+  }
+  if (rng_.below(100) < static_cast<std::uint64_t>(opts_.self_read_pct)) {
+    ir::ArrayRef self = target;
+    self.mode = ir::AccessMode::kRead;
+    s.accesses.push_back(std::move(self));
+  }
+  s.accesses.push_back(std::move(target));
+  p.add_statement(band, std::move(s));
+}
+
+ir::ArrayRef ProgramGenerator::make_ref(const std::vector<std::string>& path,
+                                        ir::AccessMode mode,
+                                        const std::string& avoid_array) {
+  ir::ArrayRef ref;
+  ref.mode = mode;
+  // Half the time, reuse an existing array whose variables are all on the
+  // current path (cross-branch reuse by shared names).
+  if (!arrays_.empty() &&
+      rng_.below(100) < static_cast<std::uint64_t>(opts_.reuse_array_pct)) {
+    std::vector<const std::pair<const std::string,
+                                std::vector<ir::Subscript>>*> usable;
+    for (const auto& entry : arrays_) {
+      if (entry.first == avoid_array) continue;
+      bool ok = true;
+      for (const auto& sub : entry.second) {
+        for (const auto& v : sub.vars) {
+          if (std::find(path.begin(), path.end(), v) == path.end()) {
+            ok = false;
+          }
+        }
+      }
+      if (ok) usable.push_back(&entry);
+    }
+    if (!usable.empty()) {
+      const auto* chosen = usable[rng_.below(usable.size())];
+      ref.array = chosen->first;
+      ref.subscripts = chosen->second;
+      return ref;
+    }
+  }
+  // Otherwise mint a new array over a random subset of path variables
+  // (possibly empty: a scalar), grouped into dims of 1-2 variables — pairs
+  // model tiled mixed-radix subscripts like T[iT+iI].
+  std::vector<std::string> vars;
+  for (const auto& v : path) {
+    if (rng_.below(100) < static_cast<std::uint64_t>(opts_.var_use_pct)) {
+      vars.push_back(v);
+    }
+  }
+  std::vector<ir::Subscript> subs;
+  for (std::size_t i = 0; i < vars.size();) {
+    ir::Subscript sub;
+    sub.vars.push_back(vars[i++]);
+    if (i < vars.size() &&
+        rng_.below(100) <
+            static_cast<std::uint64_t>(opts_.tiled_subscript_pct)) {
+      sub.vars.push_back(vars[i++]);
+    }
+    subs.push_back(std::move(sub));
+  }
+  ref.array = "ar" + std::to_string(arrays_.size());
+  ref.subscripts = subs;
+  arrays_.emplace(ref.array, std::move(subs));
+  return ref;
+}
+
+}  // namespace sdlo::fuzz

@@ -1,0 +1,109 @@
+// Seeded generator of valid constrained-class loop-nest programs.
+//
+// Promoted from the embedded generator that used to live inside
+// tests/property_random_test.cpp: the differential fuzzing subsystem (see
+// DESIGN.md §8) needs the same program distribution from the CLI fuzzer,
+// the property tests, and the counterexample reducer, so it lives here as a
+// library.
+//
+// Generated programs cover the corner cases no hand-written gallery kernel
+// exercises: arbitrary imperfect nest shapes, the SAME loop variable shared
+// across sibling subtrees (the TCE tile-buffer reuse pattern), scalars,
+// tiling-like mixed-radix subscript pairs, and multi-access statements.
+//
+// Two invariants beyond ir::Program::validate() are guaranteed, because the
+// reducer's artifact format depends on them:
+//  * Every program round-trips through the textual IR:
+//    parse_program(to_code_string(p)) is structurally equal to p. This
+//    constrains statement shape to what the grammar can express — zero or
+//    more reads of arrays other than the target, an optional self-read of
+//    the target ("+="), then exactly one write, in that order.
+//  * Every free symbol of the program is bound by env(), with extents that
+//    evaluate to small positive values, so traces stay CI-sized.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "support/rng.hpp"
+#include "symbolic/expr.hpp"
+
+namespace sdlo::fuzz {
+
+/// Tuning knobs for the program distribution. The defaults match the
+/// historical property-test distribution (small extents, nests up to three
+/// bands deep) so fixed seeds keep their coverage.
+struct GeneratorOptions {
+  /// Size of the shared loop-variable pool (v0..v{n-1}). Re-declaring a
+  /// pool variable in sibling branches always uses the same extent.
+  int num_variables = 6;
+  /// Inclusive range of concrete per-variable extents bound by env().
+  std::int64_t min_extent = 2;
+  std::int64_t max_extent = 5;
+  /// Number of top-level bands: uniform in [1, max_top_bands].
+  int max_top_bands = 3;
+  /// Maximum band nesting depth below a top-level band.
+  int max_depth = 2;
+  /// Children per band: uniform in [1, max_children].
+  int max_children = 3;
+  /// Percent chance a band child is a sub-band rather than a statement.
+  int subband_pct = 45;
+  /// Maximum reads per statement (excluding the optional self-read).
+  int max_reads = 2;
+  /// Percent chance a statement accumulates ("+=": reads its own target).
+  int self_read_pct = 30;
+  /// Percent chance a read reuses an existing array (cross-branch reuse).
+  int reuse_array_pct = 50;
+  /// Percent chance each path variable participates in a new array's
+  /// subscripts (misses can leave a scalar).
+  int var_use_pct = 60;
+  /// Percent chance two adjacent subscript variables fuse into one
+  /// mixed-radix dimension (a tiling-like split, e.g. T[iT+iI]).
+  int tiled_subscript_pct = 33;
+};
+
+/// One generated program plus everything needed to replay or report it.
+struct GeneratedProgram {
+  std::uint64_t seed = 0;  ///< seed the generator was constructed with
+  int index = 0;           ///< 0-based position in the generator's stream
+  ir::Program prog;        ///< validated program
+  sym::Env env;            ///< binds every free symbol (extents)
+};
+
+/// Deterministic stream of generated programs: the same (seed, options)
+/// always yields the same sequence, on every platform.
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(std::uint64_t seed, GeneratorOptions opts = {});
+
+  /// Generates the next program of the stream.
+  GeneratedProgram generate();
+
+  /// Environment binding every pool-variable extent symbol ("v3_N" = 4).
+  sym::Env env() const;
+
+  const GeneratorOptions& options() const { return opts_; }
+
+ private:
+  sym::Expr extent_of(const std::string& var) const;
+  void gen_band(ir::Program& p, ir::NodeId parent,
+                std::vector<std::string> path, int depth);
+  void add_statement(ir::Program& p, ir::NodeId band,
+                     const std::vector<std::string>& path);
+  ir::ArrayRef make_ref(const std::vector<std::string>& path,
+                        ir::AccessMode mode,
+                        const std::string& avoid_array);
+
+  GeneratorOptions opts_;
+  std::uint64_t seed_;
+  int index_ = 0;
+  SplitMix64 rng_;
+  std::map<std::string, std::int64_t> var_extent_;
+  std::map<std::string, std::vector<ir::Subscript>> arrays_;
+  int stmt_counter_ = 0;
+};
+
+}  // namespace sdlo::fuzz

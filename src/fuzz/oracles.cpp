@@ -1,0 +1,268 @@
+#include "fuzz/oracles.hpp"
+
+#include <sstream>
+
+#include "cachesim/sim.hpp"
+#include "cachesim/sweep.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "model/analyzer.hpp"
+#include "trace/walker.hpp"
+
+namespace sdlo::fuzz {
+
+namespace {
+
+using cachesim::SimResult;
+
+void add_mismatch(OracleReport& report, const std::string& oracle,
+                  const std::string& detail) {
+  report.mismatches.push_back(Mismatch{oracle, detail});
+}
+
+/// Compares two SimResults field by field; any difference is one mismatch
+/// naming the first differing field.
+void compare_results(OracleReport& report, const std::string& oracle,
+                     const std::string& where, const SimResult& got,
+                     const SimResult& want) {
+  std::ostringstream os;
+  os << where << ": ";
+  if (got.accesses != want.accesses) {
+    os << "accesses " << got.accesses << " != " << want.accesses;
+  } else if (got.misses != want.misses) {
+    os << "misses " << got.misses << " != " << want.misses;
+  } else if (got.misses_by_site != want.misses_by_site) {
+    std::size_t s = 0;
+    while (s < got.misses_by_site.size() &&
+           s < want.misses_by_site.size() &&
+           got.misses_by_site[s] == want.misses_by_site[s]) {
+      ++s;
+    }
+    os << "misses_by_site[" << s << "] ";
+    if (s < got.misses_by_site.size()) os << got.misses_by_site[s];
+    else os << "<absent>";
+    os << " != ";
+    if (s < want.misses_by_site.size()) os << want.misses_by_site[s];
+    else os << "<absent>";
+  } else {
+    return;  // equal
+  }
+  add_mismatch(report, oracle, os.str());
+}
+
+void check_roundtrip(OracleReport& report, const ir::Program& prog) {
+  const std::string text = ir::to_code_string(prog);
+  try {
+    const ir::Program reparsed = ir::parse_program(text);
+    if (!ir::structurally_equal(prog, reparsed)) {
+      add_mismatch(report, "print-parse-roundtrip",
+                   "parse(print(p)) is not structurally equal to p;"
+                   " reparsed form:\n" + ir::to_code_string(reparsed));
+    }
+  } catch (const Error& e) {
+    add_mismatch(report, "print-parse-roundtrip",
+                 std::string("printed program does not parse: ") + e.what());
+  }
+}
+
+void check_walker(OracleReport& report, const trace::CompiledProgram& cp) {
+  std::vector<trace::Access> ref;
+  ref.reserve(static_cast<std::size_t>(cp.total_accesses()));
+  cp.walk([&](const trace::Access& a) { ref.push_back(a); });
+  if (ref.size() != cp.total_accesses()) {
+    std::ostringstream os;
+    os << "walk produced " << ref.size() << " accesses, total_accesses() = "
+       << cp.total_accesses();
+    add_mismatch(report, "walker", os.str());
+  }
+  // Batch boundaries must not change the delivered sequence: batch=1
+  // flushes inside every flattened leaf loop, batch=3 lands mid-statement.
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{3}}) {
+    std::size_t pos = 0;
+    bool diverged = false;
+    cp.walk_batched(
+        [&](const trace::Access* a, std::size_t n) {
+          for (std::size_t i = 0; i < n && !diverged; ++i, ++pos) {
+            if (pos >= ref.size() || a[i].addr != ref[pos].addr ||
+                a[i].mode != ref[pos].mode || a[i].site != ref[pos].site) {
+              std::ostringstream os;
+              os << "batch=" << batch << " diverges from walk() at access "
+                 << pos;
+              add_mismatch(report, "walker", os.str());
+              diverged = true;
+            }
+          }
+        },
+        batch);
+    if (!diverged && pos != ref.size()) {
+      std::ostringstream os;
+      os << "batch=" << batch << " produced " << pos << " accesses, walk() "
+         << ref.size();
+      add_mismatch(report, "walker", os.str());
+    }
+  }
+}
+
+void check_model(OracleReport& report, const ir::Program& prog,
+                 const sym::Env& env, const trace::CompiledProgram& cp,
+                 const OracleOptions& opts) {
+  const auto an = model::analyze(prog);
+  const auto prof = cachesim::profile_stack_distances(cp);
+  for (const std::int64_t cap : opts.capacities) {
+    const auto pred = model::predict_misses(an, env, cap);
+    if (static_cast<std::uint64_t>(pred.misses) != prof.misses(cap)) {
+      std::ostringstream os;
+      os << "cap=" << cap << ": model predicts " << pred.misses
+         << " misses, profiler counts " << prof.misses(cap);
+      add_mismatch(report, "model-vs-profile", os.str());
+    }
+  }
+  // Per-site agreement against the arena LRU cache at one mid capacity.
+  const std::int64_t cap = opts.per_site_capacity;
+  const auto sim = cachesim::simulate_lru(cp, cap);
+  const auto pred = model::predict_misses(an, env, cap);
+  SimResult pred_as_sim;
+  pred_as_sim.accesses = static_cast<std::uint64_t>(pred.total_accesses);
+  pred_as_sim.misses = static_cast<std::uint64_t>(pred.misses);
+  pred_as_sim.misses_by_site.reserve(pred.misses_by_site.size());
+  for (const auto m : pred.misses_by_site) {
+    pred_as_sim.misses_by_site.push_back(static_cast<std::uint64_t>(m));
+  }
+  compare_results(report, "model-vs-lru-per-site",
+                  "cap=" + std::to_string(cap), pred_as_sim, sim);
+}
+
+void check_profile(OracleReport& report, const trace::CompiledProgram& cp,
+                   const OracleOptions& opts) {
+  for (const std::int64_t line : opts.line_sizes) {
+    const auto prof = cachesim::profile_stack_distances(cp, line);
+    for (const std::int64_t cl : opts.capacity_lines) {
+      const std::int64_t cap = cl * line;
+      std::ostringstream where;
+      where << "cap=" << cap << " line=" << line;
+      compare_results(report, "profile-vs-lru-lines", where.str(),
+                      prof.result(cap),
+                      cachesim::simulate_lru_lines(cp, cap, line));
+    }
+  }
+}
+
+void check_sweep(OracleReport& report, const trace::CompiledProgram& cp,
+                 const OracleOptions& opts) {
+  // One mixed config list: fully-associative entries per line size plus
+  // set-associative entries under both policies. simulate_sweep must be
+  // bit-identical to the per-configuration reference simulators.
+  std::vector<cachesim::SweepConfig> configs;
+  for (const std::int64_t line : opts.line_sizes) {
+    for (const std::int64_t cl : opts.capacity_lines) {
+      configs.push_back({cl * line, line, 0, cachesim::Replacement::kLru});
+      for (const int ways : opts.ways_ladder) {
+        if (cl % ways != 0) continue;
+        configs.push_back({cl * line, line, ways,
+                           cachesim::Replacement::kLru});
+        configs.push_back({cl * line, line, ways,
+                           cachesim::Replacement::kFifo});
+      }
+    }
+  }
+  const auto results = cachesim::simulate_sweep(cp, configs);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& c = configs[i];
+    const SimResult want =
+        c.ways == 0
+            ? cachesim::simulate_lru_lines(cp, c.capacity_elems,
+                                           c.line_elems)
+            : cachesim::simulate_set_assoc(cp, c.capacity_elems, c.ways,
+                                           c.line_elems, c.policy);
+    std::ostringstream where;
+    where << "cap=" << c.capacity_elems << " line=" << c.line_elems
+          << " ways=" << c.ways
+          << (c.policy == cachesim::Replacement::kFifo ? " fifo" : " lru");
+    compare_results(report, "sweep-vs-reference", where.str(), results[i],
+                    want);
+  }
+}
+
+void check_set_assoc_edges(OracleReport& report,
+                           const trace::CompiledProgram& cp,
+                           const OracleOptions& opts) {
+  for (const std::int64_t line : opts.line_sizes) {
+    for (const std::int64_t cl : opts.capacity_lines) {
+      const std::int64_t cap = cl * line;
+      std::ostringstream base;
+      base << "cap=" << cap << " line=" << line;
+      // Associativity == num_lines collapses to one set: the cache is
+      // fully associative and must match the LruCache-based simulator.
+      compare_results(
+          report, "set-assoc-fully-assoc-edge", base.str(),
+          cachesim::simulate_set_assoc(cp, cap, static_cast<int>(cl), line,
+                                       cachesim::Replacement::kLru),
+          cachesim::simulate_lru_lines(cp, cap, line));
+      // Direct-mapped (1-way) sets hold a single line, so the replacement
+      // policy cannot matter: LRU and FIFO must agree access for access.
+      compare_results(
+          report, "set-assoc-direct-mapped-edge", base.str() + " ways=1",
+          cachesim::simulate_set_assoc(cp, cap, 1, line,
+                                       cachesim::Replacement::kFifo),
+          cachesim::simulate_set_assoc(cp, cap, 1, line,
+                                       cachesim::Replacement::kLru));
+    }
+  }
+}
+
+}  // namespace
+
+OracleReport check_program(const ir::Program& prog, const sym::Env& env,
+                           const OracleOptions& opts) {
+  OracleReport report;
+  if (opts.check_roundtrip) check_roundtrip(report, prog);
+
+  trace::CompiledProgram cp(prog, env);
+  report.accesses = cp.total_accesses();
+  if (report.accesses > opts.max_trace_accesses) {
+    report.skipped = true;
+    return report;
+  }
+  if (opts.check_walker) check_walker(report, cp);
+  if (opts.check_model) check_model(report, prog, env, cp, opts);
+  if (opts.check_profile) check_profile(report, cp, opts);
+  if (opts.check_sweep) check_sweep(report, cp, opts);
+  if (opts.check_set_assoc) check_set_assoc_edges(report, cp, opts);
+  return report;
+}
+
+namespace {
+
+std::string render(const ir::Program& prog, const sym::Env& env,
+                   const OracleReport& report, const std::string& origin) {
+  std::ostringstream os;
+  os << "differential oracle failure (" << report.mismatches.size()
+     << " mismatch" << (report.mismatches.size() == 1 ? "" : "es") << ")\n";
+  if (!origin.empty()) os << origin << "\n";
+  os << "env:";
+  for (const auto& [name, value] : env) os << " " << name << "=" << value;
+  os << "\nprogram (replayable through ir::parse_program):\n"
+     << ir::to_code_string(prog);
+  for (const auto& m : report.mismatches) {
+    os << "[" << m.oracle << "] " << m.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string describe_failure(const GeneratedProgram& gp,
+                             const OracleReport& report) {
+  std::ostringstream origin;
+  origin << "seed " << gp.seed << " index " << gp.index
+         << " (replay: ProgramGenerator(" << gp.seed << ").generate() x"
+         << (gp.index + 1) << ", or `sdlo fuzz --seed " << gp.seed << "`)";
+  return render(gp.prog, gp.env, report, origin.str());
+}
+
+std::string describe_failure(const ir::Program& prog, const sym::Env& env,
+                             const OracleReport& report) {
+  return render(prog, env, report, "");
+}
+
+}  // namespace sdlo::fuzz

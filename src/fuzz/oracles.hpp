@@ -1,0 +1,91 @@
+// N-way differential oracles for the model/simulator stack.
+//
+// The paper's central claim (§4-§5, Tables 2-3) is that the symbolic
+// stack-distance model matches a fully-associative LRU simulator *exactly*
+// on the constrained TCE loop class. The repo now carries several
+// independent implementations of that semantics:
+//
+//   model::predict_misses        symbolic analysis + coordinate enumeration
+//   cachesim::simulate_lru       arena LRU cache fed by the trace walker
+//   cachesim::simulate_lru_lines line-granular variant of the above
+//   cachesim::profile_stack_distances / ProfileResult::result
+//                                one-pass exact stack-distance histogram
+//   cachesim::simulate_sweep     marker-augmented multi-capacity LRU stack
+//   cachesim::simulate_set_assoc set-associative geometry (edge cases of
+//                                which must degenerate to the above)
+//   trace::walk / walk_batched   two trace delivery shapes over one plan
+//
+// check_program() cross-checks all of them on one program across a
+// capacity / line-size / associativity ladder and reports every
+// disagreement. Any mismatch is a bug somewhere in the stack by
+// construction; the reducer (fuzz/reducer.hpp) can then shrink the
+// offending program to a minimal counterexample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "ir/program.hpp"
+#include "symbolic/expr.hpp"
+
+namespace sdlo::fuzz {
+
+/// Which ladders the oracles sweep, and which oracle families run.
+struct OracleOptions {
+  /// Element capacities for the model-vs-profiler comparison (line size 1).
+  std::vector<std::int64_t> capacities = {1, 2, 3, 5, 8, 13, 21, 55, 200,
+                                          5000};
+  /// Line sizes (elements, powers of two) for line-granular oracles.
+  std::vector<std::int64_t> line_sizes = {1, 2, 4};
+  /// Capacities *in lines* for line-granular and set-associative oracles
+  /// (element capacity = lines * line_size).
+  std::vector<std::int64_t> capacity_lines = {1, 2, 3, 8, 21};
+  /// Associativities for the set-associative oracles.
+  std::vector<int> ways_ladder = {1, 2};
+  /// Programs whose trace exceeds this are skipped (report.skipped).
+  std::uint64_t max_trace_accesses = 2'000'000;
+  /// Per-site capacity for the model per-site oracle.
+  std::int64_t per_site_capacity = 21;
+
+  bool check_roundtrip = true;  ///< parse(print(p)) structural equality
+  bool check_walker = true;     ///< walk vs walk_batched batch shapes
+  bool check_model = true;      ///< model vs exact stack-distance profile
+  bool check_profile = true;    ///< ProfileResult::result vs simulate_lru*
+  bool check_sweep = true;      ///< simulate_sweep vs per-config reference
+  bool check_set_assoc = true;  ///< set-associative edge geometries
+};
+
+/// One disagreement between two implementations.
+struct Mismatch {
+  std::string oracle;  ///< oracle family, e.g. "model-vs-profile"
+  std::string detail;  ///< the two values and the configuration they differ at
+};
+
+/// Outcome of running every oracle family on one program.
+struct OracleReport {
+  bool skipped = false;        ///< trace exceeded max_trace_accesses
+  std::uint64_t accesses = 0;  ///< trace length (0 when skipped early)
+  std::vector<Mismatch> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Runs every enabled oracle family on `prog` bound with `env`.
+/// The program must be validated and `env` must bind every free symbol.
+OracleReport check_program(const ir::Program& prog, const sym::Env& env,
+                           const OracleOptions& opts = {});
+
+/// Renders a reproducible failure report: the seed and stream index, the
+/// environment, the ir::Printer dump of the program (replayable through
+/// ir::Parser), and every mismatch. This is the string every fuzz/property
+/// failure must print so CI logs alone suffice to reproduce.
+std::string describe_failure(const GeneratedProgram& gp,
+                             const OracleReport& report);
+
+/// Same rendering for a program that did not come from the generator.
+std::string describe_failure(const ir::Program& prog, const sym::Env& env,
+                             const OracleReport& report);
+
+}  // namespace sdlo::fuzz

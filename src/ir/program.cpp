@@ -262,4 +262,45 @@ Expr Program::total_accesses() const {
   return total;
 }
 
+namespace {
+
+bool refs_equal(const ArrayRef& a, const ArrayRef& b) {
+  return a.array == b.array && a.mode == b.mode &&
+         a.subscripts == b.subscripts;
+}
+
+bool nodes_equal(const Program& a, NodeId na, const Program& b, NodeId nb) {
+  if (a.is_statement(na) != b.is_statement(nb)) return false;
+  if (a.is_statement(na)) {
+    const Statement& sa = a.statement(na);
+    const Statement& sb = b.statement(nb);
+    if (sa.label != sb.label) return false;
+    if (sa.accesses.size() != sb.accesses.size()) return false;
+    for (std::size_t i = 0; i < sa.accesses.size(); ++i) {
+      if (!refs_equal(sa.accesses[i], sb.accesses[i])) return false;
+    }
+    return true;
+  }
+  const auto& la = a.band_loops(na);
+  const auto& lb = b.band_loops(nb);
+  if (la.size() != lb.size()) return false;
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    if (la[i].var != lb[i].var) return false;
+    if (!la[i].extent.equals(lb[i].extent)) return false;
+  }
+  const auto& ca = a.children(na);
+  const auto& cb = b.children(nb);
+  if (ca.size() != cb.size()) return false;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    if (!nodes_equal(a, ca[i], b, cb[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool structurally_equal(const Program& a, const Program& b) {
+  return nodes_equal(a, Program::kRoot, b, Program::kRoot);
+}
+
 }  // namespace sdlo::ir

@@ -182,4 +182,11 @@ class Program {
   std::map<std::string, std::vector<std::string>> array_vars_;
 };
 
+/// Structural equality of two program trees: identical shapes, loop
+/// variables and extents (by Expr::equals), statement labels, and access
+/// lists (array, subscripts, mode, order). Independent of validation state.
+/// This is the identity the parser↔printer round-trip guarantee is stated
+/// in: parse_program(to_code_string(p)) is structurally equal to p.
+bool structurally_equal(const Program& a, const Program& b);
+
 }  // namespace sdlo::ir

@@ -1,197 +1,45 @@
-// Property-based validation: the stack-distance model must agree exactly
-// with the LRU trace simulator on *randomly generated* programs of the
-// constrained class — arbitrary imperfect nest shapes, shared variables
-// across sibling branches, scalars, multi-access statements, at several
-// cache capacities. This sweeps corner cases no hand-written kernel covers.
-#include "support/check.hpp"
+// Property-based validation, now a thin consumer of the fuzzing subsystem
+// (src/fuzz): every implementation of the miss semantics must agree on
+// randomly generated programs of the constrained class — arbitrary
+// imperfect nest shapes, shared variables across sibling branches, scalars,
+// multi-access statements — across a capacity / line-size / associativity
+// ladder. The fixed seed range (1..24, six programs each) predates the
+// subsystem and is kept so existing coverage is preserved; `sdlo fuzz`
+// extends the same oracles to fresh seeds.
 #include <gtest/gtest.h>
 
-#include <map>
-#include <string>
-#include <vector>
-
-#include "cachesim/sim.hpp"
-#include "ir/printer.hpp"
-#include "ir/program.hpp"
-#include "model/analyzer.hpp"
-#include "support/rng.hpp"
-#include "trace/walker.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracles.hpp"
 
 namespace sdlo {
 namespace {
 
-using sym::Expr;
-
-/// Random generator for validated constrained-class programs.
-class ProgramGenerator {
- public:
-  explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {
-    // Global variable pool: names with fixed extents, so re-declaration
-    // across sibling branches is always consistent.
-    for (int i = 0; i < 6; ++i) {
-      var_extent_["v" + std::to_string(i)] = rng_.range(2, 5);
-    }
-  }
-
-  ir::Program generate() {
-    ir::Program p;
-    arrays_.clear();
-    stmt_counter_ = 0;
-    const int top = static_cast<int>(rng_.range(1, 3));
-    for (int i = 0; i < top; ++i) {
-      gen_band(p, ir::Program::kRoot, {}, 0);
-    }
-    if (stmt_counter_ == 0) {
-      // Guarantee at least one statement.
-      ir::NodeId b = p.add_band(ir::Program::kRoot,
-                                {ir::Loop{"v0", extent_of("v0")}});
-      add_statement(p, b, {"v0"});
-    }
-    p.validate();
-    return p;
-  }
-
-  sym::Env env() const {
-    sym::Env e;
-    for (const auto& [name, extent] : var_extent_) e[name + "_N"] = extent;
-    return e;
-  }
-
- private:
-  Expr extent_of(const std::string& var) {
-    return Expr::symbol(var + "_N");
-  }
-
-  void gen_band(ir::Program& p, ir::NodeId parent,
-                std::vector<std::string> path, int depth) {
-    // Pick 1-2 fresh loop variables for this band.
-    std::vector<std::string> avail;
-    for (const auto& [name, extent] : var_extent_) {
-      (void)extent;
-      if (std::find(path.begin(), path.end(), name) == path.end()) {
-        avail.push_back(name);
-      }
-    }
-    if (avail.empty()) return;
-    const int nloops =
-        std::min<int>(static_cast<int>(rng_.range(1, 2)),
-                      static_cast<int>(avail.size()));
-    std::vector<ir::Loop> loops;
-    for (int i = 0; i < nloops; ++i) {
-      const auto pick = rng_.below(avail.size());
-      const std::string var = avail[pick];
-      avail.erase(avail.begin() + static_cast<std::ptrdiff_t>(pick));
-      loops.push_back(ir::Loop{var, extent_of(var)});
-      path.push_back(var);
-    }
-    ir::NodeId band = p.add_band(parent, std::move(loops));
-
-    // Children: statements and sub-bands, at least one child.
-    const int kids = static_cast<int>(rng_.range(1, 3));
-    bool have_child = false;
-    for (int k = 0; k < kids; ++k) {
-      if (depth < 2 && rng_.below(100) < 45) {
-        gen_band(p, band, path, depth + 1);
-        have_child = true;
-      } else {
-        add_statement(p, band, path);
-        have_child = true;
-      }
-    }
-    if (!have_child) add_statement(p, band, path);
-  }
-
-  void add_statement(ir::Program& p, ir::NodeId band,
-                     const std::vector<std::string>& path) {
-    ir::Statement s;
-    s.label = "S" + std::to_string(++stmt_counter_);
-    const int accesses = static_cast<int>(rng_.range(1, 3));
-    for (int a = 0; a < accesses; ++a) {
-      s.accesses.push_back(make_ref(path));
-    }
-    p.add_statement(band, std::move(s));
-  }
-
-  ir::ArrayRef make_ref(const std::vector<std::string>& path) {
-    ir::ArrayRef ref;
-    ref.mode = (rng_.below(3) == 0) ? ir::AccessMode::kWrite
-                                    : ir::AccessMode::kRead;
-    // Half the time, reuse an existing array whose variables are all on
-    // the current path (cross-branch reuse by shared names).
-    if (!arrays_.empty() && rng_.below(2) == 0) {
-      std::vector<const std::pair<const std::string,
-                                  std::vector<ir::Subscript>>*> usable;
-      for (const auto& entry : arrays_) {
-        bool ok = true;
-        for (const auto& sub : entry.second) {
-          for (const auto& v : sub.vars) {
-            if (std::find(path.begin(), path.end(), v) == path.end()) {
-              ok = false;
-            }
-          }
-        }
-        if (ok) usable.push_back(&entry);
-      }
-      if (!usable.empty()) {
-        const auto* chosen = usable[rng_.below(usable.size())];
-        ref.array = chosen->first;
-        ref.subscripts = chosen->second;
-        return ref;
-      }
-    }
-    // Otherwise mint a new array over a random subset of path variables
-    // (possibly empty: a scalar), grouped into dims of 1-2 variables.
-    std::vector<std::string> vars;
-    for (const auto& v : path) {
-      if (rng_.below(100) < 60) vars.push_back(v);
-    }
-    std::vector<ir::Subscript> subs;
-    for (std::size_t i = 0; i < vars.size();) {
-      ir::Subscript sub;
-      sub.vars.push_back(vars[i++]);
-      if (i < vars.size() && rng_.below(3) == 0) {
-        sub.vars.push_back(vars[i++]);
-      }
-      subs.push_back(std::move(sub));
-    }
-    ref.array = "ar" + std::to_string(arrays_.size());
-    ref.subscripts = subs;
-    arrays_.emplace(ref.array, std::move(subs));
-    return ref;
-  }
-
-  SplitMix64 rng_;
-  std::map<std::string, std::int64_t> var_extent_;
-  std::map<std::string, std::vector<ir::Subscript>> arrays_;
-  int stmt_counter_ = 0;
-};
-
 class RandomProgramTest : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(RandomProgramTest, ModelMatchesSimulatorExactly) {
-  ProgramGenerator gen(GetParam());
+TEST_P(RandomProgramTest, AllImplementationsAgree) {
+  // Two tiers keep CI (and the sanitizer job) fast without losing the
+  // historical coverage: the full oracle battery walks the trace ~100
+  // times, so it runs on small traces only; larger programs keep the
+  // original model-vs-profiler check up to the original 2M-access cap.
+  fuzz::OracleOptions full;
+  full.max_trace_accesses = 200'000;
+  fuzz::OracleOptions model_only;
+  model_only.check_walker = false;
+  model_only.check_profile = false;
+  model_only.check_sweep = false;
+  model_only.check_set_assoc = false;
+
+  fuzz::ProgramGenerator gen(GetParam());
   for (int trial = 0; trial < 6; ++trial) {
-    ir::Program p = gen.generate();
-    const auto env = gen.env();
-    trace::CompiledProgram cp(p, env);
-    if (cp.total_accesses() > 2'000'000) continue;  // keep CI fast
-    const auto an = model::analyze(p);
-    const auto prof = cachesim::profile_stack_distances(cp);
-    for (std::int64_t cap : {1, 2, 3, 5, 8, 13, 21, 55, 200, 5000}) {
-      const auto pred = model::predict_misses(an, env, cap);
-      ASSERT_EQ(static_cast<std::uint64_t>(pred.misses), prof.misses(cap))
-          << "seed " << GetParam() << " trial " << trial << " cap " << cap
-          << "\n" << ir::to_code_string(p);
+    const fuzz::GeneratedProgram gp = gen.generate();
+    fuzz::OracleReport report = fuzz::check_program(gp.prog, gp.env, full);
+    if (report.skipped) {
+      report = fuzz::check_program(gp.prog, gp.env, model_only);
     }
-    // Per-site agreement at one mid capacity.
-    const auto sim = cachesim::simulate_lru(cp, 21);
-    const auto pred = model::predict_misses(an, env, 21);
-    for (std::size_t s = 0; s < sim.misses_by_site.size(); ++s) {
-      ASSERT_EQ(static_cast<std::uint64_t>(pred.misses_by_site[s]),
-                sim.misses_by_site[s])
-          << "seed " << GetParam() << " trial " << trial << " site " << s
-          << "\n" << ir::to_code_string(p);
-    }
+    if (report.skipped) continue;  // oversized trace; keep CI fast
+    // On failure the message alone reproduces the bug: it carries the seed,
+    // the stream index, the environment, and the printed program.
+    ASSERT_TRUE(report.ok()) << fuzz::describe_failure(gp, report);
   }
 }
 

@@ -7,18 +7,32 @@
 //   sdlo misses   prog.sdlo --cap 8192 --set N=512 [--simulate]
 //   sdlo sweep    prog.sdlo --set N=512 [--line 4] [--sites]
 //   sdlo trace    prog.sdlo --set N=8 [--limit 100]
+//   sdlo fuzz     [--seed S] [--count N] [--time-budget SEC]
+//                 [--artifact-dir DIR] [--replay artifact.sdlo]
 //
 // Symbols are bound with repeated --set NAME=VALUE flags. `misses` prints
 // the model's prediction and, with --simulate, cross-checks it against the
 // sweep engine's simulator. `sweep` uses the stack-distance profiler to
 // answer every capacity from one pass — at line granularity with --line,
 // and with a per-site miss breakdown under --sites.
+//
+// `fuzz` runs the differential fuzzing subsystem (src/fuzz): generates
+// random constrained-class programs and cross-checks every implementation
+// of the miss semantics against every other. On a mismatch the offending
+// program is delta-debugged down to a minimal counterexample and written
+// to --artifact-dir as a replayable `.sdlo` artifact; `--replay` re-runs
+// the oracles (and, if still failing, the reducer) on such an artifact.
+#include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/reducer.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "model/analyzer.hpp"
@@ -142,6 +156,97 @@ int cmd_trace(const ir::Program& prog, const sym::Env& env,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// fuzz: generate → oracle-check → reduce → artifact.
+// ---------------------------------------------------------------------------
+
+/// Reduces a failing program with the full oracle set as the predicate and
+/// writes the minimized artifact; returns the artifact path (empty when no
+/// directory was given).
+std::string minimize_and_save(const ir::Program& prog, const sym::Env& env,
+                              const std::string& note,
+                              const std::string& artifact_dir) {
+  const fuzz::FailurePredicate still_fails =
+      [](const ir::Program& p, const sym::Env& e) {
+        return !fuzz::check_program(p, e).ok();
+      };
+  const auto red = fuzz::reduce(prog, env, still_fails);
+  const auto final_report = fuzz::check_program(red.prog, red.env);
+  std::cerr << "reduced after " << red.evaluations << " evaluations ("
+            << red.steps << " steps kept); minimized counterexample:\n"
+            << fuzz::describe_failure(red.prog, red.env, final_report);
+  if (artifact_dir.empty()) return "";
+  std::filesystem::create_directories(artifact_dir);
+  const std::string path = artifact_dir + "/counterexample.sdlo";
+  std::ofstream out(path);
+  out << fuzz::to_artifact(red.prog, red.env, note);
+  std::cerr << "artifact written to " << path
+            << " (replay with: sdlo fuzz --replay " << path << ")\n";
+  return path;
+}
+
+int cmd_fuzz_replay(const std::string& path,
+                    const std::string& artifact_dir) {
+  const auto artifact = fuzz::parse_artifact(read_input(path));
+  const auto report = fuzz::check_program(artifact.prog, artifact.env);
+  if (report.ok()) {
+    std::cout << (report.skipped ? "trace too large, oracles skipped\n"
+                                 : "all oracles agree; artifact no longer "
+                                   "reproduces a mismatch\n");
+    return 0;
+  }
+  std::cerr << fuzz::describe_failure(artifact.prog, artifact.env, report);
+  minimize_and_save(artifact.prog, artifact.env, "replayed from " + path,
+                    artifact_dir);
+  return 1;
+}
+
+int cmd_fuzz(std::uint64_t seed, std::int64_t count,
+             std::int64_t time_budget_sec,
+             const std::string& artifact_dir) {
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t total_accesses = 0;
+  std::int64_t checked = 0;
+  std::int64_t skipped = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (time_budget_sec > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start);
+      if (elapsed.count() >= time_budget_sec) {
+        std::cout << "time budget reached after " << checked
+                  << " programs\n";
+        break;
+      }
+    }
+    fuzz::ProgramGenerator gen(seed + static_cast<std::uint64_t>(i));
+    const auto gp = gen.generate();
+    const auto report = fuzz::check_program(gp.prog, gp.env);
+    if (report.skipped) {
+      ++skipped;
+      continue;
+    }
+    ++checked;
+    total_accesses += report.accesses;
+    if (!report.ok()) {
+      std::cerr << fuzz::describe_failure(gp, report);
+      std::ostringstream note;
+      note << "seed " << gp.seed << " index " << gp.index;
+      minimize_and_save(gp.prog, gp.env, note.str(), artifact_dir);
+      return 1;
+    }
+    if ((i + 1) % 200 == 0) {
+      std::cout << "  " << (i + 1) << "/" << count << " programs, "
+                << with_commas(static_cast<std::int64_t>(total_accesses))
+                << " accesses cross-checked\n";
+    }
+  }
+  std::cout << "fuzzed " << checked << " programs (" << skipped
+            << " skipped as oversized), "
+            << with_commas(static_cast<std::int64_t>(total_accesses))
+            << " accesses cross-checked, zero oracle mismatches\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,16 +257,38 @@ int main(int argc, char** argv) {
         .flag("simulate", "cross-check the model with the simulator")
         .flag("line", "line size in elements for sweep (default 1)")
         .flag("sites", "per-site miss breakdown (sweep)")
-        .flag("limit", "max trace records to print (trace)");
+        .flag("limit", "max trace records to print (trace)")
+        .flag("seed", "base seed for fuzz (program i uses seed+i)")
+        .flag("count", "number of programs to fuzz (default 500)")
+        .flag("time-budget", "stop fuzzing after SEC seconds (0 = off)")
+        .flag("artifact-dir", "directory for minimized counterexamples")
+        .flag("replay", "re-check a counterexample artifact (fuzz)");
     cli.finish();
 
     const auto& pos = cli.positional();
+    if (pos.empty()) {
+      std::cerr << "usage: sdlo {analyze|misses|sweep|trace} <file|-> "
+                   "[NAME=VALUE...] [flags]\n"
+                   "       sdlo fuzz [--seed S] [--count N] "
+                   "[--time-budget SEC] [--artifact-dir DIR] "
+                   "[--replay artifact.sdlo]\n";
+      return 2;
+    }
+    const std::string& verb = pos[0];
+    if (verb == "fuzz") {
+      const std::string replay = cli.get_string("replay", "");
+      const std::string artifact_dir = cli.get_string("artifact-dir", "");
+      if (!replay.empty()) return cmd_fuzz_replay(replay, artifact_dir);
+      return cmd_fuzz(
+          static_cast<std::uint64_t>(cli.get_int("seed", 1)),
+          cli.get_int("count", 500), cli.get_int("time-budget", 0),
+          artifact_dir);
+    }
     if (pos.size() < 2) {
       std::cerr << "usage: sdlo {analyze|misses|sweep|trace} <file|-> "
                    "[NAME=VALUE...] [flags]\n";
       return 2;
     }
-    const std::string& verb = pos[0];
     ir::Program prog = ir::parse_program(read_input(pos[1]));
     sym::Env env = parse_sets(pos);
     // --set NAME=VALUE also lands in the "set" flag slot; accept both.
