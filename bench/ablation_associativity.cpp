@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   CommandLine cli(argc, argv);
   cli.flag("n", "loop bound (default 128)");
   cli.flag("csv", "emit CSV");
+  bench::register_trace_flag(cli);
   cli.finish();
+  const auto trace_mode = bench::parse_trace_mode(cli);
   const std::int64_t n = cli.get_int("n", 128);
   const std::int64_t cap = bench::kb_to_elems(16);
 
@@ -33,7 +35,8 @@ int main(int argc, char** argv) {
         cp, {{cap, 1, 0, cachesim::Replacement::kLru},
              {cap, 1, 16, cachesim::Replacement::kLru},
              {cap, 1, 4, cachesim::Replacement::kLru},
-             {cap, 1, 1, cachesim::Replacement::kLru}});
+             {cap, 1, 1, cachesim::Replacement::kLru}},
+        nullptr, trace_mode);
     const auto fa = sims[0].misses;
     const auto w16 = sims[1].misses;
     const auto w4 = sims[2].misses;

@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   CommandLine cli(argc, argv);
   cli.flag("n", "loop bound (default 128)");
   cli.flag("csv", "emit CSV");
+  bench::register_trace_flag(cli);
   cli.finish();
+  const auto trace_mode = bench::parse_trace_mode(cli);
   const std::int64_t n = cli.get_int("n", 128);
 
   auto unfused = ir::two_index_unfused();
@@ -35,8 +37,8 @@ int main(int argc, char** argv) {
                    fcp.address_space_size()))
             << " elements (T is a scalar)\n\n";
 
-  const auto uprof = cachesim::profile_stack_distances(ucp);
-  const auto fprof = cachesim::profile_stack_distances(fcp);
+  const auto uprof = cachesim::profile_stack_distances(ucp, 1, trace_mode);
+  const auto fprof = cachesim::profile_stack_distances(fcp, 1, trace_mode);
 
   TextTable t({"Cache", "Unfused misses (sim)", "Fused misses (sim)",
                "Unfused (model)", "Fused (model)"});

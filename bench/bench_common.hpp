@@ -6,16 +6,34 @@
 #include <vector>
 
 #include "model/analyzer.hpp"
+#include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
+#include "trace/walker.hpp"
 
 namespace sdlo::bench {
 
 /// Cache sizes in elements (doubles) for the paper's byte sizes.
 inline std::int64_t kb_to_elems(std::int64_t kilobytes) {
   return kilobytes * 1024 / 8;
+}
+
+/// Registers the shared `--trace` flag (run-compressed vs per-access trace
+/// delivery for the simulation-backed columns).
+inline void register_trace_flag(CommandLine& cli) {
+  cli.flag("trace", "trace delivery: runs (default) or batched");
+}
+
+/// Parses `--trace`; both modes produce bit-identical results, batched is
+/// the slow reference path.
+inline trace::TraceMode parse_trace_mode(const CommandLine& cli) {
+  const std::string s = cli.get_string("trace", "runs");
+  SDLO_CHECK(s == "runs" || s == "batched",
+             "--trace must be 'runs' or 'batched'");
+  return s == "batched" ? trace::TraceMode::kBatched
+                        : trace::TraceMode::kRuns;
 }
 
 /// "(a,b,c,d)" rendering of a tuple.

@@ -2,13 +2,16 @@
 // symbolic analysis, a concrete miss prediction, a fast-model score and a
 // trace simulation take on the paper's kernels, plus the headline sweep
 // comparison — one 8-capacity LRU sweep over tiled matmul via the
-// single-pass marker engine versus eight independent simulate_lru walks.
+// single-pass marker engine (fed per-access and run-compressed) versus
+// eight independent simulate_lru walks.
 //
 // The sweep comparison runs first (outside google-benchmark, since it
-// compares two whole algorithms rather than timing one) and writes its
-// measurements to BENCH_sweep.json. Environment overrides:
+// compares whole algorithms rather than timing one) and writes its
+// measurements to BENCH_sweep.json, alongside the frozen pre-optimization
+// reference timings so the JSON records the before/after story. Overrides:
 //   SDLO_SWEEP_N      loop bound (default 256)
-//   SDLO_SWEEP_JSON   output path (default BENCH_sweep.json)
+//   SDLO_SWEEP_JSON   output path (default BENCH_sweep.json; the
+//                     --json=PATH argument does the same)
 //   SDLO_SWEEP_SKIP   set to skip the sweep comparison entirely
 #include <benchmark/benchmark.h>
 
@@ -86,7 +89,7 @@ void BM_SimulateLru(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateLru)->Arg(32)->Arg(64);
 
-void BM_SimulateSweep8(benchmark::State& state) {
+void BM_SimulateSweep8(benchmark::State& state, trace::TraceMode mode) {
   auto g = ir::two_index_tiled();
   const auto n = state.range(0);
   const auto env = g.make_env({n, n, n, n}, {n / 4, n / 8, n / 8, n / 4});
@@ -97,13 +100,20 @@ void BM_SimulateSweep8(benchmark::State& state) {
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        cachesim::simulate_sweep(cp, configs).front().misses);
+        cachesim::simulate_sweep(cp, configs, nullptr, mode)
+            .front()
+            .misses);
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations()) *
       static_cast<std::int64_t>(cp.total_accesses()));
 }
-BENCHMARK(BM_SimulateSweep8)->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_SimulateSweep8, runs, trace::TraceMode::kRuns)
+    ->Arg(32)
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_SimulateSweep8, batched, trace::TraceMode::kBatched)
+    ->Arg(32)
+    ->Arg(64);
 
 std::int64_t env_int(const char* name, std::int64_t fallback) {
   const char* v = std::getenv(name);
@@ -114,12 +124,21 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
 /// (one simulate_lru walk per capacity) versus one simulate_sweep call.
 /// Verifies the two produce identical results and writes the timings to
 /// BENCH_sweep.json.
-int run_sweep_comparison() {
+// Reference timings of the pre-run-compression engine (hash-mapped stack,
+// per-access trace) on this comparison at N=256, frozen when the
+// run-compressed pipeline landed. They anchor the before/after record in
+// BENCH_sweep.json and the CI regression gate's expected speedup shape.
+constexpr double kPreRunsSweepSeconds = 1.01199;
+constexpr double kPreRunsBaselineSeconds = 7.94833;
+constexpr std::int64_t kPreRunsN = 256;
+
+int run_sweep_comparison(const std::string& json_arg) {
   if (std::getenv("SDLO_SWEEP_SKIP") != nullptr) return 0;
   const std::int64_t n = env_int("SDLO_SWEEP_N", 256);
   const char* json_env = std::getenv("SDLO_SWEEP_JSON");
-  const std::string json_path =
-      json_env != nullptr ? json_env : "BENCH_sweep.json";
+  const std::string json_path = !json_arg.empty() ? json_arg
+                                : json_env != nullptr ? json_env
+                                                      : "BENCH_sweep.json";
 
   auto g = ir::matmul_tiled();
   const auto env = g.make_env({n, n, n}, {32, 32, 32});
@@ -143,25 +162,48 @@ int run_sweep_comparison() {
     configs.push_back({c, 1, 0, cachesim::Replacement::kLru});
   }
   timer.reset();
-  const auto swept = cachesim::simulate_sweep(cp, configs);
+  const auto swept_batched = cachesim::simulate_sweep(
+      cp, configs, nullptr, trace::TraceMode::kBatched);
+  const double sweep_batched_seconds = timer.seconds();
+
+  timer.reset();
+  const auto swept = cachesim::simulate_sweep(cp, configs, nullptr,
+                                              trace::TraceMode::kRuns);
   const double sweep_seconds = timer.seconds();
 
-  bool identical = swept.size() == baseline.size();
+  bool identical = swept.size() == baseline.size() &&
+                   swept_batched.size() == baseline.size();
   for (std::size_t i = 0; identical && i < swept.size(); ++i) {
     identical = swept[i].accesses == baseline[i].accesses &&
                 swept[i].misses == baseline[i].misses &&
-                swept[i].misses_by_site == baseline[i].misses_by_site;
+                swept[i].misses_by_site == baseline[i].misses_by_site &&
+                swept_batched[i].accesses == baseline[i].accesses &&
+                swept_batched[i].misses == baseline[i].misses &&
+                swept_batched[i].misses_by_site ==
+                    baseline[i].misses_by_site;
   }
   const double speedup =
       sweep_seconds > 0 ? baseline_seconds / sweep_seconds : 0;
+  const double speedup_runs_vs_batched =
+      sweep_seconds > 0 ? sweep_batched_seconds / sweep_seconds : 0;
 
   std::cout << "== Sweep engine: 8-capacity LRU sweep, tiled matmul N=" << n
             << " ==\n"
-            << "  baseline (8x simulate_lru): " << baseline_seconds
+            << "  baseline (8x simulate_lru):   " << baseline_seconds
             << " s\n"
-            << "  simulate_sweep (one pass):  " << sweep_seconds << " s\n"
-            << "  speedup: " << speedup << "x   results identical: "
-            << (identical ? "yes" : "NO") << "\n\n";
+            << "  simulate_sweep (per-access):  " << sweep_batched_seconds
+            << " s\n"
+            << "  simulate_sweep (run-fed):     " << sweep_seconds << " s\n"
+            << "  speedup vs baseline: " << speedup
+            << "x   run-fed vs per-access: " << speedup_runs_vs_batched
+            << "x   results identical: " << (identical ? "yes" : "NO")
+            << "\n";
+  if (n == kPreRunsN && sweep_seconds > 0) {
+    std::cout << "  end-to-end vs pre-run-compression sweep ("
+              << kPreRunsSweepSeconds
+              << " s): " << kPreRunsSweepSeconds / sweep_seconds << "x\n";
+  }
+  std::cout << "\n";
 
   std::ofstream out(json_path);
   out << "{\n"
@@ -175,8 +217,18 @@ int run_sweep_comparison() {
   out << "],\n"
       << "  \"accesses\": " << cp.total_accesses() << ",\n"
       << "  \"baseline_seconds\": " << baseline_seconds << ",\n"
+      << "  \"sweep_batched_seconds\": " << sweep_batched_seconds
+      << ",\n"
       << "  \"sweep_seconds\": " << sweep_seconds << ",\n"
       << "  \"speedup\": " << speedup << ",\n"
+      << "  \"speedup_runs_vs_batched\": " << speedup_runs_vs_batched
+      << ",\n"
+      << "  \"before\": {\n"
+      << "    \"n\": " << kPreRunsN << ",\n"
+      << "    \"baseline_seconds\": " << kPreRunsBaselineSeconds
+      << ",\n"
+      << "    \"sweep_seconds\": " << kPreRunsSweepSeconds << "\n"
+      << "  },\n"
       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
       << "}\n";
   std::cout << "wrote " << json_path << "\n\n";
@@ -191,7 +243,19 @@ int run_sweep_comparison() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int rc = run_sweep_comparison();
+  // Peel off --json=PATH before google-benchmark sees the arguments.
+  std::string json_arg;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_arg = arg.substr(7);
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+  const int rc = run_sweep_comparison(json_arg);
   if (rc != 0) return rc;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

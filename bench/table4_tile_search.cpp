@@ -20,7 +20,9 @@ int main(int argc, char** argv) {
   cli.flag("cache_kb", "cache size in KB (default 64)");
   cli.flag("max_tile", "largest tile value searched (default 512)");
   cli.flag("csv", "emit CSV");
+  bench::register_trace_flag(cli);
   cli.finish();
+  const auto trace_mode = bench::parse_trace_mode(cli);
   const std::int64_t cache_kb = cli.get_int("cache_kb", 64);
   const std::int64_t cap = bench::kb_to_elems(cache_kb);
 
@@ -63,12 +65,9 @@ int main(int argc, char** argv) {
 
   std::cout << "\nValidation: simulated misses at N=256 for the searched "
                "tile vs the\nequal-tile convention:\n";
+  tile::Scorer sim_scorer(g, fast, {256, 256, 256, 256}, cap);
   auto sim_misses = [&](const std::vector<std::int64_t>& tiles) {
-    trace::CompiledProgram cp(g.prog, g.make_env({256, 256, 256, 256},
-                                                 tiles));
-    return cachesim::simulate_sweep(
-               cp, {{cap, 1, 0, cachesim::Replacement::kLru}})[0]
-        .misses;
+    return sim_scorer.simulated_misses(tiles, trace_mode);
   };
   const auto searched = sim_misses(unknown.best.tiles);
   std::cout << "  searched " << bench::tuple_str(unknown.best.tiles)

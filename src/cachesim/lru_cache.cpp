@@ -21,7 +21,8 @@ std::uint64_t hash_addr(std::uint64_t x) {
 
 }  // namespace
 
-LruCache::LruCache(std::int64_t capacity) : capacity_(capacity) {
+LruCache::LruCache(std::int64_t capacity, std::uint64_t addr_limit)
+    : capacity_(capacity) {
   SDLO_EXPECTS(capacity > 0);
   SDLO_EXPECTS(capacity < (std::int64_t{1} << 31));
   nodes_.resize(static_cast<std::size_t>(capacity));
@@ -31,11 +32,15 @@ LruCache::LruCache(std::int64_t capacity) : capacity_(capacity) {
         (i + 1 < capacity) ? i + 1 : -1;
   }
   free_head_ = 0;
-  const auto table =
-      std::bit_ceil(static_cast<std::uint64_t>(capacity) * 2 + 1);
-  keys_.assign(table, kEmptyKey);
-  vals_.assign(table, -1);
-  mask_ = table - 1;
+  if (addr_limit > 0) {
+    node_of_.assign(static_cast<std::size_t>(addr_limit), -1);
+  } else {
+    const auto table =
+        std::bit_ceil(static_cast<std::uint64_t>(capacity) * 2 + 1);
+    keys_.assign(table, kEmptyKey);
+    vals_.assign(table, -1);
+    mask_ = table - 1;
+  }
 }
 
 void LruCache::reset() {
@@ -48,7 +53,11 @@ void LruCache::reset() {
         (i + 1 < capacity_) ? i + 1 : -1;
   }
   free_head_ = 0;
-  keys_.assign(keys_.size(), kEmptyKey);
+  if (!node_of_.empty()) {
+    node_of_.assign(node_of_.size(), -1);
+  } else {
+    keys_.assign(keys_.size(), kEmptyKey);
+  }
 }
 
 std::int32_t LruCache::find_slot(std::uint64_t addr) const {
@@ -118,6 +127,35 @@ void LruCache::push_front(std::int32_t n) {
 }
 
 bool LruCache::access(std::uint64_t addr) {
+  if (node_of_.empty()) return access_hashed(addr);
+  SDLO_EXPECTS(addr < node_of_.size());
+  const std::int32_t hit = node_of_[addr];
+  if (hit >= 0) {
+    ++hits_;
+    if (head_ != hit) {
+      unlink(hit);
+      push_front(hit);
+    }
+    return true;
+  }
+  ++misses_;
+  std::int32_t n;
+  if (size_ < capacity_) {
+    n = free_head_;
+    free_head_ = nodes_[static_cast<std::size_t>(n)].next;
+    ++size_;
+  } else {
+    n = tail_;
+    unlink(n);
+    node_of_[nodes_[static_cast<std::size_t>(n)].addr] = -1;
+  }
+  nodes_[static_cast<std::size_t>(n)].addr = addr;
+  push_front(n);
+  node_of_[addr] = n;
+  return false;
+}
+
+bool LruCache::access_hashed(std::uint64_t addr) {
   const std::int32_t slot = find_slot(addr);
   if (slot != -1) {
     ++hits_;

@@ -73,8 +73,12 @@ struct ProfileResult {
 
 /// Profiles the trace at `line_elems` granularity (a power of two dividing
 /// nothing in particular — addresses are grouped into lines), recording
-/// global and per-site depth histograms in one walk.
-ProfileResult profile_stack_distances(const trace::CompiledProgram& prog,
-                                      std::int64_t line_elems = 1);
+/// global and per-site depth histograms in one walk. The default run mode
+/// consumes the run-compressed trace, bulk-accounting same-line repeats and
+/// steady-state pinned groups; trace::TraceMode::kBatched forces the
+/// per-access walk. Both produce bit-identical profiles.
+ProfileResult profile_stack_distances(
+    const trace::CompiledProgram& prog, std::int64_t line_elems = 1,
+    trace::TraceMode mode = trace::TraceMode::kRuns);
 
 }  // namespace sdlo::cachesim

@@ -9,13 +9,22 @@
 //
 // simulate_sweep() exploits this with a marker-augmented LRU stack: one
 // doubly-linked stack plus one boundary marker per requested capacity.
-// Each access costs O(1) hash work plus O(#capacities) pointer updates —
-// no Fenwick tree, no per-capacity replay — and yields, exactly, the
-// SimResult (including misses_by_site) of every fully-associative
-// configuration sharing that line size. Set-associative configurations,
-// which the inclusion property does not cover, fall back to
-// simulate_many(): real LruCache/SetAssocCache instances fed from a single
-// shared trace walk.
+// Addresses are element indices in the contiguous [0, address_space_size())
+// space, so the stack's address map is a dense direct-indexed table keyed
+// by addr >> log2(line_elems) — no hashing anywhere on the access path.
+// Each access costs O(1) table work plus O(#crossed boundaries) pointer
+// updates and yields, exactly, the SimResult (including misses_by_site) of
+// every fully-associative configuration sharing that line size.
+// Set-associative configurations, which the inclusion property does not
+// cover, fall back to simulate_many(): real LruCache/SetAssocCache
+// instances fed from a single shared trace walk.
+//
+// Both entry points consume the run-compressed trace (walk_runs) by
+// default: constant-stride run groups are classified in bulk where the
+// stack state provably repeats (same-line tails, all-stride-0 groups) and
+// decompressed per element otherwise — bit-identical either way. Passing
+// trace::TraceMode::kBatched forces the historical per-access walk (the
+// differential-testing reference path).
 //
 // Both entry points accept an optional parallel::ThreadPool. Independent
 // simulation units (one per line-size group / per cache chunk) then run on
@@ -50,20 +59,25 @@ struct SweepConfig {
 /// marker-augmented LRU stack each; set-associative configurations are fed
 /// from shared walks. Results are exact and returned in `configs` order,
 /// bit-identical to per-configuration simulate_lru / simulate_lru_lines /
-/// simulate_set_assoc. With a pool, independent units run in parallel.
+/// simulate_set_assoc — in either trace mode. With a pool, independent
+/// units run in parallel.
 std::vector<SimResult> simulate_sweep(
     const trace::CompiledProgram& prog,
     const std::vector<SweepConfig>& configs,
-    parallel::ThreadPool* pool = nullptr);
+    parallel::ThreadPool* pool = nullptr,
+    trace::TraceMode mode = trace::TraceMode::kRuns);
 
 /// Shared-walk fallback: instantiates one real cache per configuration
 /// (LruCache for ways == 0, SetAssocCache otherwise) and feeds all of them
-/// from a single batched trace walk (or one walk per worker with a pool).
-/// Exact but O(#configs) work per access; prefer simulate_sweep, which
-/// routes each configuration to the cheapest engine.
+/// from a single trace walk (or one walk per worker with a pool), each
+/// cache consuming whole batches / run groups at a time with its tables
+/// pre-sized from the program footprint. Exact but O(#configs) work per
+/// access; prefer simulate_sweep, which routes each configuration to the
+/// cheapest engine.
 std::vector<SimResult> simulate_many(
     const trace::CompiledProgram& prog,
     const std::vector<SweepConfig>& configs,
-    parallel::ThreadPool* pool = nullptr);
+    parallel::ThreadPool* pool = nullptr,
+    trace::TraceMode mode = trace::TraceMode::kRuns);
 
 }  // namespace sdlo::cachesim

@@ -101,6 +101,53 @@ void check_walker(OracleReport& report, const trace::CompiledProgram& cp) {
       add_mismatch(report, "walker", os.str());
     }
   }
+  // The run-compressed trace, decompressed iteration-major, must reproduce
+  // walk() access for access; every group must also satisfy the contract
+  // the bulk engines rely on (uniform count, bounded width when count > 1).
+  std::size_t pos = 0;
+  bool diverged = false;
+  cp.walk_runs([&](const trace::Run* g, std::size_t nrefs) {
+    if (diverged) return;
+    const std::uint64_t count = nrefs > 0 ? g[0].count : 0;
+    if (nrefs == 0 || count == 0 ||
+        (count > 1 && nrefs > trace::kMaxLeafRefs)) {
+      std::ostringstream os;
+      os << "walk_runs group violates contract: nrefs=" << nrefs
+         << " count=" << count;
+      add_mismatch(report, "walker-runs", os.str());
+      diverged = true;
+      return;
+    }
+    for (std::size_t r = 1; r < nrefs; ++r) {
+      if (g[r].count != count) {
+        std::ostringstream os;
+        os << "walk_runs group with non-uniform counts: " << g[r].count
+           << " vs " << count;
+        add_mismatch(report, "walker-runs", os.str());
+        diverged = true;
+        return;
+      }
+    }
+    for (std::uint64_t v = 0; v < count && !diverged; ++v) {
+      for (std::size_t r = 0; r < nrefs; ++r, ++pos) {
+        const std::uint64_t addr = g[r].at(v);
+        if (pos >= ref.size() || addr != ref[pos].addr ||
+            g[r].mode != ref[pos].mode || g[r].site != ref[pos].site) {
+          std::ostringstream os;
+          os << "walk_runs decompression diverges from walk() at access "
+             << pos;
+          add_mismatch(report, "walker-runs", os.str());
+          diverged = true;
+          break;
+        }
+      }
+    }
+  });
+  if (!diverged && pos != ref.size()) {
+    std::ostringstream os;
+    os << "walk_runs produced " << pos << " accesses, walk() " << ref.size();
+    add_mismatch(report, "walker-runs", os.str());
+  }
 }
 
 void check_model(OracleReport& report, const ir::Program& prog,
@@ -135,7 +182,21 @@ void check_model(OracleReport& report, const ir::Program& prog,
 void check_profile(OracleReport& report, const trace::CompiledProgram& cp,
                    const OracleOptions& opts) {
   for (const std::int64_t line : opts.line_sizes) {
-    const auto prof = cachesim::profile_stack_distances(cp, line);
+    const auto prof = cachesim::profile_stack_distances(
+        cp, line, trace::TraceMode::kRuns);
+    const auto prof_b = cachesim::profile_stack_distances(
+        cp, line, trace::TraceMode::kBatched);
+    // The run-fed profiler must reproduce the per-access profile exactly —
+    // histograms, cold counts, and the per-site breakdowns.
+    if (prof.accesses != prof_b.accesses || prof.cold != prof_b.cold ||
+        prof.histogram != prof_b.histogram ||
+        prof.cold_by_site != prof_b.cold_by_site ||
+        prof.histogram_by_site != prof_b.histogram_by_site) {
+      std::ostringstream os;
+      os << "line=" << line
+         << ": run-fed profile differs from per-access profile";
+      add_mismatch(report, "profile-runs-vs-batched", os.str());
+    }
     for (const std::int64_t cl : opts.capacity_lines) {
       const std::int64_t cap = cl * line;
       std::ostringstream where;
@@ -165,7 +226,14 @@ void check_sweep(OracleReport& report, const trace::CompiledProgram& cp,
       }
     }
   }
-  const auto results = cachesim::simulate_sweep(cp, configs);
+  const auto results = cachesim::simulate_sweep(cp, configs, nullptr,
+                                                trace::TraceMode::kRuns);
+  const auto results_b = cachesim::simulate_sweep(cp, configs, nullptr,
+                                                  trace::TraceMode::kBatched);
+  const auto many = cachesim::simulate_many(cp, configs, nullptr,
+                                            trace::TraceMode::kRuns);
+  const auto many_b = cachesim::simulate_many(cp, configs, nullptr,
+                                              trace::TraceMode::kBatched);
   for (std::size_t i = 0; i < configs.size(); ++i) {
     const auto& c = configs[i];
     const SimResult want =
@@ -180,6 +248,12 @@ void check_sweep(OracleReport& report, const trace::CompiledProgram& cp,
           << (c.policy == cachesim::Replacement::kFifo ? " fifo" : " lru");
     compare_results(report, "sweep-vs-reference", where.str(), results[i],
                     want);
+    compare_results(report, "sweep-batched-vs-reference", where.str(),
+                    results_b[i], want);
+    compare_results(report, "many-vs-reference", where.str(), many[i],
+                    want);
+    compare_results(report, "many-batched-vs-reference", where.str(),
+                    many_b[i], want);
   }
 }
 

@@ -11,9 +11,17 @@
 //   cachesim::profile_stack_distances / ProfileResult::result
 //                                one-pass exact stack-distance histogram
 //   cachesim::simulate_sweep     marker-augmented multi-capacity LRU stack
+//   cachesim::simulate_many      shared-walk battery of real cache models
 //   cachesim::simulate_set_assoc set-associative geometry (edge cases of
 //                                which must degenerate to the above)
-//   trace::walk / walk_batched   two trace delivery shapes over one plan
+//   trace::walk / walk_batched / walk_runs
+//                                three trace delivery shapes over one plan
+//
+// The engines that consume the run-compressed trace (sweep, many, and the
+// profiler in trace::TraceMode::kRuns) are enrolled as first-class oracles:
+// each runs in both trace modes and must match the per-access references
+// bit for bit, misses_by_site included — so every bulk fast path is
+// differentially pinned to the naive semantics.
 //
 // check_program() cross-checks all of them on one program across a
 // capacity / line-size / associativity ladder and reports every
@@ -50,10 +58,10 @@ struct OracleOptions {
   std::int64_t per_site_capacity = 21;
 
   bool check_roundtrip = true;  ///< parse(print(p)) structural equality
-  bool check_walker = true;     ///< walk vs walk_batched batch shapes
+  bool check_walker = true;     ///< walk vs walk_batched / walk_runs shapes
   bool check_model = true;      ///< model vs exact stack-distance profile
-  bool check_profile = true;    ///< ProfileResult::result vs simulate_lru*
-  bool check_sweep = true;      ///< simulate_sweep vs per-config reference
+  bool check_profile = true;    ///< profiler (both modes) vs simulate_lru*
+  bool check_sweep = true;      ///< sweep + many (both modes) vs reference
   bool check_set_assoc = true;  ///< set-associative edge geometries
 };
 

@@ -4,7 +4,9 @@
 #include <exception>
 #include <set>
 
+#include "cachesim/sweep.hpp"
 #include "support/check.hpp"
+#include "trace/walker.hpp"
 
 namespace sdlo::tile {
 
@@ -134,6 +136,19 @@ const FastMissModel::Score& Scorer::operator()(
   }
   ++evaluations_;
   return memo_.emplace(tiles, evaluate(tiles)).first->second;
+}
+
+std::uint64_t Scorer::simulated_misses(
+    const std::vector<std::int64_t>& tiles, trace::TraceMode mode) {
+  auto it = sim_memo_.find(tiles);
+  if (it != sim_memo_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  trace::CompiledProgram cp(g_.prog, g_.make_env(bounds_, tiles));
+  const auto r = cachesim::simulate_sweep(
+      cp, {{capacity_, 1, 0, cachesim::Replacement::kLru}}, pool_, mode);
+  return sim_memo_.emplace(tiles, r[0].misses).first->second;
 }
 
 void Scorer::prefetch(const std::vector<std::vector<std::int64_t>>& tuples) {

@@ -32,6 +32,7 @@
 #include "ir/gallery.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tile/fast_model.hpp"
+#include "trace/walker.hpp"
 
 namespace sdlo::tile {
 
@@ -88,6 +89,16 @@ class Scorer {
   /// when a pool is available).
   void prefetch(const std::vector<std::vector<std::int64_t>>& tuples);
 
+  /// Exact *simulated* misses of one tile tuple at the scorer's capacity:
+  /// compiles the program with the tuple bound in and runs the sweep engine
+  /// over its trace. Used by the validation columns of the ablation benches
+  /// to ground the modeled ranking. Memoized on the tuple (separately from
+  /// the fast-model memo); both trace modes are bit-identical, so the mode
+  /// only picks the engine speed, run-compressed by default.
+  std::uint64_t simulated_misses(
+      const std::vector<std::int64_t>& tiles,
+      trace::TraceMode mode = trace::TraceMode::kRuns);
+
   /// Fast-model evaluations actually performed.
   std::size_t evaluations() const { return evaluations_; }
 
@@ -116,6 +127,8 @@ class Scorer {
   std::unordered_map<std::vector<std::int64_t>, FastMissModel::Score,
                      TupleHash>
       memo_;
+  std::unordered_map<std::vector<std::int64_t>, std::uint64_t, TupleHash>
+      sim_memo_;
   std::size_t evaluations_ = 0;
   std::size_t cache_hits_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "trace/walker.hpp"
 
+#include <algorithm>
+
 #include "support/checked_math.hpp"
 
 namespace sdlo::trace {
@@ -13,13 +15,26 @@ std::int64_t eval_positive(const sym::Expr& e, const sym::Env& env,
   return v;
 }
 
+/// Binary search in a name-sorted vector.
+const std::uint64_t* find_sorted(
+    const std::vector<std::pair<std::string, std::uint64_t>>& table,
+    const std::string& key) {
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it == table.end() || it->first != key) return nullptr;
+  return &it->second;
+}
+
 }  // namespace
 
 CompiledProgram::CompiledProgram(const ir::Program& prog,
                                  const sym::Env& env) {
   SDLO_CHECK(prog.validated(), "CompiledProgram requires a validated Program");
 
-  // Lay out arrays: row-major over dims, mixed radix within a dim.
+  // Lay out arrays: row-major over dims, mixed radix within a dim. Bases
+  // are assigned in declaration order; the lookup tables are then sorted by
+  // name for binary search.
   for (const auto& array : prog.arrays()) {
     std::uint64_t size = 1;
     for (const auto& subscript : prog.array_shape(array)) {
@@ -30,39 +45,48 @@ CompiledProgram::CompiledProgram(const ir::Program& prog,
       }
     }
     if (size == 0) size = 1;  // scalar
-    base_of_[array] = next_base_;
-    elements_of_[array] = size;
+    base_of_.emplace_back(array, next_base_);
+    elements_of_.emplace_back(array, size);
     next_base_ += size;
   }
+  std::sort(base_of_.begin(), base_of_.end());
+  std::sort(elements_of_.begin(), elements_of_.end());
 
   // Assign access-site ids in program order.
   for (ir::NodeId s : prog.statements_in_order()) {
-    first_site_of_stmt_[s] = num_sites_;
+    first_site_of_stmt_.emplace_back(s, num_sites_);
     num_sites_ += static_cast<std::int32_t>(
         prog.statement(s).accesses.size());
   }
+  std::sort(first_site_of_stmt_.begin(), first_site_of_stmt_.end());
 
-  std::map<std::string, std::int32_t> slot_of;
+  std::vector<std::pair<std::string, std::int32_t>> slot_of;
   for (ir::NodeId c : prog.children(ir::Program::kRoot)) {
     top_.push_back(lower(prog, c, env, slot_of));
   }
   for (auto& op : top_) flatten_leaves(op);
 
-  // Total access count: sum over statements of instances * arity.
+  // Total access count, cached per top-level op from the lowered plan (the
+  // plan already carries every extent, so no second pass over path loops).
   total_accesses_ = 0;
-  for (ir::NodeId s : prog.statements_in_order()) {
-    std::int64_t inst = 1;
-    for (const auto& pl : prog.path_loops(s)) {
-      inst = checked_mul(inst, eval_positive(pl.extent, env, "extent"));
-    }
-    total_accesses_ += static_cast<std::uint64_t>(inst) *
-                       prog.statement(s).accesses.size();
+  top_accesses_.reserve(top_.size());
+  for (const auto& op : top_) {
+    const std::uint64_t n = count_accesses(op);
+    top_accesses_.push_back(n);
+    total_accesses_ += n;
   }
+}
+
+std::uint64_t CompiledProgram::count_accesses(const PlanOp& op) {
+  if (op.extent < 0) return op.refs.size();
+  std::uint64_t per_iter = op.leaf_refs.size();
+  for (const auto& child : op.body) per_iter += count_accesses(child);
+  return static_cast<std::uint64_t>(op.extent) * per_iter;
 }
 
 CompiledProgram::PlanOp CompiledProgram::lower(
     const ir::Program& prog, ir::NodeId node, const sym::Env& env,
-    std::map<std::string, std::int32_t>& slot_of) {
+    std::vector<std::pair<std::string, std::int32_t>>& slot_of) {
   if (prog.is_statement(node)) {
     PlanOp op;
     op.extent = -1;
@@ -70,9 +94,9 @@ CompiledProgram::PlanOp CompiledProgram::lower(
     for (std::size_t a = 0; a < stmt.accesses.size(); ++a) {
       const ir::ArrayRef& ref = stmt.accesses[a];
       PlanRef pr;
-      pr.base = base_of_.at(ref.array);
+      pr.base = array_base(ref.array);
       pr.mode = ref.mode;
-      pr.site = first_site_of_stmt_.at(node) + static_cast<std::int32_t>(a);
+      pr.site = site_of(node, static_cast<int>(a));
 
       // Row-major dim strides; mixed radix within each dim.
       std::vector<std::int64_t> dim_extent;
@@ -89,7 +113,9 @@ CompiledProgram::PlanOp CompiledProgram::lower(
         std::int64_t within = dim_stride;
         const auto& vars = ref.subscripts[d].vars;
         for (std::size_t k = vars.size(); k-- > 0;) {
-          auto it = slot_of.find(vars[k]);
+          const auto it = std::find_if(
+              slot_of.begin(), slot_of.end(),
+              [&](const auto& e2) { return e2.first == vars[k]; });
           SDLO_CHECK(it != slot_of.end(),
                      "subscript variable not in scope: " + vars[k]);
           pr.terms.emplace_back(it->second, within);
@@ -117,12 +143,14 @@ CompiledProgram::PlanOp CompiledProgram::lower(
       target = &cur->body.back();
     }
     target->extent = eval_positive(loops[i].extent, env, "loop extent");
-    auto it = slot_of.find(loops[i].var);
+    const auto it = std::find_if(
+        slot_of.begin(), slot_of.end(),
+        [&](const auto& e2) { return e2.first == loops[i].var; });
     if (it != slot_of.end()) {
       target->slot = it->second;
     } else {
       target->slot = num_slots_++;
-      slot_of[loops[i].var] = target->slot;
+      slot_of.emplace_back(loops[i].var, target->slot);
     }
     cur = target;
   }
@@ -170,20 +198,29 @@ void CompiledProgram::flatten_leaves(PlanOp& op) {
 }
 
 std::uint64_t CompiledProgram::array_base(const std::string& array) const {
-  auto it = base_of_.find(array);
-  SDLO_CHECK(it != base_of_.end(), "unknown array: " + array);
-  return it->second;
+  const auto* v = find_sorted(base_of_, array);
+  SDLO_CHECK(v != nullptr, "unknown array: " + array);
+  return *v;
 }
 
 std::uint64_t CompiledProgram::array_elements(const std::string& array) const {
-  auto it = elements_of_.find(array);
-  SDLO_CHECK(it != elements_of_.end(), "unknown array: " + array);
-  return it->second;
+  const auto* v = find_sorted(elements_of_, array);
+  SDLO_CHECK(v != nullptr, "unknown array: " + array);
+  return *v;
+}
+
+std::uint64_t CompiledProgram::footprint_lines(std::int64_t line_elems) const {
+  SDLO_EXPECTS(line_elems > 0);
+  if (next_base_ == 0) return 0;
+  return (next_base_ - 1) / static_cast<std::uint64_t>(line_elems) + 1;
 }
 
 std::int32_t CompiledProgram::site_of(ir::NodeId stmt, int access) const {
-  auto it = first_site_of_stmt_.find(stmt);
-  SDLO_CHECK(it != first_site_of_stmt_.end(), "unknown statement node");
+  const auto it = std::lower_bound(
+      first_site_of_stmt_.begin(), first_site_of_stmt_.end(), stmt,
+      [](const auto& entry, ir::NodeId k) { return entry.first < k; });
+  SDLO_CHECK(it != first_site_of_stmt_.end() && it->first == stmt,
+             "unknown statement node");
   return it->second + access;
 }
 

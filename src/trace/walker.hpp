@@ -11,20 +11,29 @@
 // pairs composed in mixed radix), so distinct elements <=> distinct
 // addresses, which is the identity the stack-distance model uses.
 //
-// Two sink shapes are supported:
+// Three sink shapes are supported, cheapest last:
 //  * walk(sink)          — sink(const Access&) per access (compatibility).
 //  * walk_batched(sink)  — sink(const Access*, std::size_t) over buffers of
-//    ~4K accesses. The generator fills each buffer with a flattened hot
-//    loop: innermost loops whose bodies are pure statements are executed
-//    with per-reference strides (the subscript dot-product is hoisted out
-//    of the loop), so trace generation no longer dominates simulation.
-// walk() is a thin adapter over walk_batched(), so every caller gets the
-// flattened generator.
+//    ~4K accesses.
+//  * walk_runs(sink)     — sink(const Run*, std::size_t nrefs) over
+//    *run groups*: the run-compressed form of the trace. A leaf-flattened
+//    innermost loop is delivered as one group of `nrefs` constant-stride
+//    runs sharing a common iteration count — one record per reference per
+//    leaf-loop execution — instead of `count * nrefs` materialized Access
+//    structs. A plain statement is a group with count == 1 (the generic
+//    fallback for bodies the leaf flattener declines, e.g. more than
+//    kMaxLeafRefs references). Decompression order of a group is
+//    iteration-major: for v in [0, count): for r in [0, nrefs):
+//    access(base_r + v*stride_r), which is exactly the program order of the
+//    interleaved loop body.
+// walk() and walk_batched() are thin decompressing adapters over
+// walk_runs(), so every caller observes the identical access sequence and
+// identical batch boundaries as before run compression existed.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ir/program.hpp"
@@ -41,8 +50,35 @@ struct Access {
   std::int32_t site = 0;
 };
 
+/// One constant-stride run of the compressed trace: `count` accesses at
+/// base, base + stride, ..., base + (count-1)*stride, all from one access
+/// site. Runs are delivered in *groups* (see walk_runs) whose members share
+/// a common count and execute interleaved, iteration-major.
+struct Run {
+  std::uint64_t base = 0;
+  std::int64_t stride = 0;
+  std::uint64_t count = 1;
+  ir::AccessMode mode = ir::AccessMode::kRead;
+  std::int32_t site = 0;
+
+  /// Address of the v-th access of the run (addresses wrap mod 2^64, same
+  /// as the incremental generator).
+  std::uint64_t at(std::uint64_t v) const {
+    return base + v * static_cast<std::uint64_t>(stride);
+  }
+};
+
+/// Trace delivery shape a simulation engine consumes: per-access batches
+/// (the PR 1 path) or run-compressed groups. Both yield bit-identical
+/// results; kRuns is faster and the default for the sweep/profile engines.
+enum class TraceMode { kBatched, kRuns };
+
 /// Default number of accesses buffered per walk_batched() delivery.
 inline constexpr std::size_t kTraceBatch = 4096;
+
+/// Leaf-loop flattening covers statement bodies of up to this many
+/// references; larger bodies fall back to the generic count-1 run path.
+inline constexpr std::size_t kMaxLeafRefs = 32;
 
 /// A Program bound to concrete sizes, lowered for fast iteration.
 class CompiledProgram {
@@ -51,17 +87,41 @@ class CompiledProgram {
   /// Extents must evaluate to positive values.
   CompiledProgram(const ir::Program& prog, const sym::Env& env);
 
+  /// Calls `sink(const Run* group, std::size_t nrefs)` with successive
+  /// program-order run groups (see the file comment for the decompression
+  /// contract). All runs of a group share the same `count`. Re-entrant and
+  /// const: concurrent walks of the same CompiledProgram are safe.
+  template <typename GroupSink>
+  void walk_runs(GroupSink&& sink) const {
+    std::vector<std::int64_t> values(static_cast<std::size_t>(num_slots_),
+                                     0);
+    std::vector<Run> group;
+    group.reserve(kMaxLeafRefs);
+    for (const auto& op : top_) run_runs(op, values, group, sink);
+  }
+
   /// Calls `sink(const Access*, std::size_t)` with successive program-order
-  /// trace segments of at most `batch` accesses each. Re-entrant and const:
-  /// concurrent walks of the same CompiledProgram are safe.
+  /// trace segments of at most `batch` accesses each. Decompresses
+  /// walk_runs(); batch boundaries are identical to the historical batched
+  /// generator (a flush check after every statement / leaf iteration).
   template <typename BatchSink>
   void walk_batched(BatchSink&& sink, std::size_t batch = kTraceBatch) const {
     SDLO_EXPECTS(batch > 0);
-    std::vector<std::int64_t> values(static_cast<std::size_t>(num_slots_),
-                                     0);
     std::vector<Access> buf;
     buf.reserve(batch + kMaxLeafRefs);
-    for (const auto& op : top_) run(op, values, buf, batch, sink);
+    walk_runs([&](const Run* group, std::size_t nrefs) {
+      const std::uint64_t count = group[0].count;
+      for (std::uint64_t v = 0; v < count; ++v) {
+        for (std::size_t r = 0; r < nrefs; ++r) {
+          buf.push_back(Access{group[r].at(v), group[r].mode,
+                               group[r].site});
+        }
+        if (buf.size() >= batch) {
+          sink(static_cast<const Access*>(buf.data()), buf.size());
+          buf.clear();
+        }
+      }
+    });
     if (!buf.empty()) sink(static_cast<const Access*>(buf.data()),
                            buf.size());
   }
@@ -77,6 +137,12 @@ class CompiledProgram {
   /// Total number of accesses the walk will produce.
   std::uint64_t total_accesses() const { return total_accesses_; }
 
+  /// Accesses produced by each top-level op (cached at compile time; the
+  /// natural sharding unit for future trace partitioning).
+  const std::vector<std::uint64_t>& top_level_access_counts() const {
+    return top_accesses_;
+  }
+
   /// Base address of an array.
   std::uint64_t array_base(const std::string& array) const;
 
@@ -86,6 +152,11 @@ class CompiledProgram {
   /// One past the largest address (total footprint in elements).
   std::uint64_t address_space_size() const { return next_base_; }
 
+  /// Number of distinct cache lines the footprint spans at `line_elems`
+  /// granularity (a power of two): the exact size of a dense table indexed
+  /// by addr >> log2(line_elems).
+  std::uint64_t footprint_lines(std::int64_t line_elems) const;
+
   /// Global access-site index for (statement node, access position); sites
   /// are numbered in program order of their statements.
   std::int32_t site_of(ir::NodeId stmt, int access) const;
@@ -94,10 +165,6 @@ class CompiledProgram {
   std::int32_t num_sites() const { return num_sites_; }
 
  private:
-  /// Leaf-loop flattening covers statement bodies of up to this many refs;
-  /// larger bodies fall back to the generic path.
-  static constexpr std::size_t kMaxLeafRefs = 32;
-
   struct PlanRef {
     std::uint64_t base = 0;
     // addr = base + sum(values[slot] * stride)
@@ -125,71 +192,64 @@ class CompiledProgram {
     std::vector<LeafRef> leaf_refs;   // non-empty: flattened innermost loop
   };
 
-  template <typename BatchSink>
-  void run(const PlanOp& op, std::vector<std::int64_t>& values,
-           std::vector<Access>& buf, std::size_t batch,
-           BatchSink& sink) const {
+  template <typename GroupSink>
+  void run_runs(const PlanOp& op, std::vector<std::int64_t>& values,
+                std::vector<Run>& group, GroupSink& sink) const {
     if (op.extent < 0) {
+      if (op.refs.empty()) return;
+      group.clear();
       for (const auto& ref : op.refs) {
         std::uint64_t addr = ref.base;
         for (const auto& [slot, stride] : ref.terms) {
           addr += static_cast<std::uint64_t>(values[
                       static_cast<std::size_t>(slot)] * stride);
         }
-        buf.push_back(Access{addr, ref.mode, ref.site});
+        group.push_back(Run{addr, 0, 1, ref.mode, ref.site});
       }
-      if (buf.size() >= batch) {
-        sink(static_cast<const Access*>(buf.data()), buf.size());
-        buf.clear();
-      }
+      sink(static_cast<const Run*>(group.data()), group.size());
       return;
     }
     if (!op.leaf_refs.empty()) {
-      // Flattened innermost loop: hoist each reference's subscript
-      // dot-product out of the loop and advance by a constant stride.
-      std::uint64_t addr[kMaxLeafRefs];
-      const std::size_t nrefs = op.leaf_refs.size();
-      for (std::size_t r = 0; r < nrefs; ++r) {
-        const LeafRef& lr = op.leaf_refs[r];
+      // Flattened innermost loop: one run per reference, the subscript
+      // dot-product hoisted into the run base.
+      group.clear();
+      for (const LeafRef& lr : op.leaf_refs) {
         std::uint64_t a = lr.base;
         for (const auto& [slot, stride] : lr.outer_terms) {
           a += static_cast<std::uint64_t>(values[
                    static_cast<std::size_t>(slot)] * stride);
         }
-        addr[r] = a;
+        group.push_back(Run{a, lr.inner_stride,
+                            static_cast<std::uint64_t>(op.extent), lr.mode,
+                            lr.site});
       }
-      for (std::int64_t v = 0; v < op.extent; ++v) {
-        for (std::size_t r = 0; r < nrefs; ++r) {
-          const LeafRef& lr = op.leaf_refs[r];
-          buf.push_back(Access{addr[r], lr.mode, lr.site});
-          addr[r] += static_cast<std::uint64_t>(lr.inner_stride);
-        }
-        if (buf.size() >= batch) {
-          sink(static_cast<const Access*>(buf.data()), buf.size());
-          buf.clear();
-        }
-      }
+      sink(static_cast<const Run*>(group.data()), group.size());
       return;
     }
     auto& v = values[static_cast<std::size_t>(op.slot)];
     for (v = 0; v < op.extent; ++v) {
-      for (const auto& child : op.body) run(child, values, buf, batch, sink);
+      for (const auto& child : op.body) run_runs(child, values, group, sink);
     }
     v = 0;
   }
 
   PlanOp lower(const ir::Program& prog, ir::NodeId node, const sym::Env& env,
-               std::map<std::string, std::int32_t>& slot_of);
+               std::vector<std::pair<std::string, std::int32_t>>& slot_of);
   static void flatten_leaves(PlanOp& op);
+  static std::uint64_t count_accesses(const PlanOp& op);
 
   std::vector<PlanOp> top_;
   std::int32_t num_slots_ = 0;
   std::int32_t num_sites_ = 0;
   std::uint64_t next_base_ = 0;
   std::uint64_t total_accesses_ = 0;
-  std::map<std::string, std::uint64_t> base_of_;
-  std::map<std::string, std::uint64_t> elements_of_;
-  std::map<ir::NodeId, std::int32_t> first_site_of_stmt_;
+  std::vector<std::uint64_t> top_accesses_;
+  // Sorted by name; binary-searched (the fuzzer compiles thousands of
+  // programs, so the compile path avoids node-based maps).
+  std::vector<std::pair<std::string, std::uint64_t>> base_of_;
+  std::vector<std::pair<std::string, std::uint64_t>> elements_of_;
+  // Sorted by statement node id.
+  std::vector<std::pair<ir::NodeId, std::int32_t>> first_site_of_stmt_;
 };
 
 }  // namespace sdlo::trace

@@ -142,6 +142,73 @@ TEST(StackProfiler, CompactionPreservesDepths) {
   EXPECT_EQ(small.distinct_addresses(), big.distinct_addresses());
 }
 
+TEST(LruCache, DenseAddressingMatchesHashedOnRandomTraces) {
+  // The dense direct-indexed table is an internal representation switch:
+  // with an address bound promised up front, every access must behave
+  // exactly like the hashed path.
+  for (const auto& [cap, range] :
+       {std::pair{1, 16}, std::pair{7, 64}, std::pair{64, 64},
+        std::pair{100, 4096}}) {
+    LruCache dense(cap, static_cast<std::uint64_t>(range));
+    LruCache hashed(cap);
+    SplitMix64 rng(static_cast<std::uint64_t>(cap * 31 + range));
+    for (int i = 0; i < 20000; ++i) {
+      const auto addr = rng.below(static_cast<std::uint64_t>(range));
+      ASSERT_EQ(dense.access(addr), hashed.access(addr))
+          << "cap=" << cap << " range=" << range << " step " << i;
+    }
+    EXPECT_EQ(dense.hits(), hashed.hits());
+    EXPECT_EQ(dense.misses(), hashed.misses());
+    EXPECT_EQ(dense.size(), hashed.size());
+  }
+}
+
+TEST(StackProfiler, DenseAddressingMatchesHashed) {
+  // Long enough to roll through several compaction windows in both.
+  StackDistanceProfiler dense(1, 2000);  // addr_limit promised
+  StackDistanceProfiler hashed(1);
+  SplitMix64 rng(20260807);
+  for (int i = 0; i < 300000; ++i) {
+    const auto addr = rng.below(2000);
+    ASSERT_EQ(dense.access(addr), hashed.access(addr)) << i;
+  }
+  EXPECT_EQ(dense.distinct_addresses(), hashed.distinct_addresses());
+  EXPECT_EQ(dense.cold_accesses(), hashed.cold_accesses());
+  EXPECT_EQ(dense.histogram(), hashed.histogram());
+}
+
+TEST(StackProfiler, RecordRepeatsMatchesExplicitAccesses) {
+  // a b (a b)^6 — after the first repeat both depths are 2 forever, so the
+  // bulk account of the remaining 5 pairs must land in the same histogram
+  // buckets as feeding them one by one.
+  StackDistanceProfiler bulk(16);
+  StackDistanceProfiler explicit_p(16);
+  bulk.enable_site_tracking(2);
+  explicit_p.enable_site_tracking(2);
+  bulk.access(1, 0);
+  bulk.access(2, 1);
+  EXPECT_EQ(bulk.access(1, 0), 2);
+  EXPECT_EQ(bulk.access(2, 1), 2);
+  bulk.record_repeats(2, 5, 0);
+  bulk.record_repeats(2, 5, 1);
+  for (int i = 0; i < 7; ++i) {
+    explicit_p.access(1, 0);
+    explicit_p.access(2, 1);
+  }
+  EXPECT_EQ(bulk.total_accesses(), explicit_p.total_accesses());
+  EXPECT_EQ(bulk.cold_accesses(), explicit_p.cold_accesses());
+  EXPECT_EQ(bulk.histogram(), explicit_p.histogram());
+  for (std::int32_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(bulk.site_histogram(s), explicit_p.site_histogram(s)) << s;
+    EXPECT_EQ(bulk.site_cold(s), explicit_p.site_cold(s)) << s;
+  }
+  // The Fenwick state is untouched by the bulk path: the next real access
+  // still sees exact depths.
+  EXPECT_EQ(bulk.access(1, 0), explicit_p.access(1, 0));
+  EXPECT_EQ(bulk.access(3, 1), explicit_p.access(3, 1));
+  EXPECT_EQ(bulk.access(2, 0), explicit_p.access(2, 0));
+}
+
 TEST(SetAssoc, FullyAssociativeLruMatchesLruCache) {
   SetAssocCache sa(64, 64, 1, Replacement::kLru);
   LruCache lru(64);

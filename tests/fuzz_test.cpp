@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cachesim/sim.hpp"
+#include "cachesim/sweep.hpp"
 #include "fuzz/generator.hpp"
 #include "fuzz/oracles.hpp"
 #include "fuzz/reducer.hpp"
@@ -177,6 +178,43 @@ TEST(FuzzArtifactTest, RoundTripsProgramAndEnv) {
   const auto parsed = fuzz::parse_artifact(text);
   EXPECT_TRUE(ir::structurally_equal(gp.prog, parsed.prog)) << text;
   EXPECT_EQ(gp.env, parsed.env);
+}
+
+TEST(FuzzArtifactTest, ReplaysThroughBothTracePaths) {
+  // A counterexample artifact is only useful if replaying it drives the
+  // same engines that indicted it — which since the run-compressed trace
+  // landed means BOTH delivery paths. Shrink a real counterexample, push it
+  // through the artifact format, and run the replayed program through the
+  // run-fed and per-access engines plus the full oracle battery.
+  std::optional<fuzz::GeneratedProgram> found;
+  for (std::uint64_t seed = 1; seed < 50 && !found; ++seed) {
+    auto gp = fuzz::ProgramGenerator(seed).generate();
+    if (off_by_one_engine_disagrees(gp.prog, gp.env)) found = std::move(gp);
+  }
+  ASSERT_TRUE(found.has_value());
+  const auto red =
+      fuzz::reduce(found->prog, found->env, off_by_one_engine_disagrees);
+  const auto parsed =
+      fuzz::parse_artifact(fuzz::to_artifact(red.prog, red.env, "replay"));
+
+  trace::CompiledProgram cp(parsed.prog, parsed.env);
+  for (const std::int64_t cap : {1, 2, 3, 5, 8, 64}) {
+    const std::vector<cachesim::SweepConfig> cfg{
+        {cap, 1, 0, cachesim::Replacement::kLru}};
+    const auto runs =
+        cachesim::simulate_sweep(cp, cfg, nullptr, trace::TraceMode::kRuns);
+    const auto batched = cachesim::simulate_sweep(
+        cp, cfg, nullptr, trace::TraceMode::kBatched);
+    EXPECT_EQ(runs[0].misses, batched[0].misses) << "cap=" << cap;
+    EXPECT_EQ(runs[0].misses_by_site, batched[0].misses_by_site)
+        << "cap=" << cap;
+  }
+  // The replayed program also has to come out clean under every oracle —
+  // run-fed sweep, run-fed profiler, walker shapes, the lot.
+  const auto report = fuzz::check_program(parsed.prog, parsed.env);
+  ASSERT_FALSE(report.skipped);
+  EXPECT_TRUE(report.ok())
+      << fuzz::describe_failure(parsed.prog, parsed.env, report);
 }
 
 TEST(FuzzReportTest, FailureMessageIsReproducibleFromLogsAlone) {

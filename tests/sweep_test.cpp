@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
 #include "ir/gallery.hpp"
+#include "ir/program.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/check.hpp"
 #include "trace/walker.hpp"
@@ -188,6 +190,148 @@ TEST(SweepTest, RejectsBadGeometry) {
   EXPECT_THROW(cachesim::simulate_sweep(
                    cp, {{66, 4, 0, cachesim::Replacement::kLru}}),
                Error);
+}
+
+// --- run-compressed trace mode -------------------------------------------
+
+/// Builds one perfectly nested band over `loops` (var, extent) holding the
+/// given statements, with extents bound through symbolic bounds so the
+/// walker sees the same shape the gallery programs do.
+trace::CompiledProgram one_band_program(
+    const std::vector<std::pair<std::string, std::int64_t>>& loops,
+    const std::vector<std::vector<ir::ArrayRef>>& stmts) {
+  ir::Program prog;
+  std::vector<ir::Loop> band;
+  sym::Env env;
+  for (const auto& [var, extent] : loops) {
+    const std::string bound = "N" + var;
+    band.push_back(ir::Loop{var, sym::Expr::symbol(bound)});
+    env[bound] = extent;
+  }
+  const auto node = prog.add_band(ir::Program::kRoot, band);
+  int label = 0;
+  for (const auto& refs : stmts) {
+    prog.add_statement(node,
+                       ir::Statement{"S" + std::to_string(label++), refs});
+  }
+  prog.validate();
+  return trace::CompiledProgram(prog, env);
+}
+
+ir::ArrayRef make_ref(std::string array, std::vector<std::string> vars,
+                      ir::AccessMode mode) {
+  ir::ArrayRef r;
+  r.array = std::move(array);
+  for (auto& v : vars) r.subscripts.push_back(ir::Subscript{{v}});
+  r.mode = mode;
+  return r;
+}
+
+/// Both trace modes through both engines and the profiler must agree with
+/// each other and with the per-configuration reference simulators.
+void expect_modes_match_reference(const trace::CompiledProgram& cp,
+                                  const std::string& name) {
+  const std::vector<cachesim::SweepConfig> configs{
+      {1, 1, 0, cachesim::Replacement::kLru},
+      {3, 1, 0, cachesim::Replacement::kLru},
+      {16, 1, 0, cachesim::Replacement::kLru},
+      {64, 4, 0, cachesim::Replacement::kLru},
+      {1024, 1, 0, cachesim::Replacement::kLru},
+      {64, 1, 4, cachesim::Replacement::kLru},
+  };
+  const auto runs =
+      cachesim::simulate_sweep(cp, configs, nullptr, trace::TraceMode::kRuns);
+  const auto batched = cachesim::simulate_sweep(cp, configs, nullptr,
+                                                trace::TraceMode::kBatched);
+  const auto many_runs =
+      cachesim::simulate_many(cp, configs, nullptr, trace::TraceMode::kRuns);
+  ASSERT_EQ(runs.size(), configs.size());
+  ASSERT_EQ(batched.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& cfg = configs[i];
+    const auto want =
+        cfg.ways > 0
+            ? cachesim::simulate_set_assoc(cp, cfg.capacity_elems, cfg.ways,
+                                           cfg.line_elems)
+            : cachesim::simulate_lru_lines(cp, cfg.capacity_elems,
+                                           cfg.line_elems);
+    const std::string what = name + " config " + std::to_string(i);
+    expect_same(runs[i], want, what + " (runs)");
+    expect_same(batched[i], want, what + " (batched)");
+    expect_same(many_runs[i], want, what + " (many runs)");
+  }
+  // The profiler's restricted bulk set must reproduce the per-access
+  // profile exactly, histogram for histogram.
+  for (std::int64_t line : {1, 4}) {
+    const auto pr = cachesim::profile_stack_distances(
+        cp, line, trace::TraceMode::kRuns);
+    const auto pb = cachesim::profile_stack_distances(
+        cp, line, trace::TraceMode::kBatched);
+    const std::string what = name + " profile line=" + std::to_string(line);
+    EXPECT_EQ(pr.accesses, pb.accesses) << what;
+    EXPECT_EQ(pr.cold, pb.cold) << what;
+    EXPECT_EQ(pr.histogram, pb.histogram) << what;
+    EXPECT_EQ(pr.cold_by_site, pb.cold_by_site) << what;
+    EXPECT_EQ(pr.histogram_by_site, pb.histogram_by_site) << what;
+  }
+}
+
+TEST(SweepTest, RunModeMatchesBatchedModeOnGalleryPrograms) {
+  for (const auto& c : gallery_cases()) {
+    expect_modes_match_reference(compile(c), c.name);
+  }
+}
+
+TEST(SweepTest, RunModeBulkFastPathsMatchReference) {
+  // Each program is shaped to funnel the run engines into one specific bulk
+  // fast path; the differential check proves the path exact.
+
+  // All-pinned group: no ref moves with the innermost loop, so after
+  // iteration 1 the whole group is in steady state (count 40 >= the bulk
+  // threshold).
+  expect_modes_match_reference(
+      one_band_program({{"i", 6}, {"k", 40}},
+                       {{make_ref("A", {"i"}, ir::AccessMode::kRead),
+                         make_ref("B", {"i"}, ir::AccessMode::kRead),
+                         make_ref("C", {"i"}, ir::AccessMode::kRead),
+                         make_ref("C", {"i"}, ir::AccessMode::kWrite)}}),
+      "pinned group");
+
+  // Single stride-1 run: with line_elems > 1 consecutive elements collapse
+  // onto one line, exercising the sub-line span-collapse arithmetic.
+  expect_modes_match_reference(
+      one_band_program({{"i", 5}, {"k", 64}},
+                       {{make_ref("W", {"k"}, ir::AccessMode::kWrite)}}),
+      "sub-line single run");
+
+  // Disjoint group: one pinned ref, one moving ref with a duplicate, and a
+  // moving write into a distinct array — pairwise-disjoint line ranges.
+  expect_modes_match_reference(
+      one_band_program({{"i", 6}, {"k", 40}},
+                       {{make_ref("P", {"i"}, ir::AccessMode::kRead),
+                         make_ref("A", {"k"}, ir::AccessMode::kRead),
+                         make_ref("A", {"k"}, ir::AccessMode::kRead),
+                         make_ref("Z", {"k"}, ir::AccessMode::kWrite)}}),
+      "disjoint group");
+
+  // Overlapping moving refs across two statements defeat the disjointness
+  // guard, forcing the exact per-element mixed fallback.
+  expect_modes_match_reference(
+      one_band_program({{"i", 4}, {"k", 40}},
+                       {{make_ref("A", {"k"}, ir::AccessMode::kRead),
+                         make_ref("B", {"k"}, ir::AccessMode::kWrite)},
+                        {make_ref("B", {"k"}, ir::AccessMode::kRead),
+                         make_ref("A", {"k"}, ir::AccessMode::kWrite)}}),
+      "mixed fallback");
+
+  // Two-dimensional moving subscript M[k][i]: the innermost loop walks the
+  // slow axis, so every iteration lands on a fresh line even at
+  // line_elems 4.
+  expect_modes_match_reference(
+      one_band_program({{"i", 5}, {"k", 12}},
+                       {{make_ref("M", {"k", "i"}, ir::AccessMode::kRead),
+                         make_ref("V", {"i"}, ir::AccessMode::kWrite)}}),
+      "wide-stride group");
 }
 
 TEST(SweepTest, BatchedWalkMatchesPerAccessWalk) {

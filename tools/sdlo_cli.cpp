@@ -83,7 +83,7 @@ int cmd_analyze(const ir::Program& prog) {
 }
 
 int cmd_misses(const ir::Program& prog, const sym::Env& env,
-               std::int64_t cap, bool simulate) {
+               std::int64_t cap, bool simulate, trace::TraceMode mode) {
   const auto an = model::analyze(prog);
   const auto pred = model::predict_misses(an, env, cap);
   std::cout << "capacity " << cap << " elements\n"
@@ -93,7 +93,7 @@ int cmd_misses(const ir::Program& prog, const sym::Env& env,
   if (simulate) {
     trace::CompiledProgram cp(prog, env);
     const auto sim = cachesim::simulate_sweep(
-        cp, {{cap, 1, 0, cachesim::Replacement::kLru}})[0];
+        cp, {{cap, 1, 0, cachesim::Replacement::kLru}}, nullptr, mode)[0];
     std::cout << "simulated " << with_commas(
                      static_cast<std::int64_t>(sim.misses))
               << " misses — "
@@ -106,9 +106,9 @@ int cmd_misses(const ir::Program& prog, const sym::Env& env,
 }
 
 int cmd_sweep(const ir::Program& prog, const sym::Env& env,
-              std::int64_t line, bool sites) {
+              std::int64_t line, bool sites, trace::TraceMode mode) {
   trace::CompiledProgram cp(prog, env);
-  const auto prof = cachesim::profile_stack_distances(cp, line);
+  const auto prof = cachesim::profile_stack_distances(cp, line, mode);
   std::vector<std::string> header{"capacity", "misses", "miss ratio"};
   if (sites) {
     for (std::size_t s = 0; s < prof.histogram_by_site.size(); ++s) {
@@ -262,7 +262,9 @@ int main(int argc, char** argv) {
         .flag("count", "number of programs to fuzz (default 500)")
         .flag("time-budget", "stop fuzzing after SEC seconds (0 = off)")
         .flag("artifact-dir", "directory for minimized counterexamples")
-        .flag("replay", "re-check a counterexample artifact (fuzz)");
+        .flag("replay", "re-check a counterexample artifact (fuzz)")
+        .flag("trace-mode",
+              "trace delivery for misses/sweep: runs (default) or batched");
     cli.finish();
 
     const auto& pos = cli.positional();
@@ -275,6 +277,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     const std::string& verb = pos[0];
+    const std::string mode_str = cli.get_string("trace-mode", "runs");
+    if (mode_str != "runs" && mode_str != "batched") {
+      std::cerr << "sdlo: --trace-mode must be 'runs' or 'batched'\n";
+      return 2;
+    }
+    const trace::TraceMode trace_mode = mode_str == "batched"
+                                            ? trace::TraceMode::kBatched
+                                            : trace::TraceMode::kRuns;
     if (verb == "fuzz") {
       const std::string replay = cli.get_string("replay", "");
       const std::string artifact_dir = cli.get_string("artifact-dir", "");
@@ -303,11 +313,11 @@ int main(int argc, char** argv) {
     if (verb == "analyze") return cmd_analyze(prog);
     if (verb == "misses") {
       return cmd_misses(prog, env, cli.get_int("cap", 8192),
-                        cli.get_bool("simulate", false));
+                        cli.get_bool("simulate", false), trace_mode);
     }
     if (verb == "sweep") {
       return cmd_sweep(prog, env, cli.get_int("line", 1),
-                       cli.get_bool("sites", false));
+                       cli.get_bool("sites", false), trace_mode);
     }
     if (verb == "trace") {
       return cmd_trace(prog, env, cli.get_int("limit", 50));
