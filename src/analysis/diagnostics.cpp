@@ -1,0 +1,44 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace sdlo::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+
+std::string to_text(const Diagnostic& d, const std::string& source_name) {
+  std::ostringstream os;
+  if (!source_name.empty()) os << source_name << ":";
+  if (d.loc.known()) os << d.loc.line << ":" << d.loc.column << ":";
+  if (!source_name.empty() || d.loc.known()) os << " ";
+  os << severity_name(d.severity) << ": " << d.id << ": " << d.message;
+  if (!d.object.empty()) os << " [" << d.object << "]";
+  return os.str();
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& ds) {
+  std::stable_sort(ds.begin(), ds.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.loc.line, a.loc.column, a.id,
+                                     a.object) <
+                            std::tie(b.loc.line, b.loc.column, b.id,
+                                     b.object);
+                   });
+}
+
+std::size_t count_severity(const std::vector<Diagnostic>& ds, Severity s) {
+  return static_cast<std::size_t>(
+      std::count_if(ds.begin(), ds.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+}  // namespace sdlo::analysis

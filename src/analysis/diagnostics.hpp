@@ -1,0 +1,71 @@
+// Diagnostic framework for the static-analysis passes (DESIGN.md §10).
+//
+// Every finding is a Diagnostic with a *stable* ID (WFxxx well-formedness,
+// APxxx model applicability, PSxxx parallelization safety), a severity, an
+// optional source position threaded from ir::parser, the program object it
+// concerns (array, loop variable, or statement label), and a human-readable
+// message. IDs are part of the tool's contract: tests, the JSON renderer and
+// downstream consumers key on them, so an ID is never renumbered or reused.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace sdlo::analysis {
+
+/// How bad a finding is. Errors mean the program is outside the constrained
+/// class (model results would be meaningless); warnings mean the model or the
+/// §7 parallelization applies only approximately; notes are informational
+/// classifications that do not reduce confidence.
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+/// Stable diagnostic identifiers. The numeric ranges mirror the pass that
+/// emits them: WF0xx verifier, AP1xx applicability, PS2xx parallel safety.
+/// See DESIGN.md §10 for the full catalog with trigger conditions.
+inline constexpr const char* kWF000ParseError = "WF000";
+inline constexpr const char* kWF001UnboundSubscriptVar = "WF001";
+inline constexpr const char* kWF002DuplicateVarOnPath = "WF002";
+inline constexpr const char* kWF003ExtentConflict = "WF003";
+inline constexpr const char* kWF004SubscriptStructureConflict = "WF004";
+inline constexpr const char* kWF005VarTwiceInReference = "WF005";
+inline constexpr const char* kWF006EmptyStructure = "WF006";
+inline constexpr const char* kWF007FootprintOverflow = "WF007";
+inline constexpr const char* kWF008UnboundSymbol = "WF008";
+inline constexpr const char* kWF009NonPositiveExtent = "WF009";
+inline constexpr const char* kAP101VaryingDistance = "AP101";
+inline constexpr const char* kAP102InexactUnion = "AP102";
+inline constexpr const char* kAP103InterpolatedPrediction = "AP103";
+inline constexpr const char* kAP104SiblingReuse = "AP104";
+inline constexpr const char* kPS201CarriedDependence = "PS201";
+inline constexpr const char* kPS202FalseSharing = "PS202";
+inline constexpr const char* kPS203NoParallelLoop = "PS203";
+inline constexpr const char* kPS204PrivatizationRequired = "PS204";
+
+/// One finding of one pass.
+struct Diagnostic {
+  std::string id;
+  Severity severity = Severity::kError;
+  SourceLoc loc;       ///< {0, 0} when the construct has no source position
+  std::string object;  ///< array / loop variable / statement label concerned
+  std::string message;
+};
+
+/// "note" / "warning" / "error".
+const char* severity_name(Severity s);
+
+/// Renders one diagnostic as a compiler-style line:
+///   `prog.sdlo:3:12: error: WF001: message [object]`
+/// The position segment is omitted when loc is unknown, the source name when
+/// empty, the trailing object when empty.
+std::string to_text(const Diagnostic& d, const std::string& source_name = "");
+
+/// Stable presentation order: source position, then pass/ID, then object.
+void sort_diagnostics(std::vector<Diagnostic>& ds);
+
+/// Number of diagnostics of the given severity.
+std::size_t count_severity(const std::vector<Diagnostic>& ds, Severity s);
+
+}  // namespace sdlo::analysis

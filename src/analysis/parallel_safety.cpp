@@ -1,0 +1,207 @@
+#include "analysis/parallel_safety.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "support/check.hpp"
+#include "support/checked_math.hpp"
+
+namespace sdlo::analysis {
+
+namespace {
+
+using ir::NodeId;
+
+/// Statements under `n`, in program order.
+void collect_statements(const ir::Program& prog, NodeId n,
+                        std::vector<NodeId>& out) {
+  if (prog.is_statement(n)) {
+    out.push_back(n);
+    return;
+  }
+  for (NodeId c : prog.children(n)) collect_statements(prog, c, out);
+}
+
+/// How one band subtree uses each array, in first-touch program order.
+struct SubtreeUse {
+  std::set<std::string> arrays;
+  std::set<std::string> written;
+  std::map<std::string, ir::AccessMode> first_touch;
+};
+
+SubtreeUse subtree_use(const ir::Program& prog, NodeId band) {
+  SubtreeUse use;
+  std::vector<NodeId> stmts;
+  collect_statements(prog, band, stmts);
+  for (NodeId s : stmts) {
+    for (const auto& ref : prog.statement(s).accesses) {
+      use.arrays.insert(ref.array);
+      if (ref.mode == ir::AccessMode::kWrite) use.written.insert(ref.array);
+      use.first_touch.emplace(ref.array, ref.mode);  // first wins
+    }
+  }
+  return use;
+}
+
+/// Number of references to `array` in the whole program (to detect uses
+/// outside a subtree, which rule out privatization: the last value would be
+/// live-out of the private copies).
+std::size_t total_refs(const ir::Program& prog, const std::string& array) {
+  return prog.refs_to(array).size();
+}
+
+std::size_t subtree_refs(const ir::Program& prog, NodeId band,
+                         const std::string& array) {
+  std::size_t n = 0;
+  std::vector<NodeId> stmts;
+  collect_statements(prog, band, stmts);
+  for (NodeId s : stmts) {
+    for (const auto& ref : prog.statement(s).accesses) {
+      if (ref.array == array) ++n;
+    }
+  }
+  return n;
+}
+
+/// Mixed-radix weight of loop `var`'s digit in `array`: the number of
+/// elements between consecutive values of `var`, i.e. the product of the
+/// extents of all subscript variables after `var` in flattened subscript
+/// order. Returns nullopt when the weight cannot be evaluated.
+std::optional<std::int64_t> digit_stride(const ir::Program& prog,
+                                         const std::string& array,
+                                         const std::string& var,
+                                         const sym::Env& env) {
+  const auto& vars = prog.array_vars(array);
+  const auto it = std::find(vars.begin(), vars.end(), var);
+  if (it == vars.end()) return std::nullopt;
+  std::int64_t stride = 1;
+  for (auto after = it + 1; after != vars.end(); ++after) {
+    const auto v = sym::try_evaluate(prog.extent_of(*after), env);
+    if (!v || *v <= 0) return std::nullopt;
+    stride = sat_mul(stride, *v);
+  }
+  return stride;
+}
+
+void analyze_band(const ir::Program& prog, NodeId band, const sym::Env* env,
+                  std::int64_t line_elems,
+                  std::vector<LoopParallelism>& out) {
+  const auto& loops = prog.band_loops(band);
+  if (!loops.empty()) {
+    const SubtreeUse use = subtree_use(prog, band);
+    for (std::size_t k = 0; k < loops.size(); ++k) {
+      LoopParallelism lp;
+      lp.var = loops[k].var;
+      lp.band = band;
+      lp.index_in_band = static_cast<int>(k);
+      lp.top_level = prog.parent(band) == ir::Program::kRoot;
+      for (const auto& array : use.arrays) {
+        if (use.written.count(array) == 0) continue;  // read-only: safe
+        const auto& avars = prog.array_vars(array);
+        const bool disjoint =
+            std::find(avars.begin(), avars.end(), lp.var) != avars.end();
+        if (disjoint) {
+          // Distinct v iterations address distinct elements; the only
+          // remaining hazard is sharing a cache line across the seam.
+          if (env != nullptr && line_elems > 1) {
+            const auto stride = digit_stride(prog, array, lp.var, *env);
+            if (stride && *stride < line_elems) {
+              lp.hazards.push_back(
+                  FalseSharingHazard{array, *stride, line_elems});
+            }
+          }
+          continue;
+        }
+        const bool kill_first =
+            use.first_touch.at(array) == ir::AccessMode::kWrite &&
+            subtree_refs(prog, band, array) == total_refs(prog, array);
+        if (kill_first) {
+          lp.privatized.push_back(array);
+        } else {
+          lp.carried.push_back(array);
+        }
+      }
+      lp.doall_safe = lp.carried.empty();
+      out.push_back(std::move(lp));
+    }
+  }
+  for (NodeId c : prog.children(band)) {
+    if (!prog.is_statement(c)) {
+      analyze_band(prog, c, env, line_elems, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LoopParallelism> analyze_parallel_safety(const ir::Program& prog,
+                                                     const sym::Env* env,
+                                                     std::int64_t line_elems) {
+  SDLO_CHECK(prog.validated(),
+             "analyze_parallel_safety requires a validated program");
+  std::vector<LoopParallelism> out;
+  analyze_band(prog, ir::Program::kRoot, env, line_elems, out);
+  return out;
+}
+
+void require_partition_safety(const ir::Program& prog,
+                              const std::string& bound) {
+  const auto verdicts = analyze_parallel_safety(prog);
+  const auto verdict_of = [&](NodeId band, int index)
+      -> const LoopParallelism& {
+    for (const auto& lp : verdicts) {
+      if (lp.band == band && lp.index_in_band == index) return lp;
+    }
+    throw ContractViolation("band loop without a safety verdict");
+  };
+
+  for (NodeId top : prog.children(ir::Program::kRoot)) {
+    // Only subtrees that write anything constrain the partitioning.
+    std::vector<NodeId> stmts;
+    collect_statements(prog, top, stmts);
+    const bool writes = std::any_of(
+        stmts.begin(), stmts.end(), [&](NodeId s) {
+          const auto& acc = prog.statement(s).accesses;
+          return std::any_of(acc.begin(), acc.end(), [](const auto& r) {
+            return r.mode == ir::AccessMode::kWrite;
+          });
+        });
+    if (!writes) continue;
+
+    // The outermost loop in this subtree whose extent depends on `bound` is
+    // the one block-partitioning distributes.
+    const LoopParallelism* part_loop = nullptr;
+    std::vector<NodeId> pending{top};
+    for (std::size_t i = 0; i < pending.size() && part_loop == nullptr; ++i) {
+      const NodeId n = pending[i];
+      if (prog.is_statement(n)) continue;
+      const auto& loops = prog.band_loops(n);
+      for (std::size_t k = 0; k < loops.size(); ++k) {
+        if (sym::symbols_of(loops[k].extent).count(bound) != 0) {
+          part_loop = &verdict_of(n, static_cast<int>(k));
+          break;
+        }
+      }
+      for (NodeId c : prog.children(n)) pending.push_back(c);
+    }
+    if (part_loop == nullptr) {
+      throw UnsupportedProgram(
+          "cannot partition '" + bound +
+          "': a writing subtree has no loop whose extent depends on it");
+    }
+    if (!part_loop->doall_safe) {
+      std::string arrays;
+      for (const auto& a : part_loop->carried) {
+        arrays += (arrays.empty() ? "" : ", ") + a;
+      }
+      throw UnsupportedProgram(
+          "partitioning '" + bound + "' is not synchronization-free: loop '" +
+          part_loop->var + "' carries a dependence through " + arrays);
+    }
+  }
+}
+
+}  // namespace sdlo::analysis

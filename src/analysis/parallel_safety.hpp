@@ -1,0 +1,77 @@
+// Pass 3: parallelization-safety analysis for §7 (IDs PS201–PS204).
+//
+// The paper's SMP estimates assume the partitioned outer loop is
+// synchronization-free: iterations can be block-distributed over processors
+// with no cross-iteration dependence. On the constrained class this is
+// decidable per band loop `v` from subscript structure alone. For every
+// array A written somewhere in v's band subtree:
+//
+//   * v ∈ array_vars(A): distinct v iterations touch disjoint elements
+//     (subscripts are injective mixed-radix compositions of full-range
+//     loops), so A never carries a dependence over v;
+//   * A is read-only in the subtree: trivially safe;
+//   * A is *kill-first* in the subtree — the first reference to A in program
+//     order within the subtree is a write whose subscript vars all lie
+//     inside the subtree. Then every element read in an iteration was
+//     written earlier in the same iteration, so giving each processor a
+//     private copy removes all sharing (PS204; this is exactly the TCE tile
+//     buffer T of two_index_tiled);
+//   * otherwise v carries a dependence through A (PS201) — e.g. the
+//     accumulation C[i,j] += over k in matmul carries over j and k.
+//
+// A DOALL-safe loop may still false-share cache lines: if the mixed-radix
+// weight of v's digit in a written array is smaller than the line size,
+// consecutive v iterations write the same line (PS202).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "symbolic/expr.hpp"
+
+namespace sdlo::analysis {
+
+/// A cache-line sharing hazard of one DOALL-safe loop: adjacent iterations
+/// of `var` write elements of `array` only `stride` elements apart, closer
+/// than the `line_elems`-element line.
+struct FalseSharingHazard {
+  std::string array;
+  std::int64_t stride = 0;
+  std::int64_t line_elems = 0;
+};
+
+/// Safety verdict for one band loop.
+struct LoopParallelism {
+  std::string var;
+  ir::NodeId band = 0;
+  int index_in_band = 0;
+  bool top_level = false;  ///< declared by a band whose parent is the root
+  bool doall_safe = false;
+  /// Arrays through which the loop carries a cross-iteration dependence
+  /// (non-empty exactly when !doall_safe).
+  std::vector<std::string> carried;
+  /// Kill-first arrays that must be privatized per processor (PS204).
+  std::vector<std::string> privatized;
+  /// Write-side false-sharing hazards (computed only when an environment
+  /// and a line size were supplied).
+  std::vector<FalseSharingHazard> hazards;
+};
+
+/// Analyzes every band loop of a validated program, in path order of a
+/// pre-order walk. With a non-null `env` and `line_elems > 1`, mixed-radix
+/// write strides are evaluated to flag false sharing.
+std::vector<LoopParallelism> analyze_parallel_safety(
+    const ir::Program& prog, const sym::Env* env = nullptr,
+    std::int64_t line_elems = 0);
+
+/// Gate used by parallel::estimate_smp: verifies that block-partitioning the
+/// symbolic bound `bound` (e.g. "NN") is synchronization-free — every
+/// top-level subtree that writes an array must expose an outermost loop
+/// whose extent depends on `bound` and that loop must be DOALL-safe.
+/// Throws UnsupportedProgram naming the carried arrays otherwise.
+void require_partition_safety(const ir::Program& prog,
+                              const std::string& bound);
+
+}  // namespace sdlo::analysis

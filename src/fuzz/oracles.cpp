@@ -1,7 +1,11 @@
 #include "fuzz/oracles.hpp"
 
+#include <map>
+#include <set>
 #include <sstream>
 
+#include "analysis/lint.hpp"
+#include "analysis/parallel_safety.hpp"
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
 #include "ir/parser.hpp"
@@ -284,6 +288,204 @@ void check_set_assoc_edges(OracleReport& report,
   }
 }
 
+// Every generated program is in the constrained class by construction, so
+// the lint pipeline must report it well formed: any error-severity
+// diagnostic is a verifier (or generator) bug.
+void check_lint_gate(OracleReport& report, const ir::Program& prog,
+                     const sym::Env& env, const OracleOptions& opts) {
+  analysis::LintOptions lo;
+  lo.env = env;
+  lo.capacity = opts.per_site_capacity;
+  lo.line_elems = opts.line_sizes.empty() ? 0 : opts.line_sizes.back();
+  const analysis::LintReport rep = analysis::lint_program(prog, nullptr, lo);
+  if (rep.ok()) return;
+  std::ostringstream os;
+  os << "generated program fails the well-formedness lint:";
+  for (const auto& d : rep.diagnostics) {
+    if (d.severity == analysis::Severity::kError) {
+      os << "\n  " << analysis::to_text(d);
+    }
+  }
+  add_mismatch(report, "lint-gate", os.str());
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-safety oracle: brute-force verification of DOALL claims.
+// ---------------------------------------------------------------------------
+
+// Per-(outer-context, array, element) record of which iterations of the
+// candidate loop touched it and how.
+struct ElemTouches {
+  std::vector<std::int64_t> writers;          ///< iterations writing it
+  std::vector<std::int64_t> readers;          ///< iterations reading it
+  std::vector<std::int64_t> first_touch_read; ///< iterations whose first
+                                              ///< access to it is a read
+};
+
+struct SubtreeExec {
+  const ir::Program& prog;
+  const std::map<std::string, std::int64_t>& extents;
+  std::map<std::string, std::int64_t> binding;
+  std::int64_t iter = 0;  ///< current value of the candidate loop
+  std::map<std::string, std::map<std::int64_t, ElemTouches>> touches;
+  std::map<std::string, std::set<std::int64_t>> seen_this_iter;
+
+  std::int64_t element_of(const ir::ArrayRef& ref) const {
+    std::int64_t elem = 0;
+    for (const auto& sub : ref.subscripts) {
+      for (const auto& v : sub.vars) {
+        elem = elem * extents.at(v) + binding.at(v);
+      }
+    }
+    return elem;
+  }
+
+  void touch(const ir::ArrayRef& ref) {
+    const std::int64_t elem = element_of(ref);
+    ElemTouches& t = touches[ref.array][elem];
+    if (seen_this_iter[ref.array].insert(elem).second &&
+        ref.mode == ir::AccessMode::kRead) {
+      t.first_touch_read.push_back(iter);
+    }
+    auto& list =
+        ref.mode == ir::AccessMode::kWrite ? t.writers : t.readers;
+    if (list.empty() || list.back() != iter) list.push_back(iter);
+  }
+
+  void run(ir::NodeId n) {
+    if (prog.is_statement(n)) {
+      for (const auto& ref : prog.statement(n).accesses) touch(ref);
+      return;
+    }
+    run_loops(n, 0);
+  }
+
+  // Enumerates the band's loops not already bound, then the children.
+  void run_loops(ir::NodeId band, std::size_t k) {
+    const auto& loops = prog.band_loops(band);
+    if (k == loops.size()) {
+      for (ir::NodeId c : prog.children(band)) run(c);
+      return;
+    }
+    const std::string& var = loops[k].var;
+    if (binding.count(var) != 0) {  // outer context or the candidate loop
+      run_loops(band, k + 1);
+      return;
+    }
+    for (std::int64_t v = 0; v < extents.at(var); ++v) {
+      binding[var] = v;
+      run_loops(band, k + 1);
+    }
+    binding.erase(var);
+  }
+};
+
+// Per-candidate ceiling on brute-forced subtree trace slots.
+constexpr std::uint64_t kParallelOracleBudget = 200'000;
+
+// Cross-checks each claimed-DOALL-safe loop by executing its band subtree
+// and testing element-wise disjointness; claimed-unsafe loops are excluded
+// (the lint verdict gates which loops the parallel oracle exercises).
+void check_parallel_claims(OracleReport& report, const ir::Program& prog,
+                           const sym::Env& env) {
+  const auto verdicts = analysis::analyze_parallel_safety(prog);
+  std::map<std::string, std::int64_t> extents;
+  for (const auto& var : prog.variables()) {
+    extents[var] = sym::evaluate(prog.extent_of(var), env);
+    if (extents[var] <= 0) return;  // degenerate space: nothing executes
+  }
+
+  for (const auto& lp : verdicts) {
+    if (!lp.doall_safe) continue;  // unsafe loops: excluded from the oracle
+
+    // Outer context: loops on the band's path before the candidate.
+    std::vector<std::string> outer;
+    for (const auto& pl : prog.path_loops(lp.band)) {
+      if (pl.band == lp.band && pl.index_in_band == lp.index_in_band) break;
+      outer.push_back(pl.var);
+    }
+
+    // Cost guard: across all outer contexts the brute force touches every
+    // subtree trace slot exactly once; skip oversized candidates.
+    std::uint64_t cost = 0;
+    std::vector<ir::NodeId> pending{lp.band};
+    while (!pending.empty()) {
+      const ir::NodeId n = pending.back();
+      pending.pop_back();
+      if (!prog.is_statement(n)) {
+        for (ir::NodeId c : prog.children(n)) pending.push_back(c);
+        continue;
+      }
+      std::uint64_t instances = 1;
+      for (const auto& pl : prog.path_loops(n)) {
+        instances *= static_cast<std::uint64_t>(extents.at(pl.var));
+      }
+      cost += instances * prog.statement(n).accesses.size();
+    }
+    if (cost > kParallelOracleBudget) continue;
+
+    const std::set<std::string> privatized(lp.privatized.begin(),
+                                           lp.privatized.end());
+
+    // Enumerate outer contexts with a mixed-radix counter.
+    std::vector<std::int64_t> ov(outer.size(), 0);
+    for (;;) {
+      SubtreeExec exec{prog, extents, {}, 0, {}, {}};
+      for (std::size_t i = 0; i < outer.size(); ++i) {
+        exec.binding[outer[i]] = ov[i];
+      }
+      for (std::int64_t it = 0; it < extents.at(lp.var); ++it) {
+        exec.iter = it;
+        exec.binding[lp.var] = it;
+        exec.seen_this_iter.clear();
+        exec.run(lp.band);
+      }
+      for (const auto& [array, elems] : exec.touches) {
+        const bool priv = privatized.count(array) != 0;
+        for (const auto& [elem, t] : elems) {
+          std::string why;
+          if (priv) {
+            // Privatization claims kill-first: every iteration touching an
+            // element must write it before reading it.
+            if (!t.first_touch_read.empty()) {
+              why = "upward-exposed read in iteration " +
+                    std::to_string(t.first_touch_read.front()) +
+                    " of privatized array";
+            }
+          } else if (t.writers.size() > 1) {
+            why = "written by iterations " +
+                  std::to_string(t.writers[0]) + " and " +
+                  std::to_string(t.writers[1]);
+          } else if (t.writers.size() == 1) {
+            for (const std::int64_t r : t.readers) {
+              if (r != t.writers[0]) {
+                why = "written by iteration " +
+                      std::to_string(t.writers[0]) + ", read by iteration " +
+                      std::to_string(r);
+                break;
+              }
+            }
+          }
+          if (!why.empty()) {
+            std::ostringstream os;
+            os << "loop '" << lp.var << "' claimed DOALL-safe but " << array
+               << "[" << elem << "] is " << why;
+            add_mismatch(report, "parallel-safety", os.str());
+            return;  // one counterexample per program suffices
+          }
+        }
+      }
+      // Advance the outer context.
+      std::size_t k = 0;
+      for (; k < ov.size(); ++k) {
+        if (++ov[k] < extents.at(outer[k])) break;
+        ov[k] = 0;
+      }
+      if (k == ov.size()) break;
+    }
+  }
+}
+
 }  // namespace
 
 OracleReport check_program(const ir::Program& prog, const sym::Env& env,
@@ -302,6 +504,8 @@ OracleReport check_program(const ir::Program& prog, const sym::Env& env,
   if (opts.check_profile) check_profile(report, cp, opts);
   if (opts.check_sweep) check_sweep(report, cp, opts);
   if (opts.check_set_assoc) check_set_assoc_edges(report, cp, opts);
+  if (opts.check_lint) check_lint_gate(report, prog, env, opts);
+  if (opts.check_parallel) check_parallel_claims(report, prog, env);
   return report;
 }
 

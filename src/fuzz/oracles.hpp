@@ -63,6 +63,11 @@ struct OracleOptions {
   bool check_profile = true;    ///< profiler (both modes) vs simulate_lru*
   bool check_sweep = true;      ///< sweep + many (both modes) vs reference
   bool check_set_assoc = true;  ///< set-associative edge geometries
+  bool check_lint = true;       ///< generated programs lint error-free
+  /// Brute-force verification of DOALL-safety claims: every loop the
+  /// analysis pass marks safe is executed element-wise and checked for
+  /// cross-iteration conflicts; loops flagged unsafe are excluded.
+  bool check_parallel = true;
 };
 
 /// One disagreement between two implementations.

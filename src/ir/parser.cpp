@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "support/check.hpp"
@@ -26,7 +27,7 @@ enum class Tok : std::uint8_t {
 struct Token {
   Tok kind = Tok::kEnd;
   std::string text;
-  int line = 0;
+  SourceLoc loc;
 };
 
 class Lexer {
@@ -45,26 +46,33 @@ class Lexer {
     return next();
   }
   [[noreturn]] void fail(const std::string& msg) const {
-    throw ParseError("line " + std::to_string(peek().line) + ": " + msg +
-                     " (got '" + (peek().kind == Tok::kEnd ? "<end>"
-                                                           : peek().text) +
-                     "')");
+    const SourceLoc at = peek().loc;
+    throw ParseError("line " + std::to_string(at.line) + ":" +
+                         std::to_string(at.column) + ": " + msg + " (got '" +
+                         (peek().kind == Tok::kEnd ? "<end>" : peek().text) +
+                         "')",
+                     at);
   }
 
  private:
-  void push(Tok k, std::string text, int line) {
-    tokens_.push_back(Token{k, std::move(text), line});
+  void push(Tok k, std::string text, SourceLoc loc) {
+    tokens_.push_back(Token{k, std::move(text), loc});
   }
 
   void tokenize(const std::string& text) {
     int line = 1;
+    std::size_t line_start = 0;  // index just past the last '\n'
     std::size_t i = 0;
     const std::size_t n = text.size();
+    const auto here = [&](std::size_t at) {
+      return SourceLoc{line, static_cast<int>(at - line_start) + 1};
+    };
     while (i < n) {
       const char c = text[i];
       if (c == '\n') {
         ++line;
         ++i;
+        line_start = i;
         continue;
       }
       if (std::isspace(static_cast<unsigned char>(c))) {
@@ -83,7 +91,7 @@ class Lexer {
         }
         std::string word = text.substr(i, j - i);
         const Tok kind = (word == "for") ? Tok::kFor : Tok::kIdent;
-        push(kind, std::move(word), line);
+        push(kind, std::move(word), here(i));
         i = j;
         continue;
       }
@@ -92,39 +100,43 @@ class Lexer {
         while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
           ++j;
         }
-        push(Tok::kInt, text.substr(i, j - i), line);
+        push(Tok::kInt, text.substr(i, j - i), here(i));
         i = j;
         continue;
       }
       if (c == '+' && i + 1 < n && text[i + 1] == '=') {
-        push(Tok::kPlusAssign, "+=", line);
+        push(Tok::kPlusAssign, "+=", here(i));
         i += 2;
         continue;
       }
       switch (c) {
-        case '{': push(Tok::kLBrace, "{", line); break;
-        case '}': push(Tok::kRBrace, "}", line); break;
-        case '[': push(Tok::kLBracket, "[", line); break;
-        case ']': push(Tok::kRBracket, "]", line); break;
-        case '(': push(Tok::kLParen, "(", line); break;
-        case ')': push(Tok::kRParen, ")", line); break;
-        case ',': push(Tok::kComma, ",", line); break;
-        case ':': push(Tok::kColon, ":", line); break;
-        case '+': push(Tok::kPlus, "+", line); break;
-        case '-': push(Tok::kMinus, "-", line); break;
-        case '*': push(Tok::kStar, "*", line); break;
-        case '/': push(Tok::kSlash, "/", line); break;
-        case '<': push(Tok::kLess, "<", line); break;
-        case '>': push(Tok::kGreater, ">", line); break;
-        case '=': push(Tok::kAssign, "=", line); break;
-        default:
-          throw ParseError("line " + std::to_string(line) +
-                           ": unexpected character '" + std::string(1, c) +
-                           "'");
+        case '{': push(Tok::kLBrace, "{", here(i)); break;
+        case '}': push(Tok::kRBrace, "}", here(i)); break;
+        case '[': push(Tok::kLBracket, "[", here(i)); break;
+        case ']': push(Tok::kRBracket, "]", here(i)); break;
+        case '(': push(Tok::kLParen, "(", here(i)); break;
+        case ')': push(Tok::kRParen, ")", here(i)); break;
+        case ',': push(Tok::kComma, ",", here(i)); break;
+        case ':': push(Tok::kColon, ":", here(i)); break;
+        case '+': push(Tok::kPlus, "+", here(i)); break;
+        case '-': push(Tok::kMinus, "-", here(i)); break;
+        case '*': push(Tok::kStar, "*", here(i)); break;
+        case '/': push(Tok::kSlash, "/", here(i)); break;
+        case '<': push(Tok::kLess, "<", here(i)); break;
+        case '>': push(Tok::kGreater, ">", here(i)); break;
+        case '=': push(Tok::kAssign, "=", here(i)); break;
+        default: {
+          const SourceLoc at = here(i);
+          throw ParseError("line " + std::to_string(at.line) + ":" +
+                               std::to_string(at.column) +
+                               ": unexpected character '" + std::string(1, c) +
+                               "'",
+                           at);
+        }
       }
       ++i;
     }
-    push(Tok::kEnd, "", line);
+    push(Tok::kEnd, "", here(i));
   }
 
   std::vector<Token> tokens_;
@@ -197,10 +209,16 @@ Expr parse_additive(Lexer& lx) {
 // Program parser
 // ---------------------------------------------------------------------------
 
-ArrayRef parse_ref(Lexer& lx, AccessMode mode) {
+struct LocatedRef {
   ArrayRef ref;
-  ref.mode = mode;
-  ref.array = lx.expect(Tok::kIdent, "array name").text;
+  SourceLoc loc;
+};
+
+LocatedRef parse_ref(Lexer& lx, AccessMode mode) {
+  LocatedRef out;
+  out.ref.mode = mode;
+  out.loc = lx.peek().loc;
+  out.ref.array = lx.expect(Tok::kIdent, "array name").text;
   if (lx.accept(Tok::kLBracket)) {
     do {
       Subscript s;
@@ -208,16 +226,17 @@ ArrayRef parse_ref(Lexer& lx, AccessMode mode) {
       while (lx.accept(Tok::kPlus)) {
         s.vars.push_back(lx.expect(Tok::kIdent, "subscript variable").text);
       }
-      ref.subscripts.push_back(std::move(s));
+      out.ref.subscripts.push_back(std::move(s));
     } while (lx.accept(Tok::kComma));
     lx.expect(Tok::kRBracket, "']'");
   }
-  return ref;
+  return out;
 }
 
-void parse_items(Lexer& lx, Program& prog, NodeId parent);
+void parse_items(Lexer& lx, ParsedProgram& out, NodeId parent);
 
-void parse_band(Lexer& lx, Program& prog, NodeId parent) {
+void parse_band(Lexer& lx, ParsedProgram& out, NodeId parent) {
+  const SourceLoc at = lx.peek().loc;
   lx.expect(Tok::kFor, "'for'");
   std::vector<Loop> loops;
   do {
@@ -228,45 +247,58 @@ void parse_band(Lexer& lx, Program& prog, NodeId parent) {
     loops.push_back(Loop{var, extent});
   } while (lx.accept(Tok::kComma));
   lx.expect(Tok::kLBrace, "'{'");
-  NodeId band = prog.add_band(parent, std::move(loops));
-  parse_items(lx, prog, band);
+  NodeId band = out.prog.add_band(parent, std::move(loops));
+  out.locs.nodes[band] = at;
+  parse_items(lx, out, band);
   lx.expect(Tok::kRBrace, "'}'");
 }
 
-void parse_statement(Lexer& lx, Program& prog, NodeId parent) {
+void parse_statement(Lexer& lx, ParsedProgram& out, NodeId parent) {
   Statement stmt;
+  const SourceLoc at = lx.peek().loc;
   stmt.label = lx.expect(Tok::kIdent, "statement label").text;
   lx.expect(Tok::kColon, "':'");
-  ArrayRef target = parse_ref(lx, AccessMode::kWrite);
+  LocatedRef target = parse_ref(lx, AccessMode::kWrite);
   const bool accumulate = (lx.peek().kind == Tok::kPlusAssign);
   if (!lx.accept(Tok::kPlusAssign)) lx.expect(Tok::kAssign, "'=' or '+='");
 
-  // rhs: "0" or ref ('*' ref)*.
+  // rhs: "0" or ref ('*' ref)*. Trace order is reads, then the self-read of
+  // a `+=` target, then the write — access locations follow that order.
+  std::vector<SourceLoc> access_locs;
   if (lx.peek().kind == Tok::kInt) {
     lx.next();  // literal init; no reads
   } else {
-    stmt.accesses.push_back(parse_ref(lx, AccessMode::kRead));
-    while (lx.accept(Tok::kStar)) {
-      stmt.accesses.push_back(parse_ref(lx, AccessMode::kRead));
+    for (;;) {
+      LocatedRef read = parse_ref(lx, AccessMode::kRead);
+      stmt.accesses.push_back(std::move(read.ref));
+      access_locs.push_back(read.loc);
+      if (!lx.accept(Tok::kStar)) break;
     }
   }
   if (accumulate) {
-    ArrayRef self_read = target;
+    ArrayRef self_read = target.ref;
     self_read.mode = AccessMode::kRead;
     stmt.accesses.push_back(std::move(self_read));
+    access_locs.push_back(target.loc);
   }
-  stmt.accesses.push_back(std::move(target));
-  prog.add_statement(parent, std::move(stmt));
+  stmt.accesses.push_back(std::move(target.ref));
+  access_locs.push_back(target.loc);
+
+  const NodeId n = out.prog.add_statement(parent, std::move(stmt));
+  out.locs.nodes[n] = at;
+  for (int a = 0; a < static_cast<int>(access_locs.size()); ++a) {
+    out.locs.accesses[AccessSite{n, a}] = access_locs[static_cast<std::size_t>(a)];
+  }
 }
 
-void parse_items(Lexer& lx, Program& prog, NodeId parent) {
+void parse_items(Lexer& lx, ParsedProgram& out, NodeId parent) {
   for (;;) {
     switch (lx.peek().kind) {
       case Tok::kFor:
-        parse_band(lx, prog, parent);
+        parse_band(lx, out, parent);
         break;
       case Tok::kIdent:
-        parse_statement(lx, prog, parent);
+        parse_statement(lx, out, parent);
         break;
       default:
         return;
@@ -276,13 +308,17 @@ void parse_items(Lexer& lx, Program& prog, NodeId parent) {
 
 }  // namespace
 
-Program parse_program(const std::string& text) {
+ParsedProgram parse_program_located(const std::string& text, bool validate) {
   Lexer lx(text);
-  Program prog;
-  parse_items(lx, prog, Program::kRoot);
+  ParsedProgram out;
+  parse_items(lx, out, Program::kRoot);
   if (lx.peek().kind != Tok::kEnd) lx.fail("unexpected trailing input");
-  prog.validate();
-  return prog;
+  if (validate) out.prog.validate();
+  return out;
+}
+
+Program parse_program(const std::string& text) {
+  return parse_program_located(text).prog;
 }
 
 sym::Expr parse_expr(const std::string& text) {

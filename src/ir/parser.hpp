@@ -25,14 +25,49 @@
 // reads W before the write (matching real kernel trace order).
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "ir/program.hpp"
+#include "support/check.hpp"
 
 namespace sdlo::ir {
 
-/// Parses program text; throws sdlo::ParseError with a line number on
-/// malformed input. The returned Program is validated.
+/// Source positions of program constructs, recorded while parsing so later
+/// passes (analysis/diagnostics.hpp) can point at the offending text. Node
+/// positions are the `for` / label token; access positions are the array
+/// name token. Lookups on constructs the map does not know return the
+/// unknown location {0, 0}.
+struct SourceMap {
+  std::map<NodeId, SourceLoc> nodes;
+  std::map<AccessSite, SourceLoc> accesses;
+
+  SourceLoc node_loc(NodeId n) const {
+    const auto it = nodes.find(n);
+    return it == nodes.end() ? SourceLoc{} : it->second;
+  }
+  SourceLoc access_loc(const AccessSite& s) const {
+    const auto it = accesses.find(s);
+    return it == accesses.end() ? SourceLoc{} : it->second;
+  }
+};
+
+/// A parsed program together with its source positions.
+struct ParsedProgram {
+  Program prog;
+  SourceMap locs;
+};
+
+/// Parses program text; throws sdlo::ParseError carrying a line:column
+/// SourceLoc on malformed input. With validate=true (the default) the
+/// returned Program is validated; validate=false returns the raw tree so
+/// the analysis verifier can report constrained-class violations as
+/// collected diagnostics instead of a thrown UnsupportedProgram.
+ParsedProgram parse_program_located(const std::string& text,
+                                    bool validate = true);
+
+/// Parses program text; throws sdlo::ParseError on malformed input. The
+/// returned Program is validated.
 Program parse_program(const std::string& text);
 
 /// Parses a symbolic integer expression (the `expr` grammar above).

@@ -266,9 +266,14 @@ MissPrediction predict_misses(const Analysis& an, const sym::Env& env,
     }
     out.misses += oc.misses;
     out.misses_by_site[site] += oc.misses;
+    if (oc.approximated) out.confidence = Confidence::kApproximate;
     out.outcomes.push_back(oc);
   }
   return out;
+}
+
+const char* confidence_name(Confidence c) {
+  return c == Confidence::kExact ? "exact" : "approximate";
 }
 
 std::vector<SymbolicRow> symbolic_report(const Analysis& an) {

@@ -62,11 +62,21 @@ struct PartitionOutcome {
   bool approximated = false;   ///< interpolation fallback (never exact)
 };
 
+/// Confidence verdict of a concrete prediction: kExact when every partition
+/// was resolved by closed form or exhaustive coordinate enumeration,
+/// kApproximate when at least one fell back to statistical interpolation
+/// (the analysis passes of analysis/applicability.hpp report *which*).
+enum class Confidence : std::uint8_t { kExact, kApproximate };
+
+/// "exact" / "approximate".
+const char* confidence_name(Confidence c);
+
 /// Concrete miss prediction.
 struct MissPrediction {
   std::int64_t capacity = 0;
   std::int64_t total_accesses = 0;
   std::int64_t misses = 0;
+  Confidence confidence = Confidence::kExact;
   /// Misses per access site, indexed like trace::CompiledProgram sites
   /// (statements in program order, accesses within statements).
   std::vector<std::int64_t> misses_by_site;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/parallel_safety.hpp"
 #include "support/check.hpp"
 
 namespace sdlo::parallel {
@@ -49,6 +50,10 @@ SmpEstimate estimate_smp(const model::Analysis& an,
   SDLO_CHECK(pos_it != g.bounds.end(),
              "unknown partitioned bound: " + partitioned_bound);
   const auto pos = static_cast<std::size_t>(pos_it - g.bounds.begin());
+
+  // §7 assumes block-partitioning the bound is synchronization-free; refuse
+  // estimates whose partitioned loop carries a dependence.
+  analysis::require_partition_safety(g.prog, partitioned_bound);
 
   SmpEstimate est;
   est.processors = processors;

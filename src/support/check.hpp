@@ -23,11 +23,24 @@ class ContractViolation : public Error {
   using Error::Error;
 };
 
+/// A 1-based position in a source text; {0, 0} means "unknown".
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
 /// Thrown when user-provided input (IR text, tensor expressions, CLI flags)
-/// is malformed.
+/// is malformed. Carries the source position when the thrower knows it.
 class ParseError : public Error {
  public:
   using Error::Error;
+  ParseError(const std::string& msg, SourceLoc where)
+      : Error(msg), loc(where) {}
+
+  SourceLoc loc;
 };
 
 /// Thrown when an IR structure violates the constrained class of programs the

@@ -4,6 +4,7 @@
 // or stdin and runs the analysis pipeline on it:
 //
 //   sdlo analyze  prog.sdlo                      # partitions + distances
+//   sdlo lint     prog.sdlo [--set N=512] [--cap 8192] [--line 8] [--json]
 //   sdlo misses   prog.sdlo --cap 8192 --set N=512 [--simulate]
 //   sdlo sweep    prog.sdlo --set N=512 [--line 4] [--sites]
 //   sdlo trace    prog.sdlo --set N=8 [--limit 100]
@@ -15,6 +16,13 @@
 // sweep engine's simulator. `sweep` uses the stack-distance profiler to
 // answer every capacity from one pass — at line granularity with --line,
 // and with a per-site miss breakdown under --sites.
+//
+// `lint` runs the static-analysis passes of src/analysis (well-formedness,
+// model applicability, parallelization safety) and prints the diagnostics
+// as compiler-style text or, with --json, as the stable JSON report
+// documented in the README. Exit status 0 means no error-severity
+// diagnostic. An env (--set) enables the concrete-size checks, --cap the
+// interpolation check, --line the false-sharing check.
 //
 // `fuzz` runs the differential fuzzing subsystem (src/fuzz): generates
 // random constrained-class programs and cross-checks every implementation
@@ -28,6 +36,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/lint.hpp"
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
 #include "fuzz/generator.hpp"
@@ -89,7 +98,12 @@ int cmd_misses(const ir::Program& prog, const sym::Env& env,
   std::cout << "capacity " << cap << " elements\n"
             << "accesses  " << with_commas(pred.total_accesses) << "\n"
             << "predicted " << with_commas(pred.misses) << " misses ("
-            << format_double(100.0 * pred.miss_ratio(), 3) << "%)\n";
+            << format_double(100.0 * pred.miss_ratio(), 3) << "%)\n"
+            << "confidence " << model::confidence_name(pred.confidence)
+            << (pred.confidence == model::Confidence::kApproximate
+                    ? " (interpolated partitions; see sdlo lint)"
+                    : "")
+            << "\n";
   if (simulate) {
     trace::CompiledProgram cp(prog, env);
     const auto sim = cachesim::simulate_sweep(
@@ -139,6 +153,22 @@ int cmd_sweep(const ir::Program& prog, const sym::Env& env,
               << " elements per line; capacities in elements)\n";
   }
   return 0;
+}
+
+int cmd_lint(const std::string& text, const std::string& source_name,
+             const sym::Env& env, std::int64_t cap, std::int64_t line,
+             bool json) {
+  analysis::LintOptions opts;
+  opts.env = env;
+  opts.capacity = cap;
+  opts.line_elems = line;
+  const analysis::LintReport rep = analysis::lint_text(text, opts);
+  if (json) {
+    analysis::render_json(rep, std::cout);
+  } else {
+    analysis::render_text(rep, std::cout, source_name);
+  }
+  return rep.ok() ? 0 : 1;
 }
 
 int cmd_trace(const ir::Program& prog, const sym::Env& env,
@@ -263,13 +293,14 @@ int main(int argc, char** argv) {
         .flag("time-budget", "stop fuzzing after SEC seconds (0 = off)")
         .flag("artifact-dir", "directory for minimized counterexamples")
         .flag("replay", "re-check a counterexample artifact (fuzz)")
+        .flag("json", "machine-readable report (lint)")
         .flag("trace-mode",
               "trace delivery for misses/sweep: runs (default) or batched");
     cli.finish();
 
     const auto& pos = cli.positional();
     if (pos.empty()) {
-      std::cerr << "usage: sdlo {analyze|misses|sweep|trace} <file|-> "
+      std::cerr << "usage: sdlo {analyze|lint|misses|sweep|trace} <file|-> "
                    "[NAME=VALUE...] [flags]\n"
                    "       sdlo fuzz [--seed S] [--count N] "
                    "[--time-budget SEC] [--artifact-dir DIR] "
@@ -295,11 +326,10 @@ int main(int argc, char** argv) {
           artifact_dir);
     }
     if (pos.size() < 2) {
-      std::cerr << "usage: sdlo {analyze|misses|sweep|trace} <file|-> "
+      std::cerr << "usage: sdlo {analyze|lint|misses|sweep|trace} <file|-> "
                    "[NAME=VALUE...] [flags]\n";
       return 2;
     }
-    ir::Program prog = ir::parse_program(read_input(pos[1]));
     sym::Env env = parse_sets(pos);
     // --set NAME=VALUE also lands in the "set" flag slot; accept both.
     const std::string set_flag = cli.get_string("set", "");
@@ -309,6 +339,16 @@ int main(int argc, char** argv) {
         env[set_flag.substr(0, eq)] = parse_int(set_flag.substr(eq + 1));
       }
     }
+
+    if (verb == "lint") {
+      // lint parses for itself: parse failures become diagnostics, and
+      // out-of-class programs must be reported, not thrown.
+      return cmd_lint(read_input(pos[1]),
+                      pos[1] == "-" ? "<stdin>" : pos[1], env,
+                      cli.get_int("cap", 0), cli.get_int("line", 0),
+                      cli.get_bool("json", false));
+    }
+    ir::Program prog = ir::parse_program(read_input(pos[1]));
 
     if (verb == "analyze") return cmd_analyze(prog);
     if (verb == "misses") {
