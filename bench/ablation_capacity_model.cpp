@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   using namespace sdlo;
   CommandLine cli(argc, argv);
   cli.flag("csv", "emit CSV");
-  cli.finish();
+  if (!cli.finish()) return 0;
 
   struct Config {
     std::int64_t n;

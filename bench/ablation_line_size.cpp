@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   cli.flag("cache_kb", "cache size in KB (default 16)");
   cli.flag("csv", "emit CSV");
   bench::register_trace_flag(cli);
-  cli.finish();
+  if (!cli.finish()) return 0;
   const auto trace_mode = bench::parse_trace_mode(cli);
   const std::int64_t n = cli.get_int("n", 128);
   const std::int64_t cap = bench::kb_to_elems(cli.get_int("cache_kb", 16));

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   CommandLine cli(argc, argv);
   cli.flag("range", "loop range N (default 512)");
   cli.flag("csv", "emit CSV");
-  cli.finish();
+  if (!cli.finish()) return 0;
   const std::int64_t n = cli.get_int("range", 512);
   const std::int64_t cap = bench::kb_to_elems(64);
 

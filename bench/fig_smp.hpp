@@ -31,7 +31,7 @@ inline int run_smp_figure(const char* title, std::int64_t default_range,
   cli.flag("calibrate_n", "problem size for the calibration runs");
   cli.flag("measure", "also time real threaded kernel runs");
   cli.flag("csv", "emit CSV");
-  cli.finish();
+  if (!cli.finish()) return 0;
   const std::int64_t n = cli.get_int("range", default_range);
   const std::int64_t cap = kb_to_elems(cli.get_int("cache_kb", 64));
 

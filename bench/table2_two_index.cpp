@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   cli.flag("quick", "quarter-scale bounds (fast CI runs)");
   cli.flag("csv", "emit CSV");
   bench::register_trace_flag(cli);
-  cli.finish();
+  if (!cli.finish()) return 0;
   const auto trace_mode = bench::parse_trace_mode(cli);
   const bool quick = cli.get_bool("quick", false);
   const std::int64_t scale = quick ? 4 : 1;

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   cli.flag("max_tile", "largest tile value searched (default 512)");
   cli.flag("csv", "emit CSV");
   bench::register_trace_flag(cli);
-  cli.finish();
+  if (!cli.finish()) return 0;
   const auto trace_mode = bench::parse_trace_mode(cli);
   const std::int64_t cache_kb = cli.get_int("cache_kb", 64);
   const std::int64_t cap = bench::kb_to_elems(cache_kb);

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   CommandLine cli(argc, argv);
   cli.flag("o", "occupied-orbital range O (default 16)");
   cli.flag("v", "virtual-orbital range V (default 64)");
-  cli.finish();
+  if (!cli.finish()) return 0;
   const std::int64_t O = cli.get_int("o", 16);
   const std::int64_t V = cli.get_int("v", 64);
 

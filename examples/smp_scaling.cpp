@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   CommandLine cli(argc, argv);
   cli.flag("range", "loop range (default 512)");
   cli.flag("cache_kb", "per-CPU cache in KB (default 64)");
-  cli.finish();
+  if (!cli.finish()) return 0;
   const std::int64_t n = cli.get_int("range", 512);
   const std::int64_t cap = cli.get_int("cache_kb", 64) * 1024 / 8;
 

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   CommandLine cli(argc, argv);
   cli.flag("n", "loop bounds (default 256)");
   cli.flag("cache_kb", "cache size in KB (default 64)");
-  cli.finish();
+  if (!cli.finish()) return 0;
   const std::int64_t n = cli.get_int("n", 256);
   const std::int64_t cap = cli.get_int("cache_kb", 64) * 1024 / 8;
 

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "support/failpoints.hpp"
+
 namespace sdlo::cachesim {
 
 SimResult simulate_lru(const trace::CompiledProgram& prog,
@@ -67,6 +69,7 @@ SimResult ProfileResult::result(std::int64_t capacity_elems) const {
   const std::int64_t cap_lines = capacity_elems / line_elems;
   SimResult r;
   r.accesses = accesses;
+  r.completeness = completeness;
   r.misses = misses_from_histogram(histogram, cold, cap_lines);
   r.misses_by_site.resize(histogram_by_site.size());
   for (std::size_t s = 0; s < histogram_by_site.size(); ++s) {
@@ -170,28 +173,67 @@ void profile_run_group(StackDistanceProfiler& profiler, const trace::Run* g,
 
 }  // namespace
 
+namespace {
+
+/// Internal control-flow exception: thrown by a governed walk sink to stop
+/// the walk at a safe boundary. Never escapes this translation unit.
+struct AbortProfile {};
+
+}  // namespace
+
 ProfileResult profile_stack_distances(const trace::CompiledProgram& prog,
                                       std::int64_t line_elems,
-                                      trace::TraceMode mode) {
+                                      trace::TraceMode mode,
+                                      const Governor* gov) {
   SDLO_EXPECTS(line_elems > 0);
   SDLO_EXPECTS(std::has_single_bit(
       static_cast<std::uint64_t>(line_elems)));
   const int shift =
       std::countr_zero(static_cast<std::uint64_t>(line_elems));
+  // The dense last-access table is one uint64 per footprint line; gate it
+  // on the governor's memory budget (and the named failpoint) and fall
+  // back to the hashed table — bit-identical, just slower — when denied.
+  std::uint64_t addr_limit = prog.footprint_lines(line_elems);
+  MemoryReservation reservation;
+  if (failpoints::fail_alloc(failpoints::kProfilerDenseAlloc)) {
+    addr_limit = 0;
+  } else if (gov != nullptr && gov->memory != nullptr) {
+    reservation =
+        MemoryReservation(gov->memory, addr_limit * sizeof(std::uint64_t));
+    if (!reservation.ok()) addr_limit = 0;
+  }
   StackDistanceProfiler profiler(
       static_cast<std::size_t>(prog.address_space_size() >> shift),
-      prog.footprint_lines(line_elems));
+      addr_limit);
   profiler.enable_site_tracking(prog.num_sites());
-  if (mode == trace::TraceMode::kRuns) {
-    prog.walk_runs([&](const trace::Run* g, std::size_t nrefs) {
-      profile_run_group(profiler, g, nrefs, shift, line_elems);
-    });
-  } else {
-    prog.walk([&](const trace::Access& a) {
-      profiler.access(a.addr >> shift, a.site);
-    });
+  const std::uint64_t interval =
+      gov != nullptr && gov->poll_interval > 0 ? gov->poll_interval : 1024;
+  std::uint64_t tick = 0;
+  bool complete = true;
+  try {
+    if (mode == trace::TraceMode::kRuns) {
+      prog.walk_runs([&](const trace::Run* g, std::size_t nrefs) {
+        if (gov != nullptr && ++tick >= interval) {
+          tick = 0;
+          if (gov->should_stop()) throw AbortProfile{};
+        }
+        profile_run_group(profiler, g, nrefs, shift, line_elems);
+      });
+    } else {
+      prog.walk([&](const trace::Access& a) {
+        if (gov != nullptr && ++tick >= interval) {
+          tick = 0;
+          if (gov->should_stop()) throw AbortProfile{};
+        }
+        profiler.access(a.addr >> shift, a.site);
+      });
+    }
+  } catch (const AbortProfile&) {
+    complete = false;
   }
   ProfileResult r;
+  r.completeness =
+      complete ? Completeness::kComplete : Completeness::kTruncated;
   r.accesses = profiler.total_accesses();
   r.cold = profiler.cold_accesses();
   r.line_elems = line_elems;

@@ -10,6 +10,7 @@
 #include "cachesim/lru_cache.hpp"
 #include "cachesim/set_assoc_cache.hpp"
 #include "cachesim/stack_profiler.hpp"
+#include "support/governor.hpp"
 #include "trace/walker.hpp"
 
 namespace sdlo::cachesim {
@@ -21,6 +22,10 @@ struct SimResult {
   /// Misses attributed to each access site (indexed by CompiledProgram
   /// site ids). The per-site breakdown validates per-partition predictions.
   std::vector<std::uint64_t> misses_by_site;
+  /// kTruncated when a Governor stopped the walk early; the counts are
+  /// then the exact simulation of the consumed trace prefix (whole run
+  /// groups), hence lower bounds on the full-trace counts.
+  Completeness completeness = Completeness::kComplete;
 
   double miss_ratio() const {
     return accesses == 0 ? 0.0
@@ -55,6 +60,9 @@ SimResult simulate_lru_lines(const trace::CompiledProgram& prog,
 struct ProfileResult {
   std::uint64_t accesses = 0;
   std::uint64_t cold = 0;
+  /// kTruncated when a Governor stopped the walk early; the histogram is
+  /// then the exact profile of the consumed trace prefix.
+  Completeness completeness = Completeness::kComplete;
   /// Line granularity the trace was profiled at (depths are in lines).
   std::int64_t line_elems = 1;
   std::map<std::int64_t, std::uint64_t> histogram;
@@ -77,8 +85,17 @@ struct ProfileResult {
 /// consumes the run-compressed trace, bulk-accounting same-line repeats and
 /// steady-state pinned groups; trace::TraceMode::kBatched forces the
 /// per-access walk. Both produce bit-identical profiles.
+///
+/// `gov`, when non-null, governs the walk: the profiler polls every
+/// `gov->poll_interval` run groups (or access batches of that many
+/// accesses) and, when the deadline or cancellation trips, returns the
+/// exact profile of the consumed prefix marked kTruncated. `gov->memory`
+/// additionally gates the dense last-access table: when the reservation is
+/// denied the profiler falls back to the hashed table (bit-identical
+/// results, just slower).
 ProfileResult profile_stack_distances(
     const trace::CompiledProgram& prog, std::int64_t line_elems = 1,
-    trace::TraceMode mode = trace::TraceMode::kRuns);
+    trace::TraceMode mode = trace::TraceMode::kRuns,
+    const Governor* gov = nullptr);
 
 }  // namespace sdlo::cachesim

@@ -5,8 +5,10 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "support/check.hpp"
+#include "support/failpoints.hpp"
 
 namespace sdlo::cachesim {
 
@@ -14,6 +16,17 @@ namespace {
 
 using trace::Access;
 using trace::Run;
+
+/// Internal control-flow exception: thrown by a governed walk sink at a
+/// run-group boundary to stop the walk, caught by feed_units. Never
+/// escapes this translation unit.
+struct AbortWalk {};
+
+/// Estimated bytes per footprint line of the dense tables, used to size
+/// MemoryBudget reservations. MultiLruStackUnit: node_of_ (int32) + Node
+/// (2x int32) + seg_ (uint8). CacheUnit's dense LruCache: node_of_ (int32).
+constexpr std::uint64_t kStackBytesPerLine = 13;
+constexpr std::uint64_t kLruBytesPerLine = 4;
 
 /// One independently simulatable consumer of the trace. Units accept both
 /// delivery shapes; for a given walk exactly one of them is used.
@@ -24,6 +37,18 @@ class SweepUnit {
   virtual void consume_runs(const Run* g, std::size_t nrefs) = 0;
   /// Writes this unit's SimResults into their `configs`-order slots.
   virtual void finish(std::vector<SimResult>& out) const = 0;
+
+  /// Marks every result of this unit as a budget-truncated prefix.
+  void set_truncated() { completeness_ = Completeness::kTruncated; }
+
+  /// Ties a successful dense-table reservation to this unit's lifetime.
+  void hold(MemoryReservation r) { reservation_ = std::move(r); }
+
+ protected:
+  Completeness completeness_ = Completeness::kComplete;
+
+ private:
+  MemoryReservation reservation_;
 };
 
 void check_line_geometry(const SweepConfig& c) {
@@ -142,6 +167,7 @@ class MultiLruStackUnit final : public SweepUnit {
       for (std::size_t slot : slots_[r]) {
         SimResult& res = out[slot];
         res.accesses = accesses_;
+        res.completeness = completeness_;
         res.misses = 0;
         res.misses_by_site.assign(static_cast<std::size_t>(num_sites_), 0);
         for (std::int32_t s = 0; s < num_sites_; ++s) {
@@ -522,6 +548,7 @@ class CacheUnit final : public SweepUnit {
   void finish(std::vector<SimResult>& out) const override {
     SimResult& res = out[slot_];
     res.accesses = accesses_;
+    res.completeness = completeness_;
     res.misses = misses_;
     res.misses_by_site = misses_by_site_;
   }
@@ -537,31 +564,55 @@ class CacheUnit final : public SweepUnit {
 };
 
 /// One walk of the trace through `mine`, in the requested delivery shape.
-void feed_units(const trace::CompiledProgram& prog,
-                const std::vector<SweepUnit*>& mine, trace::TraceMode mode) {
-  if (mode == trace::TraceMode::kRuns) {
-    prog.walk_runs([&mine](const Run* g, std::size_t nrefs) {
-      for (auto* u : mine) u->consume_runs(g, nrefs);
-    });
-  } else {
-    prog.walk_batched([&mine](const Access* a, std::size_t n) {
-      for (auto* u : mine) u->consume(a, n);
-    });
+/// With a governor, polls it every `poll_interval` run groups (batches in
+/// kBatched mode) and stops the walk — at a group boundary, so every unit
+/// holds an exact prefix simulation — when a budget trips. Units are then
+/// marked truncated. Returns false on truncation.
+bool feed_units(const trace::CompiledProgram& prog,
+                const std::vector<SweepUnit*>& mine, trace::TraceMode mode,
+                const Governor* gov) {
+  const std::uint64_t interval =
+      gov != nullptr && gov->poll_interval > 0 ? gov->poll_interval : 1024;
+  std::uint64_t tick = 0;
+  bool complete = true;
+  try {
+    if (mode == trace::TraceMode::kRuns) {
+      prog.walk_runs([&](const Run* g, std::size_t nrefs) {
+        if (gov != nullptr && ++tick >= interval) {
+          tick = 0;
+          if (gov->should_stop()) throw AbortWalk{};
+        }
+        for (auto* u : mine) u->consume_runs(g, nrefs);
+      });
+    } else {
+      prog.walk_batched([&](const Access* a, std::size_t n) {
+        if (gov != nullptr && ++tick >= interval) {
+          tick = 0;
+          if (gov->should_stop()) throw AbortWalk{};
+        }
+        for (auto* u : mine) u->consume(a, n);
+      });
+    }
+  } catch (const AbortWalk&) {
+    complete = false;
+    for (auto* u : mine) u->set_truncated();
   }
+  return complete;
 }
 
 /// Walks the trace through `units`: one shared walk when serial, one walk
 /// per round-robin chunk of units when a pool is available.
 void run_units(const trace::CompiledProgram& prog,
                std::vector<std::unique_ptr<SweepUnit>>& units,
-               parallel::ThreadPool* pool, trace::TraceMode mode) {
+               parallel::ThreadPool* pool, trace::TraceMode mode,
+               const Governor* gov) {
   if (units.empty()) return;
   const int threads = pool ? pool->num_threads() : 1;
   if (threads <= 1 || units.size() == 1) {
     std::vector<SweepUnit*> all;
     all.reserve(units.size());
     for (auto& u : units) all.push_back(u.get());
-    feed_units(prog, all, mode);
+    feed_units(prog, all, mode, gov);
     return;
   }
   const std::size_t chunks =
@@ -575,7 +626,7 @@ void run_units(const trace::CompiledProgram& prog,
         for (std::size_t u = c; u < units.size(); u += chunks) {
           mine.push_back(units[u].get());
         }
-        feed_units(prog, mine, mode);
+        feed_units(prog, mine, mode, gov);
       } catch (...) {
         std::scoped_lock lock(err_mu);
         if (!first_error) first_error = std::current_exception();
@@ -588,10 +639,26 @@ void run_units(const trace::CompiledProgram& prog,
 
 }  // namespace
 
+namespace {
+
+/// Claims the dense address table for one unit against the governor's
+/// memory budget. Returns a reservation whose ok() is false when the
+/// budget denies it — or when the named failpoint injects a denial.
+MemoryReservation reserve_dense(const Governor* gov, std::uint64_t bytes,
+                                const char* failpoint_site) {
+  if (failpoints::fail_alloc(failpoint_site)) {
+    return MemoryReservation::denied();
+  }
+  return MemoryReservation(gov != nullptr ? gov->memory : nullptr, bytes);
+}
+
+}  // namespace
+
 std::vector<SimResult> simulate_sweep(const trace::CompiledProgram& prog,
                                       const std::vector<SweepConfig>& configs,
                                       parallel::ThreadPool* pool,
-                                      trace::TraceMode mode) {
+                                      trace::TraceMode mode,
+                                      const Governor* gov) {
   std::vector<SimResult> out(configs.size());
   if (configs.empty()) return out;
 
@@ -620,6 +687,23 @@ std::vector<SimResult> simulate_sweep(const trace::CompiledProgram& prog,
         caps.emplace_back(configs[i].capacity_elems / line, i);
       }
     }
+    const std::uint64_t fp = prog.footprint_lines(line);
+    MemoryReservation r =
+        reserve_dense(gov, fp * kStackBytesPerLine,
+                      failpoints::kSweepDenseAlloc);
+    if (!r.ok()) {
+      // Budget denied the dense marker stack: degrade to one hashed-table
+      // CacheUnit per configuration (addr_limit 0 selects the
+      // open-addressing map). Bit-identical results, O(#configs) per
+      // access instead of O(1), and memory proportional to the capacities
+      // rather than the footprint.
+      for (const auto& [cap, slot] : caps) {
+        (void)cap;
+        units.push_back(std::make_unique<CacheUnit>(
+            configs[slot], slot, prog.num_sites(), /*footprint_lines=*/0));
+      }
+      continue;
+    }
     std::sort(caps.begin(), caps.end());
     std::vector<std::int64_t> distinct;
     std::vector<std::vector<std::size_t>> slots;
@@ -630,12 +714,13 @@ std::vector<SimResult> simulate_sweep(const trace::CompiledProgram& prog,
       }
       slots.back().push_back(slot);
     }
-    units.push_back(std::make_unique<MultiLruStackUnit>(
-        std::move(distinct), std::move(slots), line, prog.num_sites(),
-        prog.footprint_lines(line)));
+    auto unit = std::make_unique<MultiLruStackUnit>(
+        std::move(distinct), std::move(slots), line, prog.num_sites(), fp);
+    unit->hold(std::move(r));
+    units.push_back(std::move(unit));
   }
 
-  run_units(prog, units, pool, mode);
+  run_units(prog, units, pool, mode, gov);
   for (const auto& u : units) u->finish(out);
   return out;
 }
@@ -643,18 +728,29 @@ std::vector<SimResult> simulate_sweep(const trace::CompiledProgram& prog,
 std::vector<SimResult> simulate_many(const trace::CompiledProgram& prog,
                                      const std::vector<SweepConfig>& configs,
                                      parallel::ThreadPool* pool,
-                                     trace::TraceMode mode) {
+                                     trace::TraceMode mode,
+                                     const Governor* gov) {
   std::vector<SimResult> out(configs.size());
   if (configs.empty()) return out;
   std::vector<std::unique_ptr<SweepUnit>> units;
   units.reserve(configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
     check_line_geometry(configs[i]);
-    units.push_back(std::make_unique<CacheUnit>(
-        configs[i], i, prog.num_sites(),
-        prog.footprint_lines(configs[i].line_elems)));
+    std::uint64_t fp = prog.footprint_lines(configs[i].line_elems);
+    MemoryReservation r;
+    if (configs[i].ways == 0) {
+      // Only the fully-associative path allocates a footprint-sized dense
+      // table; gate it and fall back to the hashed map when denied.
+      r = reserve_dense(gov, fp * kLruBytesPerLine,
+                        failpoints::kSweepDenseAlloc);
+      if (!r.ok()) fp = 0;
+    }
+    auto unit = std::make_unique<CacheUnit>(configs[i], i, prog.num_sites(),
+                                            fp);
+    unit->hold(std::move(r));
+    units.push_back(std::move(unit));
   }
-  run_units(prog, units, pool, mode);
+  run_units(prog, units, pool, mode, gov);
   for (const auto& u : units) u->finish(out);
   return out;
 }

@@ -30,6 +30,15 @@
 // simulation units (one per line-size group / per cache chunk) then run on
 // worker threads, each performing its own walk of the shared
 // CompiledProgram (walks are const and re-entrant).
+//
+// Both entry points also accept an optional Governor (support/governor.hpp):
+// each walk polls every `poll_interval` run groups and, when the deadline
+// or cancellation trips, stops at a run-group boundary and returns the
+// exact results of the consumed prefix, marked Completeness::kTruncated
+// (with a pool, each worker's chunk truncates at its own prefix). A memory
+// budget gates the dense direct-indexed address tables: when a reservation
+// is denied — or the sweep-dense-alloc failpoint is armed — the engine
+// degrades to hashed-table units, bit-identical but slower.
 #pragma once
 
 #include <cstdint>
@@ -65,7 +74,8 @@ std::vector<SimResult> simulate_sweep(
     const trace::CompiledProgram& prog,
     const std::vector<SweepConfig>& configs,
     parallel::ThreadPool* pool = nullptr,
-    trace::TraceMode mode = trace::TraceMode::kRuns);
+    trace::TraceMode mode = trace::TraceMode::kRuns,
+    const Governor* gov = nullptr);
 
 /// Shared-walk fallback: instantiates one real cache per configuration
 /// (LruCache for ways == 0, SetAssocCache otherwise) and feeds all of them
@@ -78,6 +88,7 @@ std::vector<SimResult> simulate_many(
     const trace::CompiledProgram& prog,
     const std::vector<SweepConfig>& configs,
     parallel::ThreadPool* pool = nullptr,
-    trace::TraceMode mode = trace::TraceMode::kRuns);
+    trace::TraceMode mode = trace::TraceMode::kRuns,
+    const Governor* gov = nullptr);
 
 }  // namespace sdlo::cachesim

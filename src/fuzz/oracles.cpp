@@ -11,6 +11,7 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "model/analyzer.hpp"
+#include "support/failpoints.hpp"
 #include "trace/walker.hpp"
 
 namespace sdlo::fuzz {
@@ -288,6 +289,58 @@ void check_set_assoc_edges(OracleReport& report,
   }
 }
 
+// Budget-degradation oracle: a zero-byte memory budget denies every dense
+// address-table reservation, forcing the sweep engine and the profiler
+// onto their hashed fallbacks. Degradation must be invisible in the
+// results: bit-identical counts, misses_by_site included, and no spurious
+// truncation (no deadline is set).
+void check_budgeted_degradation(OracleReport& report,
+                                const trace::CompiledProgram& cp,
+                                const OracleOptions& opts) {
+  std::vector<cachesim::SweepConfig> configs;
+  for (const std::int64_t line : opts.line_sizes) {
+    for (const std::int64_t cl : opts.capacity_lines) {
+      configs.push_back({cl * line, line, 0, cachesim::Replacement::kLru});
+    }
+  }
+  const auto dense = cachesim::simulate_sweep(cp, configs, nullptr,
+                                              trace::TraceMode::kRuns);
+  MemoryBudget no_memory(0);
+  Governor gov;
+  gov.memory = &no_memory;
+  const auto hashed = cachesim::simulate_sweep(
+      cp, configs, nullptr, trace::TraceMode::kRuns, &gov);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    std::ostringstream where;
+    where << "cap=" << configs[i].capacity_elems
+          << " line=" << configs[i].line_elems;
+    compare_results(report, "budgeted-hashed-vs-dense", where.str(),
+                    hashed[i], dense[i]);
+    if (hashed[i].completeness != Completeness::kComplete) {
+      add_mismatch(report, "budgeted-hashed-vs-dense",
+                   where.str() + ": memory-budgeted run reported truncation"
+                                 " without a deadline");
+    }
+  }
+  // The profiler's hashed last-access table must match the dense one too.
+  for (const std::int64_t line : opts.line_sizes) {
+    const auto d = cachesim::profile_stack_distances(
+        cp, line, trace::TraceMode::kRuns);
+    const auto h = cachesim::profile_stack_distances(
+        cp, line, trace::TraceMode::kRuns, &gov);
+    if (d.accesses != h.accesses || d.cold != h.cold ||
+        d.histogram != h.histogram ||
+        d.cold_by_site != h.cold_by_site ||
+        d.histogram_by_site != h.histogram_by_site ||
+        h.completeness != Completeness::kComplete) {
+      std::ostringstream os;
+      os << "line=" << line
+         << ": memory-budgeted (hashed) profile differs from dense profile";
+      add_mismatch(report, "budgeted-profile-vs-dense", os.str());
+    }
+  }
+}
+
 // Every generated program is in the constrained class by construction, so
 // the lint pipeline must report it well formed: any error-severity
 // diagnostic is a verifier (or generator) bug.
@@ -491,7 +544,18 @@ void check_parallel_claims(OracleReport& report, const ir::Program& prog,
 OracleReport check_program(const ir::Program& prog, const sym::Env& env,
                            const OracleOptions& opts) {
   OracleReport report;
-  if (opts.check_roundtrip) check_roundtrip(report, prog);
+  // Polled before each oracle family: a tripped governor ends the battery
+  // with the partial report marked truncated (the families already run are
+  // complete and their mismatches are real).
+  const auto out_of_budget = [&report, &opts] {
+    if (!governor_should_stop(opts.governor)) {
+      failpoints::hit(failpoints::kOracleStep);
+      return false;
+    }
+    report.truncated = true;
+    return true;
+  };
+  if (opts.check_roundtrip && !out_of_budget()) check_roundtrip(report, prog);
 
   trace::CompiledProgram cp(prog, env);
   report.accesses = cp.total_accesses();
@@ -499,13 +563,24 @@ OracleReport check_program(const ir::Program& prog, const sym::Env& env,
     report.skipped = true;
     return report;
   }
-  if (opts.check_walker) check_walker(report, cp);
-  if (opts.check_model) check_model(report, prog, env, cp, opts);
-  if (opts.check_profile) check_profile(report, cp, opts);
-  if (opts.check_sweep) check_sweep(report, cp, opts);
-  if (opts.check_set_assoc) check_set_assoc_edges(report, cp, opts);
-  if (opts.check_lint) check_lint_gate(report, prog, env, opts);
-  if (opts.check_parallel) check_parallel_claims(report, prog, env);
+  if (opts.check_walker && !out_of_budget()) check_walker(report, cp);
+  if (opts.check_model && !out_of_budget()) {
+    check_model(report, prog, env, cp, opts);
+  }
+  if (opts.check_profile && !out_of_budget()) check_profile(report, cp, opts);
+  if (opts.check_sweep && !out_of_budget()) check_sweep(report, cp, opts);
+  if (opts.check_set_assoc && !out_of_budget()) {
+    check_set_assoc_edges(report, cp, opts);
+  }
+  if (opts.check_budgeted && !out_of_budget()) {
+    check_budgeted_degradation(report, cp, opts);
+  }
+  if (opts.check_lint && !out_of_budget()) {
+    check_lint_gate(report, prog, env, opts);
+  }
+  if (opts.check_parallel && !out_of_budget()) {
+    check_parallel_claims(report, prog, env);
+  }
   return report;
 }
 

@@ -36,6 +36,7 @@
 
 #include "fuzz/generator.hpp"
 #include "ir/program.hpp"
+#include "support/governor.hpp"
 #include "symbolic/expr.hpp"
 
 namespace sdlo::fuzz {
@@ -68,6 +69,14 @@ struct OracleOptions {
   /// analysis pass marks safe is executed element-wise and checked for
   /// cross-iteration conflicts; loops flagged unsafe are excluded.
   bool check_parallel = true;
+  /// Budget-degradation oracle: a zero memory budget forces the sweep
+  /// engine and the profiler onto their hashed fallbacks, which must be
+  /// bit-identical to the unbudgeted dense runs.
+  bool check_budgeted = true;
+  /// Optional resource governor: the battery polls it between oracle
+  /// families and, when it trips, returns the partial report with
+  /// `truncated` set instead of running the remaining families.
+  const Governor* governor = nullptr;
 };
 
 /// One disagreement between two implementations.
@@ -79,6 +88,7 @@ struct Mismatch {
 /// Outcome of running every oracle family on one program.
 struct OracleReport {
   bool skipped = false;        ///< trace exceeded max_trace_accesses
+  bool truncated = false;      ///< a governor budget stopped the battery
   std::uint64_t accesses = 0;  ///< trace length (0 when skipped early)
   std::vector<Mismatch> mismatches;
 

@@ -1,6 +1,8 @@
 #include "fuzz/reducer.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -9,6 +11,7 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "support/check.hpp"
+#include "support/failpoints.hpp"
 #include "support/string_util.hpp"
 
 namespace sdlo::fuzz {
@@ -357,6 +360,31 @@ Artifact parse_artifact(const std::string& text) {
   // Comments are whitespace to the program grammar, so the whole artifact
   // text parses directly.
   return Artifact{ir::parse_program(text), std::move(env)};
+}
+
+void write_artifact_file(const std::string& path,
+                         const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      SDLO_CHECK(out.good(), "cannot open artifact temp file " + tmp);
+      // Split the write so the artifact-write failpoint lands mid-file:
+      // an injected fault here must leave `path` untouched.
+      const std::size_t half = content.size() / 2;
+      out.write(content.data(), static_cast<std::streamsize>(half));
+      failpoints::hit(failpoints::kArtifactWrite);
+      out.write(content.data() + half,
+                static_cast<std::streamsize>(content.size() - half));
+      out.flush();
+      SDLO_CHECK(out.good(), "short write to artifact temp file " + tmp);
+    }
+    std::filesystem::rename(tmp, path);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);  // best effort; keep the original
+    throw;
+  }
 }
 
 }  // namespace sdlo::fuzz

@@ -76,4 +76,11 @@ struct Artifact {
 /// with `# set NAME=VALUE` comments). Throws ParseError on malformed input.
 Artifact parse_artifact(const std::string& text);
 
+/// Atomically writes an artifact (or any text) to `path`: the content goes
+/// to `path` + ".tmp" first, is flushed and checked, and only then renamed
+/// over `path` — a crash, disk-full error, or injected fault mid-write can
+/// never leave a truncated file at `path` (the temp file is removed on
+/// failure). Throws Error when the write or rename fails.
+void write_artifact_file(const std::string& path, const std::string& content);
+
 }  // namespace sdlo::fuzz

@@ -1,6 +1,9 @@
 #include "parallel/thread_pool.hpp"
 
+#include <utility>
+
 #include "support/check.hpp"
+#include "support/failpoints.hpp"
 
 namespace sdlo::parallel {
 
@@ -14,13 +17,14 @@ ThreadPool::ThreadPool(int threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  wait_idle();
+  wait_idle_nothrow();
   for (auto& w : workers_) w.request_stop();
   cv_.notify_all();
   // jthread joins on destruction.
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  failpoints::hit(failpoints::kPoolSubmit);
   {
     std::scoped_lock lock(mu_);
     queue_.push_back(std::move(task));
@@ -30,21 +34,49 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
+  std::exception_ptr err;
+  {
+    std::unique_lock lock(mu_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::wait_idle_nothrow() {
   std::unique_lock lock(mu_);
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  first_error_ = nullptr;
+}
+
+void ThreadPool::set_cancel_token(CancellationToken token) {
+  std::scoped_lock lock(mu_);
+  cancel_ = std::move(token);
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+  try {
+    failpoints::hit(failpoints::kPoolTask);
+    task();
+  } catch (...) {
+    std::scoped_lock lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
 }
 
 void ThreadPool::worker_loop(std::stop_token st) {
   for (;;) {
     std::function<void()> task;
+    bool skip = false;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, st, [this] { return !queue_.empty(); });
       if (queue_.empty()) return;  // stop requested and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      skip = cancel_.cancelled();
     }
-    task();
+    if (!skip) run_task(task);
     {
       std::scoped_lock lock(mu_);
       if (--in_flight_ == 0) idle_cv_.notify_all();

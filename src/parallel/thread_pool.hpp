@@ -3,15 +3,29 @@
 // Used by the kernels for real shared-memory execution of the partitioned
 // outer loops (§7), and by the SMP calibration runs. Workers are jthreads
 // joined on destruction (CP.23/CP.25); tasks are plain function objects.
+//
+// Exception safety: a task that throws never takes the process down. The
+// worker captures the first in-flight exception and wait_idle() rethrows it
+// once the pool is quiescent; later exceptions from the same batch are
+// dropped (first-error-wins, matching the per-chunk convention in the sweep
+// engine). After the rethrow the pool is idle and fully reusable.
+//
+// Cancellation: set_cancel_token() attaches a cooperative
+// CancellationToken. Once the token trips, workers drain queued tasks
+// without running them, so a governed driver that submits a long backlog
+// can stop promptly at a task boundary instead of finishing the backlog.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/governor.hpp"
 
 namespace sdlo::parallel {
 
@@ -21,7 +35,9 @@ class ThreadPool {
   /// Spawns `threads` workers (>= 1).
   explicit ThreadPool(int threads);
 
-  /// Joins all workers after draining the queue.
+  /// Joins all workers after draining the queue. Never throws: a pending
+  /// captured task exception is discarded (call wait_idle() first if the
+  /// batch outcome matters).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -30,19 +46,30 @@ class ThreadPool {
   /// Enqueues a task.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task of the batch raised (clearing it, so the
+  /// pool remains usable for the next batch).
   void wait_idle();
+
+  /// Attaches a cancellation token: once it trips, still-queued tasks are
+  /// drained without running. Tasks already running finish normally. A
+  /// default-constructed (never-cancelled) token detaches governance.
+  void set_cancel_token(CancellationToken token);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
   void worker_loop(std::stop_token st);
+  void run_task(std::function<void()>& task);
+  void wait_idle_nothrow();
 
   std::mutex mu_;
   std::condition_variable_any cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
   std::int64_t in_flight_ = 0;  // queued + running
+  std::exception_ptr first_error_;
+  CancellationToken cancel_;  // default token: never cancelled
   std::vector<std::jthread> workers_;
 };
 

@@ -6,6 +6,7 @@
 // search, benches) where a diagnosable failure beats a core dump.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -48,6 +49,19 @@ class ParseError : public Error {
 class UnsupportedProgram : public Error {
  public:
   using Error::Error;
+};
+
+/// Thrown when a resource-governed operation (see support/governor.hpp)
+/// exceeds its deadline or memory budget, or is cancelled, at a point where
+/// no truncated-but-valid partial result can be produced. Drivers that CAN
+/// degrade return Completeness::kTruncated instead of throwing this.
+class BudgetExceeded : public Error {
+ public:
+  enum class Kind : std::uint8_t { kDeadline, kMemory, kCancelled };
+
+  BudgetExceeded(Kind k, const std::string& msg) : Error(msg), kind(k) {}
+
+  Kind kind;
 };
 
 namespace detail {

@@ -35,16 +35,22 @@ CommandLine& CommandLine::flag(const std::string& name,
   return *this;
 }
 
-void CommandLine::finish() {
+bool CommandLine::finish() {
   SDLO_CHECK(!finished_, "CommandLine::finish called twice");
   finished_ = true;
   registered_.emplace("help", "print this help");
+  registered_.emplace("version", "print the version and exit");
   if (values_.count("help") != 0) {
     std::cout << "usage: " << program_ << " [flags]\n";
     for (const auto& [name, help] : registered_) {
       std::cout << "  --" << name << "  " << help << "\n";
     }
-    std::exit(0);
+    std::cout << "exit codes: 0 ok, 1 error, 2 truncated by budget\n";
+    return false;
+  }
+  if (values_.count("version") != 0) {
+    std::cout << kVersionString << "\n";
+    return false;
   }
   for (const auto& [name, value] : values_) {
     (void)value;
@@ -52,6 +58,7 @@ void CommandLine::finish() {
       throw ParseError("unknown flag --" + name + " (see --help)");
     }
   }
+  return true;
 }
 
 void CommandLine::require_registered(const std::string& name) const {

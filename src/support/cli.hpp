@@ -2,6 +2,12 @@
 //
 // Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
 // flags raise ParseError so typos in bench invocations fail loudly.
+//
+// Every sdlo binary shares one exit-code taxonomy (ExitCode below):
+// 0 = success, 1 = any error (bad usage, parse failure, oracle mismatch,
+// injected fault), 2 = the run was truncated by a resource budget
+// (--deadline / --mem-budget / cancellation) and the printed result is a
+// valid but partial answer.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +17,19 @@
 #include <vector>
 
 namespace sdlo {
+
+/// Process exit codes shared by every sdlo binary.
+enum class ExitCode : int {
+  kOk = 0,         ///< completed; output is a full answer
+  kError = 1,      ///< usage/parse/runtime error; output may be partial
+  kTruncated = 2,  ///< a budget tripped; output is a valid partial answer
+};
+
+inline int to_int(ExitCode c) { return static_cast<int>(c); }
+
+/// Version string printed by --version (kept in lockstep with the CMake
+/// project version).
+inline constexpr const char* kVersionString = "sdlo 1.0.0";
 
 /// Parsed command line. Construct once from (argc, argv), then query flags.
 class CommandLine {
@@ -22,9 +41,12 @@ class CommandLine {
   /// the binary itself).
   CommandLine& flag(const std::string& name, const std::string& help);
 
-  /// After registering all flags, validates that every flag given by the user
-  /// was registered. Call exactly once. Prints help and exits(0) if --help.
-  void finish();
+  /// After registering all flags, validates that every flag given by the
+  /// user was registered. Call exactly once. Handles --help and --version
+  /// by printing to stdout and returning false — the caller should then
+  /// exit with ExitCode::kOk (no std::exit: destructors still run). Returns
+  /// true when execution should proceed.
+  bool finish();
 
   bool has(const std::string& name) const;
   std::int64_t get_int(const std::string& name, std::int64_t def) const;

@@ -1,0 +1,179 @@
+#include "support/failpoints.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "support/string_util.hpp"
+
+namespace sdlo::failpoints {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Spec> specs;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Number of armed sites; -1 until the environment has been parsed. The
+// disarmed fast path in armed() is a single relaxed load of this.
+std::atomic<int> g_active{-1};
+
+void bootstrap_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    int armed_count = 0;
+    if (const char* env = std::getenv("SDLO_FAILPOINTS")) {
+      Registry& r = registry();
+      std::scoped_lock lock(r.mu);
+      for (const auto& part : split(env, ',')) {
+        const std::string item(trim(part));
+        if (item.empty()) continue;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos) {
+          throw ParseError("SDLO_FAILPOINTS entry missing '=': " + item);
+        }
+        r.specs[std::string(trim(item.substr(0, eq)))] =
+            parse_spec(std::string(trim(item.substr(eq + 1))));
+      }
+      armed_count = static_cast<int>(r.specs.size());
+    }
+    // 0 (nothing armed) or the env-armed count; scoped arms add to this.
+    g_active.store(armed_count, std::memory_order_release);
+  });
+}
+
+Spec lookup(const char* site) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  const auto it = r.specs.find(site);
+  return it == r.specs.end() ? Spec{} : it->second;
+}
+
+void apply_delay(const Spec& s) {
+  if (s.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(s.delay_ms));
+  }
+}
+
+}  // namespace
+
+bool armed() {
+  if (g_active.load(std::memory_order_acquire) < 0) bootstrap_from_env();
+  return g_active.load(std::memory_order_acquire) > 0;
+}
+
+void hit(const char* site) {
+  if (!armed()) return;
+  const Spec s = lookup(site);
+  switch (s.action) {
+    case Action::kThrow:
+      throw InjectedFault(std::string("failpoint '") + site +
+                          "' triggered");
+    case Action::kDelay:
+      apply_delay(s);
+      return;
+    case Action::kFailAlloc:
+    case Action::kOff:
+      return;
+  }
+}
+
+bool fail_alloc(const char* site) {
+  if (!armed()) return false;
+  const Spec s = lookup(site);
+  switch (s.action) {
+    case Action::kThrow:
+      throw InjectedFault(std::string("failpoint '") + site +
+                          "' triggered");
+    case Action::kDelay:
+      apply_delay(s);
+      return false;
+    case Action::kFailAlloc:
+      return true;
+    case Action::kOff:
+      return false;
+  }
+  return false;
+}
+
+Spec parse_spec(const std::string& value) {
+  if (value == "throw") return Spec{Action::kThrow, 0};
+  if (value == "fail") return Spec{Action::kFailAlloc, 0};
+  if (starts_with(value, "delay:")) {
+    const std::int64_t ms = parse_int(value.substr(6));
+    if (ms < 0) throw ParseError("failpoint delay must be >= 0: " + value);
+    return Spec{Action::kDelay, static_cast<int>(ms)};
+  }
+  throw ParseError("unknown failpoint action: '" + value +
+                   "' (expected throw, fail, or delay:<ms>)");
+}
+
+int configure(const std::string& specs) {
+  bootstrap_from_env();
+  int armed_count = 0;
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  for (const auto& part : split(specs, ',')) {
+    const std::string item(trim(part));
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("failpoint spec missing '=': " + item);
+    }
+    const std::string site(trim(item.substr(0, eq)));
+    const Spec spec = parse_spec(std::string(trim(item.substr(eq + 1))));
+    if (r.specs.emplace(site, spec).second) {
+      ++armed_count;
+      g_active.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      r.specs[site] = spec;
+    }
+  }
+  return armed_count;
+}
+
+void clear() {
+  bootstrap_from_env();
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  g_active.fetch_sub(static_cast<int>(r.specs.size()),
+                     std::memory_order_acq_rel);
+  r.specs.clear();
+}
+
+ScopedFailpoint::ScopedFailpoint(std::string site, Spec spec)
+    : site_(std::move(site)) {
+  bootstrap_from_env();
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  const auto it = r.specs.find(site_);
+  if (it != r.specs.end()) {
+    had_previous_ = true;
+    previous_ = it->second;
+    it->second = spec;
+  } else {
+    r.specs.emplace(site_, spec);
+    g_active.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+ScopedFailpoint::~ScopedFailpoint() {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  if (had_previous_) {
+    r.specs[site_] = previous_;
+  } else {
+    r.specs.erase(site_);
+    g_active.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace sdlo::failpoints

@@ -115,12 +115,13 @@ std::vector<std::vector<std::int64_t>> make_ladders(
 
 Scorer::Scorer(const ir::GalleryProgram& g, const FastMissModel& fast,
                std::vector<std::int64_t> bounds, std::int64_t capacity,
-               parallel::ThreadPool* pool)
+               parallel::ThreadPool* pool, const Governor* gov)
     : g_(g),
       fast_(fast),
       bounds_(std::move(bounds)),
       capacity_(capacity),
-      pool_(pool) {}
+      pool_(pool),
+      gov_(gov) {}
 
 FastMissModel::Score Scorer::evaluate(
     const std::vector<std::int64_t>& tiles) const {
@@ -149,6 +150,31 @@ std::uint64_t Scorer::simulated_misses(
   const auto r = cachesim::simulate_sweep(
       cp, {{capacity_, 1, 0, cachesim::Replacement::kLru}}, pool_, mode);
   return sim_memo_.emplace(tiles, r[0].misses).first->second;
+}
+
+Scorer::GroundedScore Scorer::grounded_misses(
+    const std::vector<std::int64_t>& tiles, trace::TraceMode mode) {
+  const auto it = sim_memo_.find(tiles);
+  if (it != sim_memo_.end()) {
+    ++cache_hits_;
+    return {static_cast<double>(it->second), model::Confidence::kExact};
+  }
+  // Out of budget before starting: answer from the fast model instead of
+  // walking the trace.
+  if (governor_should_stop(gov_)) {
+    return {(*this)(tiles).misses, model::Confidence::kApproximate};
+  }
+  trace::CompiledProgram cp(g_.prog, g_.make_env(bounds_, tiles));
+  const auto r = cachesim::simulate_sweep(
+      cp, {{capacity_, 1, 0, cachesim::Replacement::kLru}}, pool_, mode,
+      gov_);
+  if (r[0].completeness == Completeness::kTruncated) {
+    // A prefix miss count is a lower bound, not a ranking-safe estimate:
+    // discard it and fall back to the model.
+    return {(*this)(tiles).misses, model::Confidence::kApproximate};
+  }
+  sim_memo_.emplace(tiles, r[0].misses);
+  return {static_cast<double>(r[0].misses), model::Confidence::kExact};
 }
 
 void Scorer::prefetch(const std::vector<std::vector<std::int64_t>>& tuples) {
@@ -206,7 +232,7 @@ SearchResult search_tiles(const ir::GalleryProgram& g,
 
   const auto ladders = make_ladders(g, eff_bounds, opts);
   const GridLayout layout(ladders);
-  Scorer score(g, fast, eff_bounds, capacity, opts.pool);
+  Scorer score(g, fast, eff_bounds, capacity, opts.pool, opts.governor);
 
   // Coarse pass: score the whole power-of-two grid (in parallel when a pool
   // is available), remembering each tuple's fitting set for crossing
@@ -255,8 +281,16 @@ SearchResult search_tiles(const ir::GalleryProgram& g,
 
   // Refinement: explore divisor neighbours of each candidate. Each round
   // batches every neighbour through the scorer (memoized, so revisited
-  // tuples cost a hash lookup, and fresh ones can score in parallel).
+  // tuples cost a hash lookup, and fresh ones can score in parallel). A
+  // governed search polls between rounds: the beam is a complete ranking
+  // of everything scored so far, so stopping here yields a valid (if less
+  // refined) best candidate.
+  Completeness completeness = Completeness::kComplete;
   for (int round = 0; round < opts.refine_rounds; ++round) {
+    if (governor_should_stop(opts.governor)) {
+      completeness = Completeness::kTruncated;
+      break;
+    }
     std::vector<std::vector<std::int64_t>> neighbours;
     for (const auto& c : pool) {
       for (std::size_t d = 0; d < ladders.size(); ++d) {
@@ -286,6 +320,7 @@ SearchResult search_tiles(const ir::GalleryProgram& g,
   r.best = pool.front();
   r.evaluations = score.evaluations();
   r.cache_hits = score.cache_hits();
+  r.completeness = completeness;
   return r;
 }
 

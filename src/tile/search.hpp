@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "ir/gallery.hpp"
+#include "model/analyzer.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/governor.hpp"
 #include "tile/fast_model.hpp"
 #include "trace/walker.hpp"
 
@@ -62,6 +64,11 @@ struct SearchOptions {
   /// Optional worker pool: batches of unscored tuples are evaluated in
   /// parallel (the FastMissModel is immutable and thread-safe).
   parallel::ThreadPool* pool = nullptr;
+  /// Optional resource governor. The search polls it between scoring
+  /// passes (after the coarse grid, before each refinement round) and,
+  /// when a budget trips, returns the best candidates found so far marked
+  /// Completeness::kTruncated.
+  const Governor* governor = nullptr;
 };
 
 /// Search outcome with bookkeeping for the ablation benches.
@@ -70,6 +77,9 @@ struct SearchResult {
   std::vector<Candidate> candidates;  ///< ranked, post-refinement
   std::size_t evaluations = 0;        ///< fast-model scores performed
   std::size_t cache_hits = 0;         ///< scores served from the memo table
+  /// kTruncated when the governor stopped refinement early; `best` is then
+  /// the best candidate of the rounds that did run.
+  Completeness completeness = Completeness::kComplete;
 };
 
 /// Memoizing fast-model scorer over tile tuples. operator() and prefetch()
@@ -77,9 +87,18 @@ struct SearchResult {
 /// over the pool.
 class Scorer {
  public:
+  /// A miss estimate together with how it was obtained: kExact when it is
+  /// a full cache simulation, kApproximate when a budget forced the fast
+  /// model (or a truncated simulation was discarded) instead.
+  struct GroundedScore {
+    double misses = 0;
+    model::Confidence confidence = model::Confidence::kExact;
+  };
+
   Scorer(const ir::GalleryProgram& g, const FastMissModel& fast,
          std::vector<std::int64_t> bounds, std::int64_t capacity,
-         parallel::ThreadPool* pool = nullptr);
+         parallel::ThreadPool* pool = nullptr,
+         const Governor* gov = nullptr);
 
   /// Score of one tile tuple, memoized on the tuple.
   const FastMissModel::Score& operator()(
@@ -96,6 +115,15 @@ class Scorer {
   /// the fast-model memo); both trace modes are bit-identical, so the mode
   /// only picks the engine speed, run-compressed by default.
   std::uint64_t simulated_misses(
+      const std::vector<std::int64_t>& tiles,
+      trace::TraceMode mode = trace::TraceMode::kRuns);
+
+  /// Budget-aware grounding: simulated misses (kExact) while the scorer's
+  /// governor allows it; once the deadline/cancellation trips — or the
+  /// simulation itself comes back truncated — degrades to the memoized
+  /// fast-model score marked kApproximate instead of burning the remaining
+  /// budget on full trace walks.
+  GroundedScore grounded_misses(
       const std::vector<std::int64_t>& tiles,
       trace::TraceMode mode = trace::TraceMode::kRuns);
 
@@ -124,6 +152,7 @@ class Scorer {
   std::vector<std::int64_t> bounds_;
   std::int64_t capacity_;
   parallel::ThreadPool* pool_;
+  const Governor* gov_;
   std::unordered_map<std::vector<std::int64_t>, FastMissModel::Score,
                      TupleHash>
       memo_;

@@ -4,6 +4,9 @@
 // (exercised against a deliberately broken off-by-one cache engine).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,6 +19,8 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "support/check.hpp"
+#include "support/failpoints.hpp"
+#include "support/governor.hpp"
 #include "trace/walker.hpp"
 
 namespace sdlo {
@@ -215,6 +220,80 @@ TEST(FuzzArtifactTest, ReplaysThroughBothTracePaths) {
   ASSERT_FALSE(report.skipped);
   EXPECT_TRUE(report.ok())
       << fuzz::describe_failure(parsed.prog, parsed.env, report);
+}
+
+TEST(FuzzArtifactTest, WriteIsAtomicUnderInjectedFault) {
+  // A fault injected mid-write must leave the previous artifact intact and
+  // no stray temp file behind — never a truncated replay file.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "sdlo_artifact_test";
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "counterexample.sdlo").string();
+  const auto gp = fuzz::ProgramGenerator(11).generate();
+  const std::string good = fuzz::to_artifact(gp.prog, gp.env, "original");
+  fuzz::write_artifact_file(path, good);
+  {
+    failpoints::ScopedFailpoint fp(failpoints::kArtifactWrite,
+                                   {failpoints::Action::kThrow, 0});
+    EXPECT_THROW(fuzz::write_artifact_file(
+                     path, fuzz::to_artifact(gp.prog, gp.env, "clobber")),
+                 InjectedFault);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), good);  // the original artifact survived untouched
+  // And the surviving file still replays.
+  const auto parsed = fuzz::parse_artifact(buf.str());
+  EXPECT_TRUE(ir::structurally_equal(gp.prog, parsed.prog));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzOracleTest, BudgetedDegradationFamilyIsClean) {
+  // The budgeted-degradation oracle (zero memory budget => hashed engines)
+  // must pass on gallery and generated programs.
+  const auto g = ir::matmul_tiled();
+  fuzz::OracleOptions opts;
+  opts.check_roundtrip = false;
+  opts.check_walker = false;
+  opts.check_model = false;
+  opts.check_profile = false;
+  opts.check_sweep = false;
+  opts.check_set_assoc = false;
+  opts.check_lint = false;
+  opts.check_parallel = false;
+  ASSERT_TRUE(opts.check_budgeted);  // on by default
+  const auto report = fuzz::check_program(
+      g.prog, g.make_env({8, 8, 8}, {4, 4, 4}), opts);
+  EXPECT_TRUE(report.ok())
+      << fuzz::describe_failure(g.prog, g.make_env({8, 8, 8}, {4, 4, 4}),
+                                report);
+  EXPECT_FALSE(report.truncated);
+}
+
+TEST(FuzzOracleTest, GovernorTruncatesBattery) {
+  // A tripped governor stops the battery between oracle families: the
+  // report comes back truncated, mismatch-free, without running the
+  // remaining families.
+  const auto g = ir::matmul_tiled();
+  const auto env = g.make_env({8, 8, 8}, {4, 4, 4});
+  Governor gov;
+  gov.cancel.request_cancel();
+  fuzz::OracleOptions opts;
+  opts.governor = &gov;
+  const auto report = fuzz::check_program(g.prog, env, opts);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_TRUE(report.ok());
+
+  // An armed countdown stops it partway instead of immediately.
+  Governor later;
+  later.cancel.cancel_after(3);
+  fuzz::OracleOptions part_opts;
+  part_opts.governor = &later;
+  const auto partial = fuzz::check_program(g.prog, env, part_opts);
+  EXPECT_TRUE(partial.truncated);
+  EXPECT_TRUE(partial.ok());
 }
 
 TEST(FuzzReportTest, FailureMessageIsReproducibleFromLogsAlone) {

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "ir/gallery.hpp"
+#include "support/failpoints.hpp"
 #include "model/analyzer.hpp"
 #include "parallel/smp_model.hpp"
 #include "parallel/thread_pool.hpp"
@@ -62,6 +65,84 @@ TEST(ThreadPool, ConcurrentSubmittersAndWaiters) {
   outside.clear();  // joins all submitters
   pool.wait_idle();
   EXPECT_EQ(count.load(), kSubmitters * kBatches * kTasksPerBatch);
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesFromWaitIdle) {
+  // Regression: a throwing task used to escape the worker's call frame and
+  // std::terminate the process. It must instead surface from wait_idle().
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw Error("task failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), Error);
+  EXPECT_EQ(ran.load(), 10);  // the rest of the batch still ran
+
+  // First-error-wins and the pool stays fully reusable afterwards.
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();  // no stale exception resurfaces
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPool, FirstOfSeveralErrorsWins) {
+  ThreadPool pool(1);  // single worker: deterministic FIFO order
+  pool.submit([] { throw Error("first"); });
+  pool.submit([] { throw Error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, CancelTokenDrainsQueuedTasks) {
+  // One worker, and the first task blocks until the token is cancelled:
+  // every task queued behind it must be drained without running.
+  ThreadPool pool(1);
+  CancellationToken token;
+  pool.set_cancel_token(token);
+  std::atomic<int> ran{0};
+  pool.submit([&token] {
+    while (!token.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  token.request_cancel();
+  pool.wait_idle();  // returns: drained tasks still count down in_flight
+  EXPECT_EQ(ran.load(), 0);
+
+  // Detach governance; the pool runs tasks again.
+  pool.set_cancel_token(CancellationToken());
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, TaskFailpointInjectsTypedError) {
+  failpoints::ScopedFailpoint fp(failpoints::kPoolTask,
+                                 {failpoints::Action::kThrow, 0});
+  ThreadPool pool(2);
+  pool.submit([] {});
+  EXPECT_THROW(pool.wait_idle(), InjectedFault);
+  // The injected fault is cleared like any task error; the pool survives.
+}
+
+TEST(ThreadPool, SubmitFailpointThrowsAtCallSite) {
+  ThreadPool pool(2);
+  {
+    failpoints::ScopedFailpoint fp(failpoints::kPoolSubmit,
+                                   {failpoints::Action::kThrow, 0});
+    EXPECT_THROW(pool.submit([] {}), InjectedFault);
+  }
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(ParallelFor, CoversRangeExactlyOnce) {

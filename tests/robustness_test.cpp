@@ -1,0 +1,235 @@
+// Fault-injection matrix and governed-cancellation stress tests.
+//
+// The resource-governance layer (support/governor.hpp) and the failpoint
+// harness (support/failpoints.hpp) together make one promise: whatever a
+// registered failpoint injects — a thrown fault, a denied allocation, a
+// delay — every driver either completes normally, returns a truncated-but-
+// valid partial result, or surfaces a typed sdlo::Error. It never crashes,
+// never std::terminates, never hangs. The matrix test below walks every
+// registered site crossed with every action over a battery of
+// representative driver operations and enforces exactly that contract.
+//
+// The stress tests cancel a pooled sweep from a second thread mid-walk;
+// they are the designated ThreadSanitizer workload for the governor (the
+// CI tsan job runs this binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cachesim/sim.hpp"
+#include "cachesim/sweep.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/reducer.hpp"
+#include "ir/gallery.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/check.hpp"
+#include "support/failpoints.hpp"
+#include "support/governor.hpp"
+#include "tile/fast_model.hpp"
+#include "tile/search.hpp"
+#include "trace/walker.hpp"
+
+namespace sdlo {
+namespace {
+
+trace::CompiledProgram small_program() {
+  const auto g = ir::matmul_tiled();
+  return trace::CompiledProgram(g.prog, g.make_env({8, 8, 8}, {4, 4, 4}));
+}
+
+/// One named driver operation for the matrix. Each must be self-contained
+/// (build its own pools/files) so a fault in one run cannot poison the next.
+struct Operation {
+  std::string name;
+  std::function<void()> run;
+};
+
+std::vector<Operation> operations() {
+  std::vector<Operation> ops;
+  ops.push_back({"sweep-serial", [] {
+                   const auto cp = small_program();
+                   cachesim::simulate_sweep(
+                       cp, {{64, 1, 0, cachesim::Replacement::kLru},
+                            {256, 4, 0, cachesim::Replacement::kLru}});
+                 }});
+  ops.push_back({"sweep-pooled", [] {
+                   parallel::ThreadPool pool(2);
+                   const auto cp = small_program();
+                   cachesim::simulate_sweep(
+                       cp,
+                       {{16, 1, 0, cachesim::Replacement::kLru},
+                        {64, 1, 2, cachesim::Replacement::kLru},
+                        {1024, 1, 0, cachesim::Replacement::kLru}},
+                       &pool);
+                 }});
+  ops.push_back({"many", [] {
+                   const auto cp = small_program();
+                   cachesim::simulate_many(
+                       cp, {{64, 1, 0, cachesim::Replacement::kLru},
+                            {64, 1, 4, cachesim::Replacement::kLru}});
+                 }});
+  ops.push_back({"profiler", [] {
+                   const auto cp = small_program();
+                   cachesim::profile_stack_distances(cp, 1);
+                 }});
+  ops.push_back({"pool-batch", [] {
+                   parallel::ThreadPool pool(2);
+                   std::atomic<int> n{0};
+                   for (int i = 0; i < 16; ++i) {
+                     pool.submit([&n] { n.fetch_add(1); });
+                   }
+                   pool.wait_idle();
+                 }});
+  ops.push_back({"tile-search", [] {
+                   const auto g = ir::matmul_tiled();
+                   const auto an = model::analyze(g.prog);
+                   tile::FastMissModel fast(an);
+                   tile::SearchOptions opts;
+                   opts.max_tile = 16;
+                   tile::search_tiles(g, fast, {16, 16, 16}, 256, opts);
+                 }});
+  ops.push_back({"artifact-write", [] {
+                   const auto dir = std::filesystem::temp_directory_path() /
+                                    "sdlo_robustness_test";
+                   std::filesystem::create_directories(dir);
+                   const auto path = (dir / "artifact.sdlo").string();
+                   const auto g = ir::matmul_tiled();
+                   fuzz::write_artifact_file(
+                       path, fuzz::to_artifact(
+                                 g.prog, g.make_env({4, 4, 4}, {2, 2, 2})));
+                   std::filesystem::remove_all(dir);
+                 }});
+  ops.push_back({"oracle-battery", [] {
+                   const auto g = ir::matmul_tiled();
+                   fuzz::OracleOptions opts;
+                   // Keep the matrix fast: one cheap family plus the
+                   // governed step polling.
+                   opts.check_model = false;
+                   opts.check_profile = false;
+                   opts.check_sweep = false;
+                   opts.check_set_assoc = false;
+                   opts.check_parallel = false;
+                   opts.check_budgeted = false;
+                   const auto report = fuzz::check_program(
+                       g.prog, g.make_env({4, 4, 4}, {2, 2, 2}), opts);
+                   SDLO_CHECK(report.ok(), "oracle mismatch under injection");
+                 }});
+  return ops;
+}
+
+TEST(Robustness, FailpointMatrixNeverCrashesOrHangs) {
+  // Every site x action x operation: the operation either completes or
+  // throws a typed sdlo::Error. A crash or a foreign exception fails the
+  // whole binary — which is the point.
+  const std::vector<failpoints::Spec> actions{
+      {failpoints::Action::kThrow, 0},
+      {failpoints::Action::kFailAlloc, 0},
+      {failpoints::Action::kDelay, 1},
+  };
+  const auto ops = operations();
+  for (const char* site : failpoints::kAllSites) {
+    for (const auto& spec : actions) {
+      failpoints::ScopedFailpoint fp(site, spec);
+      for (const auto& op : ops) {
+        try {
+          op.run();
+        } catch (const Error&) {
+          // Typed failure: acceptable under injection.
+        } catch (...) {
+          ADD_FAILURE() << op.name << " under " << site
+                        << " raised a non-sdlo exception";
+        }
+      }
+    }
+  }
+  EXPECT_FALSE(failpoints::armed());  // every scope restored itself
+}
+
+TEST(Robustness, InjectedDenialsNeverChangeResults) {
+  // `fail` on the dense-alloc sites is a pure degradation: run the whole
+  // operation battery under it and compare the sweep counts bit for bit.
+  const auto cp = small_program();
+  const std::vector<cachesim::SweepConfig> configs{
+      {16, 1, 0, cachesim::Replacement::kLru},
+      {256, 1, 0, cachesim::Replacement::kLru},
+  };
+  const auto want = cachesim::simulate_sweep(cp, configs);
+  failpoints::ScopedFailpoint sweep_fp(failpoints::kSweepDenseAlloc,
+                                       {failpoints::Action::kFailAlloc, 0});
+  failpoints::ScopedFailpoint prof_fp(failpoints::kProfilerDenseAlloc,
+                                      {failpoints::Action::kFailAlloc, 0});
+  const auto got = cachesim::simulate_sweep(cp, configs);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(got[i].misses, want[i].misses) << i;
+    EXPECT_EQ(got[i].misses_by_site, want[i].misses_by_site) << i;
+    EXPECT_EQ(got[i].completeness, Completeness::kComplete) << i;
+  }
+}
+
+TEST(Robustness, ConcurrentCancelMidPooledSweepIsClean) {
+  // The TSan workload: a second thread trips the shared token while four
+  // workers walk the trace. Every iteration must return promptly with each
+  // result either complete or a valid truncated prefix.
+  const auto g = ir::matmul();
+  trace::CompiledProgram cp(g.prog, g.make_env({48, 48, 48}, {}));
+  std::vector<cachesim::SweepConfig> configs;
+  for (std::int64_t cap : {8, 64, 512, 4096}) {
+    configs.push_back({cap, 1, 0, cachesim::Replacement::kLru});
+  }
+  const auto full = cachesim::simulate_sweep(cp, configs);
+  parallel::ThreadPool pool(4);
+  for (int iter = 0; iter < 5; ++iter) {
+    Governor gov;
+    gov.poll_interval = 64;
+    std::jthread canceller([&gov, iter] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * iter));
+      gov.cancel.request_cancel();
+    });
+    const auto part = cachesim::simulate_sweep(
+        cp, configs, &pool, trace::TraceMode::kRuns, &gov);
+    canceller.join();
+    ASSERT_EQ(part.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      EXPECT_LE(part[i].accesses, full[i].accesses);
+      EXPECT_LE(part[i].misses, full[i].misses);
+      if (part[i].completeness == Completeness::kComplete) {
+        EXPECT_EQ(part[i].misses, full[i].misses) << "iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(Robustness, DeadlineStopsLongGovernedRunPromptly) {
+  // A short real deadline on a repeated sweep must stop the loop within a
+  // small multiple of the deadline (seconds, not the full workload).
+  const auto g = ir::matmul();
+  trace::CompiledProgram cp(g.prog, g.make_env({32, 32, 32}, {}));
+  Governor gov;
+  gov.deadline = Deadline::after_seconds(0.05);
+  gov.poll_interval = 16;
+  const auto start = std::chrono::steady_clock::now();
+  const auto seconds_since_start = [start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  bool saw_truncation = false;
+  while (!saw_truncation && seconds_since_start() < 4.0) {
+    const auto res = cachesim::simulate_sweep(
+        cp, {{64, 1, 0, cachesim::Replacement::kLru}}, nullptr,
+        trace::TraceMode::kRuns, &gov);
+    saw_truncation = res[0].completeness == Completeness::kTruncated;
+  }
+  const auto elapsed = seconds_since_start();
+  EXPECT_TRUE(saw_truncation);
+  EXPECT_LT(elapsed, 5.0);  // generous bound for loaded CI machines
+}
+
+}  // namespace
+}  // namespace sdlo

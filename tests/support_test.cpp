@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
 #include "support/checked_math.hpp"
 #include "support/cli.hpp"
+#include "support/failpoints.hpp"
+#include "support/governor.hpp"
 #include "support/rng.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -140,6 +143,178 @@ TEST(CommandLine, QueryingUnregisteredFlagIsAContractViolation) {
   cli.flag("known", "k");
   cli.finish();
   EXPECT_THROW(cli.get_int("typo", 1), ContractViolation);
+}
+
+TEST(Governor, DeadlineNeverAndExpiry) {
+  const Deadline never = Deadline::never();
+  EXPECT_TRUE(never.unlimited());
+  EXPECT_FALSE(never.expired());
+  EXPECT_GT(never.remaining_seconds(), 1e18);
+
+  const Deadline past = Deadline::after_seconds(0);
+  EXPECT_FALSE(past.unlimited());
+  EXPECT_TRUE(past.expired());
+  EXPECT_LE(past.remaining_seconds(), 0.0);
+
+  const Deadline future = Deadline::after_seconds(3600);
+  EXPECT_FALSE(future.expired());
+  EXPECT_GT(future.remaining_seconds(), 3000.0);
+}
+
+TEST(Governor, CancellationSharedAcrossCopies) {
+  CancellationToken a;
+  CancellationToken b = a;  // same shared state
+  EXPECT_FALSE(a.cancelled());
+  b.request_cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(a.poll());
+}
+
+TEST(Governor, CancelAfterCountsPolls) {
+  CancellationToken t;
+  t.cancel_after(3);
+  EXPECT_FALSE(t.poll());
+  EXPECT_FALSE(t.poll());
+  EXPECT_TRUE(t.poll());  // third poll trips
+  EXPECT_TRUE(t.poll());  // and stays tripped
+  EXPECT_TRUE(t.cancelled());
+}
+
+TEST(Governor, MemoryBudgetAccounting) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.try_reserve(60));
+  EXPECT_EQ(budget.used(), 60u);
+  EXPECT_FALSE(budget.try_reserve(50));  // would exceed the ceiling
+  EXPECT_TRUE(budget.try_reserve(40));
+  EXPECT_EQ(budget.used(), 100u);
+  budget.release(60);
+  EXPECT_EQ(budget.used(), 40u);
+
+  MemoryBudget zero(0);
+  EXPECT_FALSE(zero.try_reserve(1));
+  EXPECT_TRUE(zero.try_reserve(0));
+}
+
+TEST(Governor, MemoryReservationRaii) {
+  MemoryBudget budget(100);
+  {
+    MemoryReservation r(&budget, 80);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(budget.used(), 80u);
+    MemoryReservation denied(&budget, 80);
+    EXPECT_FALSE(denied.ok());
+    MemoryReservation moved = std::move(r);
+    EXPECT_TRUE(moved.ok());
+  }
+  EXPECT_EQ(budget.used(), 0u);  // destructor released exactly once
+
+  MemoryReservation unlimited(nullptr, 1 << 30);
+  EXPECT_TRUE(unlimited.ok());  // null budget = unlimited memory
+  EXPECT_FALSE(MemoryReservation::denied().ok());
+}
+
+TEST(Governor, ShouldStopAndCheck) {
+  Governor gov;
+  EXPECT_FALSE(gov.should_stop());
+  EXPECT_NO_THROW(gov.check("setup"));
+  EXPECT_FALSE(governor_should_stop(nullptr));
+
+  gov.cancel.request_cancel();
+  EXPECT_TRUE(gov.should_stop());
+  EXPECT_TRUE(governor_should_stop(&gov));
+  try {
+    gov.check("the-site");
+    FAIL();
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind, BudgetExceeded::Kind::kCancelled);
+    EXPECT_NE(std::string(e.what()).find("the-site"), std::string::npos);
+  }
+
+  Governor timed;
+  timed.deadline = Deadline::after_seconds(0);
+  EXPECT_TRUE(timed.should_stop());
+  try {
+    timed.check("sweep");
+    FAIL();
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind, BudgetExceeded::Kind::kDeadline);
+  }
+}
+
+TEST(Governor, CompletenessNames) {
+  EXPECT_STREQ(completeness_name(Completeness::kComplete), "complete");
+  EXPECT_STREQ(completeness_name(Completeness::kTruncated), "truncated");
+}
+
+TEST(Failpoints, ParseSpecForms) {
+  EXPECT_EQ(failpoints::parse_spec("throw").action,
+            failpoints::Action::kThrow);
+  EXPECT_EQ(failpoints::parse_spec("fail").action,
+            failpoints::Action::kFailAlloc);
+  const auto d = failpoints::parse_spec("delay:25");
+  EXPECT_EQ(d.action, failpoints::Action::kDelay);
+  EXPECT_EQ(d.delay_ms, 25);
+  EXPECT_THROW(failpoints::parse_spec("explode"), ParseError);
+  EXPECT_THROW(failpoints::parse_spec("delay:ms"), ParseError);
+  EXPECT_THROW(failpoints::parse_spec(""), ParseError);
+}
+
+TEST(Failpoints, ConfigureAndClear) {
+  EXPECT_EQ(failpoints::configure("sweep-dense-alloc=fail,oracle-step=throw"),
+            2);
+  EXPECT_TRUE(failpoints::armed());
+  EXPECT_TRUE(failpoints::fail_alloc(failpoints::kSweepDenseAlloc));
+  EXPECT_THROW(failpoints::hit(failpoints::kOracleStep), InjectedFault);
+  // Unarmed sites stay transparent even while others are armed.
+  EXPECT_NO_THROW(failpoints::hit(failpoints::kPoolTask));
+  EXPECT_FALSE(failpoints::fail_alloc(failpoints::kProfilerDenseAlloc));
+  failpoints::clear();
+  EXPECT_NO_THROW(failpoints::hit(failpoints::kOracleStep));
+  EXPECT_FALSE(failpoints::fail_alloc(failpoints::kSweepDenseAlloc));
+  EXPECT_THROW(failpoints::configure("site-with-no-action"), ParseError);
+}
+
+TEST(Failpoints, ScopedArmAndRestore) {
+  {
+    failpoints::ScopedFailpoint fp(failpoints::kArtifactWrite,
+                                   {failpoints::Action::kThrow, 0});
+    EXPECT_THROW(failpoints::hit(failpoints::kArtifactWrite), InjectedFault);
+    {
+      failpoints::ScopedFailpoint inner(failpoints::kArtifactWrite,
+                                        {failpoints::Action::kOff, 0});
+      EXPECT_NO_THROW(failpoints::hit(failpoints::kArtifactWrite));
+    }
+    EXPECT_THROW(failpoints::hit(failpoints::kArtifactWrite), InjectedFault);
+  }
+  EXPECT_NO_THROW(failpoints::hit(failpoints::kArtifactWrite));
+}
+
+TEST(ExitCodes, Taxonomy) {
+  EXPECT_EQ(to_int(ExitCode::kOk), 0);
+  EXPECT_EQ(to_int(ExitCode::kError), 1);
+  EXPECT_EQ(to_int(ExitCode::kTruncated), 2);
+}
+
+TEST(CommandLine, HelpReturnsFalseAndPrintsExitCodes) {
+  const char* argv[] = {"prog", "--help"};
+  CommandLine cli(2, argv);
+  cli.flag("alpha", "the alpha flag");
+  ::testing::internal::CaptureStdout();
+  const bool proceed = cli.finish();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_FALSE(proceed);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("exit codes"), std::string::npos);
+}
+
+TEST(CommandLine, VersionReturnsFalse) {
+  const char* argv[] = {"prog", "--version"};
+  CommandLine cli(2, argv);
+  ::testing::internal::CaptureStdout();
+  const bool proceed = cli.finish();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_FALSE(proceed);
+  EXPECT_NE(out.find(kVersionString), std::string::npos);
 }
 
 TEST(SplitMix, DeterministicAndBounded) {

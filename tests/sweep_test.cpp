@@ -9,12 +9,15 @@
 #include <utility>
 #include <vector>
 
+#include "cachesim/lru_cache.hpp"
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
 #include "ir/gallery.hpp"
 #include "ir/program.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/check.hpp"
+#include "support/failpoints.hpp"
+#include "support/governor.hpp"
 #include "trace/walker.hpp"
 
 namespace {
@@ -332,6 +335,167 @@ TEST(SweepTest, RunModeBulkFastPathsMatchReference) {
                        {{make_ref("M", {"k", "i"}, ir::AccessMode::kRead),
                          make_ref("V", {"i"}, ir::AccessMode::kWrite)}}),
       "wide-stride group");
+}
+
+// --- resource-governed runs ----------------------------------------------
+
+TEST(SweepTest, DeterministicCancelTruncatesToExactPrefix) {
+  // cancel_after(n) trips the governor on an exact poll count, so the
+  // truncated result covers a deterministic prefix of the access stream.
+  // That prefix must be bit-exact: replaying the first `accesses` accesses
+  // through the reference LruCache must reproduce the truncated counts.
+  for (const auto& c : gallery_cases()) {
+    const auto cp = compile(c);
+    std::vector<trace::Access> stream;
+    cp.walk([&](const trace::Access& a) { stream.push_back(a); });
+
+    const std::vector<cachesim::SweepConfig> configs{
+        {3, 1, 0, cachesim::Replacement::kLru},
+        {64, 1, 0, cachesim::Replacement::kLru},
+    };
+    const auto full = cachesim::simulate_sweep(cp, configs);
+    const auto check_prefix = [&](trace::TraceMode mode) {
+      Governor gov;
+      gov.poll_interval = 1;  // poll at every run group / batch
+      gov.cancel.cancel_after(4);
+      const auto part =
+          cachesim::simulate_sweep(cp, configs, nullptr, mode, &gov);
+      ASSERT_EQ(part.size(), configs.size());
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(part[i].completeness, Completeness::kTruncated)
+            << c.name << " config " << i;
+        EXPECT_LT(part[i].accesses, full[i].accesses) << c.name;
+        EXPECT_LE(part[i].misses, full[i].misses) << c.name;
+
+        cachesim::LruCache ref(configs[i].capacity_elems);
+        for (std::uint64_t a = 0; a < part[i].accesses; ++a) {
+          ref.access(stream[static_cast<std::size_t>(a)].addr);
+        }
+        EXPECT_EQ(part[i].misses, ref.misses())
+            << c.name << " config " << i << " prefix replay";
+      }
+    };
+    check_prefix(trace::TraceMode::kRuns);
+    // Batched mode polls once per ~kTraceBatch accesses, so only traces
+    // longer than the poll budget can truncate there.
+    if (stream.size() > 4 * trace::kTraceBatch) {
+      check_prefix(trace::TraceMode::kBatched);
+    }
+  }
+}
+
+TEST(SweepTest, ExpiredDeadlineTruncatesSweepAndProfiler) {
+  const auto cases = gallery_cases();
+  const auto cp = compile(cases[1]);  // matmul_tiled
+  Governor gov;
+  gov.deadline = Deadline::after_seconds(0);
+  gov.poll_interval = 1;
+  const auto swept = cachesim::simulate_sweep(
+      cp, {{64, 1, 0, cachesim::Replacement::kLru}}, nullptr,
+      trace::TraceMode::kRuns, &gov);
+  EXPECT_EQ(swept[0].completeness, Completeness::kTruncated);
+
+  const auto prof = cachesim::profile_stack_distances(
+      cp, 1, trace::TraceMode::kRuns, &gov);
+  EXPECT_EQ(prof.completeness, Completeness::kTruncated);
+  const auto full = cachesim::profile_stack_distances(cp, 1);
+  EXPECT_EQ(full.completeness, Completeness::kComplete);
+  EXPECT_LT(prof.accesses, full.accesses);
+}
+
+TEST(SweepTest, ZeroMemoryBudgetDegradesBitIdentically) {
+  // A zero budget denies every dense-table reservation; the engines must
+  // fall back to their hashed implementations with identical results and
+  // no truncation (a memory downgrade is not a partial answer).
+  for (const auto& c : gallery_cases()) {
+    const auto cp = compile(c);
+    const std::vector<cachesim::SweepConfig> configs{
+        {3, 1, 0, cachesim::Replacement::kLru},
+        {64, 1, 0, cachesim::Replacement::kLru},
+        {256, 4, 0, cachesim::Replacement::kLru},
+    };
+    const auto dense = cachesim::simulate_sweep(cp, configs);
+    MemoryBudget zero(0);
+    Governor gov;
+    gov.memory = &zero;
+    const auto hashed = cachesim::simulate_sweep(
+        cp, configs, nullptr, trace::TraceMode::kRuns, &gov);
+    ASSERT_EQ(hashed.size(), dense.size());
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      expect_same(hashed[i], dense[i], c.name + " budgeted sweep");
+      EXPECT_EQ(hashed[i].completeness, Completeness::kComplete) << c.name;
+    }
+    const auto many_hashed = cachesim::simulate_many(
+        cp, configs, nullptr, trace::TraceMode::kRuns, &gov);
+    const auto many_dense = cachesim::simulate_many(cp, configs);
+    for (std::size_t i = 0; i < many_dense.size(); ++i) {
+      expect_same(many_hashed[i], many_dense[i], c.name + " budgeted many");
+    }
+    EXPECT_EQ(zero.used(), 0u);  // every denial released nothing
+
+    const auto prof_dense = cachesim::profile_stack_distances(cp, 1);
+    const auto prof_hashed = cachesim::profile_stack_distances(
+        cp, 1, trace::TraceMode::kRuns, &gov);
+    EXPECT_EQ(prof_hashed.accesses, prof_dense.accesses) << c.name;
+    EXPECT_EQ(prof_hashed.cold, prof_dense.cold) << c.name;
+    EXPECT_EQ(prof_hashed.histogram, prof_dense.histogram) << c.name;
+  }
+}
+
+TEST(SweepTest, DenseAllocFailpointDegradesBitIdentically) {
+  // SDLO_FAILPOINTS=sweep-dense-alloc=fail (here armed programmatically)
+  // must behave exactly like a denied memory reservation.
+  const auto cases = gallery_cases();
+  const auto cp = compile(cases[3]);  // two_index_tiled
+  const std::vector<cachesim::SweepConfig> configs{
+      {16, 1, 0, cachesim::Replacement::kLru},
+      {1024, 1, 0, cachesim::Replacement::kLru},
+  };
+  const auto dense = cachesim::simulate_sweep(cp, configs);
+  {
+    failpoints::ScopedFailpoint fp(failpoints::kSweepDenseAlloc,
+                                   {failpoints::Action::kFailAlloc, 0});
+    const auto hashed = cachesim::simulate_sweep(cp, configs);
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      expect_same(hashed[i], dense[i], "failpoint sweep");
+      EXPECT_EQ(hashed[i].completeness, Completeness::kComplete);
+    }
+  }
+  const auto prof_want = cachesim::profile_stack_distances(cp, 1);
+  {
+    failpoints::ScopedFailpoint fp(failpoints::kProfilerDenseAlloc,
+                                   {failpoints::Action::kFailAlloc, 0});
+    const auto prof = cachesim::profile_stack_distances(cp, 1);
+    EXPECT_EQ(prof.histogram, prof_want.histogram);
+    EXPECT_EQ(prof.cold, prof_want.cold);
+  }
+}
+
+TEST(SweepTest, GovernedPooledSweepTruncatesCleanly) {
+  // Cancellation mid-sweep with a thread pool: every per-chunk unit stops
+  // at a safe boundary and the call returns (no hang, no crash), with each
+  // result either complete or a valid truncated prefix.
+  parallel::ThreadPool pool(4);
+  const auto cases = gallery_cases();
+  const auto cp = compile(cases[1]);
+  std::vector<cachesim::SweepConfig> configs;
+  for (std::int64_t cap : {4, 16, 64, 256, 1024, 4096}) {
+    configs.push_back({cap, 1, 0, cachesim::Replacement::kLru});
+  }
+  const auto full = cachesim::simulate_sweep(cp, configs);
+  Governor gov;
+  gov.poll_interval = 1;
+  gov.cancel.cancel_after(3);
+  const auto part = cachesim::simulate_sweep(cp, configs, &pool,
+                                             trace::TraceMode::kRuns, &gov);
+  ASSERT_EQ(part.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_LE(part[i].accesses, full[i].accesses);
+    EXPECT_LE(part[i].misses, full[i].misses);
+    if (part[i].completeness == Completeness::kComplete) {
+      EXPECT_EQ(part[i].misses, full[i].misses);
+    }
+  }
 }
 
 TEST(SweepTest, BatchedWalkMatchesPerAccessWalk) {

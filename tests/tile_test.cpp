@@ -6,6 +6,7 @@
 #include "cachesim/sim.hpp"
 #include "ir/gallery.hpp"
 #include "model/analyzer.hpp"
+#include "support/governor.hpp"
 #include "tile/capacity_model.hpp"
 #include "tile/fast_model.hpp"
 #include "tile/search.hpp"
@@ -127,6 +128,62 @@ TEST(Search, ReportsEvaluationCount) {
     EXPECT_LE(r.candidates[i - 1].modeled_misses,
               r.candidates[i].modeled_misses);
   }
+}
+
+TEST(Search, GroundedScoreIsExactWhenUngoverned) {
+  auto g = ir::matmul_tiled();
+  const auto an = model::analyze(g.prog);
+  FastMissModel fast(an);
+  Scorer score(g, fast, {16, 16, 16}, 96);
+  const std::vector<std::int64_t> tiles{4, 4, 4};
+  const auto gs = score.grounded_misses(tiles);
+  EXPECT_EQ(gs.confidence, model::Confidence::kExact);
+  trace::CompiledProgram cp(g.prog, g.make_env({16, 16, 16}, tiles));
+  EXPECT_DOUBLE_EQ(gs.misses,
+                   static_cast<double>(cachesim::simulate_lru(cp, 96).misses));
+  // Memoized: a second call is exact too (and a cache hit).
+  EXPECT_EQ(score.grounded_misses(tiles).confidence,
+            model::Confidence::kExact);
+}
+
+TEST(Search, GroundedScoreDegradesToModelUnderBudget) {
+  // With the governor already tripped, grounding must not walk the trace:
+  // it answers from the fast model and downgrades its confidence.
+  auto g = ir::matmul_tiled();
+  const auto an = model::analyze(g.prog);
+  FastMissModel fast(an);
+  Governor gov;
+  gov.cancel.request_cancel();
+  Scorer score(g, fast, {16, 16, 16}, 96, nullptr, &gov);
+  const std::vector<std::int64_t> tiles{4, 4, 4};
+  const auto gs = score.grounded_misses(tiles);
+  EXPECT_EQ(gs.confidence, model::Confidence::kApproximate);
+  EXPECT_DOUBLE_EQ(gs.misses,
+                   fast.score(g.make_env({16, 16, 16}, tiles), 96).misses);
+}
+
+TEST(Search, GovernedSearchReturnsTruncatedBestSoFar) {
+  auto g = ir::matmul_tiled();
+  const auto an = model::analyze(g.prog);
+  FastMissModel fast(an);
+  SearchOptions opts;
+  opts.max_tile = 64;
+  const auto full = search_tiles(g, fast, {64, 64, 64}, 512, opts);
+  EXPECT_EQ(full.completeness, Completeness::kComplete);
+
+  // Cancel before any refinement round: the coarse-grid result must still
+  // come back, marked truncated.
+  Governor gov;
+  gov.cancel.request_cancel();
+  SearchOptions governed = opts;
+  governed.governor = &gov;
+  const auto part = search_tiles(g, fast, {64, 64, 64}, 512, governed);
+  EXPECT_EQ(part.completeness, Completeness::kTruncated);
+  ASSERT_FALSE(part.candidates.empty());
+  EXPECT_FALSE(part.best.tiles.empty());
+  // Refinement only improves the beam: the truncated best is no better
+  // than the fully refined best.
+  EXPECT_GE(part.best.modeled_misses, full.best.modeled_misses - 1e-9);
 }
 
 TEST(CapacityModel, UpperBoundsColdMisses) {

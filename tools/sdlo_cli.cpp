@@ -5,11 +5,19 @@
 //
 //   sdlo analyze  prog.sdlo                      # partitions + distances
 //   sdlo lint     prog.sdlo [--set N=512] [--cap 8192] [--line 8] [--json]
-//   sdlo misses   prog.sdlo --cap 8192 --set N=512 [--simulate]
-//   sdlo sweep    prog.sdlo --set N=512 [--line 4] [--sites]
+//   sdlo misses   prog.sdlo --cap 8192 --set N=512 [--simulate] [--json]
+//   sdlo sweep    prog.sdlo --set N=512 [--line 4] [--sites] [--json]
 //   sdlo trace    prog.sdlo --set N=8 [--limit 100]
 //   sdlo fuzz     [--seed S] [--count N] [--time-budget SEC]
 //                 [--artifact-dir DIR] [--replay artifact.sdlo]
+//
+// Every long-running verb additionally honors the resource-governance
+// flags `--deadline SEC` and `--mem-budget MB` (support/governor.hpp): on
+// deadline/cancellation the verb stops at the next safe point and prints a
+// valid partial result, marked "truncated" in text and JSON, exiting with
+// status 2 (ExitCode::kTruncated). A memory budget never truncates — it
+// degrades the dense engines to their hashed fallbacks, bit-identically.
+// Exit codes: 0 ok, 1 error, 2 truncated by budget.
 //
 // Symbols are bound with repeated --set NAME=VALUE flags. `misses` prints
 // the model's prediction and, with --simulate, cross-checks it against the
@@ -34,6 +42,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "analysis/lint.hpp"
@@ -46,6 +55,7 @@
 #include "ir/printer.hpp"
 #include "model/analyzer.hpp"
 #include "support/cli.hpp"
+#include "support/governor.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 #include "trace/walker.hpp"
@@ -79,9 +89,45 @@ sym::Env parse_sets(const std::vector<std::string>& positional) {
   return env;
 }
 
-int cmd_analyze(const ir::Program& prog) {
+/// The CLI's resource governor, built from --deadline / --mem-budget. The
+/// MemoryBudget must outlive every governed call, so it lives here.
+struct CliGovernor {
+  Governor gov;
+  std::unique_ptr<MemoryBudget> budget;
+  bool active = false;
+
+  /// Governor pointer to hand to the engines: null when ungoverned, so
+  /// default behavior (no polling at all) is preserved.
+  const Governor* get() const { return active ? &gov : nullptr; }
+};
+
+CliGovernor make_governor(double deadline_sec, std::int64_t mem_budget_mb) {
+  CliGovernor g;
+  if (deadline_sec > 0) {
+    g.gov.deadline = Deadline::after_seconds(deadline_sec);
+    g.active = true;
+  }
+  if (mem_budget_mb > 0) {
+    g.budget = std::make_unique<MemoryBudget>(
+        static_cast<std::uint64_t>(mem_budget_mb) * 1024 * 1024);
+    g.gov.memory = g.budget.get();
+    g.active = true;
+  }
+  return g;
+}
+
+const char* json_completeness(Completeness c) {
+  return c == Completeness::kTruncated ? "truncated" : "complete";
+}
+
+int cmd_analyze(const ir::Program& prog, const Governor* gov) {
+  // Symbolic analysis has no meaningful partial result, so the governor is
+  // honored through the throwing path: a tripped deadline surfaces as
+  // BudgetExceeded and the process exits 2 without a report.
+  if (gov != nullptr) gov->check("analyze");
   std::cout << ir::to_code_string(prog) << "\n";
   const auto an = model::analyze(prog);
+  if (gov != nullptr) gov->check("analyze");
   TextTable t({"Partition", "#References", "Stack distance"});
   for (const auto& row : model::symbolic_report(an)) {
     t.add_row({row.description, sym::to_string(row.count),
@@ -92,37 +138,91 @@ int cmd_analyze(const ir::Program& prog) {
 }
 
 int cmd_misses(const ir::Program& prog, const sym::Env& env,
-               std::int64_t cap, bool simulate, trace::TraceMode mode) {
+               std::int64_t cap, bool simulate, trace::TraceMode mode,
+               const Governor* gov, bool json) {
   const auto an = model::analyze(prog);
   const auto pred = model::predict_misses(an, env, cap);
-  std::cout << "capacity " << cap << " elements\n"
-            << "accesses  " << with_commas(pred.total_accesses) << "\n"
-            << "predicted " << with_commas(pred.misses) << " misses ("
-            << format_double(100.0 * pred.miss_ratio(), 3) << "%)\n"
-            << "confidence " << model::confidence_name(pred.confidence)
-            << (pred.confidence == model::Confidence::kApproximate
-                    ? " (interpolated partitions; see sdlo lint)"
-                    : "")
-            << "\n";
+  cachesim::SimResult sim;
   if (simulate) {
     trace::CompiledProgram cp(prog, env);
-    const auto sim = cachesim::simulate_sweep(
-        cp, {{cap, 1, 0, cachesim::Replacement::kLru}}, nullptr, mode)[0];
-    std::cout << "simulated " << with_commas(
-                     static_cast<std::int64_t>(sim.misses))
-              << " misses — "
-              << (sim.misses == static_cast<std::uint64_t>(pred.misses)
-                      ? "exact match"
-                      : "MISMATCH")
-              << "\n";
+    sim = cachesim::simulate_sweep(
+        cp, {{cap, 1, 0, cachesim::Replacement::kLru}}, nullptr, mode,
+        gov)[0];
   }
-  return 0;
+  const bool truncated =
+      simulate && sim.completeness == Completeness::kTruncated;
+  if (json) {
+    std::cout << "{\"capacity\":" << cap
+              << ",\"accesses\":" << pred.total_accesses
+              << ",\"predicted_misses\":" << pred.misses
+              << ",\"confidence\":\""
+              << model::confidence_name(pred.confidence) << "\"";
+    if (simulate) {
+      std::cout << ",\"simulated_misses\":" << sim.misses
+                << ",\"simulated_accesses\":" << sim.accesses
+                << ",\"completeness\":\""
+                << json_completeness(sim.completeness) << "\"";
+    }
+    std::cout << "}\n";
+  } else {
+    std::cout << "capacity " << cap << " elements\n"
+              << "accesses  " << with_commas(pred.total_accesses) << "\n"
+              << "predicted " << with_commas(pred.misses) << " misses ("
+              << format_double(100.0 * pred.miss_ratio(), 3) << "%)\n"
+              << "confidence " << model::confidence_name(pred.confidence)
+              << (pred.confidence == model::Confidence::kApproximate
+                      ? " (interpolated partitions; see sdlo lint)"
+                      : "")
+              << "\n";
+    if (simulate) {
+      std::cout << "simulated " << with_commas(
+                       static_cast<std::int64_t>(sim.misses))
+                << " misses — ";
+      if (truncated) {
+        std::cout << "truncated by budget after "
+                  << with_commas(static_cast<std::int64_t>(sim.accesses))
+                  << " accesses (exact lower bound; no comparison)\n";
+      } else {
+        std::cout << (sim.misses == static_cast<std::uint64_t>(pred.misses)
+                          ? "exact match"
+                          : "MISMATCH")
+                  << "\n";
+      }
+    }
+  }
+  return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
 }
 
 int cmd_sweep(const ir::Program& prog, const sym::Env& env,
-              std::int64_t line, bool sites, trace::TraceMode mode) {
+              std::int64_t line, bool sites, trace::TraceMode mode,
+              const Governor* gov, bool json) {
   trace::CompiledProgram cp(prog, env);
-  const auto prof = cachesim::profile_stack_distances(cp, line, mode);
+  const auto prof = cachesim::profile_stack_distances(cp, line, mode, gov);
+  const bool truncated = prof.completeness == Completeness::kTruncated;
+  if (json) {
+    std::cout << "{\"line_elems\":" << line
+              << ",\"accesses\":" << prof.accesses << ",\"completeness\":\""
+              << json_completeness(prof.completeness) << "\",\"rows\":[";
+    bool first = true;
+    for (std::int64_t cap = line;
+         cap <= static_cast<std::int64_t>(cp.address_space_size()) * 2;
+         cap *= 2) {
+      const auto r = prof.result(cap);
+      std::cout << (first ? "" : ",") << "{\"capacity\":" << cap
+                << ",\"misses\":" << r.misses;
+      if (sites) {
+        std::cout << ",\"misses_by_site\":[";
+        for (std::size_t s = 0; s < r.misses_by_site.size(); ++s) {
+          std::cout << (s == 0 ? "" : ",") << r.misses_by_site[s];
+        }
+        std::cout << "]";
+      }
+      std::cout << "}";
+      first = false;
+    }
+    std::cout << "]}\n";
+    return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
+  }
   std::vector<std::string> header{"capacity", "misses", "miss ratio"};
   if (sites) {
     for (std::size_t s = 0; s < prof.histogram_by_site.size(); ++s) {
@@ -152,7 +252,13 @@ int cmd_sweep(const ir::Program& prog, const sym::Env& env,
     std::cout << "(line granularity: " << line
               << " elements per line; capacities in elements)\n";
   }
-  return 0;
+  if (truncated) {
+    std::cout << "TRUNCATED by budget after "
+              << with_commas(static_cast<std::int64_t>(prof.accesses))
+              << " accesses: counts are exact for that prefix (lower "
+                 "bounds for the full trace)\n";
+  }
+  return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
 }
 
 int cmd_lint(const std::string& text, const std::string& source_name,
@@ -208,8 +314,9 @@ std::string minimize_and_save(const ir::Program& prog, const sym::Env& env,
   if (artifact_dir.empty()) return "";
   std::filesystem::create_directories(artifact_dir);
   const std::string path = artifact_dir + "/counterexample.sdlo";
-  std::ofstream out(path);
-  out << fuzz::to_artifact(red.prog, red.env, note);
+  // Atomic temp-and-rename write: a crash or injected fault mid-write must
+  // never leave a truncated (unreplayable) artifact behind.
+  fuzz::write_artifact_file(path, fuzz::to_artifact(red.prog, red.env, note));
   std::cerr << "artifact written to " << path
             << " (replay with: sdlo fuzz --replay " << path << ")\n";
   return path;
@@ -232,25 +339,36 @@ int cmd_fuzz_replay(const std::string& path,
 }
 
 int cmd_fuzz(std::uint64_t seed, std::int64_t count,
-             std::int64_t time_budget_sec,
-             const std::string& artifact_dir) {
-  const auto start = std::chrono::steady_clock::now();
+             std::int64_t time_budget_sec, const std::string& artifact_dir,
+             const Governor* gov) {
+  // --time-budget is the campaign's own planned horizon: reaching it is
+  // normal completion (exit 0). --deadline (the governor) is an external
+  // resource ceiling: tripping it truncates the run (exit 2). The budget
+  // rides the shared Deadline type; the governor is additionally polled
+  // *inside* the oracle battery, so one oversized program cannot blow
+  // through the deadline between checks.
+  const Deadline budget = time_budget_sec > 0
+                              ? Deadline::after_seconds(
+                                    static_cast<double>(time_budget_sec))
+                              : Deadline::never();
   std::uint64_t total_accesses = 0;
   std::int64_t checked = 0;
   std::int64_t skipped = 0;
+  bool truncated = false;
+  fuzz::OracleOptions oopts;
+  oopts.governor = gov;
   for (std::int64_t i = 0; i < count; ++i) {
-    if (time_budget_sec > 0) {
-      const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
-          std::chrono::steady_clock::now() - start);
-      if (elapsed.count() >= time_budget_sec) {
-        std::cout << "time budget reached after " << checked
-                  << " programs\n";
-        break;
-      }
+    if (budget.expired()) {
+      std::cout << "time budget reached after " << checked << " programs\n";
+      break;
+    }
+    if (governor_should_stop(gov)) {
+      truncated = true;
+      break;
     }
     fuzz::ProgramGenerator gen(seed + static_cast<std::uint64_t>(i));
     const auto gp = gen.generate();
-    const auto report = fuzz::check_program(gp.prog, gp.env);
+    const auto report = fuzz::check_program(gp.prog, gp.env, oopts);
     if (report.skipped) {
       ++skipped;
       continue;
@@ -262,7 +380,11 @@ int cmd_fuzz(std::uint64_t seed, std::int64_t count,
       std::ostringstream note;
       note << "seed " << gp.seed << " index " << gp.index;
       minimize_and_save(gp.prog, gp.env, note.str(), artifact_dir);
-      return 1;
+      return to_int(ExitCode::kError);
+    }
+    if (report.truncated) {
+      truncated = true;
+      break;
     }
     if ((i + 1) % 200 == 0) {
       std::cout << "  " << (i + 1) << "/" << count << " programs, "
@@ -273,8 +395,9 @@ int cmd_fuzz(std::uint64_t seed, std::int64_t count,
   std::cout << "fuzzed " << checked << " programs (" << skipped
             << " skipped as oversized), "
             << with_commas(static_cast<std::int64_t>(total_accesses))
-            << " accesses cross-checked, zero oracle mismatches\n";
-  return 0;
+            << " accesses cross-checked, zero oracle mismatches"
+            << (truncated ? " — TRUNCATED by deadline" : "") << "\n";
+  return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
 }
 
 }  // namespace
@@ -293,10 +416,14 @@ int main(int argc, char** argv) {
         .flag("time-budget", "stop fuzzing after SEC seconds (0 = off)")
         .flag("artifact-dir", "directory for minimized counterexamples")
         .flag("replay", "re-check a counterexample artifact (fuzz)")
-        .flag("json", "machine-readable report (lint)")
+        .flag("json", "machine-readable report (lint/misses/sweep)")
+        .flag("deadline",
+              "wall-clock ceiling in seconds; partial results exit 2")
+        .flag("mem-budget",
+              "dense-table memory ceiling in MB (degrades to hashed)")
         .flag("trace-mode",
               "trace delivery for misses/sweep: runs (default) or batched");
-    cli.finish();
+    if (!cli.finish()) return to_int(ExitCode::kOk);
 
     const auto& pos = cli.positional();
     if (pos.empty()) {
@@ -305,17 +432,20 @@ int main(int argc, char** argv) {
                    "       sdlo fuzz [--seed S] [--count N] "
                    "[--time-budget SEC] [--artifact-dir DIR] "
                    "[--replay artifact.sdlo]\n";
-      return 2;
+      return to_int(ExitCode::kError);
     }
     const std::string& verb = pos[0];
     const std::string mode_str = cli.get_string("trace-mode", "runs");
     if (mode_str != "runs" && mode_str != "batched") {
       std::cerr << "sdlo: --trace-mode must be 'runs' or 'batched'\n";
-      return 2;
+      return to_int(ExitCode::kError);
     }
     const trace::TraceMode trace_mode = mode_str == "batched"
                                             ? trace::TraceMode::kBatched
                                             : trace::TraceMode::kRuns;
+    const CliGovernor governor = make_governor(
+        cli.get_double("deadline", 0), cli.get_int("mem-budget", 0));
+    const bool json = cli.get_bool("json", false);
     if (verb == "fuzz") {
       const std::string replay = cli.get_string("replay", "");
       const std::string artifact_dir = cli.get_string("artifact-dir", "");
@@ -323,12 +453,12 @@ int main(int argc, char** argv) {
       return cmd_fuzz(
           static_cast<std::uint64_t>(cli.get_int("seed", 1)),
           cli.get_int("count", 500), cli.get_int("time-budget", 0),
-          artifact_dir);
+          artifact_dir, governor.get());
     }
     if (pos.size() < 2) {
       std::cerr << "usage: sdlo {analyze|lint|misses|sweep|trace} <file|-> "
                    "[NAME=VALUE...] [flags]\n";
-      return 2;
+      return to_int(ExitCode::kError);
     }
     sym::Env env = parse_sets(pos);
     // --set NAME=VALUE also lands in the "set" flag slot; accept both.
@@ -345,27 +475,31 @@ int main(int argc, char** argv) {
       // out-of-class programs must be reported, not thrown.
       return cmd_lint(read_input(pos[1]),
                       pos[1] == "-" ? "<stdin>" : pos[1], env,
-                      cli.get_int("cap", 0), cli.get_int("line", 0),
-                      cli.get_bool("json", false));
+                      cli.get_int("cap", 0), cli.get_int("line", 0), json);
     }
     ir::Program prog = ir::parse_program(read_input(pos[1]));
 
-    if (verb == "analyze") return cmd_analyze(prog);
+    if (verb == "analyze") return cmd_analyze(prog, governor.get());
     if (verb == "misses") {
       return cmd_misses(prog, env, cli.get_int("cap", 8192),
-                        cli.get_bool("simulate", false), trace_mode);
+                        cli.get_bool("simulate", false), trace_mode,
+                        governor.get(), json);
     }
     if (verb == "sweep") {
       return cmd_sweep(prog, env, cli.get_int("line", 1),
-                       cli.get_bool("sites", false), trace_mode);
+                       cli.get_bool("sites", false), trace_mode,
+                       governor.get(), json);
     }
     if (verb == "trace") {
       return cmd_trace(prog, env, cli.get_int("limit", 50));
     }
     std::cerr << "unknown command: " << verb << "\n";
-    return 2;
+    return to_int(ExitCode::kError);
+  } catch (const BudgetExceeded& e) {
+    std::cerr << "sdlo: " << e.what() << "\n";
+    return to_int(ExitCode::kTruncated);
   } catch (const std::exception& e) {
     std::cerr << "sdlo: " << e.what() << "\n";
-    return 1;
+    return to_int(ExitCode::kError);
   }
 }
