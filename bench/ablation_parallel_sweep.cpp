@@ -1,0 +1,132 @@
+// Ablation A7: the billion-access sweep pipeline, factored.
+//
+// Three independent knobs of the time-partitioned sweep are ablated on a
+// tiled-matmul trace so regressions can be pinned to one layer:
+//
+//   BM_ChunkCount    partitioned sweep at 1/2/4/8/16 chunks on a fixed
+//                    single-thread pool — measures the pure partitioning
+//                    overhead (per-chunk engine setup + the sequential
+//                    Fenwick hole merge) that parallel speedup must
+//                    amortize.
+//   BM_SimdOnOff     the same sweep with the SIMD bulk paths enabled vs
+//                    forced to the scalar fallbacks (simd::set_enabled),
+//                    isolating the vector win in run_lines / add_u64 /
+//                    find_not_equal.
+//   BM_SpoolWindow   a spooled sweep decoding through 4 KiB .. 4 MiB read
+//                    windows — measures how small the out-of-core window
+//                    can go before decode stalls dominate.
+//
+// All variants are differentially pinned elsewhere (tests/, fuzz oracles);
+// this binary only measures.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cachesim/parallel_stack.hpp"
+#include "cachesim/sweep.hpp"
+#include "ir/gallery.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/simd.hpp"
+#include "trace/spool.hpp"
+#include "trace/walker.hpp"
+
+namespace {
+
+using namespace sdlo;
+
+trace::CompiledProgram bench_program() {
+  const auto g = ir::matmul_tiled();
+  return trace::CompiledProgram(g.prog, g.make_env({64, 64, 64}, {16, 16, 16}));
+}
+
+std::vector<cachesim::SweepConfig> bench_configs() {
+  std::vector<cachesim::SweepConfig> configs;
+  for (std::int64_t cap : {64, 512, 4096, 32768}) {
+    configs.push_back({cap, 1, 0, cachesim::Replacement::kLru});
+  }
+  return configs;
+}
+
+void BM_ChunkCount(benchmark::State& state) {
+  const auto cp = bench_program();
+  const auto configs = bench_configs();
+  cachesim::PartitionOptions opt;
+  opt.chunks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto res =
+        cachesim::simulate_sweep_partitioned(cp, configs, nullptr, opt);
+    benchmark::DoNotOptimize(res.front().misses);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cp.total_accesses()));
+}
+BENCHMARK(BM_ChunkCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ChunkCountPooled(benchmark::State& state) {
+  const auto cp = bench_program();
+  const auto configs = bench_configs();
+  parallel::ThreadPool pool(4);
+  cachesim::PartitionOptions opt;
+  opt.chunks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto res =
+        cachesim::simulate_sweep_partitioned(cp, configs, &pool, opt);
+    benchmark::DoNotOptimize(res.front().misses);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cp.total_accesses()));
+}
+BENCHMARK(BM_ChunkCountPooled)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// range(0): 1 = SIMD bulk paths, 0 = scalar fallbacks.
+void BM_SimdOnOff(benchmark::State& state) {
+  const auto cp = bench_program();
+  const auto configs = bench_configs();
+  const bool was = simd::enabled();
+  simd::set_enabled(state.range(0) != 0);
+  cachesim::PartitionOptions opt;
+  opt.chunks = 4;
+  for (auto _ : state) {
+    const auto res =
+        cachesim::simulate_sweep_partitioned(cp, configs, nullptr, opt);
+    benchmark::DoNotOptimize(res.front().misses);
+  }
+  simd::set_enabled(was);
+  state.SetLabel(state.range(0) != 0 ? std::string(simd::isa()) : "scalar");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cp.total_accesses()));
+}
+BENCHMARK(BM_SimdOnOff)->Arg(1)->Arg(0);
+
+// range(0): spool read window in bytes.
+void BM_SpoolWindow(benchmark::State& state) {
+  const auto cp = bench_program();
+  const auto configs = bench_configs();
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "sdlo_ablation_parallel_sweep.spl")
+                        .string();
+  trace::spool_program(path, cp);
+  trace::SpoolReadOptions ropt;
+  ropt.window_bytes = static_cast<std::size_t>(state.range(0));
+  const trace::SpooledTrace spool(path, ropt);
+  for (auto _ : state) {
+    const auto res = cachesim::simulate_sweep(spool, configs);
+    benchmark::DoNotOptimize(res.front().misses);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(spool.total_accesses()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SpoolWindow)
+    ->Arg(4 << 10)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Arg(4 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,25 +8,42 @@
 // The sweep comparison runs first (outside google-benchmark, since it
 // compares whole algorithms rather than timing one) and writes its
 // measurements to BENCH_sweep.json, alongside the frozen pre-optimization
-// reference timings so the JSON records the before/after story. Overrides:
-//   SDLO_SWEEP_N      loop bound (default 256)
-//   SDLO_SWEEP_JSON   output path (default BENCH_sweep.json; the
-//                     --json=PATH argument does the same)
-//   SDLO_SWEEP_SKIP   set to skip the sweep comparison entirely
+// reference timings so the JSON records the before/after story. The same
+// run times the time-partitioned parallel engine at several thread counts
+// (honest wall-clock on whatever cores the machine has — the JSON records
+// hardware_threads so readers can judge) and, in a second "big" tier,
+// demonstrates the out-of-core path: a multi-billion-access trace whose
+// materialization exceeds a 256 MB memory budget but whose spooled sweep
+// completes under the same budget. Overrides:
+//   SDLO_SWEEP_N        loop bound (default 256)
+//   SDLO_SWEEP_JSON     output path (default BENCH_sweep.json; the
+//                       --json=PATH argument does the same)
+//   SDLO_SWEEP_SKIP     set to skip the sweep comparison entirely
+//   SDLO_SWEEP_BIG_N    loop bound of the out-of-core tier (default 1024;
+//                       4*N^3 accesses — the default is a 4.3e9-access
+//                       trace)
+//   SDLO_SWEEP_BIG_SKIP set to skip the out-of-core tier
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cachesim/parallel_stack.hpp"
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
 #include "ir/gallery.hpp"
 #include "model/analyzer.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "tile/fast_model.hpp"
+#include "trace/spool.hpp"
 #include "trace/walker.hpp"
 
 namespace {
@@ -132,6 +149,109 @@ constexpr double kPreRunsSweepSeconds = 1.01199;
 constexpr double kPreRunsBaselineSeconds = 7.94833;
 constexpr std::int64_t kPreRunsN = 256;
 
+/// One timed run of the partitioned engine at a given thread count.
+struct ParallelTiming {
+  int threads = 1;
+  double seconds = 0;
+};
+
+/// The out-of-core tier: a trace too large to materialize under a 256 MB
+/// budget, swept from a spool instead.
+struct BigTier {
+  bool ran = false;
+  std::int64_t n = 0;
+  std::uint64_t accesses = 0;
+  std::int64_t budget_mb = 256;
+  bool materialize_budget_exceeded = false;
+  double spool_write_seconds = 0;
+  std::uint64_t spool_bytes = 0;
+  double spooled_sweep_seconds = 0;
+  double spooled_parallel_seconds = 0;
+  bool identical = false;
+  bool complete = false;
+};
+
+BigTier run_big_tier() {
+  BigTier b;
+  if (std::getenv("SDLO_SWEEP_BIG_SKIP") != nullptr) return b;
+  b.n = env_int("SDLO_SWEEP_BIG_N", 1024);
+
+  auto g = ir::matmul_tiled();
+  const auto env = g.make_env({b.n, b.n, b.n}, {32, 32, 32});
+  trace::CompiledProgram cp(g.prog, env);
+  b.accesses = cp.total_accesses();
+
+  MemoryBudget budget(static_cast<std::uint64_t>(b.budget_mb) * 1024 *
+                      1024);
+  Governor gov;
+  gov.memory = &budget;
+
+  // Materializing the run-compressed trace in memory must trip the budget
+  // (that refusal is the signal to go out of core)...
+  try {
+    const auto rt = trace::RunTrace::materialize(cp, &gov);
+    benchmark::DoNotOptimize(rt.bytes());
+  } catch (const BudgetExceeded&) {
+    b.materialize_budget_exceeded = true;
+  }
+
+  // ...while the spool completes the same sweep under the same governor:
+  // its peak memory is the simulation tables plus the read window.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sdlo_perf_big.spl")
+          .string();
+  WallTimer timer;
+  trace::spool_program(path, cp);
+  b.spool_write_seconds = timer.seconds();
+  b.spool_bytes = static_cast<std::uint64_t>(
+      std::filesystem::file_size(path));
+  const trace::SpooledTrace spool(path);
+
+  std::vector<cachesim::SweepConfig> configs;
+  for (std::int64_t c = 256; c <= 32768; c *= 2) {
+    configs.push_back({c, 1, 0, cachesim::Replacement::kLru});
+  }
+  timer.reset();
+  const auto seq = cachesim::simulate_sweep(spool, configs, nullptr,
+                                            trace::TraceMode::kRuns, &gov);
+  b.spooled_sweep_seconds = timer.seconds();
+  b.complete = true;
+  for (const auto& r : seq) {
+    b.complete = b.complete && r.completeness == Completeness::kComplete;
+  }
+
+  parallel::ThreadPool pool(4);
+  cachesim::PartitionOptions popt;
+  popt.threads = 4;
+  timer.reset();
+  const auto par = cachesim::simulate_sweep_partitioned(spool, configs,
+                                                        &pool, popt, &gov);
+  b.spooled_parallel_seconds = timer.seconds();
+  b.identical = par.size() == seq.size();
+  for (std::size_t i = 0; b.identical && i < par.size(); ++i) {
+    b.identical = par[i].accesses == seq[i].accesses &&
+                  par[i].misses == seq[i].misses &&
+                  par[i].misses_by_site == seq[i].misses_by_site;
+  }
+  std::remove(path.c_str());
+
+  std::cout << "== Out-of-core tier: tiled matmul N=" << b.n << " ("
+            << b.accesses << " accesses), " << b.budget_mb
+            << " MB budget ==\n"
+            << "  RunTrace::materialize: "
+            << (b.materialize_budget_exceeded ? "BudgetExceeded (expected)"
+                                              : "FIT IN BUDGET (unexpected)")
+            << "\n"
+            << "  spool write:           " << b.spool_write_seconds << " s ("
+            << b.spool_bytes << " bytes)\n"
+            << "  spooled sweep:         " << b.spooled_sweep_seconds
+            << " s (" << (b.complete ? "complete" : "TRUNCATED") << ")\n"
+            << "  spooled sweep x4:      " << b.spooled_parallel_seconds
+            << " s   identical: " << (b.identical ? "yes" : "NO") << "\n\n";
+  b.ran = true;
+  return b;
+}
+
 int run_sweep_comparison(const std::string& json_arg) {
   if (std::getenv("SDLO_SWEEP_SKIP") != nullptr) return 0;
   const std::int64_t n = env_int("SDLO_SWEEP_N", 256);
@@ -187,6 +307,41 @@ int run_sweep_comparison(const std::string& json_arg) {
   const double speedup_runs_vs_batched =
       sweep_seconds > 0 ? sweep_batched_seconds / sweep_seconds : 0;
 
+  // Time-partitioned parallel engine at several worker counts. These are
+  // honest wall-clock numbers on this machine's cores (hardware_threads in
+  // the JSON); on a single-core box the >1-thread rows just measure the
+  // partitioning overhead.
+  std::vector<ParallelTiming> parallel_timings;
+  bool parallel_identical = true;
+  for (const int threads : {1, 2, 4}) {
+    std::unique_ptr<parallel::ThreadPool> pool;
+    if (threads > 1) {
+      pool = std::make_unique<parallel::ThreadPool>(threads);
+    }
+    cachesim::PartitionOptions popt;
+    popt.threads = threads;
+    timer.reset();
+    const auto part = cachesim::simulate_sweep_partitioned(
+        cp, configs, pool.get(), popt);
+    parallel_timings.push_back({threads, timer.seconds()});
+    parallel_identical = parallel_identical && part.size() == baseline.size();
+    for (std::size_t i = 0; parallel_identical && i < part.size(); ++i) {
+      parallel_identical =
+          part[i].accesses == baseline[i].accesses &&
+          part[i].misses == baseline[i].misses &&
+          part[i].misses_by_site == baseline[i].misses_by_site;
+    }
+  }
+  double parallel_best = parallel_timings.front().seconds;
+  for (const auto& t : parallel_timings) {
+    if (t.threads > 1 && t.seconds > 0 && t.seconds < parallel_best) {
+      parallel_best = t.seconds;
+    }
+  }
+  const double parallel_speedup =
+      parallel_best > 0 ? sweep_seconds / parallel_best : 0;
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+
   std::cout << "== Sweep engine: 8-capacity LRU sweep, tiled matmul N=" << n
             << " ==\n"
             << "  baseline (8x simulate_lru):   " << baseline_seconds
@@ -198,12 +353,22 @@ int run_sweep_comparison(const std::string& json_arg) {
             << "x   run-fed vs per-access: " << speedup_runs_vs_batched
             << "x   results identical: " << (identical ? "yes" : "NO")
             << "\n";
+  for (const auto& t : parallel_timings) {
+    std::cout << "  partitioned x" << t.threads << ":             "
+              << t.seconds << " s\n";
+  }
+  std::cout << "  partitioned best vs sequential: " << parallel_speedup
+            << "x on " << hardware_threads
+            << " hardware threads   identical: "
+            << (parallel_identical ? "yes" : "NO") << "\n";
   if (n == kPreRunsN && sweep_seconds > 0) {
     std::cout << "  end-to-end vs pre-run-compression sweep ("
               << kPreRunsSweepSeconds
               << " s): " << kPreRunsSweepSeconds / sweep_seconds << "x\n";
   }
   std::cout << "\n";
+
+  const BigTier big = run_big_tier();
 
   std::ofstream out(json_path);
   out << "{\n"
@@ -223,7 +388,37 @@ int run_sweep_comparison(const std::string& json_arg) {
       << "  \"speedup\": " << speedup << ",\n"
       << "  \"speedup_runs_vs_batched\": " << speedup_runs_vs_batched
       << ",\n"
-      << "  \"before\": {\n"
+      << "  \"hardware_threads\": " << hardware_threads << ",\n"
+      << "  \"parallel\": [";
+  for (std::size_t i = 0; i < parallel_timings.size(); ++i) {
+    out << (i != 0 ? ", " : "") << "{\"threads\": "
+        << parallel_timings[i].threads << ", \"seconds\": "
+        << parallel_timings[i].seconds << "}";
+  }
+  out << "],\n"
+      << "  \"parallel_speedup\": " << parallel_speedup << ",\n"
+      << "  \"parallel_identical\": "
+      << (parallel_identical ? "true" : "false") << ",\n";
+  if (big.ran) {
+    out << "  \"big\": {\n"
+        << "    \"n\": " << big.n << ",\n"
+        << "    \"accesses\": " << big.accesses << ",\n"
+        << "    \"memory_budget_mb\": " << big.budget_mb << ",\n"
+        << "    \"materialize_budget_exceeded\": "
+        << (big.materialize_budget_exceeded ? "true" : "false") << ",\n"
+        << "    \"spool_write_seconds\": " << big.spool_write_seconds
+        << ",\n"
+        << "    \"spool_bytes\": " << big.spool_bytes << ",\n"
+        << "    \"spooled_sweep_seconds\": " << big.spooled_sweep_seconds
+        << ",\n"
+        << "    \"spooled_parallel_seconds\": "
+        << big.spooled_parallel_seconds << ",\n"
+        << "    \"complete\": " << (big.complete ? "true" : "false")
+        << ",\n"
+        << "    \"identical\": " << (big.identical ? "true" : "false")
+        << "\n  },\n";
+  }
+  out << "  \"before\": {\n"
       << "    \"n\": " << kPreRunsN << ",\n"
       << "    \"baseline_seconds\": " << kPreRunsBaselineSeconds
       << ",\n"

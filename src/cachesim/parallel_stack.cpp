@@ -1,0 +1,393 @@
+#include "cachesim/parallel_stack.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "cachesim/marker_stack.hpp"
+#include "support/check.hpp"
+#include "support/failpoints.hpp"
+#include "support/simd.hpp"
+
+namespace sdlo::cachesim {
+
+namespace {
+
+using trace::Run;
+
+constexpr std::uint64_t kNoPos = std::numeric_limits<std::uint64_t>::max();
+
+/// Bytes per footprint line of the merge structure's dense last-access
+/// table (one uint64 timestamp per line).
+constexpr std::uint64_t kMergeBytesPerLine = 8;
+
+/// Internal control-flow exception: thrown by a governed chunk walk at a
+/// run-group boundary. Never escapes this translation unit.
+struct AbortWalk {};
+
+/// The sequential hole-merge structure: per line last touched by an earlier
+/// chunk (and not since re-touched), its last-access timestamp; a Fenwick
+/// tree counts live timestamps so a suffix count answers "how many distinct
+/// lines were last accessed at or after time p". Timestamps are appended
+/// monotonically (chunks are merged in trace order) and renumbered when the
+/// window fills, exactly like StackDistanceProfiler.
+class BoundaryMerge {
+ public:
+  explicit BoundaryMerge(std::uint64_t footprint_lines)
+      : pos_of_(static_cast<std::size_t>(footprint_lines), kNoPos) {
+    window_ = std::size_t{1} << 10;
+    tree_.assign(window_ + 1, 0);
+  }
+
+  /// When `line` was last touched by an earlier chunk: returns the number
+  /// of live timestamps at or after its own (its own included, so >= 1)
+  /// and deletes the line, so later holes never count it again. Returns 0
+  /// when the line is unseen — a true cold access.
+  std::uint64_t resolve(std::uint64_t line) {
+    const std::uint64_t p = pos_of_[static_cast<std::size_t>(line)];
+    if (p == kNoPos) return 0;
+    const std::int64_t cnt =
+        active_ - (p == 0 ? 0 : prefix_sum(static_cast<std::size_t>(p) - 1));
+    bit_update(static_cast<std::size_t>(p), -1);
+    --active_;
+    pos_of_[static_cast<std::size_t>(line)] = kNoPos;
+    return static_cast<std::uint64_t>(cnt);
+  }
+
+  /// Appends `line` (must be absent) with a fresh, monotonically newest
+  /// timestamp.
+  void append(std::uint64_t line) {
+    if (cur_ >= window_) compact();
+    pos_of_[static_cast<std::size_t>(line)] = cur_;
+    bit_update(static_cast<std::size_t>(cur_), +1);
+    ++cur_;
+    ++active_;
+  }
+
+ private:
+  void bit_update(std::size_t pos, int delta) {
+    for (std::size_t i = pos + 1; i <= window_; i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  std::int64_t prefix_sum(std::size_t pos) const {
+    std::int64_t s = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+      s += tree_[i];
+    }
+    return s;
+  }
+
+  void compact() {
+    // Renumber live timestamps to 0..n-1 preserving order; grow the window
+    // if the live set uses more than half of it. The occupancy scan of the
+    // dense table goes through the SIMD shim.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> by_time;
+    by_time.reserve(static_cast<std::size_t>(active_));
+    const std::size_t n = pos_of_.size();
+    for (std::size_t line = simd::find_not_equal(pos_of_.data(), n, 0, kNoPos);
+         line < n;
+         line = simd::find_not_equal(pos_of_.data(), n, line + 1, kNoPos)) {
+      by_time.emplace_back(pos_of_[line], line);
+    }
+    std::sort(by_time.begin(), by_time.end());
+    if (by_time.size() * 2 >= window_) {
+      window_ = std::bit_ceil(by_time.size() * 4 + 2);
+    }
+    tree_.assign(window_ + 1, 0);
+    for (std::size_t i = 0; i < by_time.size(); ++i) {
+      pos_of_[static_cast<std::size_t>(by_time[i].second)] = i;
+      bit_update(i, +1);
+    }
+    cur_ = by_time.size();
+    SDLO_ENSURES(static_cast<std::size_t>(active_) == by_time.size());
+  }
+
+  std::vector<std::uint64_t> pos_of_;  // dense line -> timestamp, kNoPos
+  std::vector<std::int32_t> tree_;     // Fenwick over timestamps
+  std::size_t window_ = 0;
+  std::uint64_t cur_ = 0;              // next timestamp
+  std::int64_t active_ = 0;            // live timestamps
+};
+
+/// One worker's chunk: the per-chunk engine plus its recorded holes.
+struct ChunkProfile {
+  std::unique_ptr<MarkerStackEngine> engine;
+  std::vector<Hole> holes;
+  bool complete = true;  // consumed its whole group range
+};
+
+/// Feeds groups [first, first + n) into `eng`, polling the governor every
+/// poll_interval groups. Returns false when the governor tripped; the
+/// engine then holds the bit-exact simulation of the consumed prefix.
+template <typename Source>
+bool walk_chunk(const Source& src, std::uint64_t first, std::uint64_t n,
+                MarkerStackEngine& eng, const Governor* gov) {
+  const std::uint64_t interval =
+      gov != nullptr && gov->poll_interval > 0 ? gov->poll_interval : 1024;
+  std::uint64_t tick = 0;
+  try {
+    src.walk_runs_range(first, n, [&](const Run* g, std::size_t nrefs) {
+      if (gov != nullptr && ++tick >= interval) {
+        tick = 0;
+        if (gov->should_stop()) throw AbortWalk{};
+      }
+      eng.consume_runs(g, nrefs);
+    });
+  } catch (const AbortWalk&) {
+    return false;
+  }
+  return true;
+}
+
+/// Runs and merges one line-size group: C chunks profiled (in parallel with
+/// a pool), then the sequential hole merge, then the SimResult fold into
+/// the `slots` of `out`.
+template <typename Source>
+void run_partitioned_group(const Source& src,
+                           const std::vector<std::int64_t>& caps,
+                           const std::vector<std::vector<std::size_t>>& slots,
+                           std::int64_t line, std::int32_t num_sites,
+                           std::uint64_t fp,
+                           const std::vector<std::uint64_t>& bounds,
+                           bool capped, parallel::ThreadPool* pool,
+                           const Governor* gov,
+                           std::vector<SimResult>& out) {
+  const std::size_t chunks = bounds.size() - 1;
+  std::vector<ChunkProfile> profiles(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    profiles[c].engine = std::make_unique<MarkerStackEngine>(
+        caps, line, num_sites, fp, &profiles[c].holes);
+  }
+
+  if (pool != nullptr && pool->num_threads() > 1 && chunks > 1) {
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      pool->submit([&, c] {
+        try {
+          profiles[c].complete =
+              walk_chunk(src, bounds[c], bounds[c + 1] - bounds[c],
+                         *profiles[c].engine, gov);
+        } catch (...) {
+          std::scoped_lock lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool->wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      profiles[c].complete =
+          walk_chunk(src, bounds[c], bounds[c + 1] - bounds[c],
+                     *profiles[c].engine, gov);
+    }
+  }
+
+  // A governor trip truncates each worker at its own boundary; the longest
+  // prefix of the *global* trace we can state exactly ends inside the
+  // earliest incomplete chunk — everything after it is discarded.
+  std::size_t last = chunks - 1;
+  bool truncated = capped;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (!profiles[c].complete) {
+      last = c;
+      truncated = true;
+      break;
+    }
+  }
+
+  const std::size_t k = caps.size();
+  const std::size_t ks = k + 1;
+  std::vector<std::uint64_t> buckets(
+      static_cast<std::size_t>(num_sites) * ks, 0);
+  std::vector<std::uint64_t> cold_by_site(
+      static_cast<std::size_t>(num_sites), 0);
+  std::uint64_t accesses = 0;
+
+  BoundaryMerge merge(fp);
+  for (std::size_t c = 0; c <= last; ++c) {
+    const ChunkProfile& p = profiles[c];
+    accesses += p.engine->accesses();
+    for (std::size_t j = 0; j < p.holes.size(); ++j) {
+      const Hole& h = p.holes[j];
+      const std::uint64_t cnt = merge.resolve(h.line);
+      if (cnt == 0) {
+        ++cold_by_site[static_cast<std::size_t>(h.site)];
+        continue;
+      }
+      const std::uint64_t depth = cnt + j;
+      const std::size_t seg = static_cast<std::size_t>(
+          std::lower_bound(caps.begin(), caps.end(),
+                           static_cast<std::int64_t>(depth)) -
+          caps.begin());
+      ++buckets[static_cast<std::size_t>(h.site) * ks + seg];
+    }
+    for (std::uint64_t l : p.engine->recency_order()) merge.append(l);
+    simd::add_u64(buckets.data(), p.engine->buckets().data(),
+                  buckets.size());
+  }
+
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t slot : slots[r]) {
+      SimResult& res = out[slot];
+      res.accesses = accesses;
+      res.completeness =
+          truncated ? Completeness::kTruncated : Completeness::kComplete;
+      res.misses = 0;
+      res.misses_by_site.assign(static_cast<std::size_t>(num_sites), 0);
+      for (std::int32_t s = 0; s < num_sites; ++s) {
+        std::uint64_t m = cold_by_site[static_cast<std::size_t>(s)];
+        const std::uint64_t* b =
+            buckets.data() + static_cast<std::size_t>(s) * ks;
+        for (std::size_t seg = r + 1; seg <= k; ++seg) m += b[seg];
+        res.misses_by_site[static_cast<std::size_t>(s)] = m;
+        res.misses += m;
+      }
+    }
+  }
+}
+
+template <typename Source>
+std::vector<SimResult> partitioned_impl(
+    const Source& src, const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool, const PartitionOptions& opt,
+    const Governor* gov) {
+  std::vector<SimResult> out(configs.size());
+  if (configs.empty()) return out;
+
+  // Partitioning covers the fully-associative stack computation; the
+  // set-associative configurations take the usual shared-walk engines.
+  std::vector<SweepConfig> sa_configs;
+  std::vector<std::size_t> sa_slots;
+  std::vector<std::int64_t> lines_seen;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].ways != 0) {
+      sa_configs.push_back(configs[i]);
+      sa_slots.push_back(i);
+      continue;
+    }
+    if (std::find(lines_seen.begin(), lines_seen.end(),
+                  configs[i].line_elems) == lines_seen.end()) {
+      lines_seen.push_back(configs[i].line_elems);
+    }
+  }
+
+  const std::uint64_t total_groups = src.group_count();
+  const std::uint64_t total_accesses = src.total_accesses();
+  const std::uint64_t end_group =
+      opt.max_groups > 0 ? std::min(total_groups, opt.max_groups)
+                         : total_groups;
+  const bool capped = end_group < total_groups;
+  int threads = opt.threads > 0
+                    ? opt.threads
+                    : (pool != nullptr ? pool->num_threads() : 1);
+  if (threads < 1) threads = 1;
+  std::uint64_t chunks;
+  if (opt.chunks > 0) {
+    chunks = static_cast<std::uint64_t>(opt.chunks);
+  } else if (opt.chunk_accesses > 0) {
+    chunks = (total_accesses + opt.chunk_accesses - 1) / opt.chunk_accesses;
+  } else {
+    chunks = static_cast<std::uint64_t>(threads);
+  }
+  chunks = std::min(chunks, end_group);
+  if (chunks == 0) chunks = 1;
+
+  if (lines_seen.empty() || (chunks <= 1 && !capped)) {
+    // Nothing to partition: the sequential engine already covers it.
+    return simulate_sweep(src, configs, pool, trace::TraceMode::kRuns, gov);
+  }
+
+  // Reserve every chunk's dense tables plus the merge tables up front;
+  // denied (or failpoint-injected) means the partitioned tables don't fit —
+  // degrade to the sequential engine and its own further degradations.
+  std::uint64_t bytes = 0;
+  for (std::int64_t line : lines_seen) {
+    const std::uint64_t fp = src.footprint_lines(line);
+    bytes += chunks * fp * kStackBytesPerLine + fp * kMergeBytesPerLine;
+  }
+  MemoryReservation reservation =
+      failpoints::fail_alloc(failpoints::kSweepDenseAlloc)
+          ? MemoryReservation::denied()
+          : MemoryReservation(gov != nullptr ? gov->memory : nullptr, bytes);
+  if (!reservation.ok()) {
+    return simulate_sweep(src, configs, pool, trace::TraceMode::kRuns, gov);
+  }
+
+  // Chunk boundaries: equal access-count targets, snapped to run-group
+  // boundaries analytically (no scan over the group stream).
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(chunks) + 1);
+  bounds[0] = 0;
+  bounds[static_cast<std::size_t>(chunks)] = end_group;
+  for (std::uint64_t j = 1; j < chunks; ++j) {
+    const std::uint64_t target =
+        std::min(j * (total_accesses / chunks), total_accesses - 1);
+    std::uint64_t g = src.group_of_access(target);
+    g = std::min(g, end_group);
+    g = std::max(g, bounds[static_cast<std::size_t>(j) - 1]);
+    bounds[static_cast<std::size_t>(j)] = g;
+  }
+
+  if (!sa_configs.empty()) {
+    const std::vector<SimResult> sa_out =
+        simulate_sweep(src, sa_configs, pool, trace::TraceMode::kRuns, gov);
+    for (std::size_t i = 0; i < sa_slots.size(); ++i) {
+      out[sa_slots[i]] = sa_out[i];
+    }
+  }
+
+  for (std::int64_t line : lines_seen) {
+    std::vector<std::pair<std::int64_t, std::size_t>> caps;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (configs[i].ways == 0 && configs[i].line_elems == line) {
+        caps.emplace_back(configs[i].capacity_elems / line, i);
+      }
+    }
+    std::sort(caps.begin(), caps.end());
+    std::vector<std::int64_t> distinct;
+    std::vector<std::vector<std::size_t>> slots;
+    for (const auto& [cap, slot] : caps) {
+      if (distinct.empty() || distinct.back() != cap) {
+        distinct.push_back(cap);
+        slots.emplace_back();
+      }
+      slots.back().push_back(slot);
+    }
+    run_partitioned_group(src, distinct, slots, line, src.num_sites(),
+                          src.footprint_lines(line), bounds, capped, pool,
+                          gov, out);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SimResult> simulate_sweep_partitioned(
+    const trace::CompiledProgram& prog,
+    const std::vector<SweepConfig>& configs, parallel::ThreadPool* pool,
+    const PartitionOptions& opt, const Governor* gov) {
+  return partitioned_impl(prog, configs, pool, opt, gov);
+}
+
+std::vector<SimResult> simulate_sweep_partitioned(
+    const trace::SpooledTrace& spool,
+    const std::vector<SweepConfig>& configs, parallel::ThreadPool* pool,
+    const PartitionOptions& opt, const Governor* gov) {
+  return partitioned_impl(spool, configs, pool, opt, gov);
+}
+
+std::vector<SimResult> simulate_sweep_partitioned(
+    const trace::RunTrace& rt, const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool, const PartitionOptions& opt,
+    const Governor* gov) {
+  return partitioned_impl(rt, configs, pool, opt, gov);
+}
+
+}  // namespace sdlo::cachesim

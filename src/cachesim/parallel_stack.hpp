@@ -1,0 +1,104 @@
+// Time-partitioned parallel stack distance (the parallel sweep engine).
+//
+// One stack-distance computation — a single fully-associative sweep over
+// one trace — is made to scale across cores by partitioning the
+// run-compressed trace in TIME: the group stream is split into contiguous
+// chunks of roughly equal access counts (chunk boundaries are always run
+// group boundaries, located analytically with group_of_access), and each
+// worker profiles its chunk independently with a per-chunk MarkerStackEngine
+// and dense tables.
+//
+// Within a chunk every reuse whose source also lies in the chunk has its
+// exact global stack depth — the reuse window is a contiguous slice of the
+// global trace — so the per-chunk hit buckets are globally correct as-is.
+// The only accesses a worker cannot classify are its "holes": the first
+// touch of each line within the chunk, whose previous access (if any) lies
+// in an earlier chunk. Workers record holes in program order; a sequential
+// merge pass then resolves every hole exactly (this is the
+// time-partitioning idea of PARDA-style parallel stack distance, built on
+// the same Fenwick last-access formulation as stack_profiler.hpp):
+//
+//   The merge keeps, per line touched by previous chunks and not since
+//   re-touched, its last-access timestamp, with a Fenwick tree counting
+//   live timestamps. For the j-th hole (0-based) of a chunk, with its line
+//   found at timestamp p:
+//
+//     depth = (live timestamps >= p, including the line's own) + j
+//
+//   — the first term counts the distinct lines whose last pre-chunk access
+//   falls inside the reuse window and which the chunk has not touched
+//   before this hole; the j term counts the chunk's own earlier first
+//   touches (each a distinct line inside the window). The line is then
+//   deleted from the merge structure, so later holes never double-count
+//   it. A hole whose line is absent is a true cold access. After a chunk's
+//   holes, its resident lines are appended in final last-access order
+//   (MarkerStackEngine::recency_order — exact, the bulk fast paths
+//   preserve it) with fresh monotone timestamps.
+//
+// The merged result — per-site segment buckets summed across chunks (via
+// simd::add_u64) plus the resolved holes — is bit-identical to the
+// sequential sweep, including misses_by_site, at every capacity.
+//
+// Governance: the per-chunk dense tables are reserved against the memory
+// budget up front (chunks * kStackBytesPerLine + merge table per line);
+// when denied — or when the sweep-dense-alloc failpoint injects a denial —
+// the call degrades to the sequential simulate_sweep, which applies its own
+// further degradations. A deadline or cancellation trips each worker at a
+// group boundary; the merged result is then the bit-exact simulation of
+// the longest contiguous prefix the workers completed (chunks after the
+// earliest incomplete one are discarded), marked Completeness::kTruncated.
+// PartitionOptions::max_groups caps the walk at a deterministic prefix for
+// tests, independent of timing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/sweep.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/governor.hpp"
+#include "trace/spool.hpp"
+#include "trace/walker.hpp"
+
+namespace sdlo::cachesim {
+
+/// How to split the trace in time.
+struct PartitionOptions {
+  /// Worker parallelism; 0 uses the pool's thread count (1 without a pool).
+  int threads = 0;
+  /// Target accesses per chunk; 0 splits the trace evenly across threads.
+  std::uint64_t chunk_accesses = 0;
+  /// Explicit chunk-count override (ablation / hole-merge tests); 0 defers
+  /// to chunk_accesses / threads.
+  int chunks = 0;
+  /// When nonzero, process only the first max_groups run groups and mark
+  /// the result truncated if that is a proper prefix — the deterministic
+  /// stand-in for a timing-dependent governor trip.
+  std::uint64_t max_groups = 0;
+};
+
+/// simulate_sweep with the fully-associative configurations computed by the
+/// time-partitioned parallel engine (set-associative configurations take
+/// the usual shared-walk fallback). Results are bit-identical to
+/// simulate_sweep in `configs` order.
+std::vector<SimResult> simulate_sweep_partitioned(
+    const trace::CompiledProgram& prog,
+    const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool = nullptr, const PartitionOptions& opt = {},
+    const Governor* gov = nullptr);
+
+/// The partitioned sweep fed from an out-of-core spool: workers stream
+/// their chunks through independent bounded read windows.
+std::vector<SimResult> simulate_sweep_partitioned(
+    const trace::SpooledTrace& spool,
+    const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool = nullptr, const PartitionOptions& opt = {},
+    const Governor* gov = nullptr);
+
+/// The partitioned sweep fed from a materialized in-memory run trace.
+std::vector<SimResult> simulate_sweep_partitioned(
+    const trace::RunTrace& rt, const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool = nullptr, const PartitionOptions& opt = {},
+    const Governor* gov = nullptr);
+
+}  // namespace sdlo::cachesim

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "cachesim/marker_stack.hpp"
 #include "support/check.hpp"
 #include "support/failpoints.hpp"
 
@@ -22,10 +23,9 @@ using trace::Run;
 /// escapes this translation unit.
 struct AbortWalk {};
 
-/// Estimated bytes per footprint line of the dense tables, used to size
-/// MemoryBudget reservations. MultiLruStackUnit: node_of_ (int32) + Node
-/// (2x int32) + seg_ (uint8). CacheUnit's dense LruCache: node_of_ (int32).
-constexpr std::uint64_t kStackBytesPerLine = 13;
+/// Estimated bytes per footprint line of CacheUnit's dense LruCache table
+/// (node_of_, int32), used to size MemoryBudget reservations. The marker
+/// stack's counterpart is kStackBytesPerLine (marker_stack.hpp).
 constexpr std::uint64_t kLruBytesPerLine = 4;
 
 /// One independently simulatable consumer of the trace. Units accept both
@@ -61,33 +61,8 @@ void check_line_geometry(const SweepConfig& c) {
              "sweep capacity must be a whole number of lines");
 }
 
-/// Lines prefetched ahead of the current element in strided loops.
-constexpr std::uint64_t kPrefetchAhead = 8;
-
-/// Marker-augmented LRU stack: one pass, exact misses for every capacity of
-/// one line-size group (Mattson's inclusion property). The stack is a
-/// doubly-linked list over an arena; markers[j] pins the node at stack
-/// position cap[j]; a dense side array carries, per node, the index of the
-/// capacity segment its position falls in, so one dense-table load
-/// classifies an access against all capacities and each stack rotation
-/// touches only the boundary nodes.
-///
-/// The address map is direct-indexed: line indices are dense in
-/// [0, footprint_lines), so node_of_[line] replaces the PR 1 hash table.
-///
-/// Run groups are classified in bulk where the stack provably repeats:
-///  * a single-run group whose tail stays on one line (stride 0, or
-///    |stride| < line_elems between line crossings) — every access after
-///    the first hits the head of the stack, i.e. segment 0, and leaves the
-///    stack untouched;
-///  * a "pinned" group, every member run confined to one line — after the
-///    first full iteration the stack's top-of-stack order is the group's
-///    last-occurrence order, a fixed point of the iteration, so each
-///    reference's stack distance (hence segment) is identical for every
-///    iteration >= 1: simulate iterations 0 and 1 per element, then
-///    bulk-account the remaining count-2 repeats.
-/// Anything else decompresses to exact per-element steps (with the address
-/// table prefetched ahead).
+/// The single-pass fully-associative unit: a MarkerStackEngine
+/// (marker_stack.hpp) plus the result slots it answers.
 class MultiLruStackUnit final : public SweepUnit {
  public:
   /// `slots` pairs each distinct capacity (ascending, in lines) with the
@@ -97,83 +72,35 @@ class MultiLruStackUnit final : public SweepUnit {
                     std::vector<std::vector<std::size_t>> slots,
                     std::int64_t line_elems, std::int32_t num_sites,
                     std::uint64_t footprint_lines)
-      : caps_(std::move(caps_lines)),
+      : engine_(std::move(caps_lines), line_elems, num_sites,
+                footprint_lines),
         slots_(std::move(slots)),
-        line_elems_(line_elems),
-        shift_(std::countr_zero(static_cast<std::uint64_t>(line_elems))),
-        num_sites_(num_sites),
-        ks_(caps_.size() + 1),
-        markers_(caps_.size(), -1),
-        node_of_(static_cast<std::size_t>(footprint_lines), -1),
-        buckets_(static_cast<std::size_t>(num_sites) * ks_, 0),
-        cold_by_site_(static_cast<std::size_t>(num_sites), 0) {
-    SDLO_CHECK(caps_.size() < 255,
-               "sweep supports at most 254 distinct capacities per line size");
-    nodes_.reserve(static_cast<std::size_t>(footprint_lines));
-    seg_.reserve(static_cast<std::size_t>(footprint_lines));
-  }
+        num_sites_(num_sites) {}
 
   void consume(const Access* a, std::size_t n) override {
-    for (std::size_t i = 0; i < n; ++i) {
-      step(a[i].addr >> shift_, a[i].site);
-    }
-    accesses_ += n;
+    engine_.consume(a, n);
   }
 
   void consume_runs(const Run* g, std::size_t nrefs) override {
-    const std::uint64_t count = g[0].count;
-    accesses_ += count * nrefs;
-    if (count == 1) {  // statement group (any width): one step per ref
-      for (std::size_t r = 0; r < nrefs; ++r) {
-        step(g[r].base >> shift_, g[r].site);
-      }
-      return;
-    }
-    if (nrefs == 1) {
-      consume_single(g[0]);
-      return;
-    }
-    bool pinned = true;
-    for (std::size_t r = 0; r < nrefs; ++r) {
-      if ((g[r].base >> shift_) != (g[r].at(count - 1) >> shift_)) {
-        pinned = false;
-        break;
-      }
-    }
-    if (pinned) {
-      consume_pinned_group(g, nrefs);
-      return;
-    }
-    if (consume_disjoint_group(g, nrefs)) return;
-    // Mixed-stride group: exact per-element decompression, iteration-major,
-    // with next iteration's table entries prefetched.
-    SDLO_EXPECTS(nrefs <= trace::kMaxLeafRefs);
-    std::uint64_t addrs[trace::kMaxLeafRefs];
-    for (std::size_t r = 0; r < nrefs; ++r) addrs[r] = g[r].base;
-    for (std::uint64_t v = 0; v < count; ++v) {
-      const bool more = v + 1 < count;
-      for (std::size_t r = 0; r < nrefs; ++r) {
-        const std::uint64_t a = addrs[r];
-        addrs[r] = a + static_cast<std::uint64_t>(g[r].stride);
-        if (more) __builtin_prefetch(&node_of_[addrs[r] >> shift_]);
-        step(a >> shift_, g[r].site);
-      }
-    }
+    engine_.consume_runs(g, nrefs);
   }
 
   void finish(std::vector<SimResult>& out) const override {
-    const std::size_t k = caps_.size();
+    const std::size_t k = engine_.caps().size();
+    const std::size_t ks = engine_.segments();
+    const std::vector<std::uint64_t>& buckets = engine_.buckets();
+    const std::vector<std::uint64_t>& cold = engine_.cold_by_site();
     for (std::size_t r = 0; r < k; ++r) {
       for (std::size_t slot : slots_[r]) {
         SimResult& res = out[slot];
-        res.accesses = accesses_;
+        res.accesses = engine_.accesses();
         res.completeness = completeness_;
         res.misses = 0;
         res.misses_by_site.assign(static_cast<std::size_t>(num_sites_), 0);
         for (std::int32_t s = 0; s < num_sites_; ++s) {
-          std::uint64_t m = cold_by_site_[static_cast<std::size_t>(s)];
+          std::uint64_t m = cold[static_cast<std::size_t>(s)];
           const std::uint64_t* b =
-              buckets_.data() + static_cast<std::size_t>(s) * ks_;
+              buckets.data() + static_cast<std::size_t>(s) * ks;
           for (std::size_t seg = r + 1; seg <= k; ++seg) m += b[seg];
           res.misses_by_site[static_cast<std::size_t>(s)] = m;
           res.misses += m;
@@ -183,303 +110,9 @@ class MultiLruStackUnit final : public SweepUnit {
   }
 
  private:
-  struct Node {
-    std::int32_t prev = -1;  // towards the MRU end
-    std::int32_t next = -1;  // towards the LRU end
-  };
-
-  /// Feeds one line access; returns the segment it hit at, or -1 when cold.
-  std::int32_t step(std::uint64_t line, std::int32_t site) {
-    const std::size_t k = caps_.size();
-    std::int32_t ni = node_of_[line];
-    if (ni == head_ && ni >= 0) {
-      // Head hit: segment 0 by construction, rotation a no-op.
-      ++buckets_[static_cast<std::size_t>(site) * ks_];
-      return 0;
-    }
-    if (ni < 0) {  // cold: push a new node on top of the stack
-      ni = static_cast<std::int32_t>(nodes_.size());
-      nodes_.push_back(Node{-1, head_});
-      seg_.push_back(0);
-      node_of_[line] = ni;
-      if (head_ >= 0) nodes_[static_cast<std::size_t>(head_)].prev = ni;
-      head_ = ni;
-      if (tail_ < 0) tail_ = ni;
-      ++size_;
-      ++cold_by_site_[static_cast<std::size_t>(site)];
-      // Every resident position grew by one: each boundary node crosses
-      // into the next segment; stacks that just reached cap[j] gain their
-      // marker at the tail.
-      for (std::size_t j = 0; j < k; ++j) {
-        if (markers_[j] >= 0) {
-          const auto m = static_cast<std::size_t>(markers_[j]);
-          seg_[m] = static_cast<std::uint8_t>(j + 1);
-          markers_[j] = nodes_[m].prev;
-        } else if (size_ == caps_[j]) {
-          markers_[j] = tail_;
-        }
-      }
-      return -1;
-    }
-
-    Node& x = nodes_[static_cast<std::size_t>(ni)];
-    const auto s = static_cast<std::size_t>(seg_[static_cast<std::size_t>(ni)]);
-    // The access hits every capacity of segment >= s, misses every smaller
-    // one; segment 0 (position <= smallest capacity) misses none.
-    ++buckets_[static_cast<std::size_t>(site) * ks_ + s];
-    // Rotating x to the top shifts positions 1..pos(x)-1 down by one: the
-    // node sitting exactly on each boundary below x crosses it. The new
-    // boundary node is its predecessor — or x itself when the boundary is
-    // position 1 (cap[j] == 1) and the old boundary node was the head.
-    for (std::size_t j = 0; j < s; ++j) {
-      const auto m = static_cast<std::size_t>(markers_[j]);
-      seg_[m] = static_cast<std::uint8_t>(j + 1);
-      markers_[j] = nodes_[m].prev >= 0 ? nodes_[m].prev : ni;
-    }
-    // If x itself sat on boundary s, its predecessor shifts onto it.
-    if (s < k && markers_[s] == ni) markers_[s] = x.prev;
-    // Unlink (x is not the head, so x.prev exists).
-    nodes_[static_cast<std::size_t>(x.prev)].next = x.next;
-    if (x.next >= 0) {
-      nodes_[static_cast<std::size_t>(x.next)].prev = x.prev;
-    } else {
-      tail_ = x.prev;
-    }
-    // Push front.
-    x.prev = -1;
-    x.next = head_;
-    nodes_[static_cast<std::size_t>(head_)].prev = ni;
-    head_ = ni;
-    seg_[static_cast<std::size_t>(ni)] = 0;
-    return static_cast<std::int32_t>(s);
-  }
-
-  /// A lone strided run. After step(line) the line sits on top of the
-  /// stack, so every further access to the same line hits segment 0 and
-  /// leaves the stack untouched — same-line tails are bulk-accounted.
-  void consume_single(const Run& run) {
-    const std::uint64_t count = run.count;
-    const std::uint64_t mag = static_cast<std::uint64_t>(
-        run.stride < 0 ? -run.stride : run.stride);
-    if (mag == 0) {
-      step(run.base >> shift_, run.site);
-      buckets_[static_cast<std::size_t>(run.site) * ks_] += count - 1;
-      return;
-    }
-    if (mag < static_cast<std::uint64_t>(line_elems_)) {
-      // Sub-line stride: collapse the consecutive same-line accesses
-      // between line crossings.
-      std::uint64_t v = 0;
-      std::uint64_t a = run.base;
-      while (v < count) {
-        const std::uint64_t line = a >> shift_;
-        std::uint64_t span;
-        if (run.stride > 0) {
-          span = (((line + 1) << shift_) - a + mag - 1) / mag;
-        } else {
-          span = (a - (line << shift_)) / mag + 1;
-        }
-        if (span > count - v) span = count - v;
-        step(line, run.site);
-        if (span > 1) {
-          buckets_[static_cast<std::size_t>(run.site) * ks_] += span - 1;
-        }
-        v += span;
-        a += span * static_cast<std::uint64_t>(run.stride);
-      }
-      return;
-    }
-    // Every element lands on a fresh line: exact per-element steps with the
-    // address table prefetched ahead.
-    std::uint64_t a = run.base;
-    const auto stride = static_cast<std::uint64_t>(run.stride);
-    for (std::uint64_t v = 0; v < count; ++v) {
-      if (v + kPrefetchAhead < count) {
-        __builtin_prefetch(&node_of_[(a + kPrefetchAhead * stride) >>
-                                     shift_]);
-      }
-      step(a >> shift_, run.site);
-      a += stride;
-    }
-  }
-
-  /// A group whose members each stay on one line for the whole loop. The
-  /// post-iteration stack order (last-occurrence order of the group's
-  /// lines) is a fixed point, so all iterations >= 1 replay the exact same
-  /// per-reference stack distances: run iterations 0 and 1 per element,
-  /// record the segments iteration 1 hit at, and bulk-account the rest.
-  void consume_pinned_group(const Run* g, std::size_t nrefs) {
-    SDLO_EXPECTS(nrefs <= trace::kMaxLeafRefs);
-    const std::uint64_t count = g[0].count;
-    for (std::size_t r = 0; r < nrefs; ++r) {
-      step(g[r].base >> shift_, g[r].site);
-    }
-    std::int32_t segs[trace::kMaxLeafRefs];
-    for (std::size_t r = 0; r < nrefs; ++r) {
-      segs[r] = step(g[r].base >> shift_, g[r].site);
-      SDLO_EXPECTS(segs[r] >= 0);  // iteration 0 touched every line
-    }
-    if (count == 2) return;
-    for (std::size_t r = 0; r < nrefs; ++r) {
-      buckets_[static_cast<std::size_t>(g[r].site) * ks_ +
-               static_cast<std::size_t>(segs[r])] += count - 2;
-    }
-  }
-
-  /// The general mixed-group bulk path. When, after collapsing refs that
-  /// duplicate their predecessor's address sequence, every remaining run is
-  /// either pinned to one line or strictly line-monotonic (|stride| >=
-  /// line_elems), and the remaining runs' line ranges are pairwise
-  /// disjoint, then for every iteration v >= 1:
-  ///  * a duplicate ref re-touches the line its predecessor just left on
-  ///    top of the stack — depth 1, segment 0, rotation a no-op;
-  ///  * a pinned ref's reuse window holds each other remaining ref exactly
-  ///    once (refs after it from iteration v-1, refs before it from
-  ///    iteration v), all on distinct lines by disjointness — its depth is
-  ///    statically the number of remaining refs;
-  ///  * a moving ref touches a line last accessed *outside* the group, and
-  ///    the set of lines above it is unchanged by skipping the pinned
-  ///    reuses (the pinned lines were performed in iteration 0, hence sit
-  ///    above it either way) — so stepping only the moving refs observes
-  ///    the exact segments.
-  /// Skipping the pinned rotations leaves their nodes sunk too deep at
-  /// group end; a silent replay of the final iteration (rotations without
-  /// hit accounting) restores the exact post-group stack order, which is
-  /// the final iteration's lines in reverse reference order on top of the
-  /// moving refs' older lines.
-  ///
-  /// Returns false (leaving no trace of itself) when the preconditions do
-  /// not hold or the group is too small to pay for the O(refs^2)
-  /// disjointness test.
-  bool consume_disjoint_group(const Run* g, std::size_t nrefs) {
-    const std::uint64_t count = g[0].count;
-    if (count < 8) return false;
-    bool dup[trace::kMaxLeafRefs];
-    std::uint64_t lo[trace::kMaxLeafRefs];  // line range per non-dup ref
-    std::uint64_t hi[trace::kMaxLeafRefs];
-    std::size_t n_distinct = 0;
-    for (std::size_t r = 0; r < nrefs; ++r) {
-      dup[r] = r > 0 && g[r].base == g[r - 1].base &&
-               g[r].stride == g[r - 1].stride;
-      if (dup[r]) continue;
-      const std::uint64_t first = g[r].base >> shift_;
-      const std::uint64_t last = g[r].at(count - 1) >> shift_;
-      const std::uint64_t mag = static_cast<std::uint64_t>(
-          g[r].stride < 0 ? -g[r].stride : g[r].stride);
-      if (first != last && mag < static_cast<std::uint64_t>(line_elems_)) {
-        return false;  // line sequence revisits lines within the run
-      }
-      lo[r] = std::min(first, last);
-      hi[r] = std::max(first, last);
-      ++n_distinct;
-    }
-    if (n_distinct > 16) return false;
-    for (std::size_t r = 0; r < nrefs; ++r) {
-      if (dup[r]) continue;
-      for (std::size_t q = r + 1; q < nrefs; ++q) {
-        if (dup[q]) continue;
-        if (lo[r] <= hi[q] && lo[q] <= hi[r]) return false;
-      }
-    }
-
-    // Iteration 0 per element (duplicates are head hits at segment 0 and
-    // are folded into their bulk term below).
-    for (std::size_t r = 0; r < nrefs; ++r) {
-      if (!dup[r]) step(g[r].base >> shift_, g[r].site);
-    }
-    // Bulk terms: duplicates hit segment 0 on every iteration; pinned refs
-    // hit at depth n_distinct on iterations 1..count-1.
-    const std::size_t pin_seg = static_cast<std::size_t>(
-        std::lower_bound(caps_.begin(), caps_.end(),
-                         static_cast<std::int64_t>(n_distinct)) -
-        caps_.begin());
-    bool moving[trace::kMaxLeafRefs];
-    std::size_t n_moving = 0;
-    for (std::size_t r = 0; r < nrefs; ++r) {
-      if (dup[r]) {
-        buckets_[static_cast<std::size_t>(g[r].site) * ks_] += count;
-        moving[r] = false;
-      } else if (lo[r] == hi[r]) {
-        buckets_[static_cast<std::size_t>(g[r].site) * ks_ + pin_seg] +=
-            count - 1;
-        moving[r] = false;
-      } else {
-        moving[r] = true;
-        ++n_moving;
-      }
-    }
-    // Iterations 1..count-1: only the moving refs need stack surgery.
-    if (n_moving > 0) {
-      std::uint64_t addrs[trace::kMaxLeafRefs];
-      for (std::size_t r = 0; r < nrefs; ++r) {
-        addrs[r] = g[r].at(1);
-      }
-      for (std::uint64_t v = 1; v < count; ++v) {
-        const bool more = v + 1 < count;
-        for (std::size_t r = 0; r < nrefs; ++r) {
-          if (!moving[r]) continue;
-          const std::uint64_t a = addrs[r];
-          addrs[r] = a + static_cast<std::uint64_t>(g[r].stride);
-          if (more) __builtin_prefetch(&node_of_[addrs[r] >> shift_]);
-          step(a >> shift_, g[r].site);
-        }
-      }
-    }
-    // Silent replay of the final iteration restores the exact stack order.
-    for (std::size_t r = 0; r < nrefs; ++r) {
-      if (!dup[r]) rotate_to_top(g[r].at(count - 1) >> shift_);
-    }
-    return true;
-  }
-
-  /// Rotates a resident line to the top of the stack with full marker and
-  /// segment maintenance but no hit/miss accounting (used to repair the
-  /// stack order after bulk-accounted accesses were skipped).
-  void rotate_to_top(std::uint64_t line) {
-    const std::size_t k = caps_.size();
-    const std::int32_t ni = node_of_[line];
-    SDLO_EXPECTS(ni >= 0);
-    if (ni == head_) return;
-    Node& x = nodes_[static_cast<std::size_t>(ni)];
-    const auto s = static_cast<std::size_t>(seg_[static_cast<std::size_t>(ni)]);
-    for (std::size_t j = 0; j < s; ++j) {
-      const auto m = static_cast<std::size_t>(markers_[j]);
-      seg_[m] = static_cast<std::uint8_t>(j + 1);
-      markers_[j] = nodes_[m].prev >= 0 ? nodes_[m].prev : ni;
-    }
-    if (s < k && markers_[s] == ni) markers_[s] = x.prev;
-    nodes_[static_cast<std::size_t>(x.prev)].next = x.next;
-    if (x.next >= 0) {
-      nodes_[static_cast<std::size_t>(x.next)].prev = x.prev;
-    } else {
-      tail_ = x.prev;
-    }
-    x.prev = -1;
-    x.next = head_;
-    nodes_[static_cast<std::size_t>(head_)].prev = ni;
-    head_ = ni;
-    seg_[static_cast<std::size_t>(ni)] = 0;
-  }
-
-  std::vector<std::int64_t> caps_;               // ascending, in lines
+  MarkerStackEngine engine_;
   std::vector<std::vector<std::size_t>> slots_;  // result slots per capacity
-  std::int64_t line_elems_;
-  int shift_;
   std::int32_t num_sites_;
-  std::size_t ks_;  // bucket row stride: caps_.size() + 1 segments
-
-  std::vector<Node> nodes_;
-  std::vector<std::uint8_t> seg_;  // per-node capacity segment (parallel)
-  std::int32_t head_ = -1;
-  std::int32_t tail_ = -1;
-  std::int64_t size_ = 0;
-  std::vector<std::int32_t> markers_;
-
-  std::vector<std::int32_t> node_of_;  // dense line -> node index, -1 empty
-
-  std::vector<std::uint64_t> buckets_;  // [site][segment] hit-at counts
-  std::vector<std::uint64_t> cold_by_site_;
-  std::uint64_t accesses_ = 0;
 };
 
 /// Shared-walk fallback unit: one real cache instance per configuration,
@@ -564,13 +197,15 @@ class CacheUnit final : public SweepUnit {
 };
 
 /// One walk of the trace through `mine`, in the requested delivery shape.
-/// With a governor, polls it every `poll_interval` run groups (batches in
-/// kBatched mode) and stops the walk — at a group boundary, so every unit
-/// holds an exact prefix simulation — when a budget trips. Units are then
-/// marked truncated. Returns false on truncation.
-bool feed_units(const trace::CompiledProgram& prog,
-                const std::vector<SweepUnit*>& mine, trace::TraceMode mode,
-                const Governor* gov) {
+/// `Source` is any trace with the CompiledProgram walk shapes: a
+/// CompiledProgram, a SpooledTrace or a RunTrace. With a governor, polls it
+/// every `poll_interval` run groups (batches in kBatched mode) and stops
+/// the walk — at a group boundary, so every unit holds an exact prefix
+/// simulation — when a budget trips. Units are then marked truncated.
+/// Returns false on truncation.
+template <typename Source>
+bool feed_units(const Source& prog, const std::vector<SweepUnit*>& mine,
+                trace::TraceMode mode, const Governor* gov) {
   const std::uint64_t interval =
       gov != nullptr && gov->poll_interval > 0 ? gov->poll_interval : 1024;
   std::uint64_t tick = 0;
@@ -602,7 +237,8 @@ bool feed_units(const trace::CompiledProgram& prog,
 
 /// Walks the trace through `units`: one shared walk when serial, one walk
 /// per round-robin chunk of units when a pool is available.
-void run_units(const trace::CompiledProgram& prog,
+template <typename Source>
+void run_units(const Source& prog,
                std::vector<std::unique_ptr<SweepUnit>>& units,
                parallel::ThreadPool* pool, trace::TraceMode mode,
                const Governor* gov) {
@@ -637,10 +273,6 @@ void run_units(const trace::CompiledProgram& prog,
   if (first_error) std::rethrow_exception(first_error);
 }
 
-}  // namespace
-
-namespace {
-
 /// Claims the dense address table for one unit against the governor's
 /// memory budget. Returns a reservation whose ok() is false when the
 /// budget denies it — or when the named failpoint injects a denial.
@@ -652,13 +284,10 @@ MemoryReservation reserve_dense(const Governor* gov, std::uint64_t bytes,
   return MemoryReservation(gov != nullptr ? gov->memory : nullptr, bytes);
 }
 
-}  // namespace
-
-std::vector<SimResult> simulate_sweep(const trace::CompiledProgram& prog,
-                                      const std::vector<SweepConfig>& configs,
-                                      parallel::ThreadPool* pool,
-                                      trace::TraceMode mode,
-                                      const Governor* gov) {
+template <typename Source>
+std::vector<SimResult> simulate_sweep_impl(
+    const Source& prog, const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool, trace::TraceMode mode, const Governor* gov) {
   std::vector<SimResult> out(configs.size());
   if (configs.empty()) return out;
 
@@ -725,11 +354,10 @@ std::vector<SimResult> simulate_sweep(const trace::CompiledProgram& prog,
   return out;
 }
 
-std::vector<SimResult> simulate_many(const trace::CompiledProgram& prog,
-                                     const std::vector<SweepConfig>& configs,
-                                     parallel::ThreadPool* pool,
-                                     trace::TraceMode mode,
-                                     const Governor* gov) {
+template <typename Source>
+std::vector<SimResult> simulate_many_impl(
+    const Source& prog, const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool, trace::TraceMode mode, const Governor* gov) {
   std::vector<SimResult> out(configs.size());
   if (configs.empty()) return out;
   std::vector<std::unique_ptr<SweepUnit>> units;
@@ -753,6 +381,56 @@ std::vector<SimResult> simulate_many(const trace::CompiledProgram& prog,
   run_units(prog, units, pool, mode, gov);
   for (const auto& u : units) u->finish(out);
   return out;
+}
+
+}  // namespace
+
+std::vector<SimResult> simulate_sweep(const trace::CompiledProgram& prog,
+                                      const std::vector<SweepConfig>& configs,
+                                      parallel::ThreadPool* pool,
+                                      trace::TraceMode mode,
+                                      const Governor* gov) {
+  return simulate_sweep_impl(prog, configs, pool, mode, gov);
+}
+
+std::vector<SimResult> simulate_sweep(const trace::SpooledTrace& spool,
+                                      const std::vector<SweepConfig>& configs,
+                                      parallel::ThreadPool* pool,
+                                      trace::TraceMode mode,
+                                      const Governor* gov) {
+  return simulate_sweep_impl(spool, configs, pool, mode, gov);
+}
+
+std::vector<SimResult> simulate_sweep(const trace::RunTrace& rt,
+                                      const std::vector<SweepConfig>& configs,
+                                      parallel::ThreadPool* pool,
+                                      trace::TraceMode mode,
+                                      const Governor* gov) {
+  return simulate_sweep_impl(rt, configs, pool, mode, gov);
+}
+
+std::vector<SimResult> simulate_many(const trace::CompiledProgram& prog,
+                                     const std::vector<SweepConfig>& configs,
+                                     parallel::ThreadPool* pool,
+                                     trace::TraceMode mode,
+                                     const Governor* gov) {
+  return simulate_many_impl(prog, configs, pool, mode, gov);
+}
+
+std::vector<SimResult> simulate_many(const trace::SpooledTrace& spool,
+                                     const std::vector<SweepConfig>& configs,
+                                     parallel::ThreadPool* pool,
+                                     trace::TraceMode mode,
+                                     const Governor* gov) {
+  return simulate_many_impl(spool, configs, pool, mode, gov);
+}
+
+std::vector<SimResult> simulate_many(const trace::RunTrace& rt,
+                                     const std::vector<SweepConfig>& configs,
+                                     parallel::ThreadPool* pool,
+                                     trace::TraceMode mode,
+                                     const Governor* gov) {
+  return simulate_many_impl(rt, configs, pool, mode, gov);
 }
 
 }  // namespace sdlo::cachesim

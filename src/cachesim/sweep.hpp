@@ -46,6 +46,7 @@
 
 #include "cachesim/sim.hpp"
 #include "parallel/thread_pool.hpp"
+#include "trace/spool.hpp"
 #include "trace/walker.hpp"
 
 namespace sdlo::cachesim {
@@ -77,6 +78,24 @@ std::vector<SimResult> simulate_sweep(
     trace::TraceMode mode = trace::TraceMode::kRuns,
     const Governor* gov = nullptr);
 
+/// Same sweep fed from an out-of-core spool file: the engines stream run
+/// groups back through the spool's bounded read window, so peak memory is
+/// the simulation tables plus the window — never the trace. Bit-identical
+/// to the CompiledProgram overload on the spooled program.
+std::vector<SimResult> simulate_sweep(
+    const trace::SpooledTrace& spool,
+    const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool = nullptr,
+    trace::TraceMode mode = trace::TraceMode::kRuns,
+    const Governor* gov = nullptr);
+
+/// Same sweep fed from a materialized in-memory run trace.
+std::vector<SimResult> simulate_sweep(
+    const trace::RunTrace& rt, const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool = nullptr,
+    trace::TraceMode mode = trace::TraceMode::kRuns,
+    const Governor* gov = nullptr);
+
 /// Shared-walk fallback: instantiates one real cache per configuration
 /// (LruCache for ways == 0, SetAssocCache otherwise) and feeds all of them
 /// from a single trace walk (or one walk per worker with a pool), each
@@ -87,6 +106,21 @@ std::vector<SimResult> simulate_sweep(
 std::vector<SimResult> simulate_many(
     const trace::CompiledProgram& prog,
     const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool = nullptr,
+    trace::TraceMode mode = trace::TraceMode::kRuns,
+    const Governor* gov = nullptr);
+
+/// Shared-walk fallback fed from a spool file.
+std::vector<SimResult> simulate_many(
+    const trace::SpooledTrace& spool,
+    const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool = nullptr,
+    trace::TraceMode mode = trace::TraceMode::kRuns,
+    const Governor* gov = nullptr);
+
+/// Shared-walk fallback fed from a materialized in-memory run trace.
+std::vector<SimResult> simulate_many(
+    const trace::RunTrace& rt, const std::vector<SweepConfig>& configs,
     parallel::ThreadPool* pool = nullptr,
     trace::TraceMode mode = trace::TraceMode::kRuns,
     const Governor* gov = nullptr);

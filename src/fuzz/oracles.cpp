@@ -1,13 +1,22 @@
 #include "fuzz/oracles.hpp"
 
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 #include <map>
 #include <set>
 #include <sstream>
 
 #include "analysis/lint.hpp"
 #include "analysis/parallel_safety.hpp"
+#include "cachesim/parallel_stack.hpp"
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
+#include "trace/spool.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "model/analyzer.hpp"
@@ -260,6 +269,85 @@ void check_sweep(OracleReport& report, const trace::CompiledProgram& cp,
     compare_results(report, "many-batched-vs-reference", where.str(),
                     many_b[i], want);
   }
+}
+
+// Partitioned / out-of-core oracle: the time-partitioned parallel sweep
+// (whose hole-merge pass reconstructs cross-chunk reuse depths), the spool
+// file round trip and the materialized RunTrace must each reproduce the
+// sequential simulate_sweep bit for bit — misses_by_site included — at
+// every chunk count tried. Chunk counts are chosen to cover single-group
+// chunks on small traces (the count is clamped to the group count).
+void check_partitioned_engines(OracleReport& report,
+                               const trace::CompiledProgram& cp,
+                               const OracleOptions& opts) {
+  std::vector<cachesim::SweepConfig> configs;
+  for (const std::int64_t line : opts.line_sizes) {
+    for (const std::int64_t cl : opts.capacity_lines) {
+      configs.push_back({cl * line, line, 0, cachesim::Replacement::kLru});
+    }
+  }
+  // One set-associative entry exercises the shared-walk delegation inside
+  // the partitioned driver.
+  configs.push_back({4 * opts.line_sizes.front(), opts.line_sizes.front(),
+                     2, cachesim::Replacement::kLru});
+  const auto want = cachesim::simulate_sweep(cp, configs);
+
+  const auto compare_all = [&](const std::string& oracle,
+                               const std::vector<SimResult>& got,
+                               const std::string& suffix) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      std::ostringstream where;
+      where << "cap=" << configs[i].capacity_elems
+            << " line=" << configs[i].line_elems
+            << " ways=" << configs[i].ways << suffix;
+      compare_results(report, oracle, where.str(), got[i], want[i]);
+    }
+  };
+
+  for (const int chunks : {2, 5, 17}) {
+    cachesim::PartitionOptions popt;
+    popt.chunks = chunks;
+    compare_all("partitioned-vs-sweep",
+                cachesim::simulate_sweep_partitioned(cp, configs, nullptr,
+                                                     popt),
+                " chunks=" + std::to_string(chunks));
+  }
+
+  // The name must be unique across *processes* too: ctest runs several
+  // instances of this battery concurrently from one temp directory, and a
+  // collision lets one process rename or remove a spool another process is
+  // mid-read on.
+  static std::atomic<std::uint64_t> spool_seq{0};
+#if defined(_WIN32)
+  const unsigned long pid = 0;
+#else
+  const auto pid = static_cast<unsigned long>(::getpid());
+#endif
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("sdlo_fuzz_spool_" + std::to_string(pid) + "_" +
+        std::to_string(spool_seq.fetch_add(1, std::memory_order_relaxed)) +
+        ".spl"))
+          .string();
+  try {
+    trace::spool_program(path, cp);
+    const trace::SpooledTrace spool(path);
+    compare_all("spooled-vs-sweep", cachesim::simulate_sweep(spool, configs),
+                "");
+    cachesim::PartitionOptions popt;
+    popt.chunks = 3;
+    compare_all("spooled-partitioned-vs-sweep",
+                cachesim::simulate_sweep_partitioned(spool, configs,
+                                                     nullptr, popt),
+                " chunks=3");
+    const trace::RunTrace rt = trace::RunTrace::materialize(cp);
+    compare_all("run-trace-vs-sweep", cachesim::simulate_sweep(rt, configs),
+                "");
+  } catch (const Error& e) {
+    add_mismatch(report, "spooled-vs-sweep",
+                 std::string("spool round trip failed: ") + e.what());
+  }
+  std::remove(path.c_str());
 }
 
 void check_set_assoc_edges(OracleReport& report,
@@ -569,6 +657,9 @@ OracleReport check_program(const ir::Program& prog, const sym::Env& env,
   }
   if (opts.check_profile && !out_of_budget()) check_profile(report, cp, opts);
   if (opts.check_sweep && !out_of_budget()) check_sweep(report, cp, opts);
+  if (opts.check_partitioned && !out_of_budget()) {
+    check_partitioned_engines(report, cp, opts);
+  }
   if (opts.check_set_assoc && !out_of_budget()) {
     check_set_assoc_edges(report, cp, opts);
   }

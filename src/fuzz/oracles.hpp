@@ -11,6 +11,12 @@
 //   cachesim::profile_stack_distances / ProfileResult::result
 //                                one-pass exact stack-distance histogram
 //   cachesim::simulate_sweep     marker-augmented multi-capacity LRU stack
+//   cachesim::simulate_sweep_partitioned
+//                                time-partitioned parallel stack distance
+//                                (per-chunk engines + exact hole merge)
+//   trace::SpooledTrace / RunTrace
+//                                out-of-core spool round trip and the
+//                                budget-governed in-memory group stream
 //   cachesim::simulate_many      shared-walk battery of real cache models
 //   cachesim::simulate_set_assoc set-associative geometry (edge cases of
 //                                which must degenerate to the above)
@@ -63,6 +69,11 @@ struct OracleOptions {
   bool check_model = true;      ///< model vs exact stack-distance profile
   bool check_profile = true;    ///< profiler (both modes) vs simulate_lru*
   bool check_sweep = true;      ///< sweep + many (both modes) vs reference
+  /// Time-partitioned parallel sweep and the out-of-core engines: the
+  /// partitioned hole-merge (several chunk counts), the spool round trip
+  /// (SpooledTrace) and the materialized RunTrace must all be bit-identical
+  /// to the sequential simulate_sweep, misses_by_site included.
+  bool check_partitioned = true;
   bool check_set_assoc = true;  ///< set-associative edge geometries
   bool check_lint = true;       ///< generated programs lint error-free
   /// Brute-force verification of DOALL-safety claims: every loop the

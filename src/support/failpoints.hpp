@@ -19,8 +19,10 @@
 // allocations (must degrade to the hashed engines, bit-identically), the
 // thread-pool submit/task boundary (a throwing task must surface from
 // wait_idle(), never std::terminate), the fuzz artifact write (a killed
-// write must never leave a truncated replay file) and the oracle battery
-// step (a failing oracle run must surface as a typed error from the CLI).
+// write must never leave a truncated replay file), the oracle battery
+// step (a failing oracle run must surface as a typed error from the CLI)
+// and the trace-spool write (a killed spool write must never leave a
+// partial spool file behind at the destination path).
 // tests/robustness_test.cpp walks this list and proves each promise.
 #pragma once
 
@@ -58,10 +60,11 @@ inline constexpr const char* kPoolSubmit = "pool-submit";
 inline constexpr const char* kPoolTask = "pool-task";
 inline constexpr const char* kArtifactWrite = "artifact-write";
 inline constexpr const char* kOracleStep = "oracle-step";
+inline constexpr const char* kSpoolWrite = "spool-write";
 
-inline constexpr std::array<const char*, 6> kAllSites = {
-    kSweepDenseAlloc, kProfilerDenseAlloc, kPoolSubmit,
-    kPoolTask,        kArtifactWrite,      kOracleStep};
+inline constexpr std::array<const char*, 7> kAllSites = {
+    kSweepDenseAlloc, kProfilerDenseAlloc, kPoolSubmit,  kPoolTask,
+    kArtifactWrite,   kOracleStep,         kSpoolWrite};
 
 /// True when any failpoint is armed (env or scoped). The disarmed fast
 /// path is a single relaxed atomic load.

@@ -1,0 +1,220 @@
+#include "support/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define SDLO_SIMD_ISA "avx2"
+#elif defined(__SSE2__) || defined(_M_X64) || defined(__x86_64__)
+#include <emmintrin.h>
+#define SDLO_SIMD_ISA "sse2"
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define SDLO_SIMD_ISA "neon"
+#else
+#define SDLO_SIMD_ISA "scalar"
+#endif
+
+namespace sdlo::simd {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{std::getenv("SDLO_NO_SIMD") == nullptr};
+  return flag;
+}
+
+void add_u64_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void run_lines_scalar(std::uint64_t base, std::int64_t stride, int shift,
+                      std::uint64_t* out, std::size_t n) {
+  std::uint64_t a = base;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = a >> shift;
+    a += static_cast<std::uint64_t>(stride);
+  }
+}
+
+std::size_t find_not_equal_scalar(const std::uint64_t* a, std::size_t n,
+                                  std::size_t from, std::uint64_t value) {
+  for (std::size_t i = from; i < n; ++i) {
+    if (a[i] != value) return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+const char* isa() { return SDLO_SIMD_ISA; }
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+#if defined(__AVX2__)
+
+void add_u64(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  if (!enabled()) return add_u64_scalar(dst, src, n);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_add_epi64(d, s));
+  }
+  add_u64_scalar(dst + i, src + i, n - i);
+}
+
+void run_lines(std::uint64_t base, std::int64_t stride, int shift,
+               std::uint64_t* out, std::size_t n) {
+  if (!enabled()) return run_lines_scalar(base, stride, shift, out, n);
+  const std::uint64_t s = static_cast<std::uint64_t>(stride);
+  __m256i a = _mm256_set_epi64x(
+      static_cast<long long>(base + 3 * s),
+      static_cast<long long>(base + 2 * s),
+      static_cast<long long>(base + s), static_cast<long long>(base));
+  const __m256i step = _mm256_set1_epi64x(static_cast<long long>(4 * s));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_srli_epi64(a, shift));
+    a = _mm256_add_epi64(a, step);
+  }
+  run_lines_scalar(base + i * s, stride, shift, out + i, n - i);
+}
+
+std::size_t find_not_equal(const std::uint64_t* a, std::size_t n,
+                           std::size_t from, std::uint64_t value) {
+  if (!enabled()) return find_not_equal_scalar(a, n, from, value);
+  const __m256i v = _mm256_set1_epi64x(static_cast<long long>(value));
+  std::size_t i = from;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i eq = _mm256_cmpeq_epi64(x, v);
+    if (_mm256_movemask_epi8(eq) != -1) {
+      return find_not_equal_scalar(a, n, i, value);
+    }
+  }
+  return find_not_equal_scalar(a, n, i, value);
+}
+
+#elif defined(__SSE2__) || defined(_M_X64) || defined(__x86_64__)
+
+void add_u64(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  if (!enabled()) return add_u64_scalar(dst, src, n);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_add_epi64(d, s));
+  }
+  add_u64_scalar(dst + i, src + i, n - i);
+}
+
+void run_lines(std::uint64_t base, std::int64_t stride, int shift,
+               std::uint64_t* out, std::size_t n) {
+  if (!enabled()) return run_lines_scalar(base, stride, shift, out, n);
+  const std::uint64_t s = static_cast<std::uint64_t>(stride);
+  __m128i a = _mm_set_epi64x(static_cast<long long>(base + s),
+                             static_cast<long long>(base));
+  const __m128i step = _mm_set1_epi64x(static_cast<long long>(2 * s));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_srli_epi64(a, shift));
+    a = _mm_add_epi64(a, step);
+  }
+  run_lines_scalar(base + i * s, stride, shift, out + i, n - i);
+}
+
+std::size_t find_not_equal(const std::uint64_t* a, std::size_t n,
+                           std::size_t from, std::uint64_t value) {
+  if (!enabled()) return find_not_equal_scalar(a, n, from, value);
+  // SSE2 has no 64-bit compare; compare as 2x32 and require both halves of
+  // each lane equal (movemask 0xFFFF over the 16 bytes).
+  const __m128i v = _mm_set1_epi64x(static_cast<long long>(value));
+  std::size_t i = from;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i eq = _mm_cmpeq_epi32(x, v);
+    if (_mm_movemask_epi8(eq) != 0xFFFF) {
+      return find_not_equal_scalar(a, n, i, value);
+    }
+  }
+  return find_not_equal_scalar(a, n, i, value);
+}
+
+#elif defined(__aarch64__)
+
+void add_u64(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  if (!enabled()) return add_u64_scalar(dst, src, n);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vaddq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  add_u64_scalar(dst + i, src + i, n - i);
+}
+
+void run_lines(std::uint64_t base, std::int64_t stride, int shift,
+               std::uint64_t* out, std::size_t n) {
+  if (!enabled()) return run_lines_scalar(base, stride, shift, out, n);
+  const std::uint64_t s = static_cast<std::uint64_t>(stride);
+  const std::uint64_t lanes[2] = {base, base + s};
+  uint64x2_t a = vld1q_u64(lanes);
+  const uint64x2_t step = vdupq_n_u64(2 * s);
+  const int64x2_t sh = vdupq_n_s64(-shift);  // vshlq with negative = right
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(out + i, vshlq_u64(a, sh));
+    a = vaddq_u64(a, step);
+  }
+  run_lines_scalar(base + i * s, stride, shift, out + i, n - i);
+}
+
+std::size_t find_not_equal(const std::uint64_t* a, std::size_t n,
+                           std::size_t from, std::uint64_t value) {
+  if (!enabled()) return find_not_equal_scalar(a, n, from, value);
+  const uint64x2_t v = vdupq_n_u64(value);
+  std::size_t i = from;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t eq = vceqq_u64(vld1q_u64(a + i), v);
+    // Both lanes all-ones iff both equal; min across lanes detects any 0.
+    if (vminvq_u32(vreinterpretq_u32_u64(eq)) != 0xFFFFFFFFu) {
+      return find_not_equal_scalar(a, n, i, value);
+    }
+  }
+  return find_not_equal_scalar(a, n, i, value);
+}
+
+#else
+
+void add_u64(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  add_u64_scalar(dst, src, n);
+}
+
+void run_lines(std::uint64_t base, std::int64_t stride, int shift,
+               std::uint64_t* out, std::size_t n) {
+  run_lines_scalar(base, stride, shift, out, n);
+}
+
+std::size_t find_not_equal(const std::uint64_t* a, std::size_t n,
+                           std::size_t from, std::uint64_t value) {
+  return find_not_equal_scalar(a, n, from, value);
+}
+
+#endif
+
+}  // namespace sdlo::simd

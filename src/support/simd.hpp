@@ -1,0 +1,51 @@
+// Portable SIMD shim for the dense bulk paths of the trace engines.
+//
+// The hot loops of the sweep/profile pipeline that are *not* inherently
+// serial pointer-chasing are flat-array sweeps: elementwise accumulation of
+// per-chunk histogram buckets, generation of the line-index sequence of a
+// constant-stride run, and scanning a dense last-access table for occupied
+// slots. Each of those is expressed here once, with a vectorized body for
+// whatever the compiler was allowed to target (AVX2 > SSE2 on x86-64, NEON
+// on aarch64) and a scalar body everywhere else. The scalar and vector
+// bodies are bit-identical by construction — every operation is exact
+// integer arithmetic — so callers never need to know which ran.
+//
+// The vector paths can be disabled at runtime (set_enabled(false), or the
+// SDLO_NO_SIMD environment variable) without rebuilding; the ablation bench
+// uses this to measure the contribution of vectorization on identical
+// binaries, and tests use it to cross-check the two bodies against each
+// other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sdlo::simd {
+
+/// Name of the widest instruction set this binary's vector bodies use:
+/// "avx2", "sse2", "neon" or "scalar".
+const char* isa();
+
+/// True when the vector bodies are active. Defaults to true unless the
+/// SDLO_NO_SIMD environment variable is set (to anything) at first use.
+bool enabled();
+
+/// Turns the vector bodies on or off process-wide (ablation / tests).
+void set_enabled(bool on);
+
+/// dst[i] += src[i] for i in [0, n). The bucket/histogram merge primitive.
+void add_u64(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+
+/// out[i] = (base + i*stride) >> shift for i in [0, n): the cache-line
+/// index sequence of a constant-stride run, batch-generated so the
+/// consuming stack walk runs over a flat prefetchable buffer. Addresses
+/// wrap mod 2^64, matching trace::Run::at.
+void run_lines(std::uint64_t base, std::int64_t stride, int shift,
+               std::uint64_t* out, std::size_t n);
+
+/// First index i in [from, n) with a[i] != value, or n when every slot
+/// matches. The dense-table occupancy scan (compaction, recency export).
+std::size_t find_not_equal(const std::uint64_t* a, std::size_t n,
+                           std::size_t from, std::uint64_t value);
+
+}  // namespace sdlo::simd

@@ -1,0 +1,266 @@
+// Out-of-core trace spool: run groups on disk, streamed back in bounded
+// windows.
+//
+// A run-compressed trace (walker.hpp) is tiny per access, but a
+// billion-access program can still carry tens of millions of run groups —
+// more than a memory-budgeted driver may hold at once. The spool closes
+// that gap with a disk form of the same group stream:
+//
+//  * SpoolWriter serializes walk_runs() groups to a compact varint format
+//    ("SDLOSPL1"): per group the ref count and iteration count, per run the
+//    base, zigzag stride and (site, mode) word. A sparse index — one entry
+//    every kSpoolIndexStride groups, carrying the file offset and the
+//    access-count prefix — is appended at the end so readers can seek by
+//    group or by access index without scanning. The writer builds the file
+//    at `path + ".tmp"` and renames it into place on finish(); any failure
+//    (including the spool-write failpoint) leaves nothing at the
+//    destination path.
+//
+//  * SpooledTrace re-streams the groups through the same walk_runs() /
+//    walk_runs_range() / walk_batched() shapes CompiledProgram offers, so
+//    every simulation engine consumes a spool unchanged and bit-identically.
+//    Reads go through a bounded window buffer (SpoolReadOptions, default
+//    1 MiB) — peak memory is the window, never the trace. Walks are const
+//    and re-entrant (each opens its own stream), so a spool can feed
+//    time-partitioned workers concurrently.
+//
+//  * RunTrace is the in-memory counterpart: the materialized group stream,
+//    reserved against a Governor's MemoryBudget as it grows. When the
+//    budget cannot hold the trace, materialize() throws
+//    BudgetExceeded(kMemory) — the signal the caller uses to degrade to a
+//    spool and keep the run sequential-I/O-bound instead of failing.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/governor.hpp"
+#include "trace/walker.hpp"
+
+namespace sdlo::trace {
+
+/// Thrown when a spool file cannot be written or is malformed.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Groups between two spool index entries: a by-group or by-access seek
+/// decodes at most this many groups before reaching its target.
+inline constexpr std::uint64_t kSpoolIndexStride = 4096;
+
+/// Bounded-window read configuration for SpooledTrace.
+struct SpoolReadOptions {
+  /// Bytes buffered per open walk; the reader's peak memory.
+  std::size_t window_bytes = std::size_t{1} << 20;
+};
+
+/// Streaming writer of the spool format. Feed program-order run groups via
+/// add_group() (a walk_runs sink), then finish(); destroying an unfinished
+/// writer discards the temporary file.
+class SpoolWriter {
+ public:
+  explicit SpoolWriter(std::string path);
+  ~SpoolWriter();
+
+  SpoolWriter(const SpoolWriter&) = delete;
+  SpoolWriter& operator=(const SpoolWriter&) = delete;
+
+  /// Appends one run group (same contract as a walk_runs sink).
+  void add_group(const Run* group, std::size_t nrefs);
+
+  /// Writes the index and header, closes the temporary file and renames it
+  /// to the destination path. Throws IoError on any write failure, leaving
+  /// no file at the destination.
+  void finish(std::int32_t num_sites, std::uint64_t address_space);
+
+ private:
+  void put_varint(std::uint64_t v);
+  void flush_buffer();
+  void discard();
+
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  std::vector<unsigned char> buf_;
+  std::uint64_t bytes_written_ = 0;  // flushed bytes (file offset of buf_[0])
+  std::uint64_t groups_ = 0;
+  std::uint64_t accesses_ = 0;
+  // One (file offset, access prefix) pair every kSpoolIndexStride groups.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> index_;
+  bool finished_ = false;
+};
+
+/// Spools the whole run-compressed trace of a compiled program to `path`.
+void spool_program(const std::string& path, const CompiledProgram& prog);
+
+/// A spool file opened for streaming reads. Metadata comes from the header;
+/// walks decode groups through a bounded window.
+class SpooledTrace {
+ public:
+  explicit SpooledTrace(std::string path, SpoolReadOptions opt = {});
+
+  std::uint64_t total_accesses() const { return total_accesses_; }
+  std::uint64_t group_count() const { return total_groups_; }
+  std::int32_t num_sites() const { return num_sites_; }
+  std::uint64_t address_space_size() const { return address_space_; }
+
+  /// Same contract as CompiledProgram::footprint_lines.
+  std::uint64_t footprint_lines(std::int64_t line_elems) const;
+
+  /// Index of the group containing global access `access_index`; seeks via
+  /// the sparse index, decoding at most kSpoolIndexStride groups.
+  std::uint64_t group_of_access(std::uint64_t access_index) const;
+
+  /// Streams every group in program order (same contract as
+  /// CompiledProgram::walk_runs). Const and re-entrant.
+  template <typename GroupSink>
+  void walk_runs(GroupSink&& sink) const {
+    walk_runs_range(0, total_groups_, sink);
+  }
+
+  /// Streams groups [first_group, first_group + num_groups), bit-identical
+  /// to that slice of walk_runs().
+  template <typename GroupSink>
+  void walk_runs_range(std::uint64_t first_group, std::uint64_t num_groups,
+                       GroupSink&& sink) const {
+    SDLO_EXPECTS(first_group + num_groups <= total_groups_);
+    if (num_groups == 0) return;
+    Cursor cur;
+    const std::uint64_t skip = open_at(cur, first_group);
+    std::vector<Run> group;
+    group.reserve(kMaxLeafRefs);
+    for (std::uint64_t g = 0; g < skip; ++g) skip_group(cur);
+    for (std::uint64_t g = 0; g < num_groups; ++g) {
+      decode_group(cur, group);
+      sink(static_cast<const Run*>(group.data()), group.size());
+    }
+  }
+
+  /// Decompressing adapter with the same batch boundaries as
+  /// CompiledProgram::walk_batched.
+  template <typename BatchSink>
+  void walk_batched(BatchSink&& sink, std::size_t batch = kTraceBatch) const {
+    SDLO_EXPECTS(batch > 0);
+    std::vector<Access> buf;
+    buf.reserve(batch + kMaxLeafRefs);
+    walk_runs([&](const Run* group, std::size_t nrefs) {
+      const std::uint64_t count = group[0].count;
+      for (std::uint64_t v = 0; v < count; ++v) {
+        for (std::size_t r = 0; r < nrefs; ++r) {
+          buf.push_back(
+              Access{group[r].at(v), group[r].mode, group[r].site});
+        }
+        if (buf.size() >= batch) {
+          sink(static_cast<const Access*>(buf.data()), buf.size());
+          buf.clear();
+        }
+      }
+    });
+    if (!buf.empty()) {
+      sink(static_cast<const Access*>(buf.data()), buf.size());
+    }
+  }
+
+ private:
+  /// One open decode stream: a file handle plus the bounded byte window.
+  struct Cursor {
+    std::ifstream in;
+    std::vector<unsigned char> buf;
+    std::size_t pos = 0;  // next unread byte in buf
+    std::size_t len = 0;  // valid bytes in buf
+  };
+
+  /// Opens a cursor at the largest indexed group <= `group`; returns how
+  /// many groups remain to skip by decoding.
+  std::uint64_t open_at(Cursor& cur, std::uint64_t group) const;
+  void refill(Cursor& cur) const;
+  std::uint64_t get_varint(Cursor& cur) const;
+  void decode_group(Cursor& cur, std::vector<Run>& group) const;
+  void skip_group(Cursor& cur) const;
+
+  std::string path_;
+  SpoolReadOptions opt_;
+  std::uint64_t total_groups_ = 0;
+  std::uint64_t total_accesses_ = 0;
+  std::uint64_t address_space_ = 0;
+  std::int32_t num_sites_ = 0;
+  std::uint64_t body_offset_ = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> index_;
+};
+
+/// The materialized in-memory group stream, governed by a MemoryBudget.
+class RunTrace {
+ public:
+  /// Walks `prog` once and stores every group. Reserves the storage
+  /// against gov->memory in slabs as it grows; a denied slab throws
+  /// BudgetExceeded(kMemory) — callers degrade to a SpooledTrace.
+  static RunTrace materialize(const CompiledProgram& prog,
+                              const Governor* gov = nullptr);
+
+  std::uint64_t total_accesses() const { return total_accesses_; }
+  std::uint64_t group_count() const { return group_start_.size() - 1; }
+  std::int32_t num_sites() const { return num_sites_; }
+  std::uint64_t address_space_size() const { return address_space_; }
+  std::uint64_t footprint_lines(std::int64_t line_elems) const;
+  std::uint64_t group_of_access(std::uint64_t access_index) const;
+
+  /// Bytes the stored groups occupy (what materialize reserved).
+  std::uint64_t bytes() const;
+
+  template <typename GroupSink>
+  void walk_runs(GroupSink&& sink) const {
+    walk_runs_range(0, group_count(), sink);
+  }
+
+  template <typename GroupSink>
+  void walk_runs_range(std::uint64_t first_group, std::uint64_t num_groups,
+                       GroupSink&& sink) const {
+    SDLO_EXPECTS(first_group + num_groups <= group_count());
+    for (std::uint64_t g = first_group; g < first_group + num_groups; ++g) {
+      const std::uint64_t b = group_start_[static_cast<std::size_t>(g)];
+      const std::uint64_t e =
+          group_start_[static_cast<std::size_t>(g) + 1];
+      sink(runs_.data() + b, static_cast<std::size_t>(e - b));
+    }
+  }
+
+  template <typename BatchSink>
+  void walk_batched(BatchSink&& sink, std::size_t batch = kTraceBatch) const {
+    SDLO_EXPECTS(batch > 0);
+    std::vector<Access> buf;
+    buf.reserve(batch + kMaxLeafRefs);
+    walk_runs([&](const Run* group, std::size_t nrefs) {
+      const std::uint64_t count = group[0].count;
+      for (std::uint64_t v = 0; v < count; ++v) {
+        for (std::size_t r = 0; r < nrefs; ++r) {
+          buf.push_back(
+              Access{group[r].at(v), group[r].mode, group[r].site});
+        }
+        if (buf.size() >= batch) {
+          sink(static_cast<const Access*>(buf.data()), buf.size());
+          buf.clear();
+        }
+      }
+    });
+    if (!buf.empty()) {
+      sink(static_cast<const Access*>(buf.data()), buf.size());
+    }
+  }
+
+ private:
+  RunTrace() = default;
+
+  std::vector<Run> runs_;
+  std::vector<std::uint64_t> group_start_;     // size group_count() + 1
+  std::vector<std::uint64_t> access_prefix_;   // size group_count() + 1
+  std::uint64_t total_accesses_ = 0;
+  std::uint64_t address_space_ = 0;
+  std::int32_t num_sites_ = 0;
+  std::vector<MemoryReservation> reservations_;
+};
+
+}  // namespace sdlo::trace

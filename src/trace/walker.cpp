@@ -64,24 +64,82 @@ CompiledProgram::CompiledProgram(const ir::Program& prog,
   for (ir::NodeId c : prog.children(ir::Program::kRoot)) {
     top_.push_back(lower(prog, c, env, slot_of));
   }
-  for (auto& op : top_) flatten_leaves(op);
+  for (auto& op : top_) {
+    flatten_leaves(op);
+    fill_counts(op);
+  }
 
-  // Total access count, cached per top-level op from the lowered plan (the
-  // plan already carries every extent, so no second pass over path loops).
+  // Total access/group counts, cached per plan op from the lowered plan
+  // (the plan already carries every extent, so no second pass over path
+  // loops). The per-op counts drive the analytic range walk.
   total_accesses_ = 0;
+  total_groups_ = 0;
   top_accesses_.reserve(top_.size());
   for (const auto& op : top_) {
-    const std::uint64_t n = count_accesses(op);
-    top_accesses_.push_back(n);
-    total_accesses_ += n;
+    top_accesses_.push_back(op.accesses);
+    total_accesses_ += op.accesses;
+    total_groups_ += op.groups;
   }
 }
 
-std::uint64_t CompiledProgram::count_accesses(const PlanOp& op) {
-  if (op.extent < 0) return op.refs.size();
-  std::uint64_t per_iter = op.leaf_refs.size();
-  for (const auto& child : op.body) per_iter += count_accesses(child);
-  return static_cast<std::uint64_t>(op.extent) * per_iter;
+void CompiledProgram::fill_counts(PlanOp& op) {
+  if (op.extent < 0) {
+    op.accesses = op.refs.size();
+    op.groups = op.refs.empty() ? 0 : 1;
+    return;
+  }
+  if (!op.leaf_refs.empty()) {
+    // A flattened innermost loop is delivered as one group per execution.
+    op.accesses =
+        static_cast<std::uint64_t>(op.extent) * op.leaf_refs.size();
+    op.groups = 1;
+    return;
+  }
+  std::uint64_t per_iter_accesses = 0;
+  std::uint64_t per_iter_groups = 0;
+  for (auto& child : op.body) {
+    fill_counts(child);
+    per_iter_accesses += child.accesses;
+    per_iter_groups += child.groups;
+  }
+  op.accesses = static_cast<std::uint64_t>(op.extent) * per_iter_accesses;
+  op.groups = static_cast<std::uint64_t>(op.extent) * per_iter_groups;
+}
+
+std::uint64_t CompiledProgram::group_of_access(
+    std::uint64_t access_index) const {
+  SDLO_EXPECTS(access_index < total_accesses_);
+  std::uint64_t group_base = 0;
+  const PlanOp* op = nullptr;
+  for (const auto& top : top_) {
+    if (access_index < top.accesses) {
+      op = &top;
+      break;
+    }
+    access_index -= top.accesses;
+    group_base += top.groups;
+  }
+  SDLO_EXPECTS(op != nullptr);
+  // Descend: a statement or flattened leaf loop is a single group. A loop
+  // jumps straight to the containing iteration via the per-iteration
+  // access count (positive here, since access_index < op->accesses).
+  while (op->extent >= 0 && op->leaf_refs.empty()) {
+    const auto extent = static_cast<std::uint64_t>(op->extent);
+    const std::uint64_t per_iter_accesses = op->accesses / extent;
+    const std::uint64_t per_iter_groups = op->groups / extent;
+    const std::uint64_t k = access_index / per_iter_accesses;
+    access_index -= k * per_iter_accesses;
+    group_base += k * per_iter_groups;
+    for (const auto& child : op->body) {
+      if (access_index < child.accesses) {
+        op = &child;
+        break;
+      }
+      access_index -= child.accesses;
+      group_base += child.groups;
+    }
+  }
+  return group_base;
 }
 
 CompiledProgram::PlanOp CompiledProgram::lower(

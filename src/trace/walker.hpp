@@ -134,6 +134,35 @@ class CompiledProgram {
     });
   }
 
+  /// Calls `sink(const Run* group, std::size_t nrefs)` for run groups
+  /// [first_group, first_group + num_groups) of the full walk_runs()
+  /// sequence, skipping whole plan subtrees analytically (cost is
+  /// O(plan depth), not O(first_group)). The emitted groups are
+  /// bit-identical to the corresponding slice of walk_runs(). This is the
+  /// time-partitioning primitive: a worker owns a contiguous group range.
+  template <typename GroupSink>
+  void walk_runs_range(std::uint64_t first_group, std::uint64_t num_groups,
+                       GroupSink&& sink) const {
+    std::vector<std::int64_t> values(static_cast<std::size_t>(num_slots_),
+                                     0);
+    std::vector<Run> group;
+    group.reserve(kMaxLeafRefs);
+    RangeState st{first_group, num_groups};
+    for (const auto& op : top_) {
+      if (st.emit == 0) break;
+      run_runs_range(op, values, group, sink, st);
+    }
+  }
+
+  /// Total number of run groups walk_runs() will deliver.
+  std::uint64_t group_count() const { return total_groups_; }
+
+  /// Index of the run group containing the access with global program-order
+  /// index `access_index` (< total_accesses()). O(plan depth): used to turn
+  /// an access-count partition target into a group-boundary partition
+  /// without scanning groups.
+  std::uint64_t group_of_access(std::uint64_t access_index) const;
+
   /// Total number of accesses the walk will produce.
   std::uint64_t total_accesses() const { return total_accesses_; }
 
@@ -190,6 +219,15 @@ class CompiledProgram {
     std::vector<PlanOp> body;         // loop body
     std::vector<PlanRef> refs;        // statement refs
     std::vector<LeafRef> leaf_refs;   // non-empty: flattened innermost loop
+    // Cached per single execution of this op (filled after leaf
+    // flattening): run groups emitted and accesses produced.
+    std::uint64_t groups = 0;
+    std::uint64_t accesses = 0;
+  };
+
+  struct RangeState {
+    std::uint64_t skip = 0;  // groups still to skip before emitting
+    std::uint64_t emit = 0;  // groups still to emit
   };
 
   template <typename GroupSink>
@@ -233,16 +271,53 @@ class CompiledProgram {
     v = 0;
   }
 
+  /// Range walk: skip whole subtrees while st.skip covers them, emit until
+  /// st.emit hits zero. A loop op divides st.skip by its per-iteration
+  /// group count to jump straight to the first contributing iteration.
+  template <typename GroupSink>
+  void run_runs_range(const PlanOp& op, std::vector<std::int64_t>& values,
+                      std::vector<Run>& group, GroupSink& sink,
+                      RangeState& st) const {
+    if (st.emit == 0) return;
+    if (st.skip >= op.groups) {
+      st.skip -= op.groups;
+      return;
+    }
+    if (op.extent < 0 || !op.leaf_refs.empty()) {
+      // Single-group op and st.skip < op.groups == 1, so st.skip == 0.
+      run_runs(op, values, group, sink);
+      --st.emit;
+      return;
+    }
+    const auto extent = static_cast<std::uint64_t>(op.extent);
+    const std::uint64_t per_iter = op.groups / extent;
+    auto& v = values[static_cast<std::size_t>(op.slot)];
+    std::int64_t start = 0;
+    if (per_iter > 0) {
+      const std::uint64_t k = st.skip / per_iter;
+      st.skip -= k * per_iter;
+      start = static_cast<std::int64_t>(k);
+    }
+    for (v = start; v < op.extent; ++v) {
+      for (const auto& child : op.body) {
+        run_runs_range(child, values, group, sink, st);
+        if (st.emit == 0) return;
+      }
+    }
+    v = 0;
+  }
+
   PlanOp lower(const ir::Program& prog, ir::NodeId node, const sym::Env& env,
                std::vector<std::pair<std::string, std::int32_t>>& slot_of);
   static void flatten_leaves(PlanOp& op);
-  static std::uint64_t count_accesses(const PlanOp& op);
+  static void fill_counts(PlanOp& op);
 
   std::vector<PlanOp> top_;
   std::int32_t num_slots_ = 0;
   std::int32_t num_sites_ = 0;
   std::uint64_t next_base_ = 0;
   std::uint64_t total_accesses_ = 0;
+  std::uint64_t total_groups_ = 0;
   std::vector<std::uint64_t> top_accesses_;
   // Sorted by name; binary-searched (the fuzzer compiles thousands of
   // programs, so the compile path avoids node-based maps).

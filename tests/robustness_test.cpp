@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "cachesim/parallel_stack.hpp"
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
 #include "fuzz/oracles.hpp"
@@ -67,6 +68,29 @@ std::vector<Operation> operations() {
                         {64, 1, 2, cachesim::Replacement::kLru},
                         {1024, 1, 0, cachesim::Replacement::kLru}},
                        &pool);
+                 }});
+  ops.push_back({"sweep-partitioned", [] {
+                   parallel::ThreadPool pool(2);
+                   const auto cp = small_program();
+                   cachesim::PartitionOptions opt;
+                   opt.chunks = 3;
+                   cachesim::simulate_sweep_partitioned(
+                       cp,
+                       {{16, 1, 0, cachesim::Replacement::kLru},
+                        {1024, 1, 0, cachesim::Replacement::kLru}},
+                       &pool, opt);
+                 }});
+  ops.push_back({"spool-roundtrip", [] {
+                   const auto path =
+                       (std::filesystem::temp_directory_path() /
+                        "sdlo_robustness_spool.spl")
+                           .string();
+                   const auto cp = small_program();
+                   trace::spool_program(path, cp);
+                   const trace::SpooledTrace spool(path);
+                   cachesim::simulate_sweep(
+                       spool, {{64, 1, 0, cachesim::Replacement::kLru}});
+                   std::filesystem::remove(path);
                  }});
   ops.push_back({"many", [] {
                    const auto cp = small_program();
@@ -193,6 +217,41 @@ TEST(Robustness, ConcurrentCancelMidPooledSweepIsClean) {
     });
     const auto part = cachesim::simulate_sweep(
         cp, configs, &pool, trace::TraceMode::kRuns, &gov);
+    canceller.join();
+    ASSERT_EQ(part.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      EXPECT_LE(part[i].accesses, full[i].accesses);
+      EXPECT_LE(part[i].misses, full[i].misses);
+      if (part[i].completeness == Completeness::kComplete) {
+        EXPECT_EQ(part[i].misses, full[i].misses) << "iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(Robustness, ConcurrentCancelMidPartitionedSweepIsClean) {
+  // Same TSan workload for the time-partitioned engine: the shared token
+  // trips while four workers profile their chunks concurrently. The merged
+  // result must be a valid prefix simulation (or complete), every time.
+  const auto g = ir::matmul();
+  trace::CompiledProgram cp(g.prog, g.make_env({48, 48, 48}, {}));
+  std::vector<cachesim::SweepConfig> configs;
+  for (std::int64_t cap : {8, 64, 512, 4096}) {
+    configs.push_back({cap, 1, 0, cachesim::Replacement::kLru});
+  }
+  const auto full = cachesim::simulate_sweep(cp, configs);
+  parallel::ThreadPool pool(4);
+  for (int iter = 0; iter < 5; ++iter) {
+    Governor gov;
+    gov.poll_interval = 64;
+    std::jthread canceller([&gov, iter] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * iter));
+      gov.cancel.request_cancel();
+    });
+    cachesim::PartitionOptions opt;
+    opt.chunks = 4;
+    const auto part = cachesim::simulate_sweep_partitioned(cp, configs,
+                                                           &pool, opt, &gov);
     canceller.join();
     ASSERT_EQ(part.size(), configs.size());
     for (std::size_t i = 0; i < configs.size(); ++i) {

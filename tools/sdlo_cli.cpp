@@ -7,6 +7,7 @@
 //   sdlo lint     prog.sdlo [--set N=512] [--cap 8192] [--line 8] [--json]
 //   sdlo misses   prog.sdlo --cap 8192 --set N=512 [--simulate] [--json]
 //   sdlo sweep    prog.sdlo --set N=512 [--line 4] [--sites] [--json]
+//                 [--threads T] [--chunk-accesses N] [--spool FILE]
 //   sdlo trace    prog.sdlo --set N=8 [--limit 100]
 //   sdlo fuzz     [--seed S] [--count N] [--time-budget SEC]
 //                 [--artifact-dir DIR] [--replay artifact.sdlo]
@@ -23,7 +24,13 @@
 // the model's prediction and, with --simulate, cross-checks it against the
 // sweep engine's simulator. `sweep` uses the stack-distance profiler to
 // answer every capacity from one pass — at line granularity with --line,
-// and with a per-site miss breakdown under --sites.
+// and with a per-site miss breakdown under --sites. With --threads > 1 (or
+// an explicit --chunk-accesses) the pass runs on the time-partitioned
+// parallel engine (cachesim/parallel_stack.hpp), whose merged counts are
+// bit-identical to the sequential pass. --spool FILE first serializes the
+// run-compressed trace to FILE and then streams it back through a bounded
+// window (trace/spool.hpp) — the out-of-core path for traces larger than
+// the memory budget.
 //
 // `lint` runs the static-analysis passes of src/analysis (well-formedness,
 // model applicability, parallelization safety) and prints the diagnostics
@@ -46,6 +53,7 @@
 #include <sstream>
 
 #include "analysis/lint.hpp"
+#include "cachesim/parallel_stack.hpp"
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
 #include "fuzz/generator.hpp"
@@ -193,10 +201,122 @@ int cmd_misses(const ir::Program& prog, const sym::Env& env,
   return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
 }
 
+/// The sweep verb's power-of-two capacity ladder: line, 2*line, ... up to
+/// twice the address space (so the last row is always fully resident).
+std::vector<std::int64_t> sweep_ladder(std::int64_t line,
+                                       std::uint64_t space) {
+  std::vector<std::int64_t> caps;
+  for (std::int64_t cap = line;
+       cap <= static_cast<std::int64_t>(space) * 2; cap *= 2) {
+    caps.push_back(cap);
+  }
+  return caps;
+}
+
+/// Partitioned/out-of-core sweep output: same table and JSON shape as the
+/// profiler path, computed by simulate_sweep_partitioned over `src` (a
+/// CompiledProgram or a SpooledTrace — the counts are bit-identical).
+template <typename Source>
+int emit_partitioned_sweep(const Source& src, std::int64_t line, bool sites,
+                           int threads, std::int64_t chunk_accesses,
+                           const Governor* gov, bool json) {
+  const auto caps = sweep_ladder(line, src.address_space_size());
+  std::vector<cachesim::SweepConfig> configs;
+  for (const std::int64_t cap : caps) {
+    configs.push_back({cap, line, 0, cachesim::Replacement::kLru});
+  }
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<parallel::ThreadPool>(threads);
+  cachesim::PartitionOptions opt;
+  opt.threads = threads;
+  if (chunk_accesses > 0) {
+    opt.chunk_accesses = static_cast<std::uint64_t>(chunk_accesses);
+  }
+  const auto results = cachesim::simulate_sweep_partitioned(
+      src, configs, pool.get(), opt, gov);
+  bool truncated = false;
+  for (const auto& r : results) {
+    truncated = truncated || r.completeness == Completeness::kTruncated;
+  }
+  const std::uint64_t accesses = results.empty() ? 0 : results[0].accesses;
+  if (json) {
+    std::cout << "{\"line_elems\":" << line << ",\"accesses\":" << accesses
+              << ",\"threads\":" << (threads > 1 ? threads : 1)
+              << ",\"completeness\":\""
+              << json_completeness(truncated ? Completeness::kTruncated
+                                             : Completeness::kComplete)
+              << "\",\"rows\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::cout << (i == 0 ? "" : ",") << "{\"capacity\":" << caps[i]
+                << ",\"misses\":" << results[i].misses;
+      if (sites) {
+        std::cout << ",\"misses_by_site\":[";
+        for (std::size_t s = 0; s < results[i].misses_by_site.size(); ++s) {
+          std::cout << (s == 0 ? "" : ",") << results[i].misses_by_site[s];
+        }
+        std::cout << "]";
+      }
+      std::cout << "}";
+    }
+    std::cout << "]}\n";
+    return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
+  }
+  std::vector<std::string> header{"capacity", "misses", "miss ratio"};
+  if (sites && !results.empty()) {
+    for (std::size_t s = 0; s < results[0].misses_by_site.size(); ++s) {
+      header.push_back("site " + std::to_string(s));
+    }
+  }
+  TextTable t(header);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::vector<std::string> row{
+        with_commas(caps[i]),
+        with_commas(static_cast<std::int64_t>(r.misses)),
+        format_double(accesses == 0
+                          ? 0.0
+                          : 100.0 * static_cast<double>(r.misses) /
+                                static_cast<double>(accesses),
+                      3) +
+            "%"};
+    if (sites) {
+      for (const auto m : r.misses_by_site) {
+        row.push_back(with_commas(static_cast<std::int64_t>(m)));
+      }
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  if (line != 1) {
+    std::cout << "(line granularity: " << line
+              << " elements per line; capacities in elements)\n";
+  }
+  if (truncated) {
+    std::cout << "TRUNCATED by budget after "
+              << with_commas(static_cast<std::int64_t>(accesses))
+              << " accesses: counts are exact for that prefix (lower "
+                 "bounds for the full trace)\n";
+  }
+  return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
+}
+
 int cmd_sweep(const ir::Program& prog, const sym::Env& env,
               std::int64_t line, bool sites, trace::TraceMode mode,
-              const Governor* gov, bool json) {
+              const Governor* gov, bool json, int threads,
+              std::int64_t chunk_accesses, const std::string& spool_path) {
   trace::CompiledProgram cp(prog, env);
+  if (!spool_path.empty()) {
+    // Out-of-core: serialize the run-compressed trace, then stream it back
+    // through a bounded window so peak memory excludes the trace itself.
+    trace::spool_program(spool_path, cp);
+    const trace::SpooledTrace spool(spool_path);
+    return emit_partitioned_sweep(spool, line, sites, threads,
+                                  chunk_accesses, gov, json);
+  }
+  if (threads > 1 || chunk_accesses > 0) {
+    return emit_partitioned_sweep(cp, line, sites, threads, chunk_accesses,
+                                  gov, json);
+  }
   const auto prof = cachesim::profile_stack_distances(cp, line, mode, gov);
   const bool truncated = prof.completeness == Completeness::kTruncated;
   if (json) {
@@ -422,7 +542,16 @@ int main(int argc, char** argv) {
         .flag("mem-budget",
               "dense-table memory ceiling in MB (degrades to hashed)")
         .flag("trace-mode",
-              "trace delivery for misses/sweep: runs (default) or batched");
+              "trace delivery for misses/sweep: runs (default) or batched")
+        .flag("threads",
+              "worker threads for sweep: > 1 runs the time-partitioned "
+              "parallel engine (bit-identical)")
+        .flag("chunk-accesses",
+              "target accesses per partitioned-sweep chunk (default: "
+              "trace/threads)")
+        .flag("spool",
+              "spool the trace to FILE and stream the sweep from it "
+              "(out-of-core)");
     if (!cli.finish()) return to_int(ExitCode::kOk);
 
     const auto& pos = cli.positional();
@@ -488,7 +617,10 @@ int main(int argc, char** argv) {
     if (verb == "sweep") {
       return cmd_sweep(prog, env, cli.get_int("line", 1),
                        cli.get_bool("sites", false), trace_mode,
-                       governor.get(), json);
+                       governor.get(), json,
+                       static_cast<int>(cli.get_int("threads", 1)),
+                       cli.get_int("chunk-accesses", 0),
+                       cli.get_string("spool", ""));
     }
     if (verb == "trace") {
       return cmd_trace(prog, env, cli.get_int("limit", 50));
