@@ -3,7 +3,9 @@
 // trace simulation take on the paper's kernels, plus the headline sweep
 // comparison — one 8-capacity LRU sweep over tiled matmul via the
 // single-pass marker engine (fed per-access and run-compressed) versus
-// eight independent simulate_lru walks.
+// eight independent simulate_lru walks — and versus the analytic symbolic
+// engine, which answers the same capacities from the model alone with no
+// trace walk at all.
 //
 // The sweep comparison runs first (outside google-benchmark, since it
 // compares whole algorithms rather than timing one) and writes its
@@ -40,6 +42,7 @@
 #include "cachesim/sweep.hpp"
 #include "ir/gallery.hpp"
 #include "model/analyzer.hpp"
+#include "model/symbolic_sweep.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "tile/fast_model.hpp"
@@ -291,6 +294,40 @@ int run_sweep_comparison(const std::string& json_arg) {
                                               trace::TraceMode::kRuns);
   const double sweep_seconds = timer.seconds();
 
+  // Symbolic tier: the analytic engine derives the whole curve from the
+  // model (analysis included in the timing) and evaluates it at the same
+  // capacities — no trace walk. The tier runs in milliseconds, so a single
+  // measurement is dominated by cold caches and scheduler noise; take the
+  // best of three repetitions, the standard floor estimate at this scale.
+  model::SymbolicSweep symbolic;
+  std::vector<cachesim::SimResult> analytic;
+  bool symbolic_exact = false;
+  double symbolic_seconds = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    timer.reset();
+    const auto an = model::analyze(g.prog);
+    symbolic = model::symbolic_sweep(an, env);
+    symbolic_exact = symbolic.confidence == model::Confidence::kExact;
+    analytic.clear();
+    if (symbolic_exact) {
+      for (std::int64_t c : capacities) {
+        analytic.push_back(symbolic.result_at(c));
+      }
+    }
+    const double elapsed = timer.seconds();
+    if (rep == 0 || elapsed < symbolic_seconds) symbolic_seconds = elapsed;
+  }
+  bool symbolic_identical =
+      symbolic_exact && analytic.size() == baseline.size();
+  for (std::size_t i = 0; symbolic_identical && i < analytic.size(); ++i) {
+    symbolic_identical =
+        analytic[i].accesses == baseline[i].accesses &&
+        analytic[i].misses == baseline[i].misses &&
+        analytic[i].misses_by_site == baseline[i].misses_by_site;
+  }
+  const double symbolic_speedup =
+      symbolic_seconds > 0 ? sweep_seconds / symbolic_seconds : 0;
+
   bool identical = swept.size() == baseline.size() &&
                    swept_batched.size() == baseline.size();
   for (std::size_t i = 0; identical && i < swept.size(); ++i) {
@@ -349,6 +386,10 @@ int run_sweep_comparison(const std::string& json_arg) {
             << "  simulate_sweep (per-access):  " << sweep_batched_seconds
             << " s\n"
             << "  simulate_sweep (run-fed):     " << sweep_seconds << " s\n"
+            << "  symbolic (analytic curve):    " << symbolic_seconds
+            << " s (" << (symbolic_exact ? "exact" : "NOT EXACT")
+            << ", identical: " << (symbolic_identical ? "yes" : "NO")
+            << ", " << symbolic_speedup << "x vs run-fed sweep)\n"
             << "  speedup vs baseline: " << speedup
             << "x   run-fed vs per-access: " << speedup_runs_vs_batched
             << "x   results identical: " << (identical ? "yes" : "NO")
@@ -388,6 +429,12 @@ int run_sweep_comparison(const std::string& json_arg) {
       << "  \"speedup\": " << speedup << ",\n"
       << "  \"speedup_runs_vs_batched\": " << speedup_runs_vs_batched
       << ",\n"
+      << "  \"symbolic_seconds\": " << symbolic_seconds << ",\n"
+      << "  \"symbolic_exact\": " << (symbolic_exact ? "true" : "false")
+      << ",\n"
+      << "  \"symbolic_identical\": "
+      << (symbolic_identical ? "true" : "false") << ",\n"
+      << "  \"symbolic_speedup\": " << symbolic_speedup << ",\n"
       << "  \"hardware_threads\": " << hardware_threads << ",\n"
       << "  \"parallel\": [";
   for (std::size_t i = 0; i < parallel_timings.size(); ++i) {
@@ -430,6 +477,10 @@ int run_sweep_comparison(const std::string& json_arg) {
 
   if (!identical) {
     std::cerr << "FATAL: sweep results differ from per-capacity baseline\n";
+    return 1;
+  }
+  if (symbolic_exact && !symbolic_identical) {
+    std::cerr << "FATAL: analytic sweep differs from per-capacity baseline\n";
     return 1;
   }
   return 0;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "model/distance.hpp"
+#include "model/symbolic_sweep.hpp"
 
 namespace sdlo::analysis {
 
@@ -69,6 +70,21 @@ ApplicabilityResult check_applicability(const model::Analysis& an,
     for (const auto& oc : pred.outcomes) {
       if (!oc.approximated) continue;
       site_at(an.parts[oc.part_index].part.target).interpolated = true;
+    }
+  }
+
+  // Analytic-sweep classification: which partitions the symbolic capacity
+  // sweep cannot resolve exactly under this environment (capacity-free —
+  // the sweep answers every capacity at once or none).
+  if (env != nullptr) {
+    model::SymbolicSweepOptions sopts;
+    sopts.enum_limit = popts.enum_limit;
+    sopts.probe_samples = popts.probe_samples;
+    const model::SymbolicSweep sweep = model::symbolic_sweep(an, *env, sopts);
+    out.sweep = sweep.confidence;
+    for (const auto& pc : sweep.parts) {
+      if (pc.exact) continue;
+      site_at(an.parts[pc.part_index].part.target).sweep_inexact = true;
     }
   }
   return out;

@@ -20,7 +20,12 @@
 //                    straddles the capacity, so predict_misses used
 //                    statistical interpolation (AP103, warning);
 //   * sibling      — reuse crosses sibling subtrees (auxiliary branches of
-//                    Figs. 4–5; AP104, note).
+//                    Figs. 4–5; AP104, note);
+//   * sweep-inexact — under the supplied environment the analytic capacity
+//                    sweep (model/symbolic_sweep.hpp) cannot resolve the
+//                    site's partitions exactly, so `sdlo sweep --engine
+//                    symbolic` falls back to simulation for this program
+//                    (AP105, warning).
 #pragma once
 
 #include <cstdint>
@@ -43,6 +48,7 @@ struct SiteApplicability {
   bool exact_symbolic = true;   ///< false when any union was inexact
   bool sibling_case = false;
   bool interpolated = false;    ///< only ever true when env+capacity given
+  bool sweep_inexact = false;   ///< only ever true when an env was given
 };
 
 /// Whole-program applicability verdict.
@@ -53,11 +59,16 @@ struct ApplicabilityResult {
   /// Numeric confidence under the supplied env/capacity; kExact when no
   /// env/capacity was supplied (nothing was interpolated).
   model::Confidence numeric = model::Confidence::kExact;
+  /// Confidence of the analytic capacity sweep under the supplied env;
+  /// kExact when no env was supplied. kApproximate means `sdlo sweep
+  /// --engine symbolic` falls back to simulation for this program.
+  model::Confidence sweep = model::Confidence::kExact;
 };
 
 /// Classifies every access site of the analyzed program. When `env` is
-/// non-null and `capacity` positive, additionally runs the concrete
-/// prediction to detect interpolation fallbacks (AP103).
+/// non-null, additionally evaluates the analytic capacity sweep to detect
+/// sweep-inexact sites (AP105); when `capacity` is also positive, runs the
+/// concrete prediction to detect interpolation fallbacks (AP103).
 /// `max_union_boxes` bounds the inclusion–exclusion expansion of
 /// model::symbolic_union (2^boxes intersections); windows that exceed it
 /// are classified inexact (AP102).

@@ -39,6 +39,7 @@ inline constexpr const char* kAP101VaryingDistance = "AP101";
 inline constexpr const char* kAP102InexactUnion = "AP102";
 inline constexpr const char* kAP103InterpolatedPrediction = "AP103";
 inline constexpr const char* kAP104SiblingReuse = "AP104";
+inline constexpr const char* kAP105SweepInexact = "AP105";
 inline constexpr const char* kPS201CarriedDependence = "PS201";
 inline constexpr const char* kPS202FalseSharing = "PS202";
 inline constexpr const char* kPS203NoParallelLoop = "PS203";

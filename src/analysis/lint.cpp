@@ -42,6 +42,15 @@ void append_applicability_diagnostics(const ApplicabilityResult& ap,
               " exceeded the enumeration limit while straddling the "
               "capacity; misses were interpolated statistically"});
     }
+    if (site.sweep_inexact) {
+      out.push_back(Diagnostic{
+          kAP105SweepInexact, Severity::kWarning, loc_of(site.site),
+          site.array,
+          "analytic capacity sweep for " + where +
+              " cannot resolve all partitions exactly under this "
+              "environment; 'sdlo sweep --engine symbolic' falls back to "
+              "simulation"});
+    }
     if (site.sibling_case) {
       out.push_back(Diagnostic{
           kAP104SiblingReuse, Severity::kNote, loc_of(site.site), site.array,
@@ -106,9 +115,8 @@ LintReport lint_validated(const ir::Program& prog, const ir::SourceMap* locs,
   rep.verified = true;
   const model::Analysis an = model::analyze(prog);
   const sym::Env* env = opts.env.empty() ? nullptr : &opts.env;
-  rep.applicability = check_applicability(
-      an, opts.capacity > 0 ? env : nullptr, opts.capacity, opts.predict,
-      opts.max_union_boxes);
+  rep.applicability = check_applicability(an, env, opts.capacity,
+                                          opts.predict, opts.max_union_boxes);
   append_applicability_diagnostics(*rep.applicability, locs, opts.capacity,
                                    rep.diagnostics);
   rep.loops = analyze_parallel_safety(prog, env, opts.line_elems);

@@ -1,0 +1,176 @@
+#include "analysis/sweep_driver.hpp"
+
+#include <utility>
+
+#include "cachesim/sim.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace sdlo::analysis {
+
+SweepEngine parse_sweep_engine(const std::string& name) {
+  if (name == "simulate" || name == "simulated") {
+    return SweepEngine::kSimulate;
+  }
+  if (name == "symbolic") return SweepEngine::kSymbolic;
+  throw Error("unknown sweep engine '" + name +
+              "' (expected 'simulate' or 'symbolic')");
+}
+
+int SweepOutcome::exit_code() const {
+  return to_int(truncated() ? ExitCode::kTruncated : ExitCode::kOk);
+}
+
+std::vector<std::int64_t> sweep_ladder(std::int64_t line,
+                                       std::uint64_t space) {
+  std::vector<std::int64_t> caps;
+  for (std::int64_t cap = line;
+       cap <= static_cast<std::int64_t>(space) * 2; cap *= 2) {
+    caps.push_back(cap);
+  }
+  return caps;
+}
+
+SweepOutcome run_sweep(const ir::Program& prog, const sym::Env& env,
+                       const SweepDriverOptions& opts, const Governor* gov) {
+  const trace::CompiledProgram cp(prog, env);
+  SweepOutcome oc;
+  oc.line_elems = opts.line_elems;
+  oc.capacities = sweep_ladder(opts.line_elems, cp.address_space_size());
+
+  if (opts.engine == SweepEngine::kSymbolic) {
+    if (opts.line_elems != 1) {
+      oc.fell_back = true;
+      oc.fallback_reason = "line granularity (" +
+                           std::to_string(opts.line_elems) +
+                           " elements/line) is outside the element model";
+    } else {
+      const model::Analysis an = model::analyze(prog);
+      const model::SymbolicSweep sweep =
+          model::symbolic_sweep(an, env, opts.symbolic, gov);
+      oc.confidence = sweep.confidence;
+      if (sweep.confidence == model::Confidence::kExact) {
+        oc.engine = "symbolic";
+        oc.completeness = sweep.completeness;
+        oc.accesses = static_cast<std::uint64_t>(sweep.accounted_accesses);
+        oc.crossings = sweep.crossing_points();
+        oc.rows.reserve(oc.capacities.size());
+        for (const std::int64_t cap : oc.capacities) {
+          oc.rows.push_back(sweep.result_at(cap));
+        }
+        return oc;
+      }
+      // Not model-exact: the analytic histogram would be a guess. Fall back
+      // to the trace walk (sdlo lint flags the offending sites as AP105).
+      oc.fell_back = true;
+      oc.fallback_reason =
+          "analytic histogram is not exact for this program (AP105: "
+          "partitions exceed the enumeration limit with varying depth); "
+          "answered by simulation";
+    }
+  }
+
+  const cachesim::ProfileResult prof = cachesim::profile_stack_distances(
+      cp, opts.line_elems, opts.mode, gov);
+  oc.engine = "simulated";
+  oc.completeness = prof.completeness;
+  oc.accesses = prof.accesses;
+  oc.rows.reserve(oc.capacities.size());
+  for (const std::int64_t cap : oc.capacities) {
+    oc.rows.push_back(prof.result(cap));
+  }
+  return oc;
+}
+
+void render_sweep_text(const SweepOutcome& oc, std::ostream& os) {
+  std::vector<std::string> header{"capacity", "misses", "miss ratio"};
+  const bool sites = !oc.rows.empty() && !oc.rows[0].misses_by_site.empty();
+  if (sites) {
+    for (std::size_t s = 0; s < oc.rows[0].misses_by_site.size(); ++s) {
+      header.push_back("site " + std::to_string(s));
+    }
+  }
+  TextTable t(header);
+  for (std::size_t i = 0; i < oc.rows.size(); ++i) {
+    const auto& r = oc.rows[i];
+    std::vector<std::string> row{
+        with_commas(oc.capacities[i]),
+        with_commas(static_cast<std::int64_t>(r.misses)),
+        format_double(oc.accesses == 0
+                          ? 0.0
+                          : 100.0 * static_cast<double>(r.misses) /
+                                static_cast<double>(oc.accesses),
+                      3) +
+            "%"};
+    if (sites) {
+      for (const auto m : r.misses_by_site) {
+        row.push_back(with_commas(static_cast<std::int64_t>(m)));
+      }
+    }
+    t.add_row(row);
+  }
+  t.print(os);
+  if (oc.line_elems != 1) {
+    os << "(line granularity: " << oc.line_elems
+       << " elements per line; capacities in elements)\n";
+  }
+  os << "engine: " << oc.engine;
+  if (oc.engine == "symbolic") {
+    os << " (analytic curve, " << oc.crossings.size()
+       << " crossing points; no trace walk)";
+  } else if (oc.fell_back) {
+    os << " (fallback from symbolic: " << oc.fallback_reason << ")";
+  }
+  os << "\n";
+  if (oc.truncated()) {
+    if (oc.engine == "symbolic") {
+      os << "TRUNCATED by budget after "
+         << with_commas(static_cast<std::int64_t>(oc.accesses))
+         << " accesses' worth of partitions: best-so-far partial curve "
+            "(lower bounds for the full program)\n";
+    } else {
+      os << "TRUNCATED by budget after "
+         << with_commas(static_cast<std::int64_t>(oc.accesses))
+         << " accesses: counts are exact for that prefix (lower "
+            "bounds for the full trace)\n";
+    }
+  }
+}
+
+void render_sweep_json(const SweepOutcome& oc, std::ostream& os,
+                       bool sites) {
+  os << "{\"engine\":\"" << oc.engine << "\",\"fell_back\":"
+     << (oc.fell_back ? "true" : "false");
+  if (oc.fell_back) {
+    os << ",\"fallback_reason\":\"" << oc.fallback_reason << "\"";
+  }
+  os << ",\"confidence\":\"" << model::confidence_name(oc.confidence)
+     << "\",\"line_elems\":" << oc.line_elems
+     << ",\"accesses\":" << oc.accesses << ",\"completeness\":\""
+     << (oc.truncated() ? "truncated" : "complete") << "\",\"rows\":[";
+  for (std::size_t i = 0; i < oc.rows.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "{\"capacity\":" << oc.capacities[i]
+       << ",\"misses\":" << oc.rows[i].misses;
+    if (sites) {
+      os << ",\"misses_by_site\":[";
+      for (std::size_t s = 0; s < oc.rows[i].misses_by_site.size(); ++s) {
+        os << (s == 0 ? "" : ",") << oc.rows[i].misses_by_site[s];
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "]";
+  if (oc.engine == "symbolic") {
+    os << ",\"crossings\":[";
+    for (std::size_t i = 0; i < oc.crossings.size(); ++i) {
+      os << (i == 0 ? "" : ",") << oc.crossings[i];
+    }
+    os << "]";
+  }
+  os << "}\n";
+}
+
+}  // namespace sdlo::analysis

@@ -1,0 +1,103 @@
+// Engine selection and fallback policy for the `sdlo sweep` verb.
+//
+// Two engines answer the miss-vs-capacity question:
+//
+//   simulated  — trace-walking: the exact stack-distance profiler
+//                (cachesim/profile_stack_distances), O(trace);
+//   symbolic   — analytic: model::symbolic_sweep evaluates the partition
+//                machinery's stack-distance histogram, O(model), no trace
+//                walk — but only *exact* on the model-exact subset.
+//
+// run_sweep() encodes the trust policy the oracle battery underwrites: the
+// symbolic engine answers only when its Confidence verdict is kExact (and
+// the request is at element granularity — the analytic model has no line
+// dimension); anything weaker falls back to simulation, and the outcome
+// records which engine actually answered plus why the fallback happened,
+// so scripts reading --json can detect a silent fallback (the AP105
+// diagnostic of `sdlo lint` names the offending sites). A Governor
+// truncation inside either engine is NOT a fallback — re-running the walk
+// would blow the same deadline — and surfaces instead as a best-so-far
+// partial curve marked truncated (exit code 2).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cachesim/results.hpp"
+#include "model/analyzer.hpp"
+#include "model/symbolic_sweep.hpp"
+#include "support/governor.hpp"
+#include "trace/walker.hpp"
+
+namespace sdlo::analysis {
+
+/// Which engine the caller asked for.
+enum class SweepEngine : std::uint8_t { kSimulate, kSymbolic };
+
+/// Parses "simulate"/"simulated"/"symbolic" (throws sdlo::Error otherwise).
+SweepEngine parse_sweep_engine(const std::string& name);
+
+struct SweepDriverOptions {
+  SweepEngine engine = SweepEngine::kSimulate;
+  /// Line size in elements (power of two). The symbolic engine only
+  /// answers line_elems == 1 (the paper's element model).
+  std::int64_t line_elems = 1;
+  /// Include the per-site miss breakdown in renderings.
+  bool sites = false;
+  /// Trace delivery for the simulated engine.
+  trace::TraceMode mode = trace::TraceMode::kRuns;
+  model::SymbolicSweepOptions symbolic;
+};
+
+/// What a sweep produced, annotated with which engine produced it.
+struct SweepOutcome {
+  /// "symbolic" or "simulated" — the engine that actually answered, which
+  /// under --engine symbolic may be the fallback.
+  std::string engine = "simulated";
+  bool fell_back = false;
+  std::string fallback_reason;  ///< empty unless fell_back
+  /// Confidence of the symbolic attempt (kExact when it answered or was
+  /// never tried).
+  model::Confidence confidence = model::Confidence::kExact;
+  Completeness completeness = Completeness::kComplete;
+  std::uint64_t accesses = 0;
+  std::int64_t line_elems = 1;
+  /// The power-of-two capacity ladder, one row per capacity.
+  std::vector<std::int64_t> capacities;
+  std::vector<cachesim::SimResult> rows;
+  /// Capacities where the analytic curve changes (symbolic engine only).
+  std::vector<std::int64_t> crossings;
+
+  bool truncated() const {
+    return completeness == Completeness::kTruncated;
+  }
+  /// 2 (ExitCode::kTruncated) for a partial curve, else 0.
+  int exit_code() const;
+};
+
+/// The sweep verb's power-of-two capacity ladder: line, 2*line, ... up to
+/// twice the address space (so the last row is always fully resident).
+std::vector<std::int64_t> sweep_ladder(std::int64_t line,
+                                       std::uint64_t space);
+
+/// Runs the requested engine with the fallback policy above. `gov` governs
+/// whichever engine runs (the symbolic evaluation loop polls it exactly
+/// like the trace walk does).
+SweepOutcome run_sweep(const ir::Program& prog, const sym::Env& env,
+                       const SweepDriverOptions& opts = {},
+                       const Governor* gov = nullptr);
+
+/// Renders the outcome as the human table `sdlo sweep` prints.
+void render_sweep_text(const SweepOutcome& oc, std::ostream& os);
+
+/// Renders the stable JSON schema:
+///   {"engine":..., "fell_back":..., "confidence":..., "line_elems":...,
+///    "accesses":..., "completeness":..., "rows":[{"capacity":...,
+///    "misses":...[, "misses_by_site":[...]]}]}
+/// plus "fallback_reason" when fell_back and "crossings" for the symbolic
+/// engine. `sites` matches SweepDriverOptions::sites.
+void render_sweep_json(const SweepOutcome& oc, std::ostream& os, bool sites);
+
+}  // namespace sdlo::analysis

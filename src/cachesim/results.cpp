@@ -1,0 +1,34 @@
+#include "cachesim/results.hpp"
+
+namespace sdlo::cachesim {
+
+std::uint64_t misses_from_histogram(
+    const std::map<std::int64_t, std::uint64_t>& histogram,
+    std::uint64_t cold, std::int64_t capacity) {
+  std::uint64_t m = cold;
+  for (auto it = histogram.upper_bound(capacity); it != histogram.end();
+       ++it) {
+    m += it->second;
+  }
+  return m;
+}
+
+std::uint64_t ProfileResult::misses(std::int64_t capacity_elems) const {
+  return misses_from_histogram(histogram, cold, capacity_elems / line_elems);
+}
+
+SimResult ProfileResult::result(std::int64_t capacity_elems) const {
+  const std::int64_t cap_lines = capacity_elems / line_elems;
+  SimResult r;
+  r.accesses = accesses;
+  r.completeness = completeness;
+  r.misses = misses_from_histogram(histogram, cold, cap_lines);
+  r.misses_by_site.resize(histogram_by_site.size());
+  for (std::size_t s = 0; s < histogram_by_site.size(); ++s) {
+    r.misses_by_site[s] = misses_from_histogram(histogram_by_site[s],
+                                                cold_by_site[s], cap_lines);
+  }
+  return r;
+}
+
+}  // namespace sdlo::cachesim

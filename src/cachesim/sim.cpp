@@ -61,24 +61,6 @@ SimResult simulate_lru_lines(const trace::CompiledProgram& prog,
   return r;
 }
 
-std::uint64_t ProfileResult::misses(std::int64_t capacity_elems) const {
-  return misses_from_histogram(histogram, cold, capacity_elems / line_elems);
-}
-
-SimResult ProfileResult::result(std::int64_t capacity_elems) const {
-  const std::int64_t cap_lines = capacity_elems / line_elems;
-  SimResult r;
-  r.accesses = accesses;
-  r.completeness = completeness;
-  r.misses = misses_from_histogram(histogram, cold, cap_lines);
-  r.misses_by_site.resize(histogram_by_site.size());
-  for (std::size_t s = 0; s < histogram_by_site.size(); ++s) {
-    r.misses_by_site[s] = misses_from_histogram(histogram_by_site[s],
-                                                cold_by_site[s], cap_lines);
-  }
-  return r;
-}
-
 namespace {
 
 /// Feeds one run group into the profiler, bulk-accounting the depths the

@@ -8,31 +8,13 @@
 #include <vector>
 
 #include "cachesim/lru_cache.hpp"
+#include "cachesim/results.hpp"
 #include "cachesim/set_assoc_cache.hpp"
 #include "cachesim/stack_profiler.hpp"
 #include "support/governor.hpp"
 #include "trace/walker.hpp"
 
 namespace sdlo::cachesim {
-
-/// Result of a fully-associative LRU simulation.
-struct SimResult {
-  std::uint64_t accesses = 0;
-  std::uint64_t misses = 0;
-  /// Misses attributed to each access site (indexed by CompiledProgram
-  /// site ids). The per-site breakdown validates per-partition predictions.
-  std::vector<std::uint64_t> misses_by_site;
-  /// kTruncated when a Governor stopped the walk early; the counts are
-  /// then the exact simulation of the consumed trace prefix (whole run
-  /// groups), hence lower bounds on the full-trace counts.
-  Completeness completeness = Completeness::kComplete;
-
-  double miss_ratio() const {
-    return accesses == 0 ? 0.0
-                         : static_cast<double>(misses) /
-                               static_cast<double>(accesses);
-  }
-};
 
 /// Simulates the full trace against a fully-associative LRU cache of
 /// `capacity` elements.
@@ -53,31 +35,6 @@ SimResult simulate_set_assoc(const trace::CompiledProgram& prog,
 SimResult simulate_lru_lines(const trace::CompiledProgram& prog,
                              std::int64_t capacity_elems,
                              std::int64_t line_elems);
-
-/// Exact stack-distance profile of the full trace; `misses(C)` then answers
-/// every capacity in O(log #depths), and `result(C)` reconstructs the full
-/// SimResult — per-site miss counts included — without another walk.
-struct ProfileResult {
-  std::uint64_t accesses = 0;
-  std::uint64_t cold = 0;
-  /// kTruncated when a Governor stopped the walk early; the histogram is
-  /// then the exact profile of the consumed trace prefix.
-  Completeness completeness = Completeness::kComplete;
-  /// Line granularity the trace was profiled at (depths are in lines).
-  std::int64_t line_elems = 1;
-  std::map<std::int64_t, std::uint64_t> histogram;
-  /// Per-site cold counts and depth histograms (indexed by site id).
-  std::vector<std::uint64_t> cold_by_site;
-  std::vector<std::map<std::int64_t, std::uint64_t>> histogram_by_site;
-
-  /// Misses of a fully-associative LRU cache of `capacity_elems` elements
-  /// (holding capacity_elems / line_elems lines).
-  std::uint64_t misses(std::int64_t capacity_elems) const;
-
-  /// Full SimResult for one capacity, equivalent to
-  /// simulate_lru_lines(prog, capacity_elems, line_elems).
-  SimResult result(std::int64_t capacity_elems) const;
-};
 
 /// Profiles the trace at `line_elems` granularity (a power of two dividing
 /// nothing in particular — addresses are grouped into lines), recording

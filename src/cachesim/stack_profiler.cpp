@@ -9,17 +9,6 @@
 
 namespace sdlo::cachesim {
 
-std::uint64_t misses_from_histogram(
-    const std::map<std::int64_t, std::uint64_t>& histogram,
-    std::uint64_t cold, std::int64_t capacity) {
-  std::uint64_t m = cold;
-  for (auto it = histogram.upper_bound(capacity); it != histogram.end();
-       ++it) {
-    m += it->second;
-  }
-  return m;
-}
-
 namespace {
 constexpr std::uint64_t kNoPos = std::numeric_limits<std::uint64_t>::max();
 }  // namespace

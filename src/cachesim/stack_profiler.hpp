@@ -32,15 +32,9 @@
 #include <unordered_map>
 #include <vector>
 
-namespace sdlo::cachesim {
+#include "cachesim/results.hpp"
 
-/// Folds a stack-distance histogram into the miss count of a
-/// fully-associative LRU cache of `capacity` elements: cold accesses plus
-/// every access whose depth exceeds the capacity. Shared by every
-/// histogram-shaped result in the library.
-std::uint64_t misses_from_histogram(
-    const std::map<std::int64_t, std::uint64_t>& histogram,
-    std::uint64_t cold, std::int64_t capacity);
+namespace sdlo::cachesim {
 
 /// Streaming exact stack-distance histogram.
 class StackDistanceProfiler {

@@ -20,6 +20,7 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "model/analyzer.hpp"
+#include "model/symbolic_sweep.hpp"
 #include "support/failpoints.hpp"
 #include "trace/walker.hpp"
 
@@ -191,6 +192,60 @@ void check_model(OracleReport& report, const ir::Program& prog,
   }
   compare_results(report, "model-vs-lru-per-site",
                   "cap=" + std::to_string(cap), pred_as_sim, sim);
+}
+
+void check_symbolic_sweep(OracleReport& report, const ir::Program& prog,
+                          const sym::Env& env,
+                          const trace::CompiledProgram& cp,
+                          const OracleOptions& opts) {
+  const auto an = model::analyze(prog);
+  const auto sweep = model::symbolic_sweep(an, env);
+  if (sweep.confidence != model::Confidence::kExact) {
+    // Not model-exact: the sweep driver falls back to simulation, so there
+    // is no analytic curve to enroll. (The numeric-prediction oracle still
+    // covers the interpolated paths.)
+    return;
+  }
+  // The analytic stack-distance histogram must be bit-identical to the
+  // trace profiler's — global and per-site, cold counts included.
+  const auto prof = cachesim::profile_stack_distances(cp);
+  const auto got = sweep.profile();
+  if (got.accesses != prof.accesses || got.cold != prof.cold ||
+      got.histogram != prof.histogram ||
+      got.cold_by_site != prof.cold_by_site ||
+      got.histogram_by_site != prof.histogram_by_site) {
+    add_mismatch(report, "symbolic-sweep-vs-profile",
+                 "analytic stack-distance histogram differs from the trace "
+                 "profile (cold/global/per-site)");
+  }
+  // And the evaluated curve must be bit-identical to simulate_sweep at the
+  // capacity ladder plus every crossing point and both its neighbors.
+  std::set<std::int64_t> caps(opts.capacities.begin(),
+                              opts.capacities.end());
+  for (const std::int64_t d : sweep.crossing_points()) {
+    if (d > 1) caps.insert(d - 1);
+    caps.insert(d);
+    caps.insert(d + 1);
+  }
+  const std::vector<std::int64_t> cap_list(caps.begin(), caps.end());
+  // The marker-stack engine takes at most 254 capacities per call.
+  for (std::size_t base = 0; base < cap_list.size(); base += 200) {
+    const std::size_t n =
+        std::min<std::size_t>(200, cap_list.size() - base);
+    std::vector<cachesim::SweepConfig> configs;
+    configs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      configs.push_back(
+          {cap_list[base + i], 1, 0, cachesim::Replacement::kLru});
+    }
+    const auto swept = cachesim::simulate_sweep(cp, configs);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t cap = cap_list[base + i];
+      compare_results(report, "symbolic-sweep-vs-sweep",
+                      "cap=" + std::to_string(cap), sweep.result_at(cap),
+                      swept[i]);
+    }
+  }
 }
 
 void check_profile(OracleReport& report, const trace::CompiledProgram& cp,
@@ -654,6 +709,9 @@ OracleReport check_program(const ir::Program& prog, const sym::Env& env,
   if (opts.check_walker && !out_of_budget()) check_walker(report, cp);
   if (opts.check_model && !out_of_budget()) {
     check_model(report, prog, env, cp, opts);
+  }
+  if (opts.check_symbolic && !out_of_budget()) {
+    check_symbolic_sweep(report, prog, env, cp, opts);
   }
   if (opts.check_profile && !out_of_budget()) check_profile(report, cp, opts);
   if (opts.check_sweep && !out_of_budget()) check_sweep(report, cp, opts);

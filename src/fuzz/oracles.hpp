@@ -6,6 +6,8 @@
 // independent implementations of that semantics:
 //
 //   model::predict_misses        symbolic analysis + coordinate enumeration
+//   model::symbolic_sweep        analytic full-curve stack-distance
+//                                histogram (no trace walk)
 //   cachesim::simulate_lru       arena LRU cache fed by the trace walker
 //   cachesim::simulate_lru_lines line-granular variant of the above
 //   cachesim::profile_stack_distances / ProfileResult::result
@@ -67,6 +69,11 @@ struct OracleOptions {
   bool check_roundtrip = true;  ///< parse(print(p)) structural equality
   bool check_walker = true;     ///< walk vs walk_batched / walk_runs shapes
   bool check_model = true;      ///< model vs exact stack-distance profile
+  /// Analytic capacity sweep: when model::symbolic_sweep answers with
+  /// Confidence::kExact its histogram must be bit-identical to the trace
+  /// profiler's and its curve must match simulate_sweep at the capacity
+  /// ladder plus every crossing point (misses_by_site included).
+  bool check_symbolic = true;
   bool check_profile = true;    ///< profiler (both modes) vs simulate_lru*
   bool check_sweep = true;      ///< sweep + many (both modes) vs reference
   /// Time-partitioned parallel sweep and the out-of-core engines: the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "model/bound_partition.hpp"
 #include "support/check.hpp"
 #include "support/checked_math.hpp"
 #include "support/rng.hpp"
@@ -68,58 +69,6 @@ std::int32_t site_index(const ir::Program& prog,
   }
   throw ContractViolation("site_index: unknown statement");
 }
-
-namespace {
-
-/// Per-partition evaluation context: bounds pre-substituted with the size
-/// environment and compiled to affine functions of the coordinate vector.
-struct BoundPartition {
-  std::vector<std::vector<CompiledBox>> boxes;  // per array
-  // Coordinate domains, aligned with coord_syms: [lo, hi] inclusive.
-  std::vector<std::pair<std::int64_t, std::int64_t>> domains;
-  std::vector<std::string> coord_syms;
-  UnionCounter counter;
-
-  std::int64_t depth_at(std::span<const std::int64_t> values) {
-    std::int64_t depth = 0;
-    for (const auto& b : boxes) {
-      depth = sat_add(depth, counter.count(b, values));
-    }
-    return depth;
-  }
-};
-
-BoundPartition bind_partition(const PartitionAnalysis& pa,
-                              const sym::Env& full_env) {
-  BoundPartition bp;
-  for (const auto& [symbol, var] : pa.coords) {
-    const std::int64_t extent = full_env.at(extent_symbol(var));
-    const bool pivot = starts_with(symbol, "__x_");
-    bp.domains.emplace_back(pivot ? 1 : 0, extent - 1);
-    bp.coord_syms.push_back(symbol);
-  }
-  for (const auto& [array, boxes] : pa.boxes) {
-    std::vector<Box> bound;
-    bound.reserve(boxes.size());
-    for (const auto& b : boxes) {
-      Box nb;
-      nb.dims.reserve(b.dims.size());
-      for (const auto& iv : b.dims) {
-        nb.dims.push_back(Interval{sym::substitute(iv.lo, full_env),
-                                   sym::substitute(iv.hi, full_env)});
-      }
-      for (const auto& g : b.guards) {
-        nb.guards.push_back(Interval{sym::substitute(g.lo, full_env),
-                                     sym::substitute(g.hi, full_env)});
-      }
-      bound.push_back(std::move(nb));
-    }
-    bp.boxes.push_back(compile_boxes(bound, bp.coord_syms));
-  }
-  return bp;
-}
-
-}  // namespace
 
 MissPrediction predict_misses(const Analysis& an, const sym::Env& env,
                               std::int64_t capacity,

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/sweep_driver.hpp"
 #include "cachesim/parallel_stack.hpp"
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
@@ -79,6 +80,15 @@ std::vector<Operation> operations() {
                        {{16, 1, 0, cachesim::Replacement::kLru},
                         {1024, 1, 0, cachesim::Replacement::kLru}},
                        &pool, opt);
+                 }});
+  ops.push_back({"sweep-symbolic", [] {
+                   // The analytic engine plus its simulation fallback path.
+                   const auto g = ir::matmul_tiled();
+                   analysis::SweepDriverOptions opts;
+                   opts.engine = analysis::SweepEngine::kSymbolic;
+                   analysis::run_sweep(g.prog,
+                                       g.make_env({8, 8, 8}, {4, 4, 4}),
+                                       opts);
                  }});
   ops.push_back({"spool-roundtrip", [] {
                    const auto path =
@@ -288,6 +298,35 @@ TEST(Robustness, DeadlineStopsLongGovernedRunPromptly) {
   const auto elapsed = seconds_since_start();
   EXPECT_TRUE(saw_truncation);
   EXPECT_LT(elapsed, 5.0);  // generous bound for loaded CI machines
+}
+
+TEST(Robustness, ExpiredDeadlineTruncatesSymbolicSweepToExitCode2) {
+  // An already-expired deadline is the deterministic worst case: the
+  // symbolic evaluation loop must stop at its first poll, surface the
+  // best-so-far partial curve (here: the empty lower bound), and report
+  // exit code 2 — never crash, never answer as if complete.
+  const auto g = ir::two_index_tiled();
+  const sym::Env env = g.make_env({16, 16, 16, 16}, {4, 8, 8, 4});
+  analysis::SweepDriverOptions opts;
+  opts.engine = analysis::SweepEngine::kSymbolic;
+  const auto full = analysis::run_sweep(g.prog, env, opts);
+  ASSERT_EQ(full.engine, "symbolic");
+  ASSERT_FALSE(full.truncated());
+
+  Governor gov;
+  gov.deadline = Deadline::after_seconds(0.0);
+  gov.poll_interval = 16;
+  const auto part = analysis::run_sweep(g.prog, env, opts, &gov);
+  EXPECT_EQ(part.engine, "symbolic");
+  EXPECT_FALSE(part.fell_back);  // truncation is not a fallback
+  EXPECT_TRUE(part.truncated());
+  EXPECT_EQ(part.exit_code(), 2);
+  // Every ladder row is present and a lower bound of the full curve.
+  ASSERT_EQ(part.rows.size(), full.rows.size());
+  for (std::size_t i = 0; i < part.rows.size(); ++i) {
+    EXPECT_LE(part.rows[i].misses, full.rows[i].misses)
+        << "cap=" << part.capacities[i];
+  }
 }
 
 }  // namespace

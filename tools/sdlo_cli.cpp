@@ -6,8 +6,9 @@
 //   sdlo analyze  prog.sdlo                      # partitions + distances
 //   sdlo lint     prog.sdlo [--set N=512] [--cap 8192] [--line 8] [--json]
 //   sdlo misses   prog.sdlo --cap 8192 --set N=512 [--simulate] [--json]
-//   sdlo sweep    prog.sdlo --set N=512 [--line 4] [--sites] [--json]
-//                 [--threads T] [--chunk-accesses N] [--spool FILE]
+//   sdlo sweep    prog.sdlo --set N=512 [--engine symbolic] [--line 4]
+//                 [--sites] [--json] [--threads T] [--chunk-accesses N]
+//                 [--spool FILE]
 //   sdlo trace    prog.sdlo --set N=8 [--limit 100]
 //   sdlo fuzz     [--seed S] [--count N] [--time-budget SEC]
 //                 [--artifact-dir DIR] [--replay artifact.sdlo]
@@ -24,7 +25,12 @@
 // the model's prediction and, with --simulate, cross-checks it against the
 // sweep engine's simulator. `sweep` uses the stack-distance profiler to
 // answer every capacity from one pass — at line granularity with --line,
-// and with a per-site miss breakdown under --sites. With --threads > 1 (or
+// and with a per-site miss breakdown under --sites. With --engine symbolic
+// the curve is computed analytically from the miss model with no trace
+// walk (analysis/sweep_driver.hpp); programs the model cannot resolve
+// exactly fall back to simulation, and both text and JSON output name the
+// engine that actually answered (plus the fallback reason), so scripts can
+// detect a silent fallback. With --threads > 1 (or
 // an explicit --chunk-accesses) the pass runs on the time-partitioned
 // parallel engine (cachesim/parallel_stack.hpp), whose merged counts are
 // bit-identical to the sequential pass. --spool FILE first serializes the
@@ -53,6 +59,7 @@
 #include <sstream>
 
 #include "analysis/lint.hpp"
+#include "analysis/sweep_driver.hpp"
 #include "cachesim/parallel_stack.hpp"
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
@@ -201,17 +208,7 @@ int cmd_misses(const ir::Program& prog, const sym::Env& env,
   return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
 }
 
-/// The sweep verb's power-of-two capacity ladder: line, 2*line, ... up to
-/// twice the address space (so the last row is always fully resident).
-std::vector<std::int64_t> sweep_ladder(std::int64_t line,
-                                       std::uint64_t space) {
-  std::vector<std::int64_t> caps;
-  for (std::int64_t cap = line;
-       cap <= static_cast<std::int64_t>(space) * 2; cap *= 2) {
-    caps.push_back(cap);
-  }
-  return caps;
-}
+using analysis::sweep_ladder;
 
 /// Partitioned/out-of-core sweep output: same table and JSON shape as the
 /// profiler path, computed by simulate_sweep_partitioned over `src` (a
@@ -240,7 +237,8 @@ int emit_partitioned_sweep(const Source& src, std::int64_t line, bool sites,
   }
   const std::uint64_t accesses = results.empty() ? 0 : results[0].accesses;
   if (json) {
-    std::cout << "{\"line_elems\":" << line << ",\"accesses\":" << accesses
+    std::cout << "{\"engine\":\"simulated\",\"line_elems\":" << line
+              << ",\"accesses\":" << accesses
               << ",\"threads\":" << (threads > 1 ? threads : 1)
               << ",\"completeness\":\""
               << json_completeness(truncated ? Completeness::kTruncated
@@ -301,84 +299,40 @@ int emit_partitioned_sweep(const Source& src, std::int64_t line, bool sites,
 }
 
 int cmd_sweep(const ir::Program& prog, const sym::Env& env,
-              std::int64_t line, bool sites, trace::TraceMode mode,
-              const Governor* gov, bool json, int threads,
-              std::int64_t chunk_accesses, const std::string& spool_path) {
-  trace::CompiledProgram cp(prog, env);
-  if (!spool_path.empty()) {
-    // Out-of-core: serialize the run-compressed trace, then stream it back
-    // through a bounded window so peak memory excludes the trace itself.
-    trace::spool_program(spool_path, cp);
-    const trace::SpooledTrace spool(spool_path);
-    return emit_partitioned_sweep(spool, line, sites, threads,
-                                  chunk_accesses, gov, json);
+              const std::string& engine, std::int64_t line, bool sites,
+              trace::TraceMode mode, const Governor* gov, bool json,
+              int threads, std::int64_t chunk_accesses,
+              const std::string& spool_path) {
+  const analysis::SweepEngine eng = analysis::parse_sweep_engine(engine);
+  if (eng == analysis::SweepEngine::kSimulate) {
+    // The partitioned / out-of-core paths are simulation-only.
+    if (!spool_path.empty()) {
+      // Out-of-core: serialize the run-compressed trace, then stream it
+      // back through a bounded window so peak memory excludes the trace.
+      trace::CompiledProgram cp(prog, env);
+      trace::spool_program(spool_path, cp);
+      const trace::SpooledTrace spool(spool_path);
+      return emit_partitioned_sweep(spool, line, sites, threads,
+                                    chunk_accesses, gov, json);
+    }
+    if (threads > 1 || chunk_accesses > 0) {
+      trace::CompiledProgram cp(prog, env);
+      return emit_partitioned_sweep(cp, line, sites, threads,
+                                    chunk_accesses, gov, json);
+    }
   }
-  if (threads > 1 || chunk_accesses > 0) {
-    return emit_partitioned_sweep(cp, line, sites, threads, chunk_accesses,
-                                  gov, json);
-  }
-  const auto prof = cachesim::profile_stack_distances(cp, line, mode, gov);
-  const bool truncated = prof.completeness == Completeness::kTruncated;
+  analysis::SweepDriverOptions opts;
+  opts.engine = eng;
+  opts.line_elems = line;
+  opts.sites = sites;
+  opts.mode = mode;
+  const analysis::SweepOutcome oc = analysis::run_sweep(prog, env, opts, gov);
   if (json) {
-    std::cout << "{\"line_elems\":" << line
-              << ",\"accesses\":" << prof.accesses << ",\"completeness\":\""
-              << json_completeness(prof.completeness) << "\",\"rows\":[";
-    bool first = true;
-    for (std::int64_t cap = line;
-         cap <= static_cast<std::int64_t>(cp.address_space_size()) * 2;
-         cap *= 2) {
-      const auto r = prof.result(cap);
-      std::cout << (first ? "" : ",") << "{\"capacity\":" << cap
-                << ",\"misses\":" << r.misses;
-      if (sites) {
-        std::cout << ",\"misses_by_site\":[";
-        for (std::size_t s = 0; s < r.misses_by_site.size(); ++s) {
-          std::cout << (s == 0 ? "" : ",") << r.misses_by_site[s];
-        }
-        std::cout << "]";
-      }
-      std::cout << "}";
-      first = false;
-    }
-    std::cout << "]}\n";
-    return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
+    analysis::render_sweep_json(oc, std::cout, sites);
+  } else {
+    analysis::render_sweep_text(oc, std::cout);
   }
-  std::vector<std::string> header{"capacity", "misses", "miss ratio"};
-  if (sites) {
-    for (std::size_t s = 0; s < prof.histogram_by_site.size(); ++s) {
-      header.push_back("site " + std::to_string(s));
-    }
-  }
-  TextTable t(header);
-  for (std::int64_t cap = line;
-       cap <= static_cast<std::int64_t>(cp.address_space_size()) * 2;
-       cap *= 2) {
-    const auto r = prof.result(cap);
-    std::vector<std::string> row{
-        with_commas(cap), with_commas(static_cast<std::int64_t>(r.misses)),
-        format_double(100.0 * static_cast<double>(r.misses) /
-                          static_cast<double>(prof.accesses),
-                      3) +
-            "%"};
-    if (sites) {
-      for (const auto m : r.misses_by_site) {
-        row.push_back(with_commas(static_cast<std::int64_t>(m)));
-      }
-    }
-    t.add_row(row);
-  }
-  t.print(std::cout);
-  if (line != 1) {
-    std::cout << "(line granularity: " << line
-              << " elements per line; capacities in elements)\n";
-  }
-  if (truncated) {
-    std::cout << "TRUNCATED by budget after "
-              << with_commas(static_cast<std::int64_t>(prof.accesses))
-              << " accesses: counts are exact for that prefix (lower "
-                 "bounds for the full trace)\n";
-  }
-  return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
+  return oc.exit_code();
 }
 
 int cmd_lint(const std::string& text, const std::string& source_name,
@@ -529,6 +483,10 @@ int main(int argc, char** argv) {
         .flag("set", "bind a symbol: --set N=512 (repeatable)")
         .flag("simulate", "cross-check the model with the simulator")
         .flag("line", "line size in elements for sweep (default 1)")
+        .flag("engine",
+              "sweep engine: simulate (default) or symbolic (analytic "
+              "curve, no trace walk; falls back to simulation when the "
+              "model is not exact)")
         .flag("sites", "per-site miss breakdown (sweep)")
         .flag("limit", "max trace records to print (trace)")
         .flag("seed", "base seed for fuzz (program i uses seed+i)")
@@ -615,9 +573,9 @@ int main(int argc, char** argv) {
                         governor.get(), json);
     }
     if (verb == "sweep") {
-      return cmd_sweep(prog, env, cli.get_int("line", 1),
-                       cli.get_bool("sites", false), trace_mode,
-                       governor.get(), json,
+      return cmd_sweep(prog, env, cli.get_string("engine", "simulate"),
+                       cli.get_int("line", 1), cli.get_bool("sites", false),
+                       trace_mode, governor.get(), json,
                        static_cast<int>(cli.get_int("threads", 1)),
                        cli.get_int("chunk-accesses", 0),
                        cli.get_string("spool", ""));
