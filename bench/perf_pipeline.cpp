@@ -32,6 +32,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -152,6 +153,14 @@ constexpr double kPreRunsSweepSeconds = 1.01199;
 constexpr double kPreRunsBaselineSeconds = 7.94833;
 constexpr std::int64_t kPreRunsN = 256;
 
+// The out-of-core tier as committed before the pipelined driver (v1 spool
+// written in its own pass, then decoded and swept): the "before" numbers
+// the pipelined single-pass path is scored against at full scale
+// (N=1024, 4.29e9 accesses).
+constexpr double kPreRunsBigSpoolWriteSeconds = 13.7455;
+constexpr double kPreRunsBigSweepSeconds = 56.7987;
+constexpr std::int64_t kPreRunsBigN = 1024;
+
 /// One timed run of the partitioned engine at a given thread count.
 struct ParallelTiming {
   int threads = 1;
@@ -172,7 +181,50 @@ struct BigTier {
   double spooled_parallel_seconds = 0;
   bool identical = false;
   bool complete = false;
+
+  /// The pipelined path (simulate_sweep_streamed): one generation pass
+  /// tees the spool while the per-chunk engines profile, against the
+  /// write-then-decode baseline above. Phase accounting comes from
+  /// PartitionStats.
+  double pipelined_seconds = 0;
+  std::uint64_t pipelined_spool_bytes = 0;
+  bool pipelined_identical = false;
+  bool pipelined_tee_bytes_identical = false;
+  double pipelined_speedup = 0;
+  /// Against the committed pre-pipeline tier (kPreRunsBig*): only set at
+  /// the full committed scale where those numbers were taken.
+  double pipelined_speedup_vs_before = 0;
+  cachesim::PartitionStats pipelined_stats;
+  double pipelined_parallel_seconds = 0;
+  bool pipelined_parallel_identical = false;
+  cachesim::PartitionStats pipelined_parallel_stats;
 };
+
+/// Field-by-field SimResult equality against a reference vector.
+bool results_identical(const std::vector<cachesim::SimResult>& got,
+                       const std::vector<cachesim::SimResult>& want) {
+  if (got.size() != want.size()) return false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].accesses != want[i].accesses ||
+        got[i].misses != want[i].misses ||
+        got[i].misses_by_site != want[i].misses_by_site) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Byte-for-byte file equality.
+bool files_identical(const std::string& a, const std::string& b) {
+  std::ifstream fa(a, std::ios::binary);
+  std::ifstream fb(b, std::ios::binary);
+  if (!fa || !fb) return false;
+  const std::string da((std::istreambuf_iterator<char>(fa)),
+                       std::istreambuf_iterator<char>());
+  const std::string db((std::istreambuf_iterator<char>(fb)),
+                       std::istreambuf_iterator<char>());
+  return da == db;
+}
 
 BigTier run_big_tier() {
   BigTier b;
@@ -230,11 +282,63 @@ BigTier run_big_tier() {
   const auto par = cachesim::simulate_sweep_partitioned(spool, configs,
                                                         &pool, popt, &gov);
   b.spooled_parallel_seconds = timer.seconds();
-  b.identical = par.size() == seq.size();
-  for (std::size_t i = 0; b.identical && i < par.size(); ++i) {
-    b.identical = par[i].accesses == seq[i].accesses &&
-                  par[i].misses == seq[i].misses &&
-                  par[i].misses_by_site == seq[i].misses_by_site;
+  b.identical = results_identical(par, seq);
+
+  // The pipelined path: ONE governed pass generates the trace, tees the
+  // spool, and profiles through per-chunk engines merged by the rolling
+  // frontier — against the baseline's write-then-decode two passes above.
+  // Same deliverables (finished spool file + full sweep), so the fair
+  // comparison is spool_write_seconds + spooled_sweep_seconds.
+  const std::string tee_path =
+      (std::filesystem::temp_directory_path() / "sdlo_perf_big_tee.spl")
+          .string();
+  {
+    trace::SpoolWriter tee(tee_path);
+    cachesim::StreamOptions sopt;
+    sopt.partition.chunks = 4;
+    sopt.partition.stats = &b.pipelined_stats;
+    sopt.tee = &tee;
+    timer.reset();
+    const auto piped =
+        cachesim::simulate_sweep_streamed(cp, configs, nullptr, sopt, &gov);
+    tee.finish(cp.num_sites(), cp.address_space_size());
+    b.pipelined_seconds = timer.seconds();
+    b.pipelined_identical = results_identical(piped, seq);
+    b.pipelined_spool_bytes =
+        static_cast<std::uint64_t>(std::filesystem::file_size(tee_path));
+    b.pipelined_tee_bytes_identical = files_identical(tee_path, path);
+    // Fresh-vs-fresh against this run's own write-then-decode passes; on a
+    // single hardware thread the single pass only saves the decode, so the
+    // headline score is against the committed pre-pipeline tier below.
+    b.pipelined_speedup =
+        b.pipelined_seconds > 0
+            ? (b.spool_write_seconds + b.spooled_sweep_seconds) /
+                  b.pipelined_seconds
+            : 0;
+    if (b.n == kPreRunsBigN && b.pipelined_seconds > 0) {
+      b.pipelined_speedup_vs_before =
+          (kPreRunsBigSpoolWriteSeconds + kPreRunsBigSweepSeconds) /
+          b.pipelined_seconds;
+    }
+  }
+  std::remove(tee_path.c_str());
+
+  // The same pipelined pass with pooled workers: chunks profile through
+  // the bounded ring while the frontier merge overlaps them
+  // (overlapped_merges > 0 is the direct evidence).
+  {
+    cachesim::StreamOptions sopt;
+    sopt.partition.threads = 4;
+    // Matches the barriered x4 run's chunk count: 16 concurrent chunks'
+    // dense tables would trip the 256 MB budget and degrade to the
+    // sequential engine, which is not the path being timed here.
+    sopt.partition.chunks = 4;
+    sopt.partition.stats = &b.pipelined_parallel_stats;
+    timer.reset();
+    const auto piped =
+        cachesim::simulate_sweep_streamed(cp, configs, &pool, sopt, &gov);
+    b.pipelined_parallel_seconds = timer.seconds();
+    b.pipelined_parallel_identical = results_identical(piped, seq);
   }
   std::remove(path.c_str());
 
@@ -250,7 +354,22 @@ BigTier run_big_tier() {
             << "  spooled sweep:         " << b.spooled_sweep_seconds
             << " s (" << (b.complete ? "complete" : "TRUNCATED") << ")\n"
             << "  spooled sweep x4:      " << b.spooled_parallel_seconds
-            << " s   identical: " << (b.identical ? "yes" : "NO") << "\n\n";
+            << " s   identical: " << (b.identical ? "yes" : "NO") << "\n"
+            << "  pipelined (tee+sweep): " << b.pipelined_seconds << " s = "
+            << b.pipelined_speedup << "x vs write-then-decode, "
+            << b.pipelined_speedup_vs_before
+            << "x vs committed pre-pipeline tier  (profile "
+            << b.pipelined_stats.profile_seconds << " s, merge "
+            << b.pipelined_stats.merge_seconds << " s, spool "
+            << b.pipelined_stats.spool_write_seconds << " s; identical: "
+            << (b.pipelined_identical ? "yes" : "NO") << ", tee bytes: "
+            << (b.pipelined_tee_bytes_identical ? "identical" : "DIFFER")
+            << ")\n"
+            << "  pipelined x4:          " << b.pipelined_parallel_seconds
+            << " s   overlapped merges: "
+            << b.pipelined_parallel_stats.overlapped_merges << "/"
+            << b.pipelined_parallel_stats.chunks << "  identical: "
+            << (b.pipelined_parallel_identical ? "yes" : "NO") << "\n\n";
   b.ran = true;
   return b;
 }
@@ -463,7 +582,35 @@ int run_sweep_comparison(const std::string& json_arg) {
         << "    \"complete\": " << (big.complete ? "true" : "false")
         << ",\n"
         << "    \"identical\": " << (big.identical ? "true" : "false")
-        << "\n  },\n";
+        << ",\n";
+    const auto emit_phases = [&out](const cachesim::PartitionStats& s) {
+      out << "\"phases\": {\"profile_seconds\": " << s.profile_seconds
+          << ", \"merge_seconds\": " << s.merge_seconds
+          << ", \"merge_wait_seconds\": " << s.merge_wait_seconds
+          << ", \"spool_write_seconds\": " << s.spool_write_seconds
+          << ", \"chunks\": " << s.chunks
+          << ", \"overlapped_merges\": " << s.overlapped_merges << "}";
+    };
+    out << "    \"pipelined\": {\n"
+        << "      \"seconds\": " << big.pipelined_seconds << ",\n"
+        << "      \"spool_bytes\": " << big.pipelined_spool_bytes << ",\n"
+        << "      \"identical\": "
+        << (big.pipelined_identical ? "true" : "false") << ",\n"
+        << "      \"tee_bytes_identical\": "
+        << (big.pipelined_tee_bytes_identical ? "true" : "false") << ",\n"
+        << "      \"speedup_vs_write_then_decode\": "
+        << big.pipelined_speedup << ",\n"
+        << "      \"speedup_vs_before\": "
+        << big.pipelined_speedup_vs_before << ",\n      ";
+    emit_phases(big.pipelined_stats);
+    out << "\n    },\n"
+        << "    \"pipelined_parallel\": {\n"
+        << "      \"seconds\": " << big.pipelined_parallel_seconds << ",\n"
+        << "      \"identical\": "
+        << (big.pipelined_parallel_identical ? "true" : "false")
+        << ",\n      ";
+    emit_phases(big.pipelined_parallel_stats);
+    out << "\n    }\n  },\n";
   }
   out << "  \"before\": {\n"
       << "    \"n\": " << kPreRunsN << ",\n"

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <limits>
 #include <memory>
@@ -12,6 +15,7 @@
 #include "support/check.hpp"
 #include "support/failpoints.hpp"
 #include "support/simd.hpp"
+#include "support/timer.hpp"
 
 namespace sdlo::cachesim {
 
@@ -43,12 +47,22 @@ class BoundaryMerge {
     tree_.assign(window_ + 1, 0);
   }
 
+  /// Bulk-gathers the current timestamps of `n` hole lines (the dense-table
+  /// gather of the SIMD shim). Valid for one chunk's hole list because hole
+  /// lines are distinct within a chunk — a chunk's hole is the FIRST touch
+  /// of its line — and resolve() only ever deletes the resolved line
+  /// itself, so no earlier resolution can move another hole's timestamp.
+  void gather_positions(const std::uint64_t* lines, std::uint64_t* out,
+                        std::size_t n) const {
+    simd::gather_u64(pos_of_.data(), lines, out, n);
+  }
+
   /// When `line` was last touched by an earlier chunk: returns the number
   /// of live timestamps at or after its own (its own included, so >= 1)
   /// and deletes the line, so later holes never count it again. Returns 0
-  /// when the line is unseen — a true cold access.
-  std::uint64_t resolve(std::uint64_t line) {
-    const std::uint64_t p = pos_of_[static_cast<std::size_t>(line)];
+  /// when the line is unseen — a true cold access. `p` is the line's
+  /// gathered timestamp (gather_positions), equal to pos_of_[line].
+  std::uint64_t resolve(std::uint64_t line, std::uint64_t p) {
     if (p == kNoPos) return 0;
     const std::int64_t cnt =
         active_ - (p == 0 ? 0 : prefix_sum(static_cast<std::size_t>(p) - 1));
@@ -122,6 +136,89 @@ struct ChunkProfile {
   bool complete = true;  // consumed its whole group range
 };
 
+/// The incremental half of the rolling frontier: folds chunks into the
+/// boundary-merge structure strictly in trace order, one call per chunk,
+/// and releases each chunk's engine the moment it is merged. Because the
+/// fold order equals the sequential merge order, the accumulated buckets,
+/// cold counts and access totals are bit-identical to the barriered merge
+/// no matter when (relative to still-profiling workers) each fold runs.
+class FrontierMerger {
+ public:
+  FrontierMerger(const std::vector<std::int64_t>& caps,
+                 std::int32_t num_sites, std::uint64_t fp)
+      : caps_(caps),
+        num_sites_(num_sites),
+        ks_(caps.size() + 1),
+        buckets_(static_cast<std::size_t>(num_sites) * ks_, 0),
+        cold_by_site_(static_cast<std::size_t>(num_sites), 0),
+        merge_(fp) {}
+
+  /// Folds chunk `p` in (must be called for chunks 0, 1, 2, ... in order)
+  /// and frees its engine and hole list.
+  void merge_chunk(ChunkProfile& p) {
+    accesses_ += p.engine->accesses();
+    const std::size_t nh = p.holes.size();
+    hole_lines_.resize(nh);
+    hole_pos_.resize(nh);
+    for (std::size_t j = 0; j < nh; ++j) hole_lines_[j] = p.holes[j].line;
+    merge_.gather_positions(hole_lines_.data(), hole_pos_.data(), nh);
+    for (std::size_t j = 0; j < nh; ++j) {
+      const Hole& h = p.holes[j];
+      const std::uint64_t cnt = merge_.resolve(h.line, hole_pos_[j]);
+      if (cnt == 0) {
+        ++cold_by_site_[static_cast<std::size_t>(h.site)];
+        continue;
+      }
+      const std::uint64_t depth = cnt + j;
+      const std::size_t seg = static_cast<std::size_t>(
+          std::lower_bound(caps_.begin(), caps_.end(),
+                           static_cast<std::int64_t>(depth)) -
+          caps_.begin());
+      ++buckets_[static_cast<std::size_t>(h.site) * ks_ + seg];
+    }
+    for (std::uint64_t l : p.engine->recency_order()) merge_.append(l);
+    simd::add_u64(buckets_.data(), p.engine->buckets().data(),
+                  buckets_.size());
+    p.engine.reset();
+    std::vector<Hole>().swap(p.holes);
+  }
+
+  /// Writes the merged result into the `slots` of `out`.
+  void finish(const std::vector<std::vector<std::size_t>>& slots,
+              bool truncated, std::vector<SimResult>& out) const {
+    const std::size_t k = caps_.size();
+    for (std::size_t r = 0; r < k; ++r) {
+      for (std::size_t slot : slots[r]) {
+        SimResult& res = out[slot];
+        res.accesses = accesses_;
+        res.completeness =
+            truncated ? Completeness::kTruncated : Completeness::kComplete;
+        res.misses = 0;
+        res.misses_by_site.assign(static_cast<std::size_t>(num_sites_), 0);
+        for (std::int32_t s = 0; s < num_sites_; ++s) {
+          std::uint64_t m = cold_by_site_[static_cast<std::size_t>(s)];
+          const std::uint64_t* b =
+              buckets_.data() + static_cast<std::size_t>(s) * ks_;
+          for (std::size_t seg = r + 1; seg <= k; ++seg) m += b[seg];
+          res.misses_by_site[static_cast<std::size_t>(s)] = m;
+          res.misses += m;
+        }
+      }
+    }
+  }
+
+ private:
+  const std::vector<std::int64_t>& caps_;
+  std::int32_t num_sites_;
+  std::size_t ks_;
+  std::vector<std::uint64_t> buckets_;
+  std::vector<std::uint64_t> cold_by_site_;
+  std::uint64_t accesses_ = 0;
+  BoundaryMerge merge_;
+  std::vector<std::uint64_t> hole_lines_;  // gather scratch
+  std::vector<std::uint64_t> hole_pos_;
+};
+
 /// Feeds groups [first, first + n) into `eng`, polling the governor every
 /// poll_interval groups. Returns false when the governor tripped; the
 /// engine then holds the bit-exact simulation of the consumed prefix.
@@ -145,9 +242,20 @@ bool walk_chunk(const Source& src, std::uint64_t first, std::uint64_t n,
   return true;
 }
 
+/// Per-group completion board shared between the workers and the merging
+/// thread: done flags, a running count, and the first captured error.
+struct FrontierBoard {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<char> done;
+  std::size_t done_count = 0;
+  std::exception_ptr first_error;
+};
+
 /// Runs and merges one line-size group: C chunks profiled (in parallel with
-/// a pool), then the sequential hole merge, then the SimResult fold into
-/// the `slots` of `out`.
+/// a pool) while the caller thread advances the merge frontier — chunk c's
+/// holes are resolved as soon as chunks 0..c are done, its engine freed —
+/// then the SimResult fold into the `slots` of `out`.
 template <typename Source>
 void run_partitioned_group(const Source& src,
                            const std::vector<std::int64_t>& caps,
@@ -156,7 +264,7 @@ void run_partitioned_group(const Source& src,
                            std::uint64_t fp,
                            const std::vector<std::uint64_t>& bounds,
                            bool capped, parallel::ThreadPool* pool,
-                           const Governor* gov,
+                           const PartitionOptions& opt, const Governor* gov,
                            std::vector<SimResult>& out) {
   const std::size_t chunks = bounds.size() - 1;
   std::vector<ChunkProfile> profiles(chunks);
@@ -165,9 +273,18 @@ void run_partitioned_group(const Source& src,
         caps, line, num_sites, fp, &profiles[c].holes);
   }
 
+  FrontierMerger merger(caps, num_sites, fp);
+  bool truncated = capped;
+  double profile_seconds = 0;
+  double merge_seconds = 0;
+  double wait_seconds = 0;
+  std::uint64_t merged_chunks = 0;
+  std::uint64_t overlapped = 0;
+
   if (pool != nullptr && pool->num_threads() > 1 && chunks > 1) {
-    std::mutex err_mu;
-    std::exception_ptr first_error;
+    WallTimer profile_timer;
+    FrontierBoard board;
+    board.done.assign(chunks, 0);
     for (std::size_t c = 0; c < chunks; ++c) {
       pool->submit([&, c] {
         try {
@@ -175,83 +292,234 @@ void run_partitioned_group(const Source& src,
               walk_chunk(src, bounds[c], bounds[c + 1] - bounds[c],
                          *profiles[c].engine, gov);
         } catch (...) {
-          std::scoped_lock lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
+          std::scoped_lock lock(board.mu);
+          if (!board.first_error) {
+            board.first_error = std::current_exception();
+          }
         }
+        {
+          std::scoped_lock lock(board.mu);
+          board.done[c] = 1;
+          ++board.done_count;
+        }
+        board.cv.notify_all();
       });
     }
-    pool->wait_idle();
-    if (first_error) std::rethrow_exception(first_error);
-  } else {
+
     for (std::size_t c = 0; c < chunks; ++c) {
-      profiles[c].complete =
-          walk_chunk(src, bounds[c], bounds[c + 1] - bounds[c],
-                     *profiles[c].engine, gov);
-    }
-  }
-
-  // A governor trip truncates each worker at its own boundary; the longest
-  // prefix of the *global* trace we can state exactly ends inside the
-  // earliest incomplete chunk — everything after it is discarded.
-  std::size_t last = chunks - 1;
-  bool truncated = capped;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    if (!profiles[c].complete) {
-      last = c;
-      truncated = true;
-      break;
-    }
-  }
-
-  const std::size_t k = caps.size();
-  const std::size_t ks = k + 1;
-  std::vector<std::uint64_t> buckets(
-      static_cast<std::size_t>(num_sites) * ks, 0);
-  std::vector<std::uint64_t> cold_by_site(
-      static_cast<std::size_t>(num_sites), 0);
-  std::uint64_t accesses = 0;
-
-  BoundaryMerge merge(fp);
-  for (std::size_t c = 0; c <= last; ++c) {
-    const ChunkProfile& p = profiles[c];
-    accesses += p.engine->accesses();
-    for (std::size_t j = 0; j < p.holes.size(); ++j) {
-      const Hole& h = p.holes[j];
-      const std::uint64_t cnt = merge.resolve(h.line);
-      if (cnt == 0) {
-        ++cold_by_site[static_cast<std::size_t>(h.site)];
-        continue;
+      std::size_t profiled_now = 0;
+      bool aborted = false;
+      {
+        WallTimer wait_timer;
+        std::unique_lock lock(board.mu);
+        while (board.done[c] == 0 && board.first_error == nullptr) {
+          const bool signalled = board.cv.wait_for(
+              lock, std::chrono::milliseconds(2), [&] {
+                return board.done[c] != 0 || board.first_error != nullptr;
+              });
+          if (signalled) break;
+          // Timed out with the pool quiescent: chunk c's task was dropped
+          // before running (a tripped cancel token draining the queue, or
+          // an injected pool fault) — no completion will ever be
+          // signalled. Treat it as an incomplete chunk so the result is
+          // the exact prefix of the chunks that did run.
+          if (pool->idle() && board.done[c] == 0 &&
+              board.first_error == nullptr) {
+            profiles[c].complete = false;
+            board.done[c] = 1;
+            ++board.done_count;
+          }
+        }
+        aborted = board.first_error != nullptr && board.done[c] == 0;
+        profiled_now = board.done_count;
+        wait_seconds += wait_timer.seconds();
       }
-      const std::uint64_t depth = cnt + j;
-      const std::size_t seg = static_cast<std::size_t>(
-          std::lower_bound(caps.begin(), caps.end(),
-                           static_cast<std::int64_t>(depth)) -
-          caps.begin());
-      ++buckets[static_cast<std::size_t>(h.site) * ks + seg];
-    }
-    for (std::uint64_t l : p.engine->recency_order()) merge.append(l);
-    simd::add_u64(buckets.data(), p.engine->buckets().data(),
-                  buckets.size());
-  }
+      if (aborted) break;
 
-  for (std::size_t r = 0; r < k; ++r) {
-    for (std::size_t slot : slots[r]) {
-      SimResult& res = out[slot];
-      res.accesses = accesses;
-      res.completeness =
-          truncated ? Completeness::kTruncated : Completeness::kComplete;
-      res.misses = 0;
-      res.misses_by_site.assign(static_cast<std::size_t>(num_sites), 0);
-      for (std::int32_t s = 0; s < num_sites; ++s) {
-        std::uint64_t m = cold_by_site[static_cast<std::size_t>(s)];
-        const std::uint64_t* b =
-            buckets.data() + static_cast<std::size_t>(s) * ks;
-        for (std::size_t seg = r + 1; seg <= k; ++seg) m += b[seg];
-        res.misses_by_site[static_cast<std::size_t>(s)] = m;
-        res.misses += m;
+      WallTimer merge_timer;
+      const bool chunk_complete = profiles[c].complete;
+      merger.merge_chunk(profiles[c]);
+      merge_seconds += merge_timer.seconds();
+      ++merged_chunks;
+      if (profiled_now < chunks) ++overlapped;
+      if (opt.merge_observer) opt.merge_observer(c, profiled_now, chunks);
+      if (!chunk_complete) {
+        // A governor trip truncates each worker at its own boundary; the
+        // longest prefix of the *global* trace we can state exactly ends
+        // inside this earliest incomplete chunk — later chunks (possibly
+        // still profiling) are discarded unmerged.
+        truncated = true;
+        break;
       }
     }
+    pool->wait_idle();
+    profile_seconds = profile_timer.seconds();
+    {
+      std::scoped_lock lock(board.mu);
+      if (board.first_error) std::rethrow_exception(board.first_error);
+    }
+  } else {
+    // Serial path: the frontier degenerates to profile-then-merge per
+    // chunk, which still frees each engine early and keeps the chunk's
+    // tables cache-warm when its holes are resolved.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      WallTimer walk_timer;
+      profiles[c].complete = walk_chunk(
+          src, bounds[c], bounds[c + 1] - bounds[c], *profiles[c].engine,
+          gov);
+      profile_seconds += walk_timer.seconds();
+      WallTimer merge_timer;
+      const bool chunk_complete = profiles[c].complete;
+      merger.merge_chunk(profiles[c]);
+      merge_seconds += merge_timer.seconds();
+      ++merged_chunks;
+      if (opt.merge_observer) opt.merge_observer(c, c + 1, chunks);
+      if (!chunk_complete) {
+        truncated = true;
+        break;
+      }
+    }
   }
+
+  if (opt.stats != nullptr) {
+    opt.stats->profile_seconds += profile_seconds;
+    opt.stats->merge_seconds += merge_seconds;
+    opt.stats->merge_wait_seconds += wait_seconds;
+    opt.stats->chunks += chunks;
+    opt.stats->merged_chunks += merged_chunks;
+    opt.stats->overlapped_merges += overlapped;
+  }
+
+  merger.finish(slots, truncated, out);
+}
+
+/// Thrown by the streamed generator when a chunk's consumer vanished (a
+/// pool fault dropped its task) — generation cannot usefully continue.
+/// Never escapes this translation unit.
+struct AbortStream {};
+
+/// One in-flight batch of generated run groups, copied out of the
+/// generator's buffers: `runs` holds the concatenated group bodies,
+/// `widths` one ref count per group.
+struct StreamWindow {
+  std::vector<Run> runs;
+  std::vector<std::uint32_t> widths;
+};
+
+/// Bounded ready-window ring between the streamed generator and one
+/// chunk's profiling task: the generator blocks when `limit` windows are
+/// in flight (back-pressure), the consumer blocks until a window is ready.
+class WindowQueue {
+ public:
+  /// Blocks while the ring is full. Returns false when the consumer can no
+  /// longer make progress — some pool task already failed, or this chunk's
+  /// task was dropped and the pool went idle — so the generator aborts the
+  /// stream instead of waiting on a consumer that will never come.
+  bool push(StreamWindow&& w, std::size_t limit, parallel::ThreadPool& pool) {
+    std::unique_lock lock(mu_);
+    while (q_.size() >= limit) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(2),
+                       [&] { return q_.size() < limit; })) {
+        break;
+      }
+      if (pool.has_error() || pool.idle()) return false;
+    }
+    q_.push_back(std::move(w));
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Blocks until a window is ready; false once closed and drained.
+  bool pop(StreamWindow& w) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    w = std::move(q_.front());
+    q_.pop_front();
+    cv_.notify_all();
+    return true;
+  }
+
+  void close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<StreamWindow> q_;
+  bool closed_ = false;
+};
+
+/// Split of a sweep into the set-associative fallback slice and the
+/// distinct fully-associative line sizes the stack engines cover.
+struct ConfigSplit {
+  std::vector<SweepConfig> sa_configs;
+  std::vector<std::size_t> sa_slots;
+  std::vector<std::int64_t> lines_seen;
+};
+
+ConfigSplit split_configs(const std::vector<SweepConfig>& configs) {
+  ConfigSplit split;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].ways != 0) {
+      split.sa_configs.push_back(configs[i]);
+      split.sa_slots.push_back(i);
+      continue;
+    }
+    if (std::find(split.lines_seen.begin(), split.lines_seen.end(),
+                  configs[i].line_elems) == split.lines_seen.end()) {
+      split.lines_seen.push_back(configs[i].line_elems);
+    }
+  }
+  return split;
+}
+
+/// Sorted distinct capacities (in lines) for one line size, each with the
+/// result slots it serves.
+void collect_caps(const std::vector<SweepConfig>& configs, std::int64_t line,
+                  std::vector<std::int64_t>& distinct,
+                  std::vector<std::vector<std::size_t>>& slots) {
+  std::vector<std::pair<std::int64_t, std::size_t>> caps;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].ways == 0 && configs[i].line_elems == line) {
+      caps.emplace_back(configs[i].capacity_elems / line, i);
+    }
+  }
+  std::sort(caps.begin(), caps.end());
+  distinct.clear();
+  slots.clear();
+  for (const auto& [cap, slot] : caps) {
+    if (distinct.empty() || distinct.back() != cap) {
+      distinct.push_back(cap);
+      slots.emplace_back();
+    }
+    slots.back().push_back(slot);
+  }
+}
+
+/// Chunk boundaries: equal access-count targets, snapped to run-group
+/// boundaries analytically (no scan over the group stream).
+template <typename Source>
+std::vector<std::uint64_t> make_bounds(const Source& src, std::uint64_t chunks,
+                                       std::uint64_t end_group,
+                                       std::uint64_t total_accesses) {
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(chunks) + 1);
+  bounds[0] = 0;
+  bounds[static_cast<std::size_t>(chunks)] = end_group;
+  for (std::uint64_t j = 1; j < chunks; ++j) {
+    const std::uint64_t target =
+        std::min(j * (total_accesses / chunks), total_accesses - 1);
+    std::uint64_t g = src.group_of_access(target);
+    g = std::min(g, end_group);
+    g = std::max(g, bounds[static_cast<std::size_t>(j) - 1]);
+    bounds[static_cast<std::size_t>(j)] = g;
+  }
+  return bounds;
 }
 
 template <typename Source>
@@ -264,20 +532,10 @@ std::vector<SimResult> partitioned_impl(
 
   // Partitioning covers the fully-associative stack computation; the
   // set-associative configurations take the usual shared-walk engines.
-  std::vector<SweepConfig> sa_configs;
-  std::vector<std::size_t> sa_slots;
-  std::vector<std::int64_t> lines_seen;
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    if (configs[i].ways != 0) {
-      sa_configs.push_back(configs[i]);
-      sa_slots.push_back(i);
-      continue;
-    }
-    if (std::find(lines_seen.begin(), lines_seen.end(),
-                  configs[i].line_elems) == lines_seen.end()) {
-      lines_seen.push_back(configs[i].line_elems);
-    }
-  }
+  ConfigSplit split = split_configs(configs);
+  const std::vector<SweepConfig>& sa_configs = split.sa_configs;
+  const std::vector<std::size_t>& sa_slots = split.sa_slots;
+  const std::vector<std::int64_t>& lines_seen = split.lines_seen;
 
   const std::uint64_t total_groups = src.group_count();
   const std::uint64_t total_accesses = src.total_accesses();
@@ -321,19 +579,8 @@ std::vector<SimResult> partitioned_impl(
     return simulate_sweep(src, configs, pool, trace::TraceMode::kRuns, gov);
   }
 
-  // Chunk boundaries: equal access-count targets, snapped to run-group
-  // boundaries analytically (no scan over the group stream).
-  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(chunks) + 1);
-  bounds[0] = 0;
-  bounds[static_cast<std::size_t>(chunks)] = end_group;
-  for (std::uint64_t j = 1; j < chunks; ++j) {
-    const std::uint64_t target =
-        std::min(j * (total_accesses / chunks), total_accesses - 1);
-    std::uint64_t g = src.group_of_access(target);
-    g = std::min(g, end_group);
-    g = std::max(g, bounds[static_cast<std::size_t>(j) - 1]);
-    bounds[static_cast<std::size_t>(j)] = g;
-  }
+  const std::vector<std::uint64_t> bounds =
+      make_bounds(src, chunks, end_group, total_accesses);
 
   if (!sa_configs.empty()) {
     const std::vector<SimResult> sa_out =
@@ -344,30 +591,412 @@ std::vector<SimResult> partitioned_impl(
   }
 
   for (std::int64_t line : lines_seen) {
-    std::vector<std::pair<std::int64_t, std::size_t>> caps;
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      if (configs[i].ways == 0 && configs[i].line_elems == line) {
-        caps.emplace_back(configs[i].capacity_elems / line, i);
-      }
-    }
-    std::sort(caps.begin(), caps.end());
     std::vector<std::int64_t> distinct;
     std::vector<std::vector<std::size_t>> slots;
-    for (const auto& [cap, slot] : caps) {
-      if (distinct.empty() || distinct.back() != cap) {
-        distinct.push_back(cap);
-        slots.emplace_back();
-      }
-      slots.back().push_back(slot);
-    }
+    collect_caps(configs, line, distinct, slots);
     run_partitioned_group(src, distinct, slots, line, src.num_sites(),
                           src.footprint_lines(line), bounds, capped, pool,
-                          gov, out);
+                          opt, gov, out);
+  }
+  return out;
+}
+
+/// Per line size state of one streamed sweep: the distinct capacities with
+/// their result slots and the frontier merger folding chunks in order.
+/// `caps` lives here because FrontierMerger holds a reference to it.
+struct StreamLine {
+  std::int64_t line = 0;
+  std::uint64_t fp = 0;
+  std::vector<std::int64_t> caps;
+  std::vector<std::vector<std::size_t>> slots;
+  std::unique_ptr<FrontierMerger> merger;
+};
+
+std::vector<SimResult> streamed_impl(const trace::CompiledProgram& prog,
+                                     const std::vector<SweepConfig>& configs,
+                                     parallel::ThreadPool* pool,
+                                     const StreamOptions& sopt,
+                                     const Governor* gov) {
+  const PartitionOptions& opt = sopt.partition;
+  SDLO_EXPECTS(sopt.window_groups > 0);
+  SDLO_EXPECTS(sopt.ring_windows > 0);
+  std::vector<SimResult> out(configs.size());
+
+  const std::uint64_t total_groups = prog.group_count();
+  const std::uint64_t total_accesses = prog.total_accesses();
+  const std::uint64_t end_group =
+      opt.max_groups > 0 ? std::min(total_groups, opt.max_groups)
+                         : total_groups;
+  const bool capped = end_group < total_groups;
+  const std::uint64_t interval =
+      gov != nullptr && gov->poll_interval > 0 ? gov->poll_interval : 1024;
+
+  double spool_seconds = 0;
+  trace::SpoolWriter* tee = sopt.tee;
+  auto tee_group = [&](const Run* g, std::size_t nrefs) {
+    if (tee == nullptr) return;
+    WallTimer t;
+    tee->add_group(g, nrefs);
+    spool_seconds += t.seconds();
+  };
+
+  // Degraded path: the tee still completes, in its own governed pass (the
+  // spool must materialize even when the dense tables do not fit), then
+  // the sequential engine simulates with its own further degradations.
+  auto degrade = [&]() {
+    if (tee != nullptr) {
+      std::uint64_t tick = 0;
+      WallTimer t;
+      try {
+        prog.walk_runs_range(0, end_group, [&](const Run* g, std::size_t n) {
+          if (gov != nullptr && ++tick >= interval) {
+            tick = 0;
+            if (gov->should_stop()) throw AbortWalk{};
+          }
+          tee->add_group(g, n);
+        });
+      } catch (const AbortWalk&) {
+        // The spool holds exactly the generated prefix; the caller decides
+        // whether to finish() it.
+      }
+      spool_seconds += t.seconds();
+    }
+    if (opt.stats != nullptr) opt.stats->spool_write_seconds += spool_seconds;
+    return simulate_sweep(prog, configs, pool, trace::TraceMode::kRuns, gov);
+  };
+
+  if (total_accesses == 0 || end_group == 0) return degrade();
+
+  ConfigSplit split = split_configs(configs);
+  if (split.lines_seen.empty()) return degrade();
+
+  int threads = opt.threads > 0
+                    ? opt.threads
+                    : (pool != nullptr ? pool->num_threads() : 1);
+  if (threads < 1) threads = 1;
+  std::uint64_t chunks;
+  if (opt.chunks > 0) {
+    chunks = static_cast<std::uint64_t>(opt.chunks);
+  } else if (opt.chunk_accesses > 0) {
+    chunks = (total_accesses + opt.chunk_accesses - 1) / opt.chunk_accesses;
+  } else {
+    chunks = static_cast<std::uint64_t>(threads);
+  }
+  chunks = std::min(chunks, end_group);
+  if (chunks == 0) chunks = 1;
+  const std::size_t nchunks = static_cast<std::size_t>(chunks);
+
+  // A 1-thread pool gains nothing from the ring (the generator IS the
+  // bottleneck thread); the fused path is then strictly better.
+  const bool pooled = pool != nullptr && pool->num_threads() > 1 && chunks > 1;
+
+  // Reserve the dense tables up front — the fused path holds only ONE
+  // chunk's tables at a time, its key memory advantage — plus, pooled, a
+  // nominal estimate for the in-flight window rings.
+  std::uint64_t bytes = 0;
+  for (std::int64_t line : split.lines_seen) {
+    const std::uint64_t fp = prog.footprint_lines(line);
+    bytes += (pooled ? chunks : 1) * fp * kStackBytesPerLine +
+             fp * kMergeBytesPerLine;
+  }
+  if (pooled) {
+    bytes += chunks * sopt.ring_windows * sopt.window_groups * sizeof(Run);
+  }
+  MemoryReservation reservation =
+      failpoints::fail_alloc(failpoints::kSweepDenseAlloc)
+          ? MemoryReservation::denied()
+          : MemoryReservation(gov != nullptr ? gov->memory : nullptr, bytes);
+  if (!reservation.ok()) return degrade();
+
+  const std::vector<std::uint64_t> bounds =
+      make_bounds(prog, chunks, end_group, total_accesses);
+
+  if (!split.sa_configs.empty()) {
+    const std::vector<SimResult> sa_out = simulate_sweep(
+        prog, split.sa_configs, pool, trace::TraceMode::kRuns, gov);
+    for (std::size_t i = 0; i < split.sa_slots.size(); ++i) {
+      out[split.sa_slots[i]] = sa_out[i];
+    }
+  }
+
+  const std::int32_t num_sites = prog.num_sites();
+  std::vector<StreamLine> lines(split.lines_seen.size());
+  for (std::size_t l = 0; l < lines.size(); ++l) {
+    lines[l].line = split.lines_seen[l];
+    lines[l].fp = prog.footprint_lines(lines[l].line);
+    collect_caps(configs, lines[l].line, lines[l].caps, lines[l].slots);
+    lines[l].merger = std::make_unique<FrontierMerger>(lines[l].caps,
+                                                       num_sites, lines[l].fp);
+  }
+
+  bool truncated = capped;
+  double profile_seconds = 0;
+  double merge_seconds = 0;
+  double wait_seconds = 0;
+  std::uint64_t merged_chunks = 0;
+  std::uint64_t overlapped = 0;
+
+  if (pooled) {
+    // Pipelined path: the caller generates (and tees) groups into bounded
+    // per-chunk window rings; one pool task per chunk feeds every line
+    // size's engines for that chunk; the caller then advances the rolling
+    // merge frontier while later chunks are still profiling.
+    WallTimer span;
+    std::vector<std::vector<ChunkProfile>> profiles(lines.size());
+    for (std::size_t l = 0; l < lines.size(); ++l) {
+      profiles[l].resize(nchunks);
+      for (std::size_t cc = 0; cc < nchunks; ++cc) {
+        profiles[l][cc].engine = std::make_unique<MarkerStackEngine>(
+            lines[l].caps, lines[l].line, num_sites, lines[l].fp,
+            &profiles[l][cc].holes);
+      }
+    }
+    std::deque<WindowQueue> queues(nchunks);
+    std::vector<char> gen_complete(nchunks, 0);
+    std::vector<char> chunk_complete(nchunks, 0);
+    FrontierBoard board;
+    board.done.assign(nchunks, 0);
+
+    // If anything below throws (e.g. an injected tee write failure), the
+    // workers must not outlive the queues and profiles they reference:
+    // close every ring and drain the pool before unwinding. Idempotent on
+    // the normal path, which closes and waits explicitly.
+    struct PoolDrain {
+      std::deque<WindowQueue>& queues;
+      parallel::ThreadPool* pool;
+      ~PoolDrain() {
+        for (auto& q : queues) q.close();
+        try {
+          pool->wait_idle();
+        } catch (...) {  // NOLINT(bugprone-empty-catch)
+          // First error already consumed by the explicit wait_idle.
+        }
+      }
+    } drain{queues, pool};
+
+    for (std::size_t cc = 0; cc < nchunks; ++cc) {
+      pool->submit([&, cc] {
+        try {
+          bool stopped = false;
+          std::uint64_t tick = 0;
+          StreamWindow w;
+          while (queues[cc].pop(w)) {
+            // After a governor trip keep draining (discarding) so the
+            // generator's push never stalls on this chunk's full ring.
+            if (stopped) continue;
+            std::size_t off = 0;
+            for (std::uint32_t width : w.widths) {
+              if (gov != nullptr && ++tick >= interval) {
+                tick = 0;
+                if (gov->should_stop()) {
+                  stopped = true;
+                  break;
+                }
+              }
+              for (std::size_t l = 0; l < lines.size(); ++l) {
+                profiles[l][cc].engine->consume_runs(w.runs.data() + off,
+                                                     width);
+              }
+              off += width;
+            }
+          }
+          // pop() returned false only after close(), so gen_complete[cc]
+          // is final (the queue mutex orders the generator's write).
+          chunk_complete[cc] =
+              static_cast<char>(!stopped && gen_complete[cc] != 0);
+        } catch (...) {
+          std::scoped_lock lock(board.mu);
+          if (!board.first_error) {
+            board.first_error = std::current_exception();
+          }
+        }
+        {
+          std::scoped_lock lock(board.mu);
+          board.done[cc] = 1;
+          ++board.done_count;
+        }
+        board.cv.notify_all();
+      });
+    }
+
+    // Generator: one walk over the program, teeing and windowing.
+    {
+      StreamWindow w;
+      std::size_t c = 0;
+      std::uint64_t gidx = 0;
+      std::uint64_t tick = 0;
+      auto flush_window = [&]() {
+        if (w.widths.empty()) return true;
+        const bool ok = queues[c].push(std::move(w), sopt.ring_windows, *pool);
+        w = StreamWindow{};
+        return ok;
+      };
+      try {
+        prog.walk_runs_range(0, end_group, [&](const Run* g, std::size_t n) {
+          while (c + 1 < nchunks && gidx == bounds[c + 1]) {
+            if (!flush_window()) throw AbortStream{};
+            gen_complete[c] = 1;
+            queues[c].close();
+            ++c;
+          }
+          if (gov != nullptr && ++tick >= interval) {
+            tick = 0;
+            if (gov->should_stop()) throw AbortWalk{};
+          }
+          tee_group(g, n);
+          w.runs.insert(w.runs.end(), g, g + n);
+          w.widths.push_back(static_cast<std::uint32_t>(n));
+          ++gidx;
+          if (w.widths.size() >= sopt.window_groups) {
+            if (!flush_window()) throw AbortStream{};
+          }
+        });
+        if (!flush_window()) throw AbortStream{};
+        gen_complete[c] = 1;
+        // Trailing empty chunks (collapsed bounds) were fully generated
+        // too — they hold nothing.
+        for (std::size_t cc = c + 1; cc < nchunks; ++cc) gen_complete[cc] = 1;
+      } catch (const AbortWalk&) {
+        // Governor trip: chunk c stays gen-incomplete; the merged result
+        // is the exact prefix the workers consumed.
+      } catch (const AbortStream&) {
+        // Consumer vanished; the pool error (if any) surfaces at
+        // wait_idle below.
+      }
+      for (std::size_t cc = 0; cc < nchunks; ++cc) queues[cc].close();
+    }
+
+    // Rolling frontier, as in the partitioned driver.
+    for (std::size_t cc = 0; cc < nchunks; ++cc) {
+      std::size_t profiled_now = 0;
+      bool aborted = false;
+      {
+        WallTimer wait_timer;
+        std::unique_lock lock(board.mu);
+        while (board.done[cc] == 0 && board.first_error == nullptr) {
+          const bool signalled = board.cv.wait_for(
+              lock, std::chrono::milliseconds(2), [&] {
+                return board.done[cc] != 0 || board.first_error != nullptr;
+              });
+          if (signalled) break;
+          if (pool->idle() && board.done[cc] == 0 &&
+              board.first_error == nullptr) {
+            chunk_complete[cc] = 0;
+            board.done[cc] = 1;
+            ++board.done_count;
+          }
+        }
+        aborted = board.first_error != nullptr && board.done[cc] == 0;
+        profiled_now = board.done_count;
+        wait_seconds += wait_timer.seconds();
+      }
+      if (aborted) break;
+
+      WallTimer merge_timer;
+      const bool complete = chunk_complete[cc] != 0;
+      for (std::size_t l = 0; l < lines.size(); ++l) {
+        lines[l].merger->merge_chunk(profiles[l][cc]);
+      }
+      merge_seconds += merge_timer.seconds();
+      ++merged_chunks;
+      if (profiled_now < nchunks) ++overlapped;
+      if (opt.merge_observer) opt.merge_observer(cc, profiled_now, nchunks);
+      if (!complete) {
+        truncated = true;
+        break;
+      }
+    }
+    pool->wait_idle();
+    profile_seconds = span.seconds();
+    {
+      std::scoped_lock lock(board.mu);
+      if (board.first_error) std::rethrow_exception(board.first_error);
+    }
+  } else {
+    // Fused single pass: generate, tee and profile in lockstep on one
+    // thread, merging each chunk at its boundary — only one chunk's dense
+    // tables are ever live.
+    WallTimer span;
+    std::vector<ChunkProfile> cur(lines.size());
+    auto new_chunk = [&] {
+      for (std::size_t l = 0; l < lines.size(); ++l) {
+        cur[l].engine = std::make_unique<MarkerStackEngine>(
+            lines[l].caps, lines[l].line, num_sites, lines[l].fp,
+            &cur[l].holes);
+        cur[l].complete = true;
+      }
+    };
+    std::size_t c = 0;
+    auto merge_cur = [&](bool complete, std::size_t profiled_now) {
+      WallTimer t;
+      for (std::size_t l = 0; l < lines.size(); ++l) {
+        lines[l].merger->merge_chunk(cur[l]);
+      }
+      merge_seconds += t.seconds();
+      ++merged_chunks;
+      if (opt.merge_observer) opt.merge_observer(c, profiled_now, nchunks);
+      if (!complete) truncated = true;
+    };
+    new_chunk();
+    std::uint64_t gidx = 0;
+    std::uint64_t tick = 0;
+    bool tripped = false;
+    try {
+      prog.walk_runs_range(0, end_group, [&](const Run* g, std::size_t n) {
+        while (c + 1 < nchunks && gidx == bounds[c + 1]) {
+          merge_cur(true, c + 1);
+          ++c;
+          new_chunk();
+        }
+        if (gov != nullptr && ++tick >= interval) {
+          tick = 0;
+          if (gov->should_stop()) throw AbortWalk{};
+        }
+        tee_group(g, n);
+        for (std::size_t l = 0; l < lines.size(); ++l) {
+          cur[l].engine->consume_runs(g, n);
+        }
+        ++gidx;
+      });
+    } catch (const AbortWalk&) {
+      tripped = true;
+    }
+    merge_cur(!tripped, c + 1);
+    ++c;
+    if (!tripped) {
+      for (; c < nchunks; ++c) {
+        new_chunk();
+        merge_cur(true, c + 1);
+      }
+    }
+    profile_seconds =
+        std::max(0.0, span.seconds() - merge_seconds - spool_seconds);
+  }
+
+  if (opt.stats != nullptr) {
+    opt.stats->profile_seconds += profile_seconds;
+    opt.stats->merge_seconds += merge_seconds;
+    opt.stats->merge_wait_seconds += wait_seconds;
+    opt.stats->spool_write_seconds += spool_seconds;
+    opt.stats->chunks += chunks;
+    opt.stats->merged_chunks += merged_chunks;
+    opt.stats->overlapped_merges += overlapped;
+  }
+
+  for (std::size_t l = 0; l < lines.size(); ++l) {
+    lines[l].merger->finish(lines[l].slots, truncated, out);
   }
   return out;
 }
 
 }  // namespace
+
+std::vector<SimResult> simulate_sweep_streamed(
+    const trace::CompiledProgram& prog,
+    const std::vector<SweepConfig>& configs, parallel::ThreadPool* pool,
+    const StreamOptions& opt, const Governor* gov) {
+  return streamed_impl(prog, configs, pool, opt, gov);
+}
 
 std::vector<SimResult> simulate_sweep_partitioned(
     const trace::CompiledProgram& prog,

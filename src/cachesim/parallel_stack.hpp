@@ -18,6 +18,14 @@
 // time-partitioning idea of PARDA-style parallel stack distance, built on
 // the same Fenwick last-access formulation as stack_profiler.hpp):
 //
+//   The merge is a ROLLING FRONTIER, not a barrier: chunk i's holes are
+//   resolved as soon as chunks 0..i have finished profiling, while later
+//   chunks are still being profiled, and each merged chunk's engine is
+//   freed immediately. Because chunks are merged strictly in trace order,
+//   the merge structure's state when chunk i is folded in is identical to
+//   the all-barriered sequential merge — the overlap changes wall-clock
+//   only, never a single count.
+//
 //   The merge keeps, per line touched by previous chunks and not since
 //   re-touched, its last-access timestamp, with a Fenwick tree counting
 //   live timestamps. For the j-th hole (0-based) of a chunk, with its line
@@ -52,6 +60,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cachesim/sweep.hpp"
@@ -61,6 +70,28 @@
 #include "trace/walker.hpp"
 
 namespace sdlo::cachesim {
+
+/// Phase accounting of one partitioned sweep, accumulated across line-size
+/// groups. Seconds are wall-clock on the merging (caller) thread; because
+/// the merge overlaps profiling, merge_seconds is hidden time whenever
+/// overlapped_merges > 0.
+struct PartitionStats {
+  /// Span from the first chunk's dispatch until every worker went idle.
+  double profile_seconds = 0;
+  /// Time spent inside hole-merge steps (overlaps profile_seconds).
+  double merge_seconds = 0;
+  /// Time the merging thread spent blocked waiting for its frontier chunk.
+  double merge_wait_seconds = 0;
+  /// Time spent appending groups to the streamed tee spool (overlaps
+  /// profile_seconds in the pipelined driver; zero without a tee).
+  double spool_write_seconds = 0;
+  /// Chunks profiled / merged, over every line-size group.
+  std::uint64_t chunks = 0;
+  std::uint64_t merged_chunks = 0;
+  /// Merges that completed while at least one later chunk was still being
+  /// profiled — the direct evidence of merge/profile overlap.
+  std::uint64_t overlapped_merges = 0;
+};
 
 /// How to split the trace in time.
 struct PartitionOptions {
@@ -75,6 +106,15 @@ struct PartitionOptions {
   /// the result truncated if that is a proper prefix — the deterministic
   /// stand-in for a timing-dependent governor trip.
   std::uint64_t max_groups = 0;
+  /// When non-null, phase timings and overlap counters accumulate here.
+  PartitionStats* stats = nullptr;
+  /// Test hook, invoked on the merging thread right after chunk `merged`
+  /// is folded in, with how many of the group's `chunks` chunks had
+  /// finished profiling at that instant. profiled < chunks proves the
+  /// frontier merged under still-running workers.
+  std::function<void(std::size_t merged, std::size_t profiled,
+                     std::size_t chunks)>
+      merge_observer;
 };
 
 /// simulate_sweep with the fully-associative configurations computed by the
@@ -99,6 +139,43 @@ std::vector<SimResult> simulate_sweep_partitioned(
 std::vector<SimResult> simulate_sweep_partitioned(
     const trace::RunTrace& rt, const std::vector<SweepConfig>& configs,
     parallel::ThreadPool* pool = nullptr, const PartitionOptions& opt = {},
+    const Governor* gov = nullptr);
+
+/// Configuration of the pipelined (generate-once) sweep driver.
+struct StreamOptions {
+  /// Chunking, stats and test hooks, exactly as in the partitioned sweep.
+  PartitionOptions partition;
+  /// When non-null, every generated run group is also appended here — the
+  /// spool write rides the single generation pass instead of costing a
+  /// pass of its own. The caller keeps ownership and decides whether to
+  /// finish() the writer (a truncated run leaves a valid spool of exactly
+  /// the generated prefix).
+  trace::SpoolWriter* tee = nullptr;
+  /// Run groups batched per in-flight window on the pooled path.
+  std::uint64_t window_groups = 4096;
+  /// Bounded ring depth: windows a chunk's queue may hold before the
+  /// generator blocks (back-pressure instead of unbounded buffering).
+  std::size_t ring_windows = 4;
+};
+
+/// The pipelined billion-access sweep: walks the compiled program ONCE,
+/// teeing each run group to the optional spool writer while feeding every
+/// requested line size's per-chunk engines, then resolves holes with the
+/// same rolling-frontier merge as simulate_sweep_partitioned. Results are
+/// bit-identical to simulate_sweep / simulate_sweep_partitioned.
+///
+/// With a pool of >= 2 threads the generator (caller thread) hands groups
+/// to per-chunk profiling tasks through a bounded ring of ready windows —
+/// group g+1 is generated and spooled while group g is profiled. Otherwise
+/// a fused single-pass path feeds engines directly during generation,
+/// holding only ONE chunk's tables at a time (the lowest-memory exact
+/// path). When the dense tables are denied by the memory budget (or the
+/// sweep-dense-alloc failpoint), the tee still completes in its own
+/// governed pass and the simulation degrades to simulate_sweep.
+std::vector<SimResult> simulate_sweep_streamed(
+    const trace::CompiledProgram& prog,
+    const std::vector<SweepConfig>& configs,
+    parallel::ThreadPool* pool = nullptr, const StreamOptions& opt = {},
     const Governor* gov = nullptr);
 
 }  // namespace sdlo::cachesim

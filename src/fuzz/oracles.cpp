@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #if !defined(_WIN32)
 #include <unistd.h>
@@ -33,6 +35,18 @@ using cachesim::SimResult;
 void add_mismatch(OracleReport& report, const std::string& oracle,
                   const std::string& detail) {
   report.mismatches.push_back(Mismatch{oracle, detail});
+}
+
+/// Byte-for-byte file equality (both must exist and match exactly).
+bool files_equal(const std::string& a, const std::string& b) {
+  std::ifstream fa(a, std::ios::binary);
+  std::ifstream fb(b, std::ios::binary);
+  if (!fa || !fb) return false;
+  const std::string da((std::istreambuf_iterator<char>(fa)),
+                       std::istreambuf_iterator<char>());
+  const std::string db((std::istreambuf_iterator<char>(fb)),
+                       std::istreambuf_iterator<char>());
+  return da == db;
 }
 
 /// Compares two SimResults field by field; any difference is one mismatch
@@ -384,6 +398,8 @@ void check_partitioned_engines(OracleReport& report,
         std::to_string(spool_seq.fetch_add(1, std::memory_order_relaxed)) +
         ".spl"))
           .string();
+  const std::string path_v1 = path + ".v1";
+  const std::string path_tee = path + ".tee";
   try {
     trace::spool_program(path, cp);
     const trace::SpooledTrace spool(path);
@@ -398,11 +414,46 @@ void check_partitioned_engines(OracleReport& report,
     const trace::RunTrace rt = trace::RunTrace::materialize(cp);
     compare_all("run-trace-vs-sweep", cachesim::simulate_sweep(rt, configs),
                 "");
+
+    // The legacy container: a v1 spool of the same trace must decode to
+    // the same stream (group/access shape) and the same miss counts as the
+    // delta-encoded v2 default.
+    trace::spool_program(path_v1, cp, 1);
+    const trace::SpooledTrace spool_v1(path_v1);
+    if (spool_v1.group_count() != spool.group_count() ||
+        spool_v1.total_accesses() != spool.total_accesses()) {
+      std::ostringstream os;
+      os << "v1 shape " << spool_v1.group_count() << "/"
+         << spool_v1.total_accesses() << " != v2 shape "
+         << spool.group_count() << "/" << spool.total_accesses();
+      add_mismatch(report, "spool-v1-vs-v2", os.str());
+    }
+    compare_all("spool-v1-vs-sweep",
+                cachesim::simulate_sweep(spool_v1, configs), " version=1");
+
+    // The pipelined driver: one generation pass feeding every engine while
+    // teeing the spool must be bit-identical to the sequential sweep, and
+    // the teed file must be byte-identical to the one spool_program wrote.
+    trace::SpoolWriter tee(path_tee);
+    cachesim::StreamOptions sopt;
+    sopt.partition.chunks = 3;
+    sopt.tee = &tee;
+    compare_all("streamed-vs-sweep",
+                cachesim::simulate_sweep_streamed(cp, configs, nullptr,
+                                                  sopt),
+                " chunks=3 tee");
+    tee.finish(cp.num_sites(), cp.address_space_size());
+    if (!files_equal(path_tee, path)) {
+      add_mismatch(report, "streamed-tee-bytes",
+                   "teed spool differs from spool_program output");
+    }
   } catch (const Error& e) {
     add_mismatch(report, "spooled-vs-sweep",
                  std::string("spool round trip failed: ") + e.what());
   }
   std::remove(path.c_str());
+  std::remove(path_v1.c_str());
+  std::remove(path_tee.c_str());
 }
 
 void check_set_assoc_edges(OracleReport& report,

@@ -2,17 +2,25 @@
 
 #include <utility>
 
+#include "support/affinity.hpp"
 #include "support/check.hpp"
 #include "support/failpoints.hpp"
 
 namespace sdlo::parallel {
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, AffinityPolicy affinity)
+    : affinity_(affinity) {
   SDLO_EXPECTS(threads >= 1);
+  // Pinning only makes sense with more than one node to spread across.
+  if (affinity_ == AffinityPolicy::kNumaInterleave &&
+      (!affinity::pinning_supported() ||
+       affinity::host_topology().num_nodes() <= 1)) {
+    affinity_ = AffinityPolicy::kNone;
+  }
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     workers_.emplace_back(
-        [this](std::stop_token st) { worker_loop(st); });
+        [this, i](std::stop_token st) { worker_loop(st, i); });
   }
 }
 
@@ -54,6 +62,20 @@ void ThreadPool::set_cancel_token(CancellationToken token) {
   cancel_ = std::move(token);
 }
 
+bool ThreadPool::idle() const {
+  std::scoped_lock lock(mu_);
+  return in_flight_ == 0;
+}
+
+bool ThreadPool::has_error() const {
+  std::scoped_lock lock(mu_);
+  return first_error_ != nullptr;
+}
+
+int ThreadPool::pinned_workers() const {
+  return pinned_.load(std::memory_order_relaxed);
+}
+
 void ThreadPool::run_task(std::function<void()>& task) {
   try {
     failpoints::hit(failpoints::kPoolTask);
@@ -64,7 +86,14 @@ void ThreadPool::run_task(std::function<void()>& task) {
   }
 }
 
-void ThreadPool::worker_loop(std::stop_token st) {
+void ThreadPool::worker_loop(std::stop_token st, int worker_index) {
+  if (affinity_ == AffinityPolicy::kNumaInterleave) {
+    const int nodes = affinity::host_topology().num_nodes();
+    if (nodes > 1 &&
+        affinity::pin_current_thread_to_node(worker_index % nodes)) {
+      pinned_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   for (;;) {
     std::function<void()> task;
     bool skip = false;

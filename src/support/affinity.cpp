@@ -1,0 +1,154 @@
+#include "support/affinity.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace sdlo::affinity {
+
+namespace {
+
+/// One node with every CPU the standard library can see — the fallback for
+/// hosts without a sysfs node tree.
+Topology single_node_topology() {
+  Topology t;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<int> cpus;
+  cpus.reserve(hw > 0 ? hw : 1);
+  for (unsigned c = 0; c < (hw > 0 ? hw : 1); ++c) {
+    cpus.push_back(static_cast<int>(c));
+  }
+  t.node_cpus.push_back(std::move(cpus));
+  return t;
+}
+
+Topology probe_host() {
+#if defined(__linux__)
+  std::vector<std::string> cpulists;
+  for (int node = 0;; ++node) {
+    std::ifstream in("/sys/devices/system/node/node" +
+                     std::to_string(node) + "/cpulist");
+    if (!in.good()) break;
+    std::string text;
+    std::getline(in, text);
+    cpulists.push_back(text);
+  }
+  Topology t = topology_from_cpulists(cpulists);
+  if (t.num_nodes() > 0) return t;
+#endif
+  return single_node_topology();
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  const auto skip_space = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+  };
+  const auto parse_int = [&](long* out) {
+    skip_space();
+    if (i >= text.size() ||
+        std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
+      return false;
+    }
+    long v = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+      v = v * 10 + (text[i] - '0');
+      if (v > 1 << 20) return false;  // implausible CPU id
+      ++i;
+    }
+    *out = v;
+    return true;
+  };
+  skip_space();
+  if (i >= text.size()) return cpus;
+  for (;;) {
+    long lo = 0;
+    if (!parse_int(&lo)) return {};
+    long hi = lo;
+    skip_space();
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      if (!parse_int(&hi) || hi < lo) return {};
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+    skip_space();
+    if (i >= text.size()) break;
+    if (text[i] != ',') return {};
+    ++i;
+    skip_space();
+    if (i >= text.size()) break;  // tolerate a trailing comma
+  }
+  std::sort(cpus.begin(), cpus.end());
+  return cpus;
+}
+
+Topology topology_from_cpulists(const std::vector<std::string>& cpulists) {
+  Topology t;
+  for (const std::string& text : cpulists) {
+    std::vector<int> cpus = parse_cpulist(text);
+    if (!cpus.empty()) t.node_cpus.push_back(std::move(cpus));
+  }
+  return t;
+}
+
+const Topology& host_topology() {
+  static const Topology t = probe_host();
+  return t;
+}
+
+bool pinning_supported() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool pin_current_thread_to_cpu(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+bool pin_current_thread_to_node(int node) {
+#if defined(__linux__)
+  const Topology& t = host_topology();
+  if (node < 0 || node >= t.num_nodes()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (int cpu : t.node_cpus[static_cast<std::size_t>(node)]) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) {
+      CPU_SET(static_cast<unsigned>(cpu), &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)node;
+  return false;
+#endif
+}
+
+}  // namespace sdlo::affinity

@@ -1,0 +1,60 @@
+// NUMA topology detection and worker pinning, without hwloc.
+//
+// Shared-memory multiprocessors with more than one memory node pay a
+// bandwidth and latency penalty when a worker's chunk buffers are
+// first-touched on one node and profiled from another. The thread pool can
+// therefore pin its workers round-robin across NUMA nodes, so each worker's
+// dense tables are allocated (first-touch) and consumed on the same node.
+//
+// Detection reads the Linux sysfs tree (/sys/devices/system/node/node*/
+// cpulist); every other platform — and any host where the tree is absent —
+// reports a single node holding every online CPU, and pinning becomes a
+// no-op. Pinning itself is sched_setaffinity on Linux and unsupported
+// elsewhere. Everything degrades silently: a denied or unsupported pin is
+// reported, never fatal, and single-node hosts skip pinning entirely (the
+// policy default is off; see parallel::ThreadPool).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sdlo::affinity {
+
+/// The host's NUMA layout: per node, the CPU ids that belong to it.
+struct Topology {
+  std::vector<std::vector<int>> node_cpus;
+
+  int num_nodes() const { return static_cast<int>(node_cpus.size()); }
+  int num_cpus() const {
+    int n = 0;
+    for (const auto& cpus : node_cpus) n += static_cast<int>(cpus.size());
+    return n;
+  }
+};
+
+/// Parses a sysfs cpulist string ("0-3,8,10-11") into ascending CPU ids.
+/// Whitespace and a trailing newline are tolerated; malformed input yields
+/// an empty list (detection then falls back to a single node).
+std::vector<int> parse_cpulist(const std::string& text);
+
+/// Builds a topology from sysfs-style (node id, cpulist) pairs — the pure
+/// core of host detection, separated for tests. Nodes with no parsed CPUs
+/// are dropped; no valid nodes yields an empty topology.
+Topology topology_from_cpulists(const std::vector<std::string>& cpulists);
+
+/// The host topology, probed once from sysfs. Hosts without the sysfs tree
+/// (or non-Linux builds) report one node with every online CPU.
+const Topology& host_topology();
+
+/// True when the platform can pin threads at all (Linux).
+bool pinning_supported();
+
+/// Pins the calling thread to one CPU. Returns false when unsupported or
+/// denied by the kernel.
+bool pin_current_thread_to_cpu(int cpu);
+
+/// Pins the calling thread to every CPU of `node` (host_topology() index).
+/// Returns false when unsupported, out of range, or denied.
+bool pin_current_thread_to_node(int node);
+
+}  // namespace sdlo::affinity

@@ -3,18 +3,22 @@
 // The hot loops of the sweep/profile pipeline that are *not* inherently
 // serial pointer-chasing are flat-array sweeps: elementwise accumulation of
 // per-chunk histogram buckets, generation of the line-index sequence of a
-// constant-stride run, and scanning a dense last-access table for occupied
-// slots. Each of those is expressed here once, with a vectorized body for
-// whatever the compiler was allowed to target (AVX2 > SSE2 on x86-64, NEON
-// on aarch64) and a scalar body everywhere else. The scalar and vector
-// bodies are bit-identical by construction — every operation is exact
-// integer arithmetic — so callers never need to know which ran.
+// constant-stride run, scanning a dense last-access table for occupied
+// slots, and gathering scattered dense-table entries for a batch of lines.
+// Each of those is expressed here once, with vector bodies for every
+// instruction set the binary may meet at runtime (AVX-512 > AVX2 > SSE2 on
+// x86-64, NEON on aarch64) and a scalar body everywhere else. The scalar
+// and vector bodies are bit-identical by construction — every operation is
+// exact integer arithmetic — so callers never need to know which ran.
 //
-// The vector paths can be disabled at runtime (set_enabled(false), or the
-// SDLO_NO_SIMD environment variable) without rebuilding; the ablation bench
-// uses this to measure the contribution of vectorization on identical
-// binaries, and tests use it to cross-check the two bodies against each
-// other.
+// Dispatch is at RUNTIME: the vector bodies are compiled with per-function
+// target attributes, the host's best instruction set is probed once at
+// first use, and every call switches on the active tier. The tier can be
+// forced down without rebuilding — SDLO_SIMD=scalar|sse2|avx2|avx512 (or
+// set_isa()) clamps to what the CPU supports, and the legacy SDLO_NO_SIMD /
+// set_enabled(false) switch still drops everything to the scalar bodies.
+// The ablation bench and the CI dispatch matrix use this to measure and
+// cross-check every tier on identical binaries.
 #pragma once
 
 #include <cstddef>
@@ -22,9 +26,27 @@
 
 namespace sdlo::simd {
 
-/// Name of the widest instruction set this binary's vector bodies use:
-/// "avx2", "sse2", "neon" or "scalar".
+/// Vector instruction tiers, ordered weakest to strongest on x86-64.
+/// kNeon is the aarch64 tier (incomparable with the x86 tiers).
+enum class Isa : std::uint8_t { kScalar, kSse2, kAvx2, kAvx512, kNeon };
+
+/// Canonical lowercase name of a tier ("avx512", "avx2", ...).
+const char* isa_name(Isa isa);
+
+/// Strongest tier the running CPU supports, probed once via
+/// __builtin_cpu_supports (x86-64) or the architecture baseline.
+Isa detected_isa();
+
+/// The tier the vector bodies currently run at: detected_isa() clamped by
+/// the SDLO_SIMD environment variable (if set) and by set_isa().
+Isa active_isa();
+
+/// Name of the active tier (for logs/benches): isa_name(active_isa()).
 const char* isa();
+
+/// Forces the active tier, clamped to what the CPU supports. Returns the
+/// tier actually applied. Process-wide (ablation / tests).
+Isa set_isa(Isa isa);
 
 /// True when the vector bodies are active. Defaults to true unless the
 /// SDLO_NO_SIMD environment variable is set (to anything) at first use.
@@ -47,5 +69,12 @@ void run_lines(std::uint64_t base, std::int64_t stride, int shift,
 /// matches. The dense-table occupancy scan (compaction, recency export).
 std::size_t find_not_equal(const std::uint64_t* a, std::size_t n,
                            std::size_t from, std::uint64_t value);
+
+/// out[i] = table[idx[i]] for i in [0, n): gathered dense-table bulk load.
+/// The hole-merge pass uses it to fetch a whole chunk's last-access
+/// timestamps in one sweep instead of one dependent load per hole.
+/// Callers guarantee every idx[i] is in bounds.
+void gather_u64(const std::uint64_t* table, const std::uint64_t* idx,
+                std::uint64_t* out, std::size_t n);
 
 }  // namespace sdlo::simd

@@ -9,9 +9,14 @@ namespace sdlo::trace {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'D', 'L', 'O', 'S', 'P', 'L', '1'};
+constexpr char kMagicV1[8] = {'S', 'D', 'L', 'O', 'S', 'P', 'L', '1'};
+constexpr char kMagicV2[8] = {'S', 'D', 'L', 'O', 'S', 'P', 'L', '2'};
 constexpr std::size_t kHeaderBytes = 48;
 constexpr std::size_t kWriteFlushBytes = std::size_t{256} << 10;
+
+/// v2 group tags: a self-contained group vs a delta against the previous.
+constexpr std::uint64_t kGroupFull = 0;
+constexpr std::uint64_t kGroupDelta = 1;
 
 void put_u64_le(unsigned char* p, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
@@ -34,8 +39,9 @@ std::int64_t unzigzag(std::uint64_t v) {
 
 }  // namespace
 
-SpoolWriter::SpoolWriter(std::string path)
-    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+SpoolWriter::SpoolWriter(std::string path, int version)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp"), version_(version) {
+  SDLO_EXPECTS(version_ == 1 || version_ == 2);
   out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
   if (!out_.good()) {
     throw IoError("spool: cannot open " + tmp_path_ + " for writing");
@@ -80,12 +86,7 @@ void SpoolWriter::flush_buffer() {
   buf_.clear();
 }
 
-void SpoolWriter::add_group(const Run* group, std::size_t nrefs) {
-  SDLO_EXPECTS(!finished_);
-  SDLO_EXPECTS(nrefs > 0);
-  if (groups_ % kSpoolIndexStride == 0) {
-    index_.emplace_back(bytes_written_ + buf_.size(), accesses_);
-  }
+void SpoolWriter::put_group_v1(const Run* group, std::size_t nrefs) {
   put_varint(nrefs);
   put_varint(group[0].count);
   for (std::size_t r = 0; r < nrefs; ++r) {
@@ -94,9 +95,58 @@ void SpoolWriter::add_group(const Run* group, std::size_t nrefs) {
     put_varint((static_cast<std::uint64_t>(group[r].site) << 1) |
                (group[r].mode == ir::AccessMode::kWrite ? 1 : 0));
   }
+}
+
+void SpoolWriter::put_group_v2(const Run* group, std::size_t nrefs,
+                               bool at_index) {
+  // A delta group must have the previous group's exact shape: same width
+  // and, per run, the same stride and (site, mode). Index boundaries force
+  // a full group so seeks need no decoder state.
+  bool delta = !at_index && prev_.size() == nrefs;
+  if (delta) {
+    for (std::size_t r = 0; r < nrefs; ++r) {
+      if (group[r].stride != prev_[r].stride ||
+          group[r].site != prev_[r].site ||
+          group[r].mode != prev_[r].mode) {
+        delta = false;
+        break;
+      }
+    }
+  }
+  if (delta) {
+    put_varint(kGroupDelta);
+    put_varint(zigzag(static_cast<std::int64_t>(group[0].count) -
+                      static_cast<std::int64_t>(prev_[0].count)));
+    for (std::size_t r = 0; r < nrefs; ++r) {
+      put_varint(zigzag(
+          static_cast<std::int64_t>(group[r].base - prev_[r].base)));
+    }
+  } else {
+    put_varint(kGroupFull);
+    put_group_v1(group, nrefs);
+  }
+  prev_.assign(group, group + nrefs);
+}
+
+void SpoolWriter::add_group(const Run* group, std::size_t nrefs) {
+  SDLO_EXPECTS(!finished_);
+  SDLO_EXPECTS(nrefs > 0);
+  const bool at_index = groups_ % kSpoolIndexStride == 0;
+  if (at_index) {
+    index_.emplace_back(bytes_written_ + buf_.size(), accesses_);
+  }
+  if (version_ == 2) {
+    put_group_v2(group, nrefs, at_index);
+  } else {
+    put_group_v1(group, nrefs);
+  }
   ++groups_;
   accesses_ += group[0].count * nrefs;
   if (buf_.size() >= kWriteFlushBytes) flush_buffer();
+}
+
+std::uint64_t SpoolWriter::body_bytes() const {
+  return bytes_written_ + buf_.size() - kHeaderBytes;
 }
 
 void SpoolWriter::finish(std::int32_t num_sites,
@@ -117,7 +167,8 @@ void SpoolWriter::finish(std::int32_t num_sites,
   flush_buffer();
 
   unsigned char header[kHeaderBytes] = {};
-  std::copy(kMagic, kMagic + 8, header);
+  const char* magic = version_ == 2 ? kMagicV2 : kMagicV1;
+  std::copy(magic, magic + 8, header);
   put_u64_le(header + 8, groups_);
   put_u64_le(header + 16, accesses_);
   put_u64_le(header + 24, address_space);
@@ -137,12 +188,17 @@ void SpoolWriter::finish(std::int32_t num_sites,
   finished_ = true;
 }
 
-void spool_program(const std::string& path, const CompiledProgram& prog) {
-  SpoolWriter writer(path);
+void spool_program(const std::string& path, const CompiledProgram& prog,
+                   int version) {
+  SpoolWriter writer(path, version);
   prog.walk_runs([&](const Run* group, std::size_t nrefs) {
     writer.add_group(group, nrefs);
   });
   writer.finish(prog.num_sites(), prog.address_space_size());
+}
+
+SpoolFileGuard::~SpoolFileGuard() {
+  if (!released_) std::remove(path_.c_str());
 }
 
 SpooledTrace::SpooledTrace(std::string path, SpoolReadOptions opt)
@@ -152,7 +208,12 @@ SpooledTrace::SpooledTrace(std::string path, SpoolReadOptions opt)
   if (!in.good()) throw IoError("spool: cannot open " + path_);
   unsigned char header[kHeaderBytes];
   in.read(reinterpret_cast<char*>(header), kHeaderBytes);
-  if (!in.good() || !std::equal(kMagic, kMagic + 8, header)) {
+  if (!in.good()) throw IoError("spool: " + path_ + " is not a spool file");
+  if (std::equal(kMagicV1, kMagicV1 + 8, header)) {
+    version_ = 1;
+  } else if (std::equal(kMagicV2, kMagicV2 + 8, header)) {
+    version_ = 2;
+  } else {
     throw IoError("spool: " + path_ + " is not a spool file");
   }
   total_groups_ = get_u64_le(header + 8);
@@ -210,7 +271,8 @@ std::uint64_t SpooledTrace::get_varint(Cursor& cur) const {
   }
 }
 
-void SpooledTrace::decode_group(Cursor& cur, std::vector<Run>& group) const {
+void SpooledTrace::decode_group_full(Cursor& cur,
+                                     std::vector<Run>& group) const {
   const std::uint64_t nrefs = get_varint(cur);
   SDLO_CHECK(nrefs > 0 && nrefs <= kMaxLeafRefs,
              "spool: corrupt group width in " + path_);
@@ -229,7 +291,38 @@ void SpooledTrace::decode_group(Cursor& cur, std::vector<Run>& group) const {
   }
 }
 
+void SpooledTrace::decode_group(Cursor& cur, std::vector<Run>& group) const {
+  if (version_ == 1) {
+    decode_group_full(cur, group);
+    return;
+  }
+  const std::uint64_t tag = get_varint(cur);
+  if (tag == kGroupFull) {
+    decode_group_full(cur, group);
+  } else {
+    SDLO_CHECK(tag == kGroupDelta, "spool: corrupt group tag in " + path_);
+    SDLO_CHECK(!cur.prev.empty(),
+               "spool: delta group with no predecessor in " + path_);
+    const std::uint64_t count =
+        cur.prev[0].count +
+        static_cast<std::uint64_t>(unzigzag(get_varint(cur)));
+    group.clear();
+    for (Run run : cur.prev) {
+      run.base += static_cast<std::uint64_t>(unzigzag(get_varint(cur)));
+      run.count = count;
+      group.push_back(run);
+    }
+  }
+  cur.prev.assign(group.begin(), group.end());
+}
+
 void SpooledTrace::skip_group(Cursor& cur) const {
+  if (version_ != 1) {
+    // v2 delta groups depend on the predecessor, so a skip must still
+    // decode (into the cursor's scratch) to keep cur.prev current.
+    decode_group(cur, cur.scratch);
+    return;
+  }
   const std::uint64_t nrefs = get_varint(cur);
   SDLO_CHECK(nrefs > 0 && nrefs <= kMaxLeafRefs,
              "spool: corrupt group width in " + path_);
@@ -246,6 +339,7 @@ std::uint64_t SpooledTrace::open_at(Cursor& cur, std::uint64_t group) const {
   cur.in.seekg(static_cast<std::streamoff>(index_[entry].first));
   cur.pos = 0;
   cur.len = 0;
+  cur.prev.clear();  // index entries always land on full (v2 tag 0) groups
   return group - static_cast<std::uint64_t>(entry) * kSpoolIndexStride;
 }
 
@@ -266,12 +360,10 @@ std::uint64_t SpooledTrace::group_of_access(
   std::uint64_t g = static_cast<std::uint64_t>(entry) * kSpoolIndexStride;
   std::uint64_t acc = index_[entry].second;
   for (;;) {
-    const std::uint64_t nrefs = get_varint(cur);
-    SDLO_CHECK(nrefs > 0 && nrefs <= kMaxLeafRefs,
-               "spool: corrupt group width in " + path_);
-    const std::uint64_t count = get_varint(cur);
-    for (std::uint64_t r = 0; r < 3 * nrefs; ++r) (void)get_varint(cur);
-    acc += count * nrefs;
+    // Stateful decode keeps delta chains (v2) intact; the index entry is
+    // always a full group, so the cursor needs no priming.
+    decode_group(cur, cur.scratch);
+    acc += cur.scratch[0].count * cur.scratch.size();
     if (access_index < acc) return g;
     ++g;
     SDLO_CHECK(g < total_groups_, "spool: corrupt access counts in " + path_);

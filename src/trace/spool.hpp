@@ -6,15 +6,31 @@
 // more than a memory-budgeted driver may hold at once. The spool closes
 // that gap with a disk form of the same group stream:
 //
-//  * SpoolWriter serializes walk_runs() groups to a compact varint format
-//    ("SDLOSPL1"): per group the ref count and iteration count, per run the
-//    base, zigzag stride and (site, mode) word. A sparse index — one entry
-//    every kSpoolIndexStride groups, carrying the file offset and the
-//    access-count prefix — is appended at the end so readers can seek by
-//    group or by access index without scanning. The writer builds the file
-//    at `path + ".tmp"` and renames it into place on finish(); any failure
-//    (including the spool-write failpoint) leaves nothing at the
-//    destination path.
+//  * SpoolWriter serializes walk_runs() groups to a compact varint format.
+//    Two on-disk versions share the header and index layout:
+//
+//      "SDLOSPL1" (v1) — per group the ref count and iteration count, per
+//      run the base, zigzag stride and (site, mode) word.
+//
+//      "SDLOSPL2" (v2, the default) — per group a tag varint. Tag 0 is a
+//      FULL group, encoded exactly like a v1 group body. Tag 1 is a DELTA
+//      group: it has the same shape as the previous group (same ref count
+//      and, per run, the same site/mode/stride), so only
+//      zigzag(count - prev count) and per run zigzag(base - prev base) are
+//      stored. Loop nests re-execute the same leaf statements with shifted
+//      bases, so almost every group after the first in a leaf's lifetime
+//      is a delta — typically 2-4x smaller files. A full group is forced
+//      at every kSpoolIndexStride-th group, so a seek through the sparse
+//      index always lands on a self-contained group and needs no prior
+//      decoder state.
+//
+//    A sparse index — one entry every kSpoolIndexStride groups, carrying
+//    the file offset and the access-count prefix — is appended at the end
+//    so readers can seek by group or by access index without scanning. The
+//    writer builds the file at `path + ".tmp"` and renames it into place on
+//    finish(); any failure (including the spool-write failpoint) leaves
+//    nothing at the destination path. SpooledTrace auto-detects the
+//    version from the magic and reads both, bit-identically.
 //
 //  * SpooledTrace re-streams the groups through the same walk_runs() /
 //    walk_runs_range() / walk_batched() shapes CompiledProgram offers, so
@@ -58,12 +74,19 @@ struct SpoolReadOptions {
   std::size_t window_bytes = std::size_t{1} << 20;
 };
 
+/// The spool version written by default (the delta-encoded "SDLOSPL2").
+inline constexpr int kSpoolDefaultVersion = 2;
+
 /// Streaming writer of the spool format. Feed program-order run groups via
 /// add_group() (a walk_runs sink), then finish(); destroying an unfinished
-/// writer discards the temporary file.
+/// writer discards the temporary file. The group-at-a-time API is what the
+/// pipelined sweep tees into: the generator appends group g while workers
+/// profile earlier groups, so the spool write overlaps the profile.
 class SpoolWriter {
  public:
-  explicit SpoolWriter(std::string path);
+  /// `version` selects the on-disk format: 1 ("SDLOSPL1") or 2
+  /// ("SDLOSPL2", default).
+  explicit SpoolWriter(std::string path, int version = kSpoolDefaultVersion);
   ~SpoolWriter();
 
   SpoolWriter(const SpoolWriter&) = delete;
@@ -72,6 +95,15 @@ class SpoolWriter {
   /// Appends one run group (same contract as a walk_runs sink).
   void add_group(const Run* group, std::size_t nrefs);
 
+  /// Groups appended so far.
+  std::uint64_t groups() const { return groups_; }
+
+  /// Accesses covered by the appended groups.
+  std::uint64_t accesses() const { return accesses_; }
+
+  /// Bytes the body has consumed so far (header excluded).
+  std::uint64_t body_bytes() const;
+
   /// Writes the index and header, closes the temporary file and renames it
   /// to the destination path. Throws IoError on any write failure, leaving
   /// no file at the destination.
@@ -79,23 +111,50 @@ class SpoolWriter {
 
  private:
   void put_varint(std::uint64_t v);
+  void put_group_v1(const Run* group, std::size_t nrefs);
+  void put_group_v2(const Run* group, std::size_t nrefs, bool at_index);
   void flush_buffer();
   void discard();
 
   std::string path_;
   std::string tmp_path_;
+  int version_;
   std::ofstream out_;
   std::vector<unsigned char> buf_;
   std::uint64_t bytes_written_ = 0;  // flushed bytes (file offset of buf_[0])
   std::uint64_t groups_ = 0;
   std::uint64_t accesses_ = 0;
+  std::vector<Run> prev_;  // v2: previous group, the delta base
   // One (file offset, access prefix) pair every kSpoolIndexStride groups.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> index_;
   bool finished_ = false;
 };
 
 /// Spools the whole run-compressed trace of a compiled program to `path`.
-void spool_program(const std::string& path, const CompiledProgram& prog);
+void spool_program(const std::string& path, const CompiledProgram& prog,
+                   int version = kSpoolDefaultVersion);
+
+/// Deletes the file at `path` on destruction unless released — the
+/// deadline-safe way to hold a temporary spool across its write and later
+/// reopen: if a deadline (or any exception) fires between the two, the
+/// guard's unwind removes the file instead of leaking it.
+class SpoolFileGuard {
+ public:
+  explicit SpoolFileGuard(std::string path) : path_(std::move(path)) {}
+  ~SpoolFileGuard();
+
+  SpoolFileGuard(const SpoolFileGuard&) = delete;
+  SpoolFileGuard& operator=(const SpoolFileGuard&) = delete;
+
+  /// Keeps the file: the caller now owns it.
+  void release() { released_ = true; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  bool released_ = false;
+};
 
 /// A spool file opened for streaming reads. Metadata comes from the header;
 /// walks decode groups through a bounded window.
@@ -107,6 +166,9 @@ class SpooledTrace {
   std::uint64_t group_count() const { return total_groups_; }
   std::int32_t num_sites() const { return num_sites_; }
   std::uint64_t address_space_size() const { return address_space_; }
+
+  /// On-disk format version this file was written with (1 or 2).
+  int version() const { return version_; }
 
   /// Same contract as CompiledProgram::footprint_lines.
   std::uint64_t footprint_lines(std::int64_t line_elems) const;
@@ -166,12 +228,17 @@ class SpooledTrace {
   }
 
  private:
-  /// One open decode stream: a file handle plus the bounded byte window.
+  /// One open decode stream: a file handle plus the bounded byte window,
+  /// and (v2) the previously decoded group — the delta base. A cursor
+  /// always starts at an index boundary, where the writer guarantees a
+  /// self-contained full group, so `prev` never needs priming.
   struct Cursor {
     std::ifstream in;
     std::vector<unsigned char> buf;
     std::size_t pos = 0;  // next unread byte in buf
     std::size_t len = 0;  // valid bytes in buf
+    std::vector<Run> prev;     // v2 delta base (empty until first group)
+    std::vector<Run> scratch;  // v2 skip target
   };
 
   /// Opens a cursor at the largest indexed group <= `group`; returns how
@@ -179,11 +246,13 @@ class SpooledTrace {
   std::uint64_t open_at(Cursor& cur, std::uint64_t group) const;
   void refill(Cursor& cur) const;
   std::uint64_t get_varint(Cursor& cur) const;
+  void decode_group_full(Cursor& cur, std::vector<Run>& group) const;
   void decode_group(Cursor& cur, std::vector<Run>& group) const;
   void skip_group(Cursor& cur) const;
 
   std::string path_;
   SpoolReadOptions opt_;
+  int version_ = 1;
   std::uint64_t total_groups_ = 0;
   std::uint64_t total_accesses_ = 0;
   std::uint64_t address_space_ = 0;

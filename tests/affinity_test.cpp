@@ -1,0 +1,81 @@
+// Tests for the hwloc-free NUMA shim: cpulist parsing, topology assembly
+// from sysfs-style strings, and the thread pool's interleave policy —
+// which must be a silent no-op on single-node hosts (pinned_workers() == 0)
+// while leaving the pool fully functional.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "support/affinity.hpp"
+
+namespace {
+
+using namespace sdlo;
+using affinity::parse_cpulist;
+using affinity::topology_from_cpulists;
+
+TEST(Affinity, ParsesCpulists) {
+  EXPECT_EQ(parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpulist("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpulist("5"), (std::vector<int>{5}));
+  EXPECT_EQ(parse_cpulist(" 0-1 \n"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(parse_cpulist("7,3,5"), (std::vector<int>{3, 5, 7}))
+      << "output is ascending regardless of input order";
+}
+
+TEST(Affinity, RejectsMalformedCpulists) {
+  // Malformed input yields an empty list, never a crash or a bogus CPU id.
+  EXPECT_TRUE(parse_cpulist("").empty());
+  EXPECT_TRUE(parse_cpulist("abc").empty());
+  EXPECT_TRUE(parse_cpulist("3-1").empty());
+  EXPECT_TRUE(parse_cpulist("0-").empty());
+  EXPECT_TRUE(parse_cpulist("-3").empty());
+  EXPECT_TRUE(parse_cpulist("1,,2").empty());
+}
+
+TEST(Affinity, BuildsTopologyFromCpulists) {
+  const auto topo = topology_from_cpulists({"0-3", "4-7"});
+  EXPECT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.num_cpus(), 8);
+  EXPECT_EQ(topo.node_cpus[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.node_cpus[1], (std::vector<int>{4, 5, 6, 7}));
+
+  // Nodes whose cpulist fails to parse are dropped entirely.
+  const auto partial = topology_from_cpulists({"0-1", "junk", "6"});
+  EXPECT_EQ(partial.num_nodes(), 2);
+  EXPECT_EQ(partial.num_cpus(), 3);
+
+  EXPECT_EQ(topology_from_cpulists({}).num_nodes(), 0);
+  EXPECT_EQ(topology_from_cpulists({"bad", ""}).num_nodes(), 0);
+}
+
+TEST(Affinity, HostTopologyIsSane) {
+  const auto& topo = affinity::host_topology();
+  ASSERT_GE(topo.num_nodes(), 1);
+  EXPECT_GE(topo.num_cpus(), 1);
+  for (const auto& cpus : topo.node_cpus) {
+    EXPECT_FALSE(cpus.empty()) << "empty nodes must have been dropped";
+  }
+}
+
+TEST(Affinity, InterleavePolicyIsHarmlessOnAnyHost) {
+  // On a single-node host the policy silently downgrades to kNone and pins
+  // nothing; on a real multi-node host some workers pin. Either way the
+  // pool must run tasks normally.
+  parallel::ThreadPool pool(3, parallel::AffinityPolicy::kNumaInterleave);
+  if (affinity::host_topology().num_nodes() <= 1) {
+    EXPECT_EQ(pool.pinned_workers(), 0);
+  }
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_LE(pool.pinned_workers(), pool.num_threads());
+}
+
+}  // namespace

@@ -1,0 +1,436 @@
+// Tests for the pipelined (generate-once) streamed sweep driver and the
+// rolling merge frontier: simulate_sweep_streamed must be bit-identical to
+// the sequential simulate_sweep on both its paths (fused single-pass and
+// pooled window ring), the tee spool it writes while sweeping must be
+// byte-identical to a standalone spool_program of the same trace in either
+// on-disk version, the frontier must demonstrably merge chunks while later
+// chunks are still profiling, and a governed cancellation mid-frontier must
+// yield the bit-exact simulation of a contiguous trace prefix.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cachesim/parallel_stack.hpp"
+#include "cachesim/sweep.hpp"
+#include "ir/gallery.hpp"
+#include "ir/parser.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/failpoints.hpp"
+#include "support/governor.hpp"
+#include "trace/spool.hpp"
+#include "trace/walker.hpp"
+
+namespace {
+
+using namespace sdlo;
+using cachesim::PartitionOptions;
+using cachesim::PartitionStats;
+using cachesim::SimResult;
+using cachesim::StreamOptions;
+using cachesim::SweepConfig;
+using trace::CompiledProgram;
+using trace::Run;
+
+void expect_same(const std::vector<SimResult>& got,
+                 const std::vector<SimResult>& want,
+                 const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].accesses, want[i].accesses) << what << " cfg=" << i;
+    EXPECT_EQ(got[i].misses, want[i].misses) << what << " cfg=" << i;
+    EXPECT_EQ(got[i].misses_by_site, want[i].misses_by_site)
+        << what << " cfg=" << i;
+    EXPECT_EQ(got[i].completeness, want[i].completeness)
+        << what << " cfg=" << i;
+  }
+}
+
+std::vector<SweepConfig> standard_configs() {
+  std::vector<SweepConfig> configs;
+  for (std::int64_t cap : {1, 2, 3, 16, 64, 250, 1024}) {
+    configs.push_back({cap, 1, 0, cachesim::Replacement::kLru});
+  }
+  for (std::int64_t line : {4, 8}) {
+    configs.push_back({16 * line, line, 0, cachesim::Replacement::kLru});
+    configs.push_back({64 * line, line, 0, cachesim::Replacement::kLru});
+  }
+  configs.push_back({64, 4, 4, cachesim::Replacement::kLru});  // set-assoc
+  return configs;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<char> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Cumulative access counts per group prefix: prefix[g] = accesses in the
+/// first g groups. Lets a test translate a truncated result's access count
+/// back into the exact group prefix it simulated.
+std::vector<std::uint64_t> access_prefix(const CompiledProgram& cp) {
+  std::vector<std::uint64_t> prefix{0};
+  cp.walk_runs([&](const Run* g, std::size_t nrefs) {
+    prefix.push_back(prefix.back() + g[0].count * nrefs);
+  });
+  return prefix;
+}
+
+TEST(StreamedSweep, FusedMatchesSequentialAcrossChunkLadder) {
+  const auto g = ir::matmul_tiled();
+  const CompiledProgram cp(g.prog, g.make_env({16, 16, 16}, {4, 8, 4}));
+  const auto configs = standard_configs();
+  const auto want = cachesim::simulate_sweep(cp, configs);
+  for (int chunks : {1, 2, 5, 17}) {
+    PartitionStats stats;
+    StreamOptions sopt;
+    sopt.partition.chunks = chunks;
+    sopt.partition.stats = &stats;
+    const auto got =
+        cachesim::simulate_sweep_streamed(cp, configs, nullptr, sopt);
+    expect_same(got, want, "fused chunks=" + std::to_string(chunks));
+    // Without a pool, every chunk is merged on the generating thread.
+    EXPECT_EQ(stats.merged_chunks, stats.chunks)
+        << "chunks=" << chunks;
+    EXPECT_EQ(stats.spool_write_seconds, 0.0) << "no tee configured";
+  }
+}
+
+TEST(StreamedSweep, PooledRingMatchesSequential) {
+  const auto g = ir::two_index_tiled();
+  const CompiledProgram cp(g.prog,
+                           g.make_env({16, 16, 16, 16}, {4, 8, 8, 4}));
+  const auto configs = standard_configs();
+  const auto want = cachesim::simulate_sweep(cp, configs);
+  parallel::ThreadPool pool(3);
+  // A tiny window with a shallow ring forces real generator back-pressure.
+  for (std::uint64_t window : {1u, 7u, 4096u}) {
+    PartitionStats stats;
+    StreamOptions sopt;
+    sopt.partition.chunks = 5;
+    sopt.partition.stats = &stats;
+    sopt.window_groups = window;
+    sopt.ring_windows = 2;
+    const auto got =
+        cachesim::simulate_sweep_streamed(cp, configs, &pool, sopt);
+    expect_same(got, want, "pooled window=" + std::to_string(window));
+    EXPECT_EQ(stats.merged_chunks, stats.chunks)
+        << "window=" << window;
+  }
+}
+
+TEST(StreamedSweep, TeeSpoolIsByteIdenticalToSpoolProgram) {
+  const auto g = ir::matmul_tiled();
+  const CompiledProgram cp(g.prog, g.make_env({16, 16, 16}, {4, 8, 4}));
+  const auto configs = standard_configs();
+  const auto want = cachesim::simulate_sweep(cp, configs);
+
+  for (int version : {1, 2}) {
+    const std::string ref_path = temp_path(
+        "sdlo_stream_ref_v" + std::to_string(version) + ".spl");
+    trace::spool_program(ref_path, cp, version);
+    const auto ref = file_bytes(ref_path);
+
+    for (const bool pooled : {false, true}) {
+      const std::string tee_path = temp_path(
+          "sdlo_stream_tee_v" + std::to_string(version) +
+          (pooled ? "_pooled" : "_fused") + ".spl");
+      std::unique_ptr<parallel::ThreadPool> pool;
+      if (pooled) pool = std::make_unique<parallel::ThreadPool>(2);
+      {
+        trace::SpoolWriter writer(tee_path, version);
+        PartitionStats stats;
+        StreamOptions sopt;
+        sopt.partition.chunks = 4;
+        sopt.partition.stats = &stats;
+        sopt.tee = &writer;
+        const auto got = cachesim::simulate_sweep_streamed(
+            cp, configs, pool.get(), sopt);
+        expect_same(got, want,
+                    "tee v" + std::to_string(version) +
+                        (pooled ? " pooled" : " fused"));
+        ASSERT_EQ(writer.groups(), cp.group_count());
+        ASSERT_EQ(writer.accesses(), cp.total_accesses());
+        EXPECT_GT(stats.spool_write_seconds, 0.0);
+        writer.finish(cp.num_sites(), cp.address_space_size());
+      }
+      EXPECT_EQ(file_bytes(tee_path), ref)
+          << "version=" << version << " pooled=" << pooled;
+      std::remove(tee_path.c_str());
+    }
+    std::remove(ref_path.c_str());
+  }
+}
+
+TEST(StreamedSweep, FrontierMergesWhileLaterChunksProfile) {
+  // A[0] reuses once per r-block with a long B-stream in between: with 16
+  // chunks each r-block spans ~4 of them, so the holes merged at chunks 4,
+  // 8 and 12 resolve across 3+ chunk boundaries. The trace is big enough
+  // (~4.2M accesses in 64K short groups) that the frontier has real time
+  // to fold early chunks while workers are still profiling late ones; the
+  // observer proves it happened. Scheduling can in principle finish every
+  // chunk before the first merge, so the overlap check retries.
+  const ir::Program p = ir::parse_program(R"(
+    for r<4> {
+      for z<1> { S1: A[z] += A[z] }
+      for k<16384> { for j<64> { S2: B[j] += B[j] } }
+    }
+  )");
+  const CompiledProgram cp(p, {});
+  std::vector<SweepConfig> configs;
+  for (std::int64_t cap : {1, 2, 32, 64, 66, 128})
+    configs.push_back({cap, 1, 0, cachesim::Replacement::kLru});
+  const auto want = cachesim::simulate_sweep(cp, configs);
+
+  bool overlapped = false;
+  for (int attempt = 0; attempt < 3 && !overlapped; ++attempt) {
+    parallel::ThreadPool pool(3);
+    PartitionStats stats;
+    struct Event {
+      std::size_t merged, profiled, chunks;
+    };
+    std::vector<Event> events;
+    PartitionOptions opt;
+    opt.chunks = 16;
+    opt.stats = &stats;
+    opt.merge_observer = [&](std::size_t merged, std::size_t profiled,
+                             std::size_t chunks) {
+      events.push_back({merged, profiled, chunks});
+    };
+    const auto got =
+        cachesim::simulate_sweep_partitioned(cp, configs, &pool, opt);
+    expect_same(got, want, "attempt=" + std::to_string(attempt));
+    EXPECT_EQ(stats.merged_chunks, stats.chunks);
+    for (const auto& e : events) {
+      EXPECT_LE(e.profiled, e.chunks);
+      if (e.profiled < e.chunks) overlapped = true;
+    }
+    EXPECT_EQ(overlapped, stats.overlapped_merges > 0);
+  }
+  EXPECT_TRUE(overlapped)
+      << "no merge overlapped still-running workers in 3 attempts";
+}
+
+TEST(StreamedSweep, StreamedOverlapsOnThePooledPath) {
+  // Same property through the pipelined driver: generated windows flow to
+  // workers while earlier chunks merge. Identity is asserted every
+  // attempt; the overlap flag is retried like above.
+  const ir::Program p = ir::parse_program(R"(
+    for r<4> {
+      for z<1> { S1: A[z] += A[z] }
+      for k<16384> { for j<64> { S2: B[j] += B[j] } }
+    }
+  )");
+  const CompiledProgram cp(p, {});
+  std::vector<SweepConfig> configs{
+      {2, 1, 0, cachesim::Replacement::kLru},
+      {66, 1, 0, cachesim::Replacement::kLru}};
+  const auto want = cachesim::simulate_sweep(cp, configs);
+
+  bool overlapped = false;
+  for (int attempt = 0; attempt < 3 && !overlapped; ++attempt) {
+    parallel::ThreadPool pool(3);
+    PartitionStats stats;
+    StreamOptions sopt;
+    sopt.partition.chunks = 16;
+    sopt.partition.stats = &stats;
+    sopt.window_groups = 1024;
+    const auto got =
+        cachesim::simulate_sweep_streamed(cp, configs, &pool, sopt);
+    expect_same(got, want, "attempt=" + std::to_string(attempt));
+    overlapped = stats.overlapped_merges > 0;
+  }
+  EXPECT_TRUE(overlapped)
+      << "no streamed merge overlapped running workers in 3 attempts";
+}
+
+TEST(StreamedSweep, MaxGroupsTruncationMatchesPartitioned) {
+  const auto g = ir::matmul();
+  const CompiledProgram cp(g.prog, g.make_env({10, 10, 10}, {}));
+  std::vector<SweepConfig> configs{{4, 1, 0, cachesim::Replacement::kLru},
+                                   {64, 1, 0, cachesim::Replacement::kLru}};
+  const std::uint64_t max_groups = cp.group_count() / 3;
+  ASSERT_GT(max_groups, 4u);
+
+  PartitionOptions pref;
+  pref.chunks = 1;
+  pref.max_groups = max_groups;
+  const auto want =
+      cachesim::simulate_sweep_partitioned(cp, configs, nullptr, pref);
+
+  for (int chunks : {1, 4}) {
+    StreamOptions sopt;
+    sopt.partition.chunks = chunks;
+    sopt.partition.max_groups = max_groups;
+    const auto got =
+        cachesim::simulate_sweep_streamed(cp, configs, nullptr, sopt);
+    expect_same(got, want,
+                "max_groups chunks=" + std::to_string(chunks));
+  }
+}
+
+TEST(StreamedSweep, CancellationMidFrontierYieldsExactPrefix) {
+  const auto g = ir::matmul();
+  const CompiledProgram cp(g.prog, g.make_env({12, 12, 12}, {}));
+  std::vector<SweepConfig> configs{{16, 1, 0, cachesim::Replacement::kLru},
+                                   {64, 1, 0, cachesim::Replacement::kLru}};
+  const auto prefix = access_prefix(cp);
+
+  for (const bool pooled : {false, true}) {
+    std::unique_ptr<parallel::ThreadPool> pool;
+    if (pooled) pool = std::make_unique<parallel::ThreadPool>(2);
+    Governor gov;
+    gov.poll_interval = 1;
+    gov.cancel.cancel_after(50);
+    StreamOptions sopt;
+    sopt.partition.chunks = 4;
+    sopt.window_groups = 8;
+    const auto got = cachesim::simulate_sweep_streamed(
+        cp, configs, pool.get(), sopt, &gov);
+    ASSERT_EQ(got.size(), configs.size());
+    EXPECT_EQ(got[0].completeness, Completeness::kTruncated);
+    EXPECT_LT(got[0].accesses, cp.total_accesses());
+
+    // The truncated counts must be the bit-exact simulation of some whole
+    // group prefix: locate it from the access count, then replay exactly
+    // that prefix deterministically.
+    std::uint64_t groups = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      if (prefix[i] == got[0].accesses) {
+        groups = i;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "truncated accesses " << got[0].accesses
+                       << " are not a whole-group prefix";
+    if (groups == 0) {
+      for (const auto& r : got) EXPECT_EQ(r.misses, 0u);
+      continue;
+    }
+    StreamOptions replay;
+    replay.partition.chunks = 1;
+    replay.partition.max_groups = groups;
+    const auto want =
+        cachesim::simulate_sweep_streamed(cp, configs, nullptr, replay);
+    expect_same(got, want,
+                std::string("prefix replay ") +
+                    (pooled ? "pooled" : "fused"));
+  }
+}
+
+TEST(StreamedSweep, MemoryDenialDegradesButTeeStillCompletes) {
+  const auto g = ir::matmul();
+  const CompiledProgram cp(g.prog, g.make_env({10, 10, 10}, {}));
+  const auto configs = standard_configs();
+  const auto want = cachesim::simulate_sweep(cp, configs);
+
+  const std::string ref_path = temp_path("sdlo_stream_degrade_ref.spl");
+  trace::spool_program(ref_path, cp);
+  const std::string tee_path = temp_path("sdlo_stream_degrade_tee.spl");
+
+  MemoryBudget none(0);
+  Governor gov;
+  gov.memory = &none;
+  {
+    trace::SpoolWriter writer(tee_path);
+    PartitionStats stats;
+    StreamOptions sopt;
+    sopt.partition.chunks = 4;
+    sopt.partition.stats = &stats;
+    sopt.tee = &writer;
+    const auto got =
+        cachesim::simulate_sweep_streamed(cp, configs, nullptr, sopt, &gov);
+    expect_same(got, want, "degraded results");
+    ASSERT_EQ(writer.groups(), cp.group_count());
+    EXPECT_GT(stats.spool_write_seconds, 0.0);
+    writer.finish(cp.num_sites(), cp.address_space_size());
+  }
+  EXPECT_EQ(none.used(), 0u);
+  EXPECT_EQ(file_bytes(tee_path), file_bytes(ref_path));
+  std::remove(ref_path.c_str());
+  std::remove(tee_path.c_str());
+}
+
+TEST(StreamedSweep, TeeWriteFailureUnwindsCleanlyOnThePooledPath) {
+  // An injected spool-write failure mid-generation must unwind through the
+  // window rings without deadlocking the pool or leaving a partial file,
+  // and the pool must remain usable afterwards. The writer only touches
+  // the disk on 256 KiB buffer flushes, so the trace must be large enough
+  // (and encoded verbosely enough — v1) that a flush happens mid-walk.
+  const auto g = ir::matmul();
+  const CompiledProgram cp(g.prog, g.make_env({128, 128, 128}, {}));
+  std::vector<SweepConfig> configs{{16, 1, 0, cachesim::Replacement::kLru}};
+  const std::string tee_path = temp_path("sdlo_stream_failpoint_tee.spl");
+  std::remove(tee_path.c_str());
+
+  parallel::ThreadPool pool(2);
+  {
+    failpoints::ScopedFailpoint fp(
+        failpoints::kSpoolWrite,
+        failpoints::Spec{failpoints::Action::kFailAlloc, 0});
+    trace::SpoolWriter writer(tee_path, 1);
+    StreamOptions sopt;
+    sopt.partition.chunks = 4;
+    sopt.tee = &writer;
+    EXPECT_THROW(
+        cachesim::simulate_sweep_streamed(cp, configs, &pool, sopt),
+        trace::IoError);
+  }
+  EXPECT_FALSE(std::filesystem::exists(tee_path));
+  EXPECT_FALSE(std::filesystem::exists(tee_path + ".tmp"));
+
+  // Disarmed, the same pool finishes the same job.
+  const auto want = cachesim::simulate_sweep(cp, configs);
+  StreamOptions sopt;
+  sopt.partition.chunks = 4;
+  const auto got =
+      cachesim::simulate_sweep_streamed(cp, configs, &pool, sopt);
+  expect_same(got, want, "pool reuse after injected tee failure");
+}
+
+TEST(StreamedSweep, DroppedPoolTaskSurfacesWithoutDeadlock) {
+  // The pool-task failpoint makes a worker die before consuming its ring:
+  // the generator must notice (via has_error/idle polling) instead of
+  // blocking forever on the full ring, and the failure must surface.
+  const auto g = ir::matmul();
+  const CompiledProgram cp(g.prog, g.make_env({12, 12, 12}, {}));
+  std::vector<SweepConfig> configs{{16, 1, 0, cachesim::Replacement::kLru}};
+  parallel::ThreadPool pool(2);
+  failpoints::ScopedFailpoint fp(
+      failpoints::kPoolTask,
+      failpoints::Spec{failpoints::Action::kThrow, 0});
+  StreamOptions sopt;
+  sopt.partition.chunks = 4;
+  sopt.window_groups = 2;
+  sopt.ring_windows = 1;
+  EXPECT_THROW(
+      cachesim::simulate_sweep_streamed(cp, configs, &pool, sopt),
+      InjectedFault);
+}
+
+TEST(StreamedSweep, EmptyConfigListAndZeroAccessPrograms) {
+  const auto g = ir::matmul();
+  const CompiledProgram cp(g.prog, g.make_env({10, 10, 10}, {}));
+  EXPECT_TRUE(cachesim::simulate_sweep_streamed(cp, {}).empty());
+
+  // A one-group program is the smallest possible chunking: one chunk, no
+  // holes to merge beyond the cold ones.
+  const ir::Program p = ir::parse_program("for i<1> { S1: A[i] += A[i] }");
+  const CompiledProgram tiny(p, {});
+  std::vector<SweepConfig> configs{{4, 1, 0, cachesim::Replacement::kLru}};
+  const auto want = cachesim::simulate_sweep(tiny, configs);
+  const auto got = cachesim::simulate_sweep_streamed(tiny, configs);
+  expect_same(got, want, "tiny program");
+}
+
+}  // namespace

@@ -8,7 +8,7 @@
 //   sdlo misses   prog.sdlo --cap 8192 --set N=512 [--simulate] [--json]
 //   sdlo sweep    prog.sdlo --set N=512 [--engine symbolic] [--line 4]
 //                 [--sites] [--json] [--threads T] [--chunk-accesses N]
-//                 [--spool FILE]
+//                 [--spool FILE] [--spool-version 1|2] [--numa]
 //   sdlo trace    prog.sdlo --set N=8 [--limit 100]
 //   sdlo fuzz     [--seed S] [--count N] [--time-budget SEC]
 //                 [--artifact-dir DIR] [--replay artifact.sdlo]
@@ -30,13 +30,18 @@
 // walk (analysis/sweep_driver.hpp); programs the model cannot resolve
 // exactly fall back to simulation, and both text and JSON output name the
 // engine that actually answered (plus the fallback reason), so scripts can
-// detect a silent fallback. With --threads > 1 (or
-// an explicit --chunk-accesses) the pass runs on the time-partitioned
-// parallel engine (cachesim/parallel_stack.hpp), whose merged counts are
-// bit-identical to the sequential pass. --spool FILE first serializes the
-// run-compressed trace to FILE and then streams it back through a bounded
-// window (trace/spool.hpp) — the out-of-core path for traces larger than
-// the memory budget.
+// detect a silent fallback. With --threads > 1 (or an explicit
+// --chunk-accesses) the pass runs on the pipelined streamed engine
+// (cachesim/parallel_stack.hpp): the trace is generated once, workers
+// profile time chunks through a bounded ring, and the sequential hole
+// merge rolls forward behind them — merged counts bit-identical to the
+// sequential pass. --spool FILE tees the run-compressed trace (SDLOSPL2
+// by default, --spool-version 1 for the legacy container) to FILE on that
+// same pass, so the out-of-core spool costs no extra trace walk; the file
+// is finished only when every group was generated, and any failure or
+// deadline truncation removes it (RAII guard + atomic temp-and-rename).
+// --numa pins the workers round-robin across NUMA nodes; on single-node
+// hosts the policy silently degrades to unpinned.
 //
 // `lint` runs the static-analysis passes of src/analysis (well-formedness,
 // model applicability, parallelization safety) and prints the diagnostics
@@ -73,6 +78,7 @@
 #include "support/governor.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
+#include "trace/spool.hpp"
 #include "trace/walker.hpp"
 
 namespace {
@@ -210,27 +216,20 @@ int cmd_misses(const ir::Program& prog, const sym::Env& env,
 
 using analysis::sweep_ladder;
 
-/// Partitioned/out-of-core sweep output: same table and JSON shape as the
-/// profiler path, computed by simulate_sweep_partitioned over `src` (a
-/// CompiledProgram or a SpooledTrace — the counts are bit-identical).
-template <typename Source>
-int emit_partitioned_sweep(const Source& src, std::int64_t line, bool sites,
-                           int threads, std::int64_t chunk_accesses,
-                           const Governor* gov, bool json) {
-  const auto caps = sweep_ladder(line, src.address_space_size());
-  std::vector<cachesim::SweepConfig> configs;
-  for (const std::int64_t cap : caps) {
-    configs.push_back({cap, line, 0, cachesim::Replacement::kLru});
-  }
-  std::unique_ptr<parallel::ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<parallel::ThreadPool>(threads);
-  cachesim::PartitionOptions opt;
-  opt.threads = threads;
-  if (chunk_accesses > 0) {
-    opt.chunk_accesses = static_cast<std::uint64_t>(chunk_accesses);
-  }
-  const auto results = cachesim::simulate_sweep_partitioned(
-      src, configs, pool.get(), opt, gov);
+/// What the tee spool of one pipelined sweep produced.
+struct SpoolOutcome {
+  std::string path;          ///< empty when no spool was requested/kept
+  std::uint64_t bytes = 0;
+};
+
+/// Pipelined sweep output: same table and JSON shape as the profiler path,
+/// plus the streamed driver's phase accounting (JSON only) and the tee
+/// spool outcome.
+int emit_streamed_results(const std::vector<std::int64_t>& caps,
+                          const std::vector<cachesim::SimResult>& results,
+                          const cachesim::PartitionStats& stats,
+                          const SpoolOutcome& spool, std::int64_t line,
+                          bool sites, int threads, bool json) {
   bool truncated = false;
   for (const auto& r : results) {
     truncated = truncated || r.completeness == Completeness::kTruncated;
@@ -243,7 +242,19 @@ int emit_partitioned_sweep(const Source& src, std::int64_t line, bool sites,
               << ",\"completeness\":\""
               << json_completeness(truncated ? Completeness::kTruncated
                                              : Completeness::kComplete)
-              << "\",\"rows\":[";
+              << "\",\"phases\":{\"profile_seconds\":"
+              << stats.profile_seconds
+              << ",\"merge_seconds\":" << stats.merge_seconds
+              << ",\"merge_wait_seconds\":" << stats.merge_wait_seconds
+              << ",\"spool_write_seconds\":" << stats.spool_write_seconds
+              << ",\"chunks\":" << stats.chunks
+              << ",\"overlapped_merges\":" << stats.overlapped_merges
+              << "}";
+    if (!spool.path.empty()) {
+      std::cout << ",\"spool\":{\"path\":\"" << spool.path
+                << "\",\"bytes\":" << spool.bytes << "}";
+    }
+    std::cout << ",\"rows\":[";
     for (std::size_t i = 0; i < results.size(); ++i) {
       std::cout << (i == 0 ? "" : ",") << "{\"capacity\":" << caps[i]
                 << ",\"misses\":" << results[i].misses;
@@ -295,31 +306,79 @@ int emit_partitioned_sweep(const Source& src, std::int64_t line, bool sites,
               << " accesses: counts are exact for that prefix (lower "
                  "bounds for the full trace)\n";
   }
+  if (!spool.path.empty()) {
+    std::cout << "spooled trace written to " << spool.path << " ("
+              << with_commas(static_cast<std::int64_t>(spool.bytes))
+              << " bytes)\n";
+  }
   return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
+}
+
+/// The pipelined sweep path: walks the program once through
+/// simulate_sweep_streamed, teeing the trace to --spool FILE on the same
+/// pass (no separate serialize-then-decode passes), with --threads workers
+/// optionally NUMA-pinned. The spool file only survives a run that
+/// generated every group: truncation (deadline) leaves the writer
+/// unfinished so its temp file is discarded, and any failure after a
+/// finish is unwound by the RAII guard — no half-written spool is ever
+/// left behind.
+int run_streamed_sweep(const ir::Program& prog, const sym::Env& env,
+                       std::int64_t line, bool sites, int threads,
+                       std::int64_t chunk_accesses,
+                       const std::string& spool_path, int spool_version,
+                       bool numa, const Governor* gov, bool json) {
+  trace::CompiledProgram cp(prog, env);
+  const auto caps = sweep_ladder(line, cp.address_space_size());
+  std::vector<cachesim::SweepConfig> configs;
+  for (const std::int64_t cap : caps) {
+    configs.push_back({cap, line, 0, cachesim::Replacement::kLru});
+  }
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<parallel::ThreadPool>(
+        threads, numa ? parallel::AffinityPolicy::kNumaInterleave
+                      : parallel::AffinityPolicy::kNone);
+  }
+  cachesim::PartitionStats stats;
+  cachesim::StreamOptions sopt;
+  sopt.partition.threads = threads;
+  sopt.partition.stats = &stats;
+  if (chunk_accesses > 0) {
+    sopt.partition.chunk_accesses =
+        static_cast<std::uint64_t>(chunk_accesses);
+  }
+  std::unique_ptr<trace::SpoolFileGuard> guard;
+  std::unique_ptr<trace::SpoolWriter> writer;
+  if (!spool_path.empty()) {
+    guard = std::make_unique<trace::SpoolFileGuard>(spool_path);
+    writer = std::make_unique<trace::SpoolWriter>(spool_path, spool_version);
+    sopt.tee = writer.get();
+  }
+  const auto results =
+      cachesim::simulate_sweep_streamed(cp, configs, pool.get(), sopt, gov);
+  SpoolOutcome spool;
+  if (writer != nullptr && writer->groups() == cp.group_count()) {
+    writer->finish(cp.num_sites(), cp.address_space_size());
+    guard->release();
+    spool.path = spool_path;
+    spool.bytes = std::filesystem::file_size(spool_path);
+  }
+  return emit_streamed_results(caps, results, stats, spool, line, sites,
+                               threads, json);
 }
 
 int cmd_sweep(const ir::Program& prog, const sym::Env& env,
               const std::string& engine, std::int64_t line, bool sites,
               trace::TraceMode mode, const Governor* gov, bool json,
               int threads, std::int64_t chunk_accesses,
-              const std::string& spool_path) {
+              const std::string& spool_path, int spool_version, bool numa) {
   const analysis::SweepEngine eng = analysis::parse_sweep_engine(engine);
-  if (eng == analysis::SweepEngine::kSimulate) {
-    // The partitioned / out-of-core paths are simulation-only.
-    if (!spool_path.empty()) {
-      // Out-of-core: serialize the run-compressed trace, then stream it
-      // back through a bounded window so peak memory excludes the trace.
-      trace::CompiledProgram cp(prog, env);
-      trace::spool_program(spool_path, cp);
-      const trace::SpooledTrace spool(spool_path);
-      return emit_partitioned_sweep(spool, line, sites, threads,
-                                    chunk_accesses, gov, json);
-    }
-    if (threads > 1 || chunk_accesses > 0) {
-      trace::CompiledProgram cp(prog, env);
-      return emit_partitioned_sweep(cp, line, sites, threads,
-                                    chunk_accesses, gov, json);
-    }
+  if (eng == analysis::SweepEngine::kSimulate &&
+      (!spool_path.empty() || threads > 1 || chunk_accesses > 0)) {
+    // The pipelined / out-of-core paths are simulation-only.
+    return run_streamed_sweep(prog, env, line, sites, threads,
+                              chunk_accesses, spool_path, spool_version,
+                              numa, gov, json);
   }
   analysis::SweepDriverOptions opts;
   opts.engine = eng;
@@ -508,8 +567,14 @@ int main(int argc, char** argv) {
               "target accesses per partitioned-sweep chunk (default: "
               "trace/threads)")
         .flag("spool",
-              "spool the trace to FILE and stream the sweep from it "
-              "(out-of-core)");
+              "tee the run-compressed trace to FILE on the same pipelined "
+              "pass (out-of-core; the file is removed on any failure)")
+        .flag("spool-version",
+              "SDLOSPL container version for --spool: 2 (default, "
+              "delta-encoded site tables) or 1")
+        .flag("numa",
+              "pin sweep workers round-robin across NUMA nodes "
+              "(no-op on single-node hosts)");
     if (!cli.finish()) return to_int(ExitCode::kOk);
 
     const auto& pos = cli.positional();
@@ -573,12 +638,19 @@ int main(int argc, char** argv) {
                         governor.get(), json);
     }
     if (verb == "sweep") {
+      const std::int64_t spool_version = cli.get_int("spool-version", 2);
+      if (spool_version != 1 && spool_version != 2) {
+        std::cerr << "sdlo: --spool-version must be 1 or 2\n";
+        return to_int(ExitCode::kError);
+      }
       return cmd_sweep(prog, env, cli.get_string("engine", "simulate"),
                        cli.get_int("line", 1), cli.get_bool("sites", false),
                        trace_mode, governor.get(), json,
                        static_cast<int>(cli.get_int("threads", 1)),
                        cli.get_int("chunk-accesses", 0),
-                       cli.get_string("spool", ""));
+                       cli.get_string("spool", ""),
+                       static_cast<int>(spool_version),
+                       cli.get_bool("numa", false));
     }
     if (verb == "trace") {
       return cmd_trace(prog, env, cli.get_int("limit", 50));
