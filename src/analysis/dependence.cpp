@@ -1,0 +1,266 @@
+#include "analysis/dependence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace sdlo::analysis {
+
+namespace {
+
+/// Longest common prefix of the two statements' enclosing loops, matched by
+/// (band, index) identity. Two statements share an iteration space exactly
+/// up to their lowest common ancestor band.
+std::vector<ir::PathLoop> common_loops(const ir::Program& prog, ir::NodeId a,
+                                       ir::NodeId b) {
+  std::vector<ir::PathLoop> pa = prog.path_loops(a);
+  std::vector<ir::PathLoop> pb = prog.path_loops(b);
+  std::vector<ir::PathLoop> out;
+  for (std::size_t i = 0; i < pa.size() && i < pb.size(); ++i) {
+    if (pa[i].band != pb[i].band || pa[i].index_in_band != pb[i].index_in_band)
+      break;
+    out.push_back(pa[i]);
+  }
+  return out;
+}
+
+std::optional<DepKind> classify(ir::AccessMode src, ir::AccessMode dst) {
+  const bool sw = src == ir::AccessMode::kWrite;
+  const bool dw = dst == ir::AccessMode::kWrite;
+  if (sw && !dw) return DepKind::kFlow;
+  if (!sw && dw) return DepKind::kAnti;
+  if (sw && dw) return DepKind::kOutput;
+  return std::nullopt;  // read-read pairs are reuse, not dependence
+}
+
+}  // namespace
+
+const char* dep_kind_name(DepKind k) {
+  switch (k) {
+    case DepKind::kFlow: return "flow";
+    case DepKind::kAnti: return "anti";
+    case DepKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+std::string Dependence::direction_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    if (i) out += ",";
+    out += loops[i].dir == Direction::kEq ? "=" : "*";
+  }
+  out += ")";
+  return out;
+}
+
+std::string Dependence::tests_string() const {
+  if (tests.size() == 1 && tests[0].second == SubscriptTest::kZiv)
+    return "ziv";
+  std::string siv, gcd;
+  for (const auto& [var, test] : tests) {
+    std::string& bucket = test == SubscriptTest::kStrongSiv ? siv : gcd;
+    if (!bucket.empty()) bucket += ",";
+    bucket += var;
+  }
+  std::string out;
+  if (!siv.empty()) out += "siv(" + siv + ")";
+  if (!gcd.empty()) {
+    if (!out.empty()) out += "+";
+    out += "gcd(" + gcd + ")";
+  }
+  return out;
+}
+
+DependenceAnalysis analyze_dependences(const ir::Program& prog) {
+  SDLO_CHECK(prog.validated(), "analyze_dependences requires validate()");
+  DependenceAnalysis out;
+
+  // Program-order rank of each statement node, for the loop-independent
+  // test (does src textually precede dst?).
+  std::map<ir::NodeId, std::size_t> stmt_rank;
+  for (std::size_t i = 0; i < prog.statements_in_order().size(); ++i)
+    stmt_rank[prog.statements_in_order()[i]] = i;
+
+  for (const std::string& array : prog.arrays()) {
+    const std::vector<ir::AccessSite>& refs = prog.refs_to(array);
+    const std::vector<std::string>& avars = prog.array_vars(array);
+    const bool scalar = prog.array_shape(array).empty();
+
+    for (const ir::AccessSite& src : refs) {
+      const ir::Statement& ss = prog.statement(src.stmt);
+      for (const ir::AccessSite& dst : refs) {
+        std::optional<DepKind> kind =
+            classify(ss.accesses[static_cast<std::size_t>(src.access)].mode,
+                     prog.statement(dst.stmt)
+                         .accesses[static_cast<std::size_t>(dst.access)]
+                         .mode);
+        if (!kind) continue;
+
+        Dependence d;
+        d.kind = *kind;
+        d.array = array;
+        d.src = src;
+        d.dst = dst;
+        d.src_label = ss.label;
+        d.dst_label = prog.statement(dst.stmt).label;
+
+        // Per-digit subscript tests. WF004 makes element equality the
+        // conjunction "every array var agrees", so each digit decides
+        // independently: common loop -> strong SIV (coefficient 1, offset
+        // 0, distance 0); differently-bound var -> GCD fallback, always
+        // satisfiable over full equal-extent ranges, constrains nothing.
+        std::vector<ir::PathLoop> common =
+            common_loops(prog, src.stmt, dst.stmt);
+        std::set<std::string> common_vars;
+        for (const ir::PathLoop& pl : common) common_vars.insert(pl.var);
+        if (scalar) {
+          d.tests.emplace_back("", SubscriptTest::kZiv);
+        } else {
+          for (const std::string& v : avars)
+            d.tests.emplace_back(v, common_vars.count(v)
+                                        ? SubscriptTest::kStrongSiv
+                                        : SubscriptTest::kGcd);
+        }
+
+        std::set<std::string> eq_vars;
+        for (const std::string& v : avars)
+          if (common_vars.count(v)) eq_vars.insert(v);
+        for (const ir::PathLoop& pl : common) {
+          DepLoop dl;
+          dl.var = pl.var;
+          dl.band = pl.band;
+          dl.index_in_band = pl.index_in_band;
+          dl.dir = eq_vars.count(pl.var) ? Direction::kEq : Direction::kAny;
+          dl.distance = 0;
+          if (dl.dir == Direction::kAny && !d.carrier)
+            d.carrier = d.loops.size();
+          d.loops.push_back(dl);
+        }
+
+        // The all-'=' instance exists only when src executes before dst
+        // within one iteration of the common loops: earlier statement in
+        // program order, or an earlier access of the same statement.
+        d.loop_independent =
+            src.stmt == dst.stmt
+                ? src.access < dst.access
+                : stmt_rank.at(src.stmt) < stmt_rank.at(dst.stmt);
+
+        // A dependence with neither a carried nor a loop-independent
+        // instance relates no pair of dynamic accesses in this direction.
+        if (!d.carried() && !d.loop_independent) continue;
+        out.deps.push_back(std::move(d));
+      }
+    }
+  }
+
+  // Band summaries: a band is fully permutable when no dependence has two
+  // '*' loops in it (with <= 1 unconstrained loop, every permutation
+  // preserves every lexicographically positive instance).
+  for (ir::NodeId n = 0; n < static_cast<ir::NodeId>(prog.num_nodes()); ++n) {
+    if (prog.is_statement(n) || prog.band_loops(n).empty()) continue;
+    BandSummary bs;
+    bs.band = n;
+    for (const ir::Loop& l : prog.band_loops(n)) bs.loop_vars.push_back(l.var);
+    for (const Dependence& d : out.deps) {
+      std::size_t any_here = 0;
+      for (const DepLoop& dl : d.loops)
+        if (dl.band == n && dl.dir == Direction::kAny) ++any_here;
+      if (any_here >= 2) ++bs.constraining_deps;
+    }
+    bs.fully_permutable = bs.constraining_deps == 0;
+    out.bands.push_back(std::move(bs));
+  }
+  return out;
+}
+
+bool interchange_legal(const DependenceAnalysis& da, ir::NodeId band,
+                       const std::vector<int>& perm) {
+  // new_pos[old index] = position after the permutation (perm[new] = old).
+  std::vector<int> new_pos(perm.size(), 0);
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    new_pos[static_cast<std::size_t>(perm[i])] = static_cast<int>(i);
+
+  for (const Dependence& d : da.deps) {
+    int prev = -1;
+    for (const DepLoop& dl : d.loops) {
+      if (dl.band != band || dl.dir != Direction::kAny) continue;
+      int np = new_pos[static_cast<std::size_t>(dl.index_in_band)];
+      // Reordering two '*' loops of one dependence admits an instance
+      // (<,>) that the permutation turns lexicographically negative.
+      if (np < prev) return false;
+      prev = np;
+    }
+  }
+  return true;
+}
+
+bool tiling_legal(const DependenceAnalysis& da, ir::NodeId band,
+                  const std::set<std::string>& split_vars) {
+  for (const Dependence& d : da.deps) {
+    bool outer_any_seen = false;
+    for (const DepLoop& dl : d.loops) {
+      if (dl.band != band || dl.dir != Direction::kAny) continue;
+      // tile_nest hoists the tile digit of a split loop above the whole
+      // intra block; for a '*' loop with another '*' loop outer to it that
+      // can reverse a (<,>) instance. The outermost '*' loop may split.
+      if (outer_any_seen && split_vars.count(dl.var)) return false;
+      outer_any_seen = true;
+    }
+  }
+  return true;
+}
+
+void append_dependence_diagnostics(const DependenceAnalysis& da,
+                                   const ir::SourceMap* locs,
+                                   std::vector<Diagnostic>& out) {
+  for (const Dependence& d : da.deps) {
+    Diagnostic diag;
+    diag.id = d.kind == DepKind::kFlow   ? kDP301FlowDependence
+              : d.kind == DepKind::kAnti ? kDP302AntiDependence
+                                         : kDP303OutputDependence;
+    diag.severity = Severity::kNote;
+    if (locs) diag.loc = locs->access_loc(d.src);
+    diag.object = d.array;
+    std::ostringstream msg;
+    msg << dep_kind_name(d.kind) << " dependence on " << d.array << ": "
+        << d.src_label << "[" << d.src.access << "] -> " << d.dst_label << "["
+        << d.dst.access << "], direction " << d.direction_string() << ", ";
+    if (d.carried())
+      msg << "carried by loop '" << d.loops[*d.carrier].var << "'";
+    else
+      msg << "loop-independent";
+    msg << " [" << d.tests_string() << "]";
+    diag.message = msg.str();
+    out.push_back(std::move(diag));
+  }
+
+  for (const BandSummary& bs : da.bands) {
+    if (bs.loop_vars.size() < 2) continue;
+    Diagnostic diag;
+    diag.id = bs.fully_permutable ? kDP304BandPermutable
+                                  : kDP305BandInterchangeConstrained;
+    diag.severity = Severity::kNote;
+    if (locs) diag.loc = locs->node_loc(bs.band);
+    diag.object = "b" + std::to_string(bs.band);
+    std::string vars;
+    for (const std::string& v : bs.loop_vars) {
+      if (!vars.empty()) vars += ",";
+      vars += v;
+    }
+    if (bs.fully_permutable) {
+      diag.message = "loop band (" + vars +
+                     ") is fully permutable: every dependence has at most "
+                     "one unconstrained loop here";
+    } else {
+      diag.message = "loop band (" + vars + ") has " +
+                     std::to_string(bs.constraining_deps) +
+                     " interchange-constraining dependence(s)";
+    }
+    out.push_back(std::move(diag));
+  }
+}
+
+}  // namespace sdlo::analysis

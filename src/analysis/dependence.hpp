@@ -1,0 +1,136 @@
+// Dependence analysis over the constrained IR class (DESIGN.md §15).
+//
+// WF004 guarantees every reference to an array shares one subscript
+// structure, so two accesses touch the same element exactly when the values
+// of the array's subscript variables agree. That collapses the classic
+// subscript-by-subscript battery to a per-digit decision:
+//
+//  * scalar arrays (rank 0) fall to the ZIV test: trivially dependent;
+//  * a digit whose variable is a *common* loop of both statements is a
+//    strong-SIV pair with coefficient 1 and offset 0 — distance 0,
+//    direction '=';
+//  * a digit whose variable binds to *different* loops in the two statements
+//    (the sibling-subtree tile-buffer case) falls to the GCD fallback:
+//    v1 - v2 = 0 has gcd 1 | 0 over full rectangular ranges of equal extent
+//    (WF003), so the test never disproves the dependence and constrains no
+//    common loop.
+//
+// Every common loop left unconstrained carries direction '*' (any of
+// <, =, >). Dependences are directed src-site -> dst-site and classified
+// flow (W->R), anti (R->W), output (W->W); input pairs are reuse, not
+// dependence, and are handled by reuse.hpp. Findings surface as the DP3xx
+// diagnostic family, and two predicates answer the only questions the
+// advisor asks: which band permutations and which tile splits preserve
+// every dependence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "ir/parser.hpp"
+#include "ir/program.hpp"
+
+namespace sdlo::analysis {
+
+/// Dependence classification by access-mode pair.
+enum class DepKind : std::uint8_t { kFlow, kAnti, kOutput };
+
+/// "flow" / "anti" / "output".
+const char* dep_kind_name(DepKind k);
+
+/// Direction of one common loop in a dependence: '=' (distance exactly 0,
+/// from a strong-SIV digit) or '*' (unconstrained: any of <, =, >).
+enum class Direction : std::uint8_t { kEq, kAny };
+
+/// Which subscript test decided a digit (recorded for the diagnostics).
+enum class SubscriptTest : std::uint8_t { kZiv, kStrongSiv, kGcd };
+
+/// One common loop of a dependence's statement pair, outermost first.
+struct DepLoop {
+  std::string var;
+  ir::NodeId band = 0;
+  int index_in_band = 0;
+  Direction dir = Direction::kAny;
+  std::int64_t distance = 0;  ///< exact when dir == kEq; meaningless for kAny
+};
+
+/// One classified dependence between two access sites of the same array.
+struct Dependence {
+  DepKind kind = DepKind::kFlow;
+  std::string array;
+  ir::AccessSite src;  ///< source (the access that must execute first)
+  ir::AccessSite dst;
+  std::string src_label;  ///< statement labels, for messages
+  std::string dst_label;
+  /// Common loops of the pair (longest common path prefix), outermost first.
+  std::vector<DepLoop> loops;
+  /// True when the all-'=' instance is real: src precedes dst in program
+  /// order (statement order; access order within one statement).
+  bool loop_independent = false;
+  /// Index into `loops` of the outermost '*' loop, when any exists. A
+  /// dependence with a carrier admits carried instances; one without is
+  /// purely loop-independent.
+  std::optional<std::size_t> carrier;
+  /// Per-digit record of the deciding subscript test: (digit variable,
+  /// test). Scalars record a single kZiv entry with an empty variable.
+  std::vector<std::pair<std::string, SubscriptTest>> tests;
+
+  bool carried() const { return carrier.has_value(); }
+  /// Direction vector rendered as e.g. "(=,*,=)"; "()" when no common loop.
+  std::string direction_string() const;
+  /// Subscript-test summary, e.g. "siv(i,k)+gcd(jI)" or "ziv".
+  std::string tests_string() const;
+};
+
+/// Per-band interchange summary.
+struct BandSummary {
+  ir::NodeId band = 0;
+  std::vector<std::string> loop_vars;
+  /// True when every dependence has at most one '*' loop in this band, i.e.
+  /// all loop permutations of the band are legal.
+  bool fully_permutable = true;
+  /// Number of dependences with >= 2 '*' loops in this band (the ones that
+  /// constrain permutations).
+  std::size_t constraining_deps = 0;
+};
+
+/// Result of the pass: all dependences plus per-band summaries.
+struct DependenceAnalysis {
+  std::vector<Dependence> deps;
+  std::vector<BandSummary> bands;  ///< bands with >= 1 loop, preorder
+};
+
+/// Runs the dependence pass. `prog` must be validated.
+DependenceAnalysis analyze_dependences(const ir::Program& prog);
+
+/// True when permuting band `band`'s loops by `perm` (perm[new] = old index)
+/// preserves every dependence: for each dependence, the relative order of
+/// its '*' loops within the band is unchanged ('=' loops move freely —
+/// distance 0 cannot flip lexicographic sign).
+bool interchange_legal(const DependenceAnalysis& da, ir::NodeId band,
+                       const std::vector<int>& perm);
+
+/// True when strip-mining the loops named in `split_vars` of band `band`
+/// (with ir::tile_nest's fixed order: all tile loops outward in original
+/// order, then intra/unsplit loops in original order) preserves every
+/// dependence. Illegal exactly when some dependence has a '*' loop that is
+/// split while another '*' loop of the same dependence is outer to it:
+/// hoisting the inner tile digit above the whole intra block can reverse a
+/// lexicographically positive (<,>) instance. Conservative when the tile
+/// block count is not known to be 1.
+bool tiling_legal(const DependenceAnalysis& da, ir::NodeId band,
+                  const std::set<std::string>& split_vars);
+
+/// Appends the DP3xx family: DP301/302/303 one note per flow/anti/output
+/// dependence, DP304 a note per fully permutable multi-loop band, DP305 a
+/// note per interchange-constrained band. Positions come from `locs` when
+/// provided (src access site for DP301-303, band node for DP304/305).
+void append_dependence_diagnostics(const DependenceAnalysis& da,
+                                   const ir::SourceMap* locs,
+                                   std::vector<Diagnostic>& out);
+
+}  // namespace sdlo::analysis

@@ -23,8 +23,9 @@ namespace sdlo::analysis {
 enum class Severity : std::uint8_t { kNote, kWarning, kError };
 
 /// Stable diagnostic identifiers. The numeric ranges mirror the pass that
-/// emits them: WF0xx verifier, AP1xx applicability, PS2xx parallel safety.
-/// See DESIGN.md §10 for the full catalog with trigger conditions.
+/// emits them: WF0xx verifier, AP1xx applicability, PS2xx parallel safety,
+/// DP3xx dependence analysis. See DESIGN.md §10 and §15 for the full
+/// catalog with trigger conditions.
 inline constexpr const char* kWF000ParseError = "WF000";
 inline constexpr const char* kWF001UnboundSubscriptVar = "WF001";
 inline constexpr const char* kWF002DuplicateVarOnPath = "WF002";
@@ -44,6 +45,11 @@ inline constexpr const char* kPS201CarriedDependence = "PS201";
 inline constexpr const char* kPS202FalseSharing = "PS202";
 inline constexpr const char* kPS203NoParallelLoop = "PS203";
 inline constexpr const char* kPS204PrivatizationRequired = "PS204";
+inline constexpr const char* kDP301FlowDependence = "DP301";
+inline constexpr const char* kDP302AntiDependence = "DP302";
+inline constexpr const char* kDP303OutputDependence = "DP303";
+inline constexpr const char* kDP304BandPermutable = "DP304";
+inline constexpr const char* kDP305BandInterchangeConstrained = "DP305";
 
 /// One finding of one pass.
 struct Diagnostic {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "analysis/verifier.hpp"
+#include "support/cli.hpp"
 
 namespace sdlo::analysis {
 
@@ -232,6 +233,7 @@ const char* bool_str(bool b) { return b ? "true" : "false"; }
 
 void render_json(const LintReport& rep, std::ostream& os) {
   os << "{\n";
+  os << "  \"version\": \"" << kVersionNumber << "\",\n";
   os << "  \"ok\": " << bool_str(rep.ok()) << ",\n";
   os << "  \"clean\": " << bool_str(rep.clean()) << ",\n";
   os << "  \"counts\": {\"errors\": " << rep.num_errors()

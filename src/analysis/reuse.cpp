@@ -1,0 +1,87 @@
+#include "analysis/reuse.hpp"
+
+#include <map>
+
+#include "support/check.hpp"
+
+namespace sdlo::analysis {
+
+const char* locality_name(LocalityClass c) {
+  switch (c) {
+    case LocalityClass::kTemporal: return "temporal";
+    case LocalityClass::kSpatial: return "spatial";
+    case LocalityClass::kNone: return "none";
+  }
+  return "?";
+}
+
+ReuseAnalysis analyze_reuse(const ir::Program& prog, const sym::Env* env,
+                            std::int64_t line_elems) {
+  SDLO_CHECK(prog.validated(), "analyze_reuse requires validate()");
+  ReuseAnalysis out;
+
+  // Leader (first program-order reference) per array.
+  std::map<std::string, ir::AccessSite> leader;
+  for (const std::string& a : prog.arrays()) leader[a] = prog.refs_to(a)[0];
+
+  for (ir::NodeId sn : prog.statements_in_order()) {
+    const ir::Statement& stmt = prog.statement(sn);
+    const std::vector<ir::PathLoop> path = prog.path_loops(sn);
+    for (int ai = 0; ai < static_cast<int>(stmt.accesses.size()); ++ai) {
+      const ir::ArrayRef& ref = stmt.accesses[static_cast<std::size_t>(ai)];
+      SiteReuse sr;
+      sr.site = {sn, ai};
+      sr.array = ref.array;
+      sr.stmt_label = stmt.label;
+      sr.mode = ref.mode;
+      sr.group_leader = leader.at(ref.array);
+      sr.is_group_leader = sr.site == sr.group_leader;
+
+      // Mixed-radix weight of each digit variable: product of the extents
+      // of all later digits, across dimension boundaries (row-major).
+      std::map<std::string, sym::Expr> weight;
+      {
+        sym::Expr w = sym::Expr::constant(1);
+        std::vector<std::string> digits;
+        for (const ir::Subscript& s : ref.subscripts)
+          for (const std::string& v : s.vars) digits.push_back(v);
+        for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+          weight.emplace(*it, w);
+          w = w * prog.extent_of(*it);
+        }
+      }
+
+      for (const ir::PathLoop& pl : path) {
+        LoopReuse lr;
+        lr.var = pl.var;
+        lr.band = pl.band;
+        lr.index_in_band = pl.index_in_band;
+        auto it = weight.find(pl.var);
+        lr.temporal = it == weight.end();
+        lr.stride = lr.temporal ? sym::Expr::constant(0) : it->second;
+        if (env)
+          lr.stride_value = sym::try_evaluate(lr.stride, *env);
+        else if (auto c = sym::try_evaluate(lr.stride, sym::Env{}))
+          lr.stride_value = c;
+        if (!lr.temporal) {
+          if (line_elems >= 2)
+            lr.spatial = lr.stride_value && *lr.stride_value < line_elems;
+          else
+            lr.spatial = lr.stride_value && *lr.stride_value == 1;
+        }
+        sr.loops.push_back(std::move(lr));
+      }
+
+      if (!sr.loops.empty()) {
+        const LoopReuse& inner = sr.loops.back();
+        sr.innermost = inner.temporal  ? LocalityClass::kTemporal
+                       : inner.spatial ? LocalityClass::kSpatial
+                                       : LocalityClass::kNone;
+      }
+      out.sites.push_back(std::move(sr));
+    }
+  }
+  return out;
+}
+
+}  // namespace sdlo::analysis

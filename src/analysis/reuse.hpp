@@ -1,0 +1,82 @@
+// Static reuse analysis per access site (DESIGN.md §15).
+//
+// On the constrained class every subscript digit is a bare loop variable, so
+// the classic reuse vectors collapse to a per-loop stride table: the stride
+// of loop v at a reference is the mixed-radix weight of v's digit (product
+// of the extents of all later digits, row-major over the whole array), or 0
+// when v does not appear — the reference is invariant along v and carries
+// self-temporal reuse. Unit stride (the innermost digit) carries
+// self-spatial reuse; with a line size, any stride below `line_elems` does.
+// Group reuse needs no offset analysis here: WF004 forces all references to
+// one array to share a subscript structure, so every non-leading reference
+// reuses the leader's element whenever the shared variables agree.
+//
+// The per-site verdict classifies the *innermost* enclosing loop — the one
+// whose reuse is actually realized at small cache capacities — as temporal,
+// spatial, or none.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "symbolic/expr.hpp"
+
+namespace sdlo::analysis {
+
+/// Reuse classification of one enclosing loop at one access site.
+struct LoopReuse {
+  std::string var;
+  ir::NodeId band = 0;
+  int index_in_band = 0;
+  /// True when the reference does not use `var`: successive iterations
+  /// touch the same element (self-temporal reuse carried by this loop).
+  bool temporal = false;
+  /// Elements advanced per iteration of this loop (mixed-radix digit
+  /// weight); the zero expression when temporal.
+  sym::Expr stride;
+  /// `stride` under the provided Env, when it evaluates.
+  std::optional<std::int64_t> stride_value;
+  /// True when the stride is known to stay within one cache line
+  /// (stride_value < line_elems; unit stride when no line size is given).
+  bool spatial = false;
+};
+
+/// Per-site locality verdict for the innermost enclosing loop.
+enum class LocalityClass : std::uint8_t { kTemporal, kSpatial, kNone };
+
+/// "temporal" / "spatial" / "none".
+const char* locality_name(LocalityClass c);
+
+/// Reuse summary of one access site.
+struct SiteReuse {
+  ir::AccessSite site;
+  std::string array;
+  std::string stmt_label;
+  ir::AccessMode mode = ir::AccessMode::kRead;
+  /// One entry per enclosing loop, outermost first.
+  std::vector<LoopReuse> loops;
+  /// First program-order reference to the same array; group reuse flows
+  /// leader -> follower whenever the shared subscript variables agree.
+  ir::AccessSite group_leader;
+  bool is_group_leader = false;
+  /// Verdict for the innermost enclosing loop (kNone when the statement
+  /// has no enclosing loop).
+  LocalityClass innermost = LocalityClass::kNone;
+};
+
+/// Result of the pass, one entry per access site in program order.
+struct ReuseAnalysis {
+  std::vector<SiteReuse> sites;
+};
+
+/// Runs the reuse pass. `prog` must be validated. `env` (optional) binds
+/// symbolic extents so strides evaluate; `line_elems` < 2 means "unit
+/// stride only" for the spatial test.
+ReuseAnalysis analyze_reuse(const ir::Program& prog,
+                            const sym::Env* env = nullptr,
+                            std::int64_t line_elems = 0);
+
+}  // namespace sdlo::analysis

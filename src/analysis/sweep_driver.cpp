@@ -141,7 +141,8 @@ void render_sweep_text(const SweepOutcome& oc, std::ostream& os) {
 
 void render_sweep_json(const SweepOutcome& oc, std::ostream& os,
                        bool sites) {
-  os << "{\"engine\":\"" << oc.engine << "\",\"fell_back\":"
+  os << "{\"version\":\"" << kVersionNumber << "\",\"engine\":\""
+     << oc.engine << "\",\"fell_back\":"
      << (oc.fell_back ? "true" : "false");
   if (oc.fell_back) {
     os << ",\"fallback_reason\":\"" << oc.fallback_reason << "\"";

@@ -9,10 +9,13 @@
 #if !defined(_WIN32)
 #include <unistd.h>
 #endif
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
 
+#include "analysis/advisor.hpp"
+#include "analysis/dependence.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/parallel_safety.hpp"
 #include "cachesim/parallel_stack.hpp"
@@ -733,6 +736,303 @@ void check_parallel_claims(OracleReport& report, const ir::Program& prog,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dependence oracle: brute-force cross-check of reported direction vectors.
+// ---------------------------------------------------------------------------
+
+// Trace slots brute-forced per program, and element-history pairs compared;
+// oversized programs are skipped (the analysis is exact regardless of size,
+// the oracle just cannot afford the quadratic replay).
+constexpr std::uint64_t kDependenceAccessBudget = 50'000;
+constexpr std::uint64_t kDependencePairBudget = 2'000'000;
+
+// One recorded access of the replay: which site executed, under which
+// values of its enclosing loops (outermost first).
+struct DepEvent {
+  std::int32_t site = 0;
+  ir::NodeId stmt = 0;
+  ir::AccessMode mode = ir::AccessMode::kRead;
+  std::vector<std::int64_t> vals;
+};
+
+// Replays the whole program in execution order, appending per-(array,
+// element) access histories.
+struct DepExec {
+  const ir::Program& prog;
+  const std::map<std::string, std::int64_t>& extents;
+  const std::map<ir::NodeId, std::int32_t>& site_base;
+  std::map<std::string, std::int64_t> binding;
+  std::map<std::string, std::map<std::int64_t, std::vector<DepEvent>>> hist;
+  std::uint64_t pairs = 0;  ///< incremental sum of history-pair counts
+
+  std::int64_t element_of(const ir::ArrayRef& ref) const {
+    std::int64_t elem = 0;
+    for (const auto& sub : ref.subscripts)
+      for (const auto& v : sub.vars)
+        elem = elem * extents.at(v) + binding.at(v);
+    return elem;
+  }
+
+  void run(ir::NodeId n) {
+    if (prog.is_statement(n)) {
+      const ir::Statement& stmt = prog.statement(n);
+      std::vector<std::int64_t> vals;
+      for (const auto& pl : prog.path_loops(n)) vals.push_back(binding.at(pl.var));
+      for (int ai = 0; ai < static_cast<int>(stmt.accesses.size()); ++ai) {
+        const ir::ArrayRef& ref = stmt.accesses[static_cast<std::size_t>(ai)];
+        std::vector<DepEvent>& h = hist[ref.array][element_of(ref)];
+        pairs += h.size();
+        h.push_back({site_base.at(n) + ai, n, ref.mode, vals});
+      }
+      return;
+    }
+    run_loops(n, 0);
+  }
+
+  void run_loops(ir::NodeId band, std::size_t k) {
+    const auto& loops = prog.band_loops(band);
+    if (k == loops.size()) {
+      for (ir::NodeId c : prog.children(band)) run(c);
+      return;
+    }
+    const std::string& var = loops[k].var;
+    for (std::int64_t v = 0; v < extents.at(var); ++v) {
+      binding[var] = v;
+      run_loops(band, k + 1);
+    }
+    binding.erase(var);
+  }
+};
+
+int dep_kind_index(ir::AccessMode src, ir::AccessMode dst) {
+  const bool sw = src == ir::AccessMode::kWrite;
+  const bool dw = dst == ir::AccessMode::kWrite;
+  if (sw && !dw) return 0;  // flow
+  if (!sw && dw) return 1;  // anti
+  if (sw && dw) return 2;   // output
+  return -1;                // read-read: reuse, not dependence
+}
+
+void check_dependence_claims(OracleReport& report, const ir::Program& prog,
+                             const sym::Env& env) {
+  std::map<std::string, std::int64_t> extents;
+  for (const auto& var : prog.variables()) {
+    extents[var] = sym::evaluate(prog.extent_of(var), env);
+    if (extents[var] <= 0) return;  // degenerate space: nothing executes
+  }
+
+  // Cost guard on the replay itself.
+  std::uint64_t cost = 0;
+  std::map<ir::NodeId, std::int32_t> site_base;
+  std::int32_t next_site = 0;
+  for (ir::NodeId sn : prog.statements_in_order()) {
+    site_base[sn] = next_site;
+    next_site += static_cast<std::int32_t>(prog.statement(sn).accesses.size());
+    std::uint64_t instances = 1;
+    for (const auto& pl : prog.path_loops(sn))
+      instances *= static_cast<std::uint64_t>(extents.at(pl.var));
+    cost += instances * prog.statement(sn).accesses.size();
+  }
+  if (cost > kDependenceAccessBudget) return;
+
+  DepExec exec{prog, extents, site_base, {}, {}, 0};
+  exec.run(ir::Program::kRoot);
+  if (exec.pairs > kDependencePairBudget) return;
+
+  // Common-loop prefix length per statement pair.
+  std::map<std::pair<ir::NodeId, ir::NodeId>, std::size_t> common_len;
+  for (ir::NodeId a : prog.statements_in_order()) {
+    for (ir::NodeId b : prog.statements_in_order()) {
+      const auto pa = prog.path_loops(a);
+      const auto pb = prog.path_loops(b);
+      std::size_t n = 0;
+      while (n < pa.size() && n < pb.size() && pa[n].band == pb[n].band &&
+             pa[n].index_in_band == pb[n].index_in_band)
+        ++n;
+      common_len[{a, b}] = n;
+    }
+  }
+
+  // Observed set: every ordered same-element pair with at least one write.
+  std::set<std::string> observed;
+  for (const auto& [array, elems] : exec.hist) {
+    (void)array;
+    for (const auto& [elem, h] : elems) {
+      (void)elem;
+      for (std::size_t i = 0; i < h.size(); ++i) {
+        for (std::size_t j = i + 1; j < h.size(); ++j) {
+          const int kind = dep_kind_index(h[i].mode, h[j].mode);
+          if (kind < 0) continue;
+          std::string dirs;
+          for (std::size_t t = 0; t < common_len.at({h[i].stmt, h[j].stmt});
+               ++t) {
+            dirs += h[j].vals[t] < h[i].vals[t]   ? '>'
+                    : h[j].vals[t] > h[i].vals[t] ? '<'
+                                                  : '=';
+          }
+          observed.insert(std::to_string(h[i].site) + ">" +
+                          std::to_string(h[j].site) + "|" +
+                          std::to_string(kind) + "|" + dirs);
+        }
+      }
+    }
+  }
+
+  // Expected set: each reported dependence expanded over its '*' loops,
+  // restricted to realizable vectors (lexicographically positive, or all
+  // '=' for loop-independent records; '<'/'>' need extent >= 2).
+  const analysis::DependenceAnalysis da = analysis::analyze_dependences(prog);
+  std::set<std::string> expected;
+  std::map<std::string, const analysis::Dependence*> owner;
+  for (const analysis::Dependence& d : da.deps) {
+    const std::int32_t src = site_base.at(d.src.stmt) + d.src.access;
+    const std::int32_t dst = site_base.at(d.dst.stmt) + d.dst.access;
+    const int kind = d.kind == analysis::DepKind::kFlow   ? 0
+                     : d.kind == analysis::DepKind::kAnti ? 1
+                                                          : 2;
+    std::string dirs(d.loops.size(), '=');
+    const std::function<void(std::size_t)> expand = [&](std::size_t t) {
+      if (t == d.loops.size()) {
+        const std::size_t first = dirs.find_first_not_of('=');
+        if (first == std::string::npos ? !d.loop_independent
+                                       : dirs[first] != '<')
+          return;
+        const std::string key = std::to_string(src) + ">" +
+                                std::to_string(dst) + "|" +
+                                std::to_string(kind) + "|" + dirs;
+        expected.insert(key);
+        owner.emplace(key, &d);
+        return;
+      }
+      if (d.loops[t].dir == analysis::Direction::kEq) {
+        expand(t + 1);
+        return;
+      }
+      for (char c : {'<', '=', '>'}) {
+        if (c != '=' && extents.at(d.loops[t].var) < 2) continue;
+        dirs[t] = c;
+        expand(t + 1);
+        dirs[t] = '=';
+      }
+    };
+    expand(0);
+  }
+
+  for (const std::string& key : observed) {
+    if (expected.count(key)) continue;
+    add_mismatch(report, "dependence",
+                 "observed dependence not reported by the analysis: "
+                 "src-site>dst-site|kind(0=flow,1=anti,2=output)|dirs = " +
+                     key);
+    return;  // one counterexample per program suffices
+  }
+  for (const std::string& key : expected) {
+    if (observed.count(key)) continue;
+    const analysis::Dependence& d = *owner.at(key);
+    add_mismatch(report, "dependence",
+                 "reported dependence never observed in the replay: " + key +
+                     " (" + std::string(analysis::dep_kind_name(d.kind)) +
+                     " on " + d.array + ", " + d.src_label + " -> " +
+                     d.dst_label + " " + d.direction_string() + ")");
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Advisor-legality oracle: every recommendation must preserve dataflow and
+// report honest per-site miss counts.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kAdviseAccessBudget = 50'000;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Hash of the final memory state under value-provenance semantics: each
+// write stores a hash of (its site, the values its statement instance
+// read, in order); unwritten elements read as a hash of their address. Any
+// semantics-preserving reordering of statement instances leaves every
+// read's producing write unchanged, hence the same final state; a
+// reordering that breaks a flow/anti/output dependence changes it.
+std::uint64_t dataflow_fingerprint(const ir::Program& prog,
+                                   const sym::Env& env) {
+  trace::CompiledProgram cp(prog, env);
+  std::map<std::uint64_t, std::uint64_t> mem;
+  std::vector<std::uint64_t> reads;
+  cp.walk([&](const trace::Access& a) {
+    if (a.mode == ir::AccessMode::kRead) {
+      const auto it = mem.find(a.addr);
+      reads.push_back(it != mem.end() ? it->second : mix64(a.addr));
+      return;
+    }
+    // The statement grammar ends every instance with exactly one write,
+    // which consumes the reads accumulated since the previous write.
+    std::uint64_t h = mix64(0x5d1f00d5ULL + static_cast<std::uint64_t>(a.site));
+    for (const std::uint64_t r : reads) h = mix64(h ^ r);
+    mem[a.addr] = h;
+    reads.clear();
+  });
+  std::uint64_t fp = 0x8f1e3a77c9b2d4e5ULL;
+  for (const auto& [addr, v] : mem) fp += mix64(v ^ mix64(addr));
+  return fp;
+}
+
+void check_advise_claims(OracleReport& report, const ir::Program& prog,
+                         const sym::Env& env, const OracleOptions& opts) {
+  if (report.accesses > kAdviseAccessBudget) return;
+
+  analysis::AdvisorOptions aopts;
+  aopts.capacity = opts.per_site_capacity;
+  aopts.max_band_loops = 4;
+  aopts.max_candidates = 8;
+  aopts.tile_sizes = {2, 3};
+  aopts.predict.enum_limit = std::int64_t{1} << 16;
+  aopts.governor = opts.governor;
+  const analysis::AdvisorReport rep = analysis::advise(prog, env, aopts);
+
+  const std::uint64_t base_fp = dataflow_fingerprint(prog, env);
+  for (const analysis::Advice& a : rep.advice) {
+    if (governor_should_stop(opts.governor)) {
+      report.truncated = true;
+      return;
+    }
+    sym::Env full = env;
+    for (const auto& [k, v] : a.env_extra) full[k] = v;
+
+    if (dataflow_fingerprint(a.transformed, full) != base_fp) {
+      add_mismatch(report, "advise-legality",
+                   "recommended transform changes program dataflow: " +
+                       a.title);
+      return;
+    }
+
+    // Score honesty: an exact (or profiler-backed) claim must reproduce
+    // bit-identically on the profiler, per-site miss counts included.
+    if (a.confidence != model::Confidence::kExact && !a.simulated) continue;
+    trace::CompiledProgram cp(a.transformed, full);
+    const cachesim::SimResult ref =
+        cachesim::profile_stack_distances(cp).result(aopts.capacity);
+    bool same =
+        static_cast<std::uint64_t>(a.predicted_misses) == ref.misses &&
+        a.predicted_by_site.size() == ref.misses_by_site.size();
+    for (std::size_t i = 0; same && i < a.predicted_by_site.size(); ++i)
+      same = static_cast<std::uint64_t>(a.predicted_by_site[i]) ==
+             ref.misses_by_site[i];
+    if (!same) {
+      std::ostringstream os;
+      os << "claimed miss counts diverge from the profiler for '" << a.title
+         << "': claimed " << a.predicted_misses << ", profiled "
+         << ref.misses << " at capacity " << aopts.capacity;
+      add_mismatch(report, "advise-score", os.str());
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 OracleReport check_program(const ir::Program& prog, const sym::Env& env,
@@ -780,6 +1080,12 @@ OracleReport check_program(const ir::Program& prog, const sym::Env& env,
   }
   if (opts.check_parallel && !out_of_budget()) {
     check_parallel_claims(report, prog, env);
+  }
+  if (opts.check_dependence && !out_of_budget()) {
+    check_dependence_claims(report, prog, env);
+  }
+  if (opts.check_advise && !out_of_budget()) {
+    check_advise_claims(report, prog, env, opts);
   }
   return report;
 }

@@ -91,6 +91,17 @@ struct OracleOptions {
   /// engine and the profiler onto their hashed fallbacks, which must be
   /// bit-identical to the unbudgeted dense runs.
   bool check_budgeted = true;
+  /// Brute-force dependence oracle: replay the trace recording every
+  /// observed (src site, dst site, kind, direction vector) tuple and
+  /// require set equality with the expansion of the dependence pass's
+  /// reported direction vectors — both soundness (nothing observed is
+  /// unreported) and precision (every reported vector is realized).
+  bool check_dependence = true;
+  /// Transformation-legality oracle: run the advisor and, for every
+  /// recommendation, require (a) an identical dataflow fingerprint of the
+  /// transformed program (every read sees the same producing write) and
+  /// (b) the claimed per-site miss counts to match the exact profiler.
+  bool check_advise = true;
   /// Optional resource governor: the battery polls it between oracle
   /// families and, when it trips, returns the partial report with
   /// `truncated` set instead of running the remaining families.

@@ -297,10 +297,64 @@ bool nodes_equal(const Program& a, NodeId na, const Program& b, NodeId nb) {
   return true;
 }
 
+// Splitmix64 finalizer: cheap, well-distributed 64-bit mixing.
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
+  h = hash_mix(h, s.size());
+  for (unsigned char c : s) h = hash_mix(h, c);
+  return h;
+}
+
+// Mirrors nodes_equal field for field; every branch nodes_equal compares
+// feeds a distinct tag or length into the hash so hash-equality tracks
+// structural equality.
+std::uint64_t node_hash(const Program& p, NodeId n, std::uint64_t h) {
+  h = hash_mix(h, p.is_statement(n) ? 0x51a7ULL : 0xba2dULL);
+  if (p.is_statement(n)) {
+    const Statement& s = p.statement(n);
+    h = hash_string(h, s.label);
+    h = hash_mix(h, s.accesses.size());
+    for (const ArrayRef& ref : s.accesses) {
+      h = hash_string(h, ref.array);
+      h = hash_mix(h, ref.mode == AccessMode::kWrite ? 1 : 0);
+      h = hash_mix(h, ref.subscripts.size());
+      for (const Subscript& sub : ref.subscripts) {
+        h = hash_mix(h, sub.vars.size());
+        for (const std::string& v : sub.vars) h = hash_string(h, v);
+      }
+    }
+    return h;
+  }
+  const auto& loops = p.band_loops(n);
+  h = hash_mix(h, loops.size());
+  for (const Loop& l : loops) {
+    h = hash_string(h, l.var);
+    // Canonical rendering: Expr::equals-equal extents print identically.
+    h = hash_string(h, sym::to_string(l.extent));
+  }
+  const auto& kids = p.children(n);
+  h = hash_mix(h, kids.size());
+  for (NodeId c : kids) h = node_hash(p, c, h);
+  return h;
+}
+
 }  // namespace
 
 bool structurally_equal(const Program& a, const Program& b) {
   return nodes_equal(a, Program::kRoot, b, Program::kRoot);
+}
+
+std::uint64_t structural_hash(const Program& p) {
+  return node_hash(p, Program::kRoot, 0x5d10c0de00000001ULL);
 }
 
 }  // namespace sdlo::ir

@@ -189,4 +189,14 @@ class Program {
 /// in: parse_program(to_code_string(p)) is structurally equal to p.
 bool structurally_equal(const Program& a, const Program& b);
 
+/// Order-sensitive hash over exactly the structure structurally_equal
+/// compares: node kinds, loop variables and extents (via the canonical
+/// sym::to_string rendering, so Expr::equals-equal extents hash alike),
+/// statement labels, and access lists. Guarantee: structurally_equal(a, b)
+/// implies structural_hash(a) == structural_hash(b). Collisions are
+/// possible but unlikely (64-bit splitmix-style mixing); use the hash as a
+/// fast filter in front of structurally_equal, never as a replacement.
+/// Independent of validation state.
+std::uint64_t structural_hash(const Program& p);
+
 }  // namespace sdlo::ir

@@ -31,6 +31,10 @@ inline int to_int(ExitCode c) { return static_cast<int>(c); }
 /// project version).
 inline constexpr const char* kVersionString = "sdlo 1.0.0";
 
+/// Bare version number embedded in every JSON emitter's "version" field
+/// (the tail of kVersionString, past the "sdlo " prefix).
+inline constexpr const char* kVersionNumber = kVersionString + 5;
+
 /// Parsed command line. Construct once from (argc, argv), then query flags.
 class CommandLine {
  public:

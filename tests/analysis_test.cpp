@@ -645,6 +645,7 @@ TEST(Render, JsonSchemaIsStable) {
   render_json(rep, os);
   EXPECT_EQ(os.str(),
             "{\n"
+            "  \"version\": \"1.0.0\",\n"
             "  \"ok\": true,\n"
             "  \"clean\": true,\n"
             "  \"counts\": {\"errors\": 0, \"warnings\": 0, \"notes\": 0},\n"

@@ -3,6 +3,9 @@
 #include "support/check.hpp"
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "fuzz/generator.hpp"
 #include "ir/gallery.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
@@ -254,6 +257,131 @@ TEST(Transforms, Interchange) {
   EXPECT_EQ(path[1].var, "i");
   EXPECT_EQ(path[2].var, "j");
   EXPECT_THROW(interchange(g.prog, band, {0, 0, 1}), Error);
+}
+
+TEST(Transforms, InterchangeSingletonBandIsIdentity) {
+  Program p = parse_program("for i<N> { S1: W[i] = A[i] }");
+  NodeId band = p.children(Program::kRoot)[0];
+  Program p2 = interchange(p, band, {0});
+  EXPECT_TRUE(structurally_equal(p, p2));
+}
+
+TEST(Transforms, InterchangeNonAdjacentSwap) {
+  // Swapping the outermost and innermost loops of matmul leaves the middle
+  // loop in place: perm is positional, not adjacent-transposition based.
+  auto g = matmul();
+  NodeId band = g.prog.children(Program::kRoot)[0];
+  Program p2 = interchange(g.prog, band, {2, 1, 0});
+  const auto& loops = p2.band_loops(band);
+  ASSERT_EQ(loops.size(), 3u);
+  EXPECT_EQ(loops[0].var, "k");
+  EXPECT_EQ(loops[1].var, "j");
+  EXPECT_EQ(loops[2].var, "i");
+}
+
+TEST(Transforms, InterchangeImperfectBandKeepsChildren) {
+  // A band carrying both a statement and a sub-band: interchange reorders
+  // the band's own loops and must leave the subtree untouched.
+  Program p = parse_program(R"(
+    for i<N>, j<N> {
+      S1: W[i] = A[i,j]
+      for k<N> {
+        S2: X[k] += W[i]
+      }
+    }
+  )");
+  NodeId band = p.children(Program::kRoot)[0];
+  ASSERT_EQ(p.children(band).size(), 2u);
+  Program p2 = interchange(p, band, {1, 0});
+  EXPECT_TRUE(p2.validated());
+  const auto& loops = p2.band_loops(band);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_EQ(loops[0].var, "j");
+  EXPECT_EQ(loops[1].var, "i");
+  ASSERT_EQ(p2.statements_in_order().size(), 2u);
+  EXPECT_EQ(p2.statement(p2.statements_in_order()[1]).label, "S2");
+  const auto path = p2.path_loops(p2.statements_in_order()[1]);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[2].var, "k");
+}
+
+TEST(Transforms, TileNestSingleLoopBand) {
+  GalleryProgram g;
+  g.prog = parse_program("for i<N> { S1: W[i] = A[i] }");
+  g.bounds = {"N"};
+  GalleryProgram tiled = tile_nest(g, {{"i", "Ti"}});
+  NodeId band = tiled.prog.children(Program::kRoot)[0];
+  const auto& loops = tiled.prog.band_loops(band);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_EQ(loops[0].var, "iT");
+  EXPECT_EQ(loops[1].var, "iI");
+  EXPECT_EQ(tiled.prog.array_shape("W")[0].vars,
+            (std::vector<std::string>{"iT", "iI"}));
+  EXPECT_EQ(tiled.tile_of.at("Ti"), "N");
+}
+
+TEST(Transforms, TileNestRejectsImperfectAndUnknown) {
+  GalleryProgram multi;
+  multi.prog = parse_program(R"(
+    for i<N> {
+      S1: W[i] = A[i]
+      S2: X[i] = W[i]
+    }
+  )");
+  EXPECT_THROW(tile_nest(multi, {{"i", "Ti"}}), Error);
+
+  auto g = matmul();
+  EXPECT_THROW(tile_nest(g, {{"q", "Tq"}}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// structural_hash: hash-equality must track structurally_equal
+// ---------------------------------------------------------------------------
+
+TEST(StructuralHash, RoundTripAndGalleryConsistency) {
+  const std::vector<GalleryProgram> gallery = {
+      matmul(), matmul_tiled(), two_index_fused(), two_index_tiled(),
+      two_index_unfused()};
+  std::set<std::uint64_t> hashes;
+  for (const GalleryProgram& g : gallery) {
+    const Program back = parse_program(to_code_string(g.prog));
+    ASSERT_TRUE(structurally_equal(g.prog, back));
+    EXPECT_EQ(structural_hash(g.prog), structural_hash(back));
+    hashes.insert(structural_hash(g.prog));
+  }
+  // The five gallery programs are pairwise distinct; so must be the hashes
+  // (no collisions across this tiny set).
+  EXPECT_EQ(hashes.size(), gallery.size());
+}
+
+TEST(StructuralHash, GeneratedProgramsHashStableUnderReparse) {
+  fuzz::ProgramGenerator gen(0x5a5ed);
+  for (int i = 0; i < 200; ++i) {
+    const fuzz::GeneratedProgram gp = gen.generate();
+    const Program back = parse_program(to_code_string(gp.prog));
+    ASSERT_TRUE(structurally_equal(gp.prog, back)) << "seed index " << i;
+    EXPECT_EQ(structural_hash(gp.prog), structural_hash(back))
+        << "seed index " << i;
+  }
+}
+
+TEST(StructuralHash, PerturbationsChangeTheHash) {
+  const Program base =
+      parse_program("for i<N>, j<M> { S1: W[i,j] += A[i,j] }");
+  const std::uint64_t h = structural_hash(base);
+  const std::vector<std::string> variants = {
+      "for i<N>, j<M> { S2: W[i,j] += A[i,j] }",   // label
+      "for i<N>, j<K> { S1: W[i,j] += A[i,j] }",   // extent
+      "for i<N>, j<M> { S1: W[i,j] = A[i,j] }",    // mode (no self-read)
+      "for i<N>, j<M> { S1: W[j,i] += A[i,j] }",   // subscript order
+      "for j<M>, i<N> { S1: W[i,j] += A[i,j] }",   // loop order
+      "for i<N> { for j<M> { S1: W[i,j] += A[i,j] } }",  // band split
+  };
+  for (const std::string& text : variants) {
+    const Program v = parse_program(text);
+    ASSERT_FALSE(structurally_equal(base, v)) << text;
+    EXPECT_NE(structural_hash(v), h) << text;
+  }
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/advisor.hpp"
 #include "analysis/sweep_driver.hpp"
 #include "cachesim/parallel_stack.hpp"
 #include "cachesim/sim.hpp"
@@ -119,6 +120,16 @@ std::vector<Operation> operations() {
                      pool.submit([&n] { n.fetch_add(1); });
                    }
                    pool.wait_idle();
+                 }});
+  ops.push_back({"advise", [] {
+                   const auto g = ir::matmul_tiled();
+                   analysis::AdvisorOptions opts;
+                   opts.capacity = 64;
+                   opts.max_band_loops = 4;
+                   opts.max_candidates = 8;
+                   opts.tile_sizes = {2};
+                   analysis::advise(g.prog,
+                                    g.make_env({8, 8, 8}, {4, 4, 4}), opts);
                  }});
   ops.push_back({"tile-search", [] {
                    const auto g = ir::matmul_tiled();

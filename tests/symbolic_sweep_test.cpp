@@ -273,7 +273,7 @@ TEST(SweepDriverTest, SymbolicEngineJsonGolden) {
   analysis::render_sweep_json(oc, os, /*sites=*/true);
   EXPECT_EQ(
       os.str(),
-      "{\"engine\":\"symbolic\",\"fell_back\":false,"
+      "{\"version\":\"1.0.0\",\"engine\":\"symbolic\",\"fell_back\":false,"
       "\"confidence\":\"exact\",\"line_elems\":1,\"accesses\":256,"
       "\"completeness\":\"complete\",\"rows\":["
       "{\"capacity\":1,\"misses\":192,\"misses_by_site\":[64,64,64,0]},"
@@ -339,6 +339,7 @@ TEST(SweepDriverTest, InexactProgramFallsBackToSimulation) {
     EXPECT_NE(text.str().find("fallback from symbolic"), std::string::npos);
     std::ostringstream json;
     analysis::render_sweep_json(oc, json, /*sites=*/false);
+    EXPECT_NE(json.str().find("\"version\":\"1.0.0\""), std::string::npos);
     EXPECT_NE(json.str().find("\"engine\":\"simulated\""), std::string::npos);
     EXPECT_NE(json.str().find("\"fell_back\":true"), std::string::npos);
     EXPECT_NE(json.str().find("\"fallback_reason\":"), std::string::npos);

@@ -10,8 +10,11 @@
 //                 [--sites] [--json] [--threads T] [--chunk-accesses N]
 //                 [--spool FILE] [--spool-version 1|2] [--numa]
 //   sdlo trace    prog.sdlo --set N=8 [--limit 100]
+//   sdlo advise   prog.sdlo --set N=512 [--cap 8192] [--line 8] [--top K]
+//                 [--json]
 //   sdlo fuzz     [--seed S] [--count N] [--time-budget SEC]
 //                 [--artifact-dir DIR] [--replay artifact.sdlo]
+//                 [--only FAMILY,FAMILY]
 //
 // Every long-running verb additionally honors the resource-governance
 // flags `--deadline SEC` and `--mem-budget MB` (support/governor.hpp): on
@@ -50,6 +53,15 @@
 // diagnostic. An env (--set) enables the concrete-size checks, --cap the
 // interpolation check, --line the false-sharing check.
 //
+// `advise` runs the dependence/reuse analysis and the transformation
+// advisor (analysis/advisor.hpp): it enumerates interchange and tiling
+// candidates, rejects the ones the direction vectors prove illegal, scores
+// the survivors with the miss model (profiler fallback when approximate)
+// at --cap, and prints a ranked report with predicted miss deltas, the
+// DP3xx dependence findings, per-site locality verdicts, and the fused
+// PS202/PS204 padding/privatization notes. --top limits the list; --json
+// emits the stable schema documented in the README.
+//
 // `fuzz` runs the differential fuzzing subsystem (src/fuzz): generates
 // random constrained-class programs and cross-checks every implementation
 // of the miss semantics against every other. On a mismatch the offending
@@ -63,6 +75,7 @@
 #include <memory>
 #include <sstream>
 
+#include "analysis/advisor.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/sweep_driver.hpp"
 #include "cachesim/parallel_stack.hpp"
@@ -173,7 +186,8 @@ int cmd_misses(const ir::Program& prog, const sym::Env& env,
   const bool truncated =
       simulate && sim.completeness == Completeness::kTruncated;
   if (json) {
-    std::cout << "{\"capacity\":" << cap
+    std::cout << "{\"version\":\"" << kVersionNumber << "\""
+              << ",\"capacity\":" << cap
               << ",\"accesses\":" << pred.total_accesses
               << ",\"predicted_misses\":" << pred.misses
               << ",\"confidence\":\""
@@ -236,7 +250,8 @@ int emit_streamed_results(const std::vector<std::int64_t>& caps,
   }
   const std::uint64_t accesses = results.empty() ? 0 : results[0].accesses;
   if (json) {
-    std::cout << "{\"engine\":\"simulated\",\"line_elems\":" << line
+    std::cout << "{\"version\":\"" << kVersionNumber
+              << "\",\"engine\":\"simulated\",\"line_elems\":" << line
               << ",\"accesses\":" << accesses
               << ",\"threads\":" << (threads > 1 ? threads : 1)
               << ",\"completeness\":\""
@@ -410,6 +425,30 @@ int cmd_lint(const std::string& text, const std::string& source_name,
   return rep.ok() ? 0 : 1;
 }
 
+int cmd_advise(const std::string& text, const std::string& source_name,
+               const sym::Env& env, std::int64_t cap, std::int64_t line,
+               std::int64_t top, const Governor* gov, bool json) {
+  // Parses for itself to keep source positions: the DP3xx findings carry
+  // the SourceLoc of the dependence's source access.
+  const ir::ParsedProgram pp = ir::parse_program_located(text);
+  analysis::AdvisorOptions opts;
+  opts.capacity = cap;
+  opts.line_elems = line;
+  opts.governor = gov;
+  const analysis::AdvisorReport rep =
+      analysis::advise(pp.prog, env, opts, &pp.locs);
+  if (json) {
+    analysis::render_advice_json(rep, std::cout,
+                                 static_cast<std::size_t>(top));
+  } else {
+    analysis::render_advice_text(rep, std::cout, source_name,
+                                 static_cast<std::size_t>(top));
+  }
+  return to_int(rep.completeness == Completeness::kTruncated
+                    ? ExitCode::kTruncated
+                    : ExitCode::kOk);
+}
+
 int cmd_trace(const ir::Program& prog, const sym::Env& env,
               std::int64_t limit) {
   trace::CompiledProgram cp(prog, env);
@@ -471,9 +510,37 @@ int cmd_fuzz_replay(const std::string& path,
   return 1;
 }
 
+/// Applies `--only FAMILY,FAMILY`: disables every oracle family, then
+/// re-enables the named ones. Unknown names fail loudly.
+void apply_family_filter(fuzz::OracleOptions& o, const std::string& only) {
+  if (only.empty()) return;
+  o.check_roundtrip = o.check_walker = o.check_model = o.check_symbolic =
+      o.check_profile = o.check_sweep = o.check_partitioned =
+          o.check_set_assoc = o.check_lint = o.check_parallel =
+              o.check_budgeted = o.check_dependence = o.check_advise = false;
+  std::stringstream ss(only);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (name == "roundtrip") o.check_roundtrip = true;
+    else if (name == "walker") o.check_walker = true;
+    else if (name == "model") o.check_model = true;
+    else if (name == "symbolic") o.check_symbolic = true;
+    else if (name == "profile") o.check_profile = true;
+    else if (name == "sweep") o.check_sweep = true;
+    else if (name == "partitioned") o.check_partitioned = true;
+    else if (name == "set-assoc") o.check_set_assoc = true;
+    else if (name == "lint") o.check_lint = true;
+    else if (name == "parallel") o.check_parallel = true;
+    else if (name == "budgeted") o.check_budgeted = true;
+    else if (name == "dependence") o.check_dependence = true;
+    else if (name == "advise") o.check_advise = true;
+    else throw Error("unknown oracle family: " + name);
+  }
+}
+
 int cmd_fuzz(std::uint64_t seed, std::int64_t count,
              std::int64_t time_budget_sec, const std::string& artifact_dir,
-             const Governor* gov) {
+             const std::string& only, const Governor* gov) {
   // --time-budget is the campaign's own planned horizon: reaching it is
   // normal completion (exit 0). --deadline (the governor) is an external
   // resource ceiling: tripping it truncates the run (exit 2). The budget
@@ -490,6 +557,7 @@ int cmd_fuzz(std::uint64_t seed, std::int64_t count,
   bool truncated = false;
   fuzz::OracleOptions oopts;
   oopts.governor = gov;
+  apply_family_filter(oopts, only);
   for (std::int64_t i = 0; i < count; ++i) {
     if (budget.expired()) {
       std::cout << "time budget reached after " << checked << " programs\n";
@@ -574,12 +642,17 @@ int main(int argc, char** argv) {
               "delta-encoded site tables) or 1")
         .flag("numa",
               "pin sweep workers round-robin across NUMA nodes "
-              "(no-op on single-node hosts)");
+              "(no-op on single-node hosts)")
+        .flag("top", "max recommendations shown (advise; 0 = all)")
+        .flag("only",
+              "comma-separated oracle families to run (fuzz): roundtrip, "
+              "walker, model, symbolic, profile, sweep, partitioned, "
+              "set-assoc, lint, parallel, budgeted, dependence, advise");
     if (!cli.finish()) return to_int(ExitCode::kOk);
 
     const auto& pos = cli.positional();
     if (pos.empty()) {
-      std::cerr << "usage: sdlo {analyze|lint|misses|sweep|trace} <file|-> "
+      std::cerr << "usage: sdlo {analyze|lint|misses|sweep|trace|advise} <file|-> "
                    "[NAME=VALUE...] [flags]\n"
                    "       sdlo fuzz [--seed S] [--count N] "
                    "[--time-budget SEC] [--artifact-dir DIR] "
@@ -605,10 +678,10 @@ int main(int argc, char** argv) {
       return cmd_fuzz(
           static_cast<std::uint64_t>(cli.get_int("seed", 1)),
           cli.get_int("count", 500), cli.get_int("time-budget", 0),
-          artifact_dir, governor.get());
+          artifact_dir, cli.get_string("only", ""), governor.get());
     }
     if (pos.size() < 2) {
-      std::cerr << "usage: sdlo {analyze|lint|misses|sweep|trace} <file|-> "
+      std::cerr << "usage: sdlo {analyze|lint|misses|sweep|trace|advise} <file|-> "
                    "[NAME=VALUE...] [flags]\n";
       return to_int(ExitCode::kError);
     }
@@ -628,6 +701,12 @@ int main(int argc, char** argv) {
       return cmd_lint(read_input(pos[1]),
                       pos[1] == "-" ? "<stdin>" : pos[1], env,
                       cli.get_int("cap", 0), cli.get_int("line", 0), json);
+    }
+    if (verb == "advise") {
+      return cmd_advise(read_input(pos[1]),
+                        pos[1] == "-" ? "<stdin>" : pos[1], env,
+                        cli.get_int("cap", 8192), cli.get_int("line", 0),
+                        cli.get_int("top", 0), governor.get(), json);
     }
     ir::Program prog = ir::parse_program(read_input(pos[1]));
 
