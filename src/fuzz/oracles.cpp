@@ -1,5 +1,6 @@
 #include "fuzz/oracles.hpp"
 
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -17,7 +18,9 @@
 #include "analysis/advisor.hpp"
 #include "analysis/dependence.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/misses_driver.hpp"
 #include "analysis/parallel_safety.hpp"
+#include "analysis/sweep_driver.hpp"
 #include "cachesim/parallel_stack.hpp"
 #include "cachesim/sim.hpp"
 #include "cachesim/sweep.hpp"
@@ -26,6 +29,8 @@
 #include "ir/printer.hpp"
 #include "model/analyzer.hpp"
 #include "model/symbolic_sweep.hpp"
+#include "serve/json.hpp"
+#include "serve/service.hpp"
 #include "support/failpoints.hpp"
 #include "trace/walker.hpp"
 
@@ -1033,6 +1038,114 @@ void check_advise_claims(OracleReport& report, const ir::Program& prog,
   }
 }
 
+/// Full sweeps are the most expensive serve verb; bound the trace so the
+/// serve oracle stays a small fraction of the battery.
+constexpr std::uint64_t kServeSweepAccessBudget = 200'000;
+
+/// Serve-vs-CLI equivalence (DESIGN.md §16): an in-process serve::Service
+/// must answer every analysis verb with the exact bytes of the shared CLI
+/// emitter, and a repeated request must hit the memo cache and return the
+/// same bytes again.
+void check_serve_equivalence(OracleReport& report, const ir::Program& prog,
+                             const sym::Env& env, const OracleOptions& opts) {
+  serve::ServiceOptions sopts;
+  sopts.cache_entries = 32;
+  serve::Service service(sopts);
+  const std::string text = ir::to_code_string(prog);
+
+  std::ostringstream envs;
+  envs << "{";
+  bool first = true;
+  for (const auto& [name, value] : env) {
+    envs << (first ? "" : ",") << "\"" << serve::json_escape(name)
+         << "\":" << value;
+    first = false;
+  }
+  envs << "}";
+  const auto request_line = [&](const std::string& verb,
+                                const std::string& extra) {
+    return "{\"id\":\"" + verb + "\",\"verb\":\"" + verb +
+           "\",\"program\":\"" + serve::json_escape(text) +
+           "\",\"env\":" + envs.str() + extra + "}";
+  };
+  const auto chomp = [](std::string s) {
+    if (!s.empty() && s.back() == '\n') s.pop_back();
+    return s;
+  };
+
+  struct Case {
+    std::string verb;
+    std::string line;
+    std::string expected;
+  };
+  std::vector<Case> cases;
+  {
+    std::ostringstream os;
+    analysis::render_analyze_json(prog, os);
+    cases.push_back({"analyze", request_line("analyze", ""),
+                     chomp(os.str())});
+  }
+  {
+    analysis::MissesOptions mo;
+    mo.capacity = opts.per_site_capacity;
+    std::ostringstream os;
+    analysis::render_misses_json(analysis::run_misses(prog, env, mo), os);
+    cases.push_back(
+        {"misses",
+         request_line("misses",
+                      ",\"cap\":" + std::to_string(opts.per_site_capacity)),
+         chomp(os.str())});
+  }
+  {
+    analysis::LintOptions lo;
+    lo.env = env;
+    std::ostringstream os;
+    analysis::render_json(analysis::lint_text(text, lo), os);
+    cases.push_back({"lint", request_line("lint", ""), chomp(os.str())});
+  }
+  if (report.accesses <= kServeSweepAccessBudget) {
+    const analysis::SweepOutcome oc =
+        analysis::run_sweep(prog, env, analysis::SweepDriverOptions{});
+    std::ostringstream os;
+    analysis::render_sweep_json(oc, os, /*sites=*/false);
+    cases.push_back({"sweep", request_line("sweep", ""), chomp(os.str())});
+  }
+  if (report.accesses <= kAdviseAccessBudget) {
+    const ir::ParsedProgram pp = ir::parse_program_located(text);
+    const analysis::AdvisorReport rep =
+        analysis::advise(pp.prog, env, analysis::AdvisorOptions{}, &pp.locs);
+    std::ostringstream os;
+    analysis::render_advice_json(rep, os, 0);
+    cases.push_back({"advise", request_line("advise", ""), chomp(os.str())});
+  }
+
+  for (const Case& c : cases) {
+    if (governor_should_stop(opts.governor)) {
+      report.truncated = true;
+      return;
+    }
+    const serve::Response r1 = service.handle_line(c.line);
+    if (r1.payload != c.expected) {
+      add_mismatch(report, "serve",
+                   c.verb + ": daemon payload differs from the CLI emitter ("
+                   + std::to_string(r1.payload.size()) + " vs " +
+                   std::to_string(c.expected.size()) + " bytes; status " +
+                   serve::status_name(r1.status) +
+                   (r1.error.empty() ? "" : ", error: " + r1.error) + ")");
+      continue;
+    }
+    if (r1.status != serve::Status::kOk) continue;  // not memoized
+    const serve::Response r2 = service.handle_line(c.line);
+    if (!r2.cached) {
+      add_mismatch(report, "serve",
+                   c.verb + ": repeated request missed the memo cache");
+    } else if (r2.payload != c.expected) {
+      add_mismatch(report, "serve",
+                   c.verb + ": cached payload is not byte-identical");
+    }
+  }
+}
+
 }  // namespace
 
 OracleReport check_program(const ir::Program& prog, const sym::Env& env,
@@ -1087,7 +1200,70 @@ OracleReport check_program(const ir::Program& prog, const sym::Env& env,
   if (opts.check_advise && !out_of_budget()) {
     check_advise_claims(report, prog, env, opts);
   }
+  if (opts.check_serve && !out_of_budget()) {
+    check_serve_equivalence(report, prog, env, opts);
+  }
   return report;
+}
+
+namespace {
+
+/// Name → flag table behind `sdlo fuzz --only`, in battery order.
+struct FamilyEntry {
+  const char* name;
+  bool OracleOptions::*flag;
+};
+
+constexpr std::array<FamilyEntry, 14> kFamilies = {{
+    {"roundtrip", &OracleOptions::check_roundtrip},
+    {"walker", &OracleOptions::check_walker},
+    {"model", &OracleOptions::check_model},
+    {"symbolic", &OracleOptions::check_symbolic},
+    {"profile", &OracleOptions::check_profile},
+    {"sweep", &OracleOptions::check_sweep},
+    {"partitioned", &OracleOptions::check_partitioned},
+    {"set-assoc", &OracleOptions::check_set_assoc},
+    {"lint", &OracleOptions::check_lint},
+    {"parallel", &OracleOptions::check_parallel},
+    {"budgeted", &OracleOptions::check_budgeted},
+    {"dependence", &OracleOptions::check_dependence},
+    {"advise", &OracleOptions::check_advise},
+    {"serve", &OracleOptions::check_serve},
+}};
+
+}  // namespace
+
+std::vector<std::string> oracle_family_names() {
+  std::vector<std::string> names;
+  names.reserve(kFamilies.size());
+  for (const FamilyEntry& f : kFamilies) names.emplace_back(f.name);
+  return names;
+}
+
+void apply_family_filter(OracleOptions& opts, const std::string& only) {
+  if (only.empty()) return;
+  for (const FamilyEntry& f : kFamilies) opts.*(f.flag) = false;
+  std::stringstream ss(only);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    bool found = false;
+    for (const FamilyEntry& f : kFamilies) {
+      if (name == f.name) {
+        opts.*(f.flag) = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string valid;
+      for (const FamilyEntry& f : kFamilies) {
+        if (!valid.empty()) valid += ", ";
+        valid += f.name;
+      }
+      throw Error("unknown oracle family '" + name +
+                  "' (valid families: " + valid + ")");
+    }
+  }
 }
 
 namespace {

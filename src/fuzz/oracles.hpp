@@ -102,11 +102,25 @@ struct OracleOptions {
   /// transformed program (every read sees the same producing write) and
   /// (b) the claimed per-site miss counts to match the exact profiler.
   bool check_advise = true;
+  /// Serve-vs-CLI differential oracle: an in-process serve::Service must
+  /// answer every analysis verb with a payload byte-identical to the
+  /// shared CLI emitter's document, and a repeated request must hit the
+  /// memo cache and return the *same bytes* again.
+  bool check_serve = true;
   /// Optional resource governor: the battery polls it between oracle
   /// families and, when it trips, returns the partial report with
   /// `truncated` set instead of running the remaining families.
   const Governor* governor = nullptr;
 };
+
+/// The selectable oracle family names, in battery order ("roundtrip",
+/// "walker", ..., "serve") — the vocabulary of `sdlo fuzz --only`.
+std::vector<std::string> oracle_family_names();
+
+/// Applies `--only FAMILY,FAMILY`: disables every family, then re-enables
+/// the named ones. An empty string is a no-op (all families stay on); an
+/// unknown name throws sdlo::Error listing every valid family.
+void apply_family_filter(OracleOptions& opts, const std::string& only);
 
 /// One disagreement between two implementations.
 struct Mismatch {

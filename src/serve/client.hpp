@@ -1,0 +1,76 @@
+// Bundled client for the serve daemon (DESIGN.md §16): a small synchronous
+// NDJSON client used by `sdlo client`, the CI smoke job and the tests.
+//
+// Retry policy: a `rejected` response is the daemon shedding load, and the
+// polite reaction is exponential backoff honoring the server's own
+// `retry_after_ms` hint — the wait before attempt k is
+// max(backoff_schedule(k), server_hint). The schedule is a pure function
+// of the attempt index (base * factor^k, capped), so tests assert it
+// deterministically; the actual sleeping is injected, so they need not
+// wait real time.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace sdlo::serve {
+
+/// Deterministic exponential backoff schedule.
+struct BackoffPolicy {
+  int base_ms = 25;
+  double factor = 2.0;
+  int max_wait_ms = 2000;
+  /// Total tries (first attempt included). <= 1 means no retry.
+  int max_attempts = 8;
+
+  /// Wait before retry `attempt` (0-based: the wait after the first
+  /// rejection is delay_ms(0) == base_ms). Pure; monotone; capped.
+  int delay_ms(int attempt) const;
+};
+
+/// What a retried request ultimately produced.
+struct RetryOutcome {
+  Response response;          ///< terminal response (may still be rejected)
+  int attempts = 0;           ///< requests actually sent
+  std::vector<int> waits_ms;  ///< the waits taken, for test introspection
+};
+
+/// Synchronous connection to a serve daemon. Every receive is a bounded
+/// poll loop — a dead daemon surfaces as a typed Error, never a hang.
+class Client {
+ public:
+  /// Connects to the daemon's Unix socket (throws Error on failure).
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one raw request line (the '\n' is appended).
+  void send_line(const std::string& line);
+
+  /// Receives one response line, waiting at most `timeout_ms`.
+  std::string recv_line(int timeout_ms = 30'000);
+
+  /// send + receive + parse.
+  Response request(const std::string& line, int timeout_ms = 30'000);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< bytes received past the last returned line
+};
+
+/// Sends `line`, retrying on `rejected` with the policy above. `sleep_ms`
+/// is called for every wait (pass a recorder in tests; the default really
+/// sleeps). Returns after the first non-rejected response or once
+/// max_attempts is exhausted.
+RetryOutcome request_with_retry(
+    Client& client, const std::string& line, const BackoffPolicy& policy = {},
+    const std::function<void(int)>& sleep_ms = {}, int timeout_ms = 30'000);
+
+}  // namespace sdlo::serve

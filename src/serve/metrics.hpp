@@ -1,0 +1,88 @@
+// Per-request metrics of the serve daemon, served by the `stats` verb.
+//
+// Counters are plain atomics (every request path touches them, so they
+// must never contend); the time accumulators share one mutex because they
+// are doubles updated once per request. The snapshot is consistent enough
+// for operations dashboards — it is not a transaction (a request finishing
+// mid-snapshot may be counted in `completed` but not yet in `ok`), which
+// the stats verb documents rather than paying a global lock for.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+
+#include "serve/memo_cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace sdlo::serve {
+
+class Metrics {
+ public:
+  /// A request line arrived (parsed or not).
+  void record_received() { received_.fetch_add(1, relaxed); }
+
+  /// Admission control shed the request before it ran.
+  void record_shed() {
+    shed_.fetch_add(1, relaxed);
+    rejected_.fetch_add(1, relaxed);
+  }
+
+  /// A request reached a terminal state after running (or failing to).
+  void record_done(Status status, bool cached, double queue_seconds,
+                   double run_seconds);
+
+  /// Connection lifecycle.
+  void record_connection_opened() { connections_.fetch_add(1, relaxed); }
+  void record_connection_closed() {
+    connections_closed_.fetch_add(1, relaxed);
+  }
+
+  struct Snapshot {
+    std::uint64_t received = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t cached = 0;
+    std::uint64_t connections = 0;
+    std::uint64_t connections_closed = 0;
+    double queue_seconds_total = 0;
+    double run_seconds_total = 0;
+
+    double truncation_rate() const {
+      return completed == 0
+                 ? 0.0
+                 : static_cast<double>(truncated) /
+                       static_cast<double>(completed);
+    }
+  };
+
+  Snapshot snapshot() const;
+
+  /// The stats verb's payload: counters, rates, and the memo cache's own
+  /// statistics. Leads with the shared JSON "version" key.
+  void render_json(const MemoCache& cache, std::ostream& os) const;
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> truncated_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> cached_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  mutable std::mutex time_mu_;
+  double queue_seconds_total_ = 0;
+  double run_seconds_total_ = 0;
+};
+
+}  // namespace sdlo::serve

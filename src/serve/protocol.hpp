@@ -1,0 +1,133 @@
+// Wire protocol of the `sdlo serve` daemon (DESIGN.md §16).
+//
+// Transport: newline-delimited JSON over a Unix-domain stream socket. One
+// request per line, one response line per request; a client pipelining
+// several requests matches responses by the echoed `id` (responses may
+// complete out of order).
+//
+// Request object:
+//
+//   {"id": <string|int>,          optional, echoed verbatim
+//    "verb": "analyze"|"misses"|"sweep"|"lint"|"advise"
+//            |"batch"|"stats"|"ping"|"shutdown",
+//    "program": "<textual IR>",   analysis verbs
+//    "env": {"N": 512, ...},      symbol bindings (integers)
+//    "cap": 8192,                 misses/lint/advise capacity (elements)
+//    "line": 4,                   line size in elements
+//    "simulate": true,            misses: cross-check with the simulator
+//    "sites": true,               sweep: per-site breakdown
+//    "engine": "symbolic",        sweep engine (default "simulate")
+//    "top": 3,                    advise: max recommendations
+//    "deadline": 0.5,             per-request wall-clock ceiling (seconds)
+//    "requests": [...]}           batch: sub-request objects (no nesting)
+//
+// Response envelope (one line):
+//
+//   {"version":"...","id":...,
+//    "status":"ok"|"error"|"truncated"|"rejected",
+//    "cached":true|false,"queue_ms":...,"run_ms":...,
+//    "payload":{...}              the verb's JSON document, byte-identical
+//                                 to the equivalent CLI --json invocation
+//    "error":"...",               status error only
+//    "retry_after_ms":N,          status rejected only (admission shed)
+//    "responses":[...]}           batch only: per-sub-request envelopes
+//
+// `status` mirrors the CLI exit-code taxonomy (support/cli.hpp): ok ↔ 0,
+// error ↔ 1, truncated ↔ 2 (a valid partial payload); `rejected` is the
+// daemon-only fourth state — admission control shed the request before it
+// ran, and the client should retry after `retry_after_ms`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "symbolic/expr.hpp"
+
+namespace sdlo::serve {
+
+/// Terminal state of one request, mirroring the CLI exit-code taxonomy
+/// plus the daemon-only admission-shed state.
+enum class Status : std::uint8_t { kOk, kError, kTruncated, kRejected };
+
+/// "ok" / "error" / "truncated" / "rejected".
+const char* status_name(Status s);
+
+/// Protocol verbs. The analysis verbs map 1:1 onto CLI verbs; the control
+/// verbs (stats/ping/shutdown) are daemon-only and bypass admission.
+enum class Verb : std::uint8_t {
+  kAnalyze, kMisses, kSweep, kLint, kAdvise, kBatch, kStats, kPing,
+  kShutdown
+};
+
+/// Parses a verb name; throws sdlo::Error listing the valid verbs.
+Verb parse_verb(const std::string& name);
+
+/// True for stats/ping/shutdown: answered inline, never queued.
+bool is_control_verb(Verb v);
+
+/// One parsed request (or batch sub-request).
+struct Request {
+  std::string id_token = "null";  ///< raw JSON token echoed in the response
+  Verb verb = Verb::kPing;
+  std::string program;            ///< textual IR (analysis verbs)
+  sym::Env env;
+  /// -1 = absent: the verb's CLI default applies (8192 for misses/advise,
+  /// 0 for lint), so a field-less request matches a flag-less invocation.
+  std::int64_t cap = -1;
+  std::int64_t line = 0;          ///< 0 = verb default
+  bool simulate = false;          ///< misses
+  bool sites = false;             ///< sweep
+  std::string engine = "simulate";  ///< sweep
+  std::int64_t top = 0;           ///< advise
+  double deadline_sec = 0;        ///< 0 = server default
+  std::vector<Request> batch;     ///< kBatch sub-requests
+};
+
+/// Parses one request line. Throws ParseError (malformed JSON) or Error
+/// (bad field types, unknown verb, nested batch).
+Request parse_request(const std::string& line);
+
+/// One response envelope.
+struct Response {
+  std::string id_token = "null";
+  Status status = Status::kOk;
+  bool cached = false;            ///< payload came from the memo cache
+  double queue_ms = 0;            ///< admission → start of execution
+  double run_ms = 0;              ///< execution wall time
+  std::string payload;            ///< verb JSON document (no trailing \n)
+  std::string error;              ///< status kError
+  int retry_after_ms = 0;         ///< status kRejected
+  std::vector<Response> batch;    ///< kBatch sub-responses
+};
+
+/// Renders the one-line envelope (no trailing newline).
+std::string render_response(const Response& r);
+
+/// Parses "ok"/"error"/"truncated"/"rejected"; throws sdlo::Error else.
+Status parse_status(const std::string& name);
+
+/// Parses a response line back into the envelope. `payload` (and each
+/// batch sub-payload) carries the *exact bytes* of the wire document —
+/// extracted by span, never re-serialized — so clients and tests can
+/// assert bit-identity against the CLI emitters.
+Response parse_response(const std::string& line);
+
+/// Splits the top-level members of one JSON object into (key, raw value
+/// bytes) pairs, in document order. Throws ParseError on malformed input.
+/// The raw spans preserve the wire bytes exactly.
+std::vector<std::pair<std::string, std::string>> top_level_members(
+    const std::string& json_object);
+
+/// Best-effort recovery of the raw `id` token of a line that failed
+/// request parsing, so a transport can still address its error response;
+/// "null" when the line is not even an object.
+std::string salvage_id_token(const std::string& line);
+
+/// Maps a response status onto the shared CLI exit-code taxonomy:
+/// ok → 0, error → 1, truncated and rejected → 2 (resource states).
+int status_exit_code(Status s);
+
+}  // namespace sdlo::serve

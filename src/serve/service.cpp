@@ -1,0 +1,338 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <functional>
+#include <sstream>
+
+#include "analysis/advisor.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/misses_driver.hpp"
+#include "analysis/sweep_driver.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/program.hpp"
+#include "support/cli.hpp"
+
+namespace sdlo::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Strips the trailing newline every CLI emitter ends with; the envelope
+/// embeds the document mid-line.
+std::string chomp(std::string s) {
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+const char* verb_tag(Verb v) {
+  switch (v) {
+    case Verb::kAnalyze: return "analyze";
+    case Verb::kMisses: return "misses";
+    case Verb::kSweep: return "sweep";
+    case Verb::kLint: return "lint";
+    case Verb::kAdvise: return "advise";
+    default: return "?";
+  }
+}
+
+/// Serializes every response-relevant request knob (deadline deliberately
+/// excluded: a cache hit is instantaneous and complete, so the same work
+/// under a different deadline shares the entry).
+std::string config_fingerprint(const Request& req) {
+  std::ostringstream os;
+  os << verb_tag(req.verb) << ';';
+  for (const auto& [name, value] : req.env) {
+    os << name << '=' << value << ',';
+  }
+  os << ";cap=" << req.cap << ";line=" << req.line
+     << ";sim=" << (req.simulate ? 1 : 0)
+     << ";sites=" << (req.sites ? 1 : 0) << ";engine=" << req.engine
+     << ";top=" << req.top;
+  return os.str();
+}
+
+Status worst_status(const std::vector<Response>& batch) {
+  Status w = Status::kOk;
+  for (const Response& r : batch) {
+    if (r.status == Status::kError) return Status::kError;
+    if (r.status != Status::kOk) w = Status::kTruncated;
+  }
+  return w;
+}
+
+}  // namespace
+
+Service::Service(const ServiceOptions& opts)
+    : opts_(opts), budget_(opts.memory_budget_bytes),
+      cache_(opts.cache_entries) {}
+
+int Service::try_admit() {
+  int cur = active_.load(std::memory_order_relaxed);
+  while (true) {
+    if (cur >= opts_.max_active) {
+      // Grow the hint with the overload so a thundering herd spreads out:
+      // 25 ms per request past the bound, capped at 2 s.
+      const int excess = cur - opts_.max_active;
+      const int hint = 25 * (excess + 1);
+      return hint > 2000 ? 2000 : hint;
+    }
+    if (active_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  if (opts_.memory_budget_bytes > 0 &&
+      budget_.used() >= opts_.memory_budget_bytes -
+                            opts_.memory_budget_bytes / 8) {
+    // ≥ 7/8 of the shared budget is reserved by requests already running:
+    // admitting more would only force their dense engines to degrade.
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+    return 100;
+  }
+  return 0;
+}
+
+void Service::release() { active_.fetch_sub(1, std::memory_order_acq_rel); }
+
+void Service::dispatch(const Request& req, const Governor* gov,
+                       Response& resp) {
+  if (req.program.empty()) throw Error("request is missing 'program'");
+  if (req.program.size() > opts_.max_program_bytes) {
+    throw Error("program exceeds " +
+                std::to_string(opts_.max_program_bytes) + " bytes");
+  }
+
+  // Cache key. analyze/misses/sweep key on the *canonicalized* program
+  // (structural_hash + printer round trip), so formatting differences
+  // share an entry. lint and advise key on the raw text: their payloads
+  // carry SourceLoc positions, which canonicalization would falsify — and
+  // lint must accept text that does not parse at all.
+  const std::string config = config_fingerprint(req);
+  const bool textual = req.verb == Verb::kLint || req.verb == Verb::kAdvise;
+  ir::Program prog;
+  std::uint64_t hash = 0;
+  std::string key;
+  if (textual) {
+    hash = mix_config_hash(std::hash<std::string>{}(req.program), config);
+    key = config;
+    key.push_back('\0');
+    key += req.program;
+  } else {
+    prog = ir::parse_program(req.program);
+    hash = mix_config_hash(ir::structural_hash(prog), config);
+    key = config;
+    key.push_back('\0');
+    key += ir::to_code_string(prog);
+  }
+  if (auto cached = cache_.lookup(hash, key)) {
+    resp.payload = std::move(*cached);
+    resp.cached = true;
+    resp.status = Status::kOk;
+    return;
+  }
+
+  std::ostringstream os;
+  Status status = Status::kOk;
+  switch (req.verb) {
+    case Verb::kAnalyze: {
+      analysis::render_analyze_json(prog, os, gov);
+      break;
+    }
+    case Verb::kMisses: {
+      analysis::MissesOptions mo;
+      mo.capacity = req.cap >= 0 ? req.cap : 8192;
+      mo.simulate = req.simulate;
+      const auto oc = analysis::run_misses(prog, req.env, mo, gov);
+      analysis::render_misses_json(oc, os);
+      if (oc.truncated()) status = Status::kTruncated;
+      break;
+    }
+    case Verb::kSweep: {
+      analysis::SweepDriverOptions so;
+      so.engine = analysis::parse_sweep_engine(req.engine);
+      so.line_elems = req.line > 0 ? req.line : 1;
+      so.sites = req.sites;
+      const auto oc = analysis::run_sweep(prog, req.env, so, gov);
+      analysis::render_sweep_json(oc, os, so.sites);
+      if (oc.truncated()) status = Status::kTruncated;
+      break;
+    }
+    case Verb::kLint: {
+      analysis::LintOptions lo;
+      lo.env = req.env;
+      lo.capacity = req.cap >= 0 ? req.cap : 0;
+      lo.line_elems = req.line;
+      const auto rep = analysis::lint_text(req.program, lo);
+      analysis::render_json(rep, os);
+      if (!rep.ok()) {
+        // Mirrors `sdlo lint` exiting 1: the payload is a full, valid
+        // report — the *program* has errors, so the status says error.
+        status = Status::kError;
+        resp.error = "lint found " + std::to_string(rep.num_errors()) +
+                     " error(s)";
+      }
+      break;
+    }
+    case Verb::kAdvise: {
+      const ir::ParsedProgram pp = ir::parse_program_located(req.program);
+      analysis::AdvisorOptions ao;
+      ao.capacity = req.cap >= 0 ? req.cap : 8192;
+      ao.line_elems = req.line;
+      ao.governor = gov;
+      const auto rep = analysis::advise(pp.prog, req.env, ao, &pp.locs);
+      analysis::render_advice_json(rep, os,
+                                   static_cast<std::size_t>(req.top));
+      if (rep.completeness == Completeness::kTruncated) {
+        status = Status::kTruncated;
+      }
+      break;
+    }
+    default:
+      throw Error("verb cannot be dispatched");
+  }
+  resp.payload = chomp(os.str());
+  resp.status = status;
+  // Only complete, successful responses are memoized: a truncated payload
+  // reflects this request's budget, not the next one's.
+  if (status == Status::kOk) cache_.insert(hash, key, resp.payload);
+}
+
+Response Service::run_single(const Request& req,
+                             const CancellationToken& cancel,
+                             double queue_seconds) {
+  Response resp;
+  resp.id_token = req.id_token;
+  resp.queue_ms = queue_seconds * 1000.0;
+  const auto start = Clock::now();
+  try {
+    Governor gov;
+    double dl = req.deadline_sec > 0 ? req.deadline_sec
+                                     : opts_.default_deadline_sec;
+    if (opts_.max_deadline_sec > 0 && dl > opts_.max_deadline_sec) {
+      dl = opts_.max_deadline_sec;
+    }
+    if (dl > 0) gov.deadline = Deadline::after_seconds(dl);
+    if (opts_.memory_budget_bytes > 0) gov.memory = &budget_;
+    gov.cancel = cancel;  // shared state: the transport trips it
+    dispatch(req, &gov, resp);
+  } catch (const BudgetExceeded& e) {
+    // The drivers return partial results where one exists; BudgetExceeded
+    // escaping means this verb had none (e.g. analyze mid-analysis).
+    resp.status = Status::kTruncated;
+    resp.error = e.what();
+    resp.payload.clear();
+  } catch (const std::exception& e) {
+    resp.status = Status::kError;
+    resp.error = e.what();
+    resp.payload.clear();
+  } catch (...) {
+    resp.status = Status::kError;
+    resp.error = "unknown error";
+    resp.payload.clear();
+  }
+  resp.run_ms = seconds_since(start) * 1000.0;
+  return resp;
+}
+
+Response Service::run(const Request& req, const CancellationToken& cancel,
+                      double queue_seconds) {
+  Response resp;
+  if (req.verb == Verb::kBatch) {
+    resp.id_token = req.id_token;
+    resp.queue_ms = queue_seconds * 1000.0;
+    const auto start = Clock::now();
+    resp.batch.reserve(req.batch.size());
+    for (const Request& sub : req.batch) {
+      if (is_control_verb(sub.verb)) {
+        resp.batch.push_back(control_payload(sub));
+      } else {
+        resp.batch.push_back(run_single(sub, cancel, 0.0));
+      }
+    }
+    resp.status = worst_status(resp.batch);
+    resp.run_ms = seconds_since(start) * 1000.0;
+  } else {
+    resp = run_single(req, cancel, queue_seconds);
+  }
+  metrics_.record_done(resp.status, resp.cached, queue_seconds,
+                       resp.run_ms / 1000.0);
+  return resp;
+}
+
+Response Service::control_payload(const Request& req) {
+  Response resp;
+  resp.id_token = req.id_token;
+  switch (req.verb) {
+    case Verb::kPing:
+      resp.payload = std::string("{\"version\":\"") + kVersionNumber +
+                     "\",\"pong\":true}";
+      break;
+    case Verb::kStats: {
+      std::ostringstream os;
+      metrics_.render_json(cache_, os);
+      resp.payload = chomp(os.str());
+      break;
+    }
+    case Verb::kShutdown:
+      shutdown_.store(true, std::memory_order_release);
+      resp.payload = std::string("{\"version\":\"") + kVersionNumber +
+                     "\",\"shutting_down\":true}";
+      break;
+    default:
+      resp.status = Status::kError;
+      resp.error = "not a control verb";
+      break;
+  }
+  return resp;
+}
+
+Response Service::control(const Request& req) {
+  Response resp = control_payload(req);
+  metrics_.record_done(resp.status, false, 0, 0);
+  return resp;
+}
+
+Response Service::error_response(const std::string& id_token,
+                                 const std::string& message) {
+  metrics_.record_done(Status::kError, false, 0, 0);
+  Response resp;
+  resp.id_token = id_token;
+  resp.status = Status::kError;
+  resp.error = message;
+  return resp;
+}
+
+Response Service::rejected_response(const std::string& id_token,
+                                    int retry_after_ms) {
+  metrics_.record_shed();
+  Response resp;
+  resp.id_token = id_token;
+  resp.status = Status::kRejected;
+  resp.retry_after_ms = retry_after_ms;
+  return resp;
+}
+
+Response Service::handle_line(const std::string& line,
+                              const CancellationToken& cancel) {
+  metrics_.record_received();
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    return error_response(salvage_id_token(line), e.what());
+  }
+  if (is_control_verb(req.verb)) return control(req);
+  const int retry = try_admit();
+  if (retry > 0) return rejected_response(req.id_token, retry);
+  Response resp = run(req, cancel, 0.0);
+  release();
+  return resp;
+}
+
+}  // namespace sdlo::serve

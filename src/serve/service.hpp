@@ -1,0 +1,122 @@
+// Transport-independent core of the serve daemon (DESIGN.md §16).
+//
+// Service owns everything about request execution that is not a socket:
+// admission control, the per-request Governor (deadline, shared memory
+// budget, cancellation), the memo cache, the metrics, and the verb
+// dispatch onto the *same* drivers and JSON emitters the CLI uses — which
+// is how the daemon keeps its headline promise that a response payload is
+// byte-identical to the equivalent `sdlo <verb> --json` invocation (the
+// fuzz `serve` oracle enforces it, memo-cache hits included).
+//
+// Admission control sheds load instead of queueing it unboundedly: a
+// request is admitted only while fewer than `max_active` requests are in
+// flight AND the shared MemoryBudget is not contended (≥ 7/8 used). A shed
+// request gets a typed `rejected` response with a `retry_after_ms` hint
+// that grows with the overload — the bundled client's retry helper honors
+// it. Degradation inside an admitted request is the governor's job: the
+// dense engines fall back to hashed ones under budget pressure
+// (bit-identically), the advisor downgrades exact scoring to the fast
+// model, and a tripped deadline truncates to a valid partial payload —
+// each surfaced through the response `status`, mirroring the CLI exit-code
+// taxonomy.
+//
+// Thread safety: one Service is shared by every connection and worker of a
+// Server; all public methods are safe to call concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/memo_cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "support/governor.hpp"
+
+namespace sdlo::serve {
+
+struct ServiceOptions {
+  /// Shared dense-table ceiling for every concurrent request; 0 = none.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Per-request deadline when the request names none; 0 = none.
+  double default_deadline_sec = 0;
+  /// Clamp on client-supplied deadlines (a tenant cannot hog a worker).
+  double max_deadline_sec = 300;
+  /// Admission bound: requests in flight (queued + running) beyond this
+  /// are shed with `rejected` + retry_after_ms.
+  int max_active = 64;
+  /// Memo cache entries (0 disables caching).
+  std::size_t cache_entries = 256;
+  /// Requests whose program text exceeds this are errors, not analyses.
+  std::size_t max_program_bytes = std::size_t{1} << 20;
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceOptions& opts = {});
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admission check. Returns 0 and claims a slot on success (the caller
+  /// must release()); returns the retry_after_ms hint (> 0) when the
+  /// request must be shed — queue bound exceeded or memory contended.
+  int try_admit();
+  void release();
+
+  /// Runs one admitted request to a terminal state. Never throws: every
+  /// failure becomes a typed response status. `cancel` is the transport's
+  /// token (tripped on client disconnect); `queue_seconds` is the time the
+  /// request spent between admission and this call.
+  Response run(const Request& req, const CancellationToken& cancel,
+               double queue_seconds);
+
+  /// Answers a control verb (stats/ping/shutdown) inline.
+  Response control(const Request& req);
+
+  /// The full per-line pipeline a transport performs, minus the socket:
+  /// parse, control short-circuit, admission, run, release. Used by
+  /// in-process callers (the fuzz serve-vs-CLI oracle, tests).
+  Response handle_line(const std::string& line,
+                       const CancellationToken& cancel = {});
+
+  /// Builds the typed error response a transport sends for a line it could
+  /// not parse (also records it in the metrics).
+  Response error_response(const std::string& id_token,
+                          const std::string& message);
+
+  /// Builds the typed shed response and records it in the metrics.
+  Response rejected_response(const std::string& id_token,
+                             int retry_after_ms);
+
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  int active() const { return active_.load(std::memory_order_relaxed); }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  MemoCache& cache() { return cache_; }
+  MemoryBudget* memory_budget() {
+    return opts_.memory_budget_bytes > 0 ? &budget_ : nullptr;
+  }
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  /// Dispatches one analysis verb; may throw (run() owns the taxonomy).
+  /// On success fills payload and status.
+  void dispatch(const Request& req, const Governor* gov, Response& resp);
+  Response run_single(const Request& req, const CancellationToken& cancel,
+                      double queue_seconds);
+  /// control() minus the metrics record — shared with batch sub-requests.
+  Response control_payload(const Request& req);
+
+  const ServiceOptions opts_;
+  MemoryBudget budget_;
+  MemoCache cache_;
+  Metrics metrics_;
+  std::atomic<int> active_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace sdlo::serve

@@ -20,9 +20,12 @@
 // thread-pool submit/task boundary (a throwing task must surface from
 // wait_idle(), never std::terminate), the fuzz artifact write (a killed
 // write must never leave a truncated replay file), the oracle battery
-// step (a failing oracle run must surface as a typed error from the CLI)
-// and the trace-spool write (a killed spool write must never leave a
-// partial spool file behind at the destination path).
+// step (a failing oracle run must surface as a typed error from the CLI),
+// the trace-spool write (a killed spool write must never leave a
+// partial spool file behind at the destination path), and the serve
+// daemon's accept/read/write/enqueue boundaries (a faulted connection must
+// be dropped — never crash the daemon, hang a peer, leak a descriptor, or
+// corrupt a concurrent response).
 // tests/robustness_test.cpp walks this list and proves each promise.
 #pragma once
 
@@ -61,10 +64,15 @@ inline constexpr const char* kPoolTask = "pool-task";
 inline constexpr const char* kArtifactWrite = "artifact-write";
 inline constexpr const char* kOracleStep = "oracle-step";
 inline constexpr const char* kSpoolWrite = "spool-write";
+inline constexpr const char* kServeAccept = "serve-accept";
+inline constexpr const char* kServeRead = "serve-read";
+inline constexpr const char* kServeWrite = "serve-write";
+inline constexpr const char* kServeEnqueue = "serve-enqueue";
 
-inline constexpr std::array<const char*, 7> kAllSites = {
-    kSweepDenseAlloc, kProfilerDenseAlloc, kPoolSubmit,  kPoolTask,
-    kArtifactWrite,   kOracleStep,         kSpoolWrite};
+inline constexpr std::array<const char*, 11> kAllSites = {
+    kSweepDenseAlloc, kProfilerDenseAlloc, kPoolSubmit, kPoolTask,
+    kArtifactWrite,   kOracleStep,         kSpoolWrite, kServeAccept,
+    kServeRead,       kServeWrite,         kServeEnqueue};
 
 /// True when any failpoint is armed (env or scoped). The disarmed fast
 /// path is a single relaxed atomic load.

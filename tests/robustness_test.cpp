@@ -14,15 +14,19 @@
 // CI tsan job runs this binary).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "analysis/advisor.hpp"
+#include "analysis/misses_driver.hpp"
 #include "analysis/sweep_driver.hpp"
 #include "cachesim/parallel_stack.hpp"
 #include "cachesim/sim.hpp"
@@ -30,7 +34,12 @@
 #include "fuzz/oracles.hpp"
 #include "fuzz/reducer.hpp"
 #include "ir/gallery.hpp"
+#include "ir/parser.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "support/check.hpp"
 #include "support/failpoints.hpp"
 #include "support/governor.hpp"
@@ -44,6 +53,21 @@ namespace {
 trace::CompiledProgram small_program() {
   const auto g = ir::matmul_tiled();
   return trace::CompiledProgram(g.prog, g.make_env({8, 8, 8}, {4, 4, 4}));
+}
+
+std::string serve_socket_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("sdlo_robust_serve_" + std::to_string(::getpid()) + "_" + tag +
+           ".sock"))
+      .string();
+}
+
+constexpr const char* kServeProgram =
+    "for i<N>, j<N> {\n  S1: B[i] += A[j]\n}\n";
+
+std::string serve_request_line(const std::string& id) {
+  return "{\"id\":\"" + id + "\",\"verb\":\"misses\",\"program\":\"" +
+         serve::json_escape(kServeProgram) + "\",\"env\":{\"N\":8}}";
 }
 
 /// One named driver operation for the matrix. Each must be self-contained
@@ -149,6 +173,25 @@ std::vector<Operation> operations() {
                        path, fuzz::to_artifact(
                                  g.prog, g.make_env({4, 4, 4}, {2, 2, 2})));
                    std::filesystem::remove_all(dir);
+                 }});
+  ops.push_back({"serve", [] {
+                   // Full daemon round trip: start, ping, one analysis
+                   // request, stop. Under an injected serve-site fault the
+                   // faulted connection is dropped (the client surfaces a
+                   // typed Error), but the daemon must neither crash nor
+                   // hang — the Server destructor completes teardown even
+                   // when the client path throws mid-operation.
+                   serve::ServerOptions opts;
+                   opts.socket_path = serve_socket_path("matrix");
+                   opts.workers = 2;
+                   serve::Server server(opts);
+                   server.start_background();
+                   serve::Client client(opts.socket_path);
+                   client.send_line("{\"id\":\"p\",\"verb\":\"ping\"}");
+                   (void)serve::parse_response(client.recv_line(1500));
+                   client.send_line(serve_request_line("m"));
+                   (void)serve::parse_response(client.recv_line(1500));
+                   server.stop();
                  }});
   ops.push_back({"oracle-battery", [] {
                    const auto g = ir::matmul_tiled();
@@ -283,6 +326,68 @@ TEST(Robustness, ConcurrentCancelMidPartitionedSweepIsClean) {
       }
     }
   }
+}
+
+TEST(Robustness, ConcurrentServeWorkloadIsClean) {
+  // The serve daemon's TSan workload (the CI tsan job runs this binary):
+  // four client threads hammer one daemon whose admission bound is small
+  // enough that shedding, retry, memo-cache hits and out-of-order pipeline
+  // completion all happen concurrently. Every terminal response must be
+  // well-formed; an `ok` payload must carry exactly the shared emitter's
+  // bytes (a corrupted concurrent write could not parse, let alone match).
+  serve::ServerOptions opts;
+  opts.socket_path = serve_socket_path("tsan");
+  opts.workers = 4;
+  opts.service.max_active = 2;
+  serve::Server server(opts);
+  server.start_background();
+
+  const auto prog = ir::parse_program(kServeProgram);
+  analysis::MissesOptions mo;
+  const auto oc = analysis::run_misses(prog, {{"N", 8}}, mo);
+  std::ostringstream os;
+  analysis::render_misses_json(oc, os);
+  std::string expected = os.str();
+  if (!expected.empty() && expected.back() == '\n') expected.pop_back();
+
+  std::atomic<int> bad{0};
+  std::atomic<int> ok_count{0};
+  std::vector<std::jthread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        serve::Client client(opts.socket_path);
+        serve::BackoffPolicy policy;
+        policy.max_attempts = 6;
+        const auto no_sleep = [](int) {};
+        for (int i = 0; i < 6; ++i) {
+          const auto id = std::to_string(c) + "-" + std::to_string(i);
+          const auto out = serve::request_with_retry(
+              client, serve_request_line(id), policy, no_sleep);
+          const auto& resp = out.response;
+          if (resp.status == serve::Status::kOk) {
+            ok_count.fetch_add(1);
+            if (resp.payload != expected) bad.fetch_add(1);
+          } else if (resp.status != serve::Status::kRejected) {
+            bad.fetch_add(1);  // only ok or honest shed is acceptable
+          }
+          if (i % 3 == 0) {
+            const auto stats =
+                client.request("{\"id\":\"s\",\"verb\":\"stats\"}");
+            if (stats.status != serve::Status::kOk) bad.fetch_add(1);
+          }
+        }
+      } catch (const Error&) {
+        bad.fetch_add(1);
+      }
+    });
+  }
+  clients.clear();  // join
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GE(ok_count.load(), 1);
+  server.stop();
+  const auto snap = server.service().metrics().snapshot();
+  EXPECT_EQ(snap.connections, snap.connections_closed);
 }
 
 TEST(Robustness, DeadlineStopsLongGovernedRunPromptly) {

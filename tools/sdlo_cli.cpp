@@ -15,6 +15,10 @@
 //   sdlo fuzz     [--seed S] [--count N] [--time-budget SEC]
 //                 [--artifact-dir DIR] [--replay artifact.sdlo]
 //                 [--only FAMILY,FAMILY]
+//   sdlo serve    --socket /path.sock [--workers 4] [--max-active 64]
+//                 [--cache-entries 256] [--deadline SEC] [--mem-budget MB]
+//   sdlo client   --socket /path.sock {REQUEST-JSON|-} [--envelope]
+//                 [--retries N]
 //
 // Every long-running verb additionally honors the resource-governance
 // flags `--deadline SEC` and `--mem-budget MB` (support/governor.hpp): on
@@ -62,6 +66,18 @@
 // PS202/PS204 padding/privatization notes. --top limits the list; --json
 // emits the stable schema documented in the README.
 //
+// `serve` runs the long-lived analysis daemon (src/serve, DESIGN.md §16):
+// newline-delimited JSON requests over a Unix-domain socket, scheduled on a
+// shared thread pool under per-request governance (deadline, shared memory
+// budget, cancellation on client disconnect), with admission-control load
+// shedding, a structural-hash memo cache, and response payloads
+// byte-identical to the equivalent CLI --json invocations. `client` is the
+// bundled synchronous client: it sends one request line (or a stream from
+// stdin), retries `rejected` responses with exponential backoff honoring
+// the server's retry_after_ms hint, prints the payload (or, with
+// --envelope, the full response line) and exits with the response status
+// mapped through the shared exit-code taxonomy.
+//
 // `fuzz` runs the differential fuzzing subsystem (src/fuzz): generates
 // random constrained-class programs and cross-checks every implementation
 // of the miss semantics against every other. On a mismatch the offending
@@ -77,6 +93,7 @@
 
 #include "analysis/advisor.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/misses_driver.hpp"
 #include "analysis/sweep_driver.hpp"
 #include "cachesim/parallel_stack.hpp"
 #include "cachesim/sim.hpp"
@@ -87,6 +104,8 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "model/analyzer.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "support/cli.hpp"
 #include "support/governor.hpp"
 #include "support/string_util.hpp"
@@ -154,10 +173,16 @@ const char* json_completeness(Completeness c) {
   return c == Completeness::kTruncated ? "truncated" : "complete";
 }
 
-int cmd_analyze(const ir::Program& prog, const Governor* gov) {
+int cmd_analyze(const ir::Program& prog, const Governor* gov, bool json) {
   // Symbolic analysis has no meaningful partial result, so the governor is
   // honored through the throwing path: a tripped deadline surfaces as
   // BudgetExceeded and the process exits 2 without a report.
+  if (json) {
+    // The shared emitter, so `sdlo analyze --json` and the serve daemon's
+    // analyze verb are byte-identical by construction.
+    analysis::render_analyze_json(prog, std::cout, gov);
+    return 0;
+  }
   if (gov != nullptr) gov->check("analyze");
   std::cout << ir::to_code_string(prog) << "\n";
   const auto an = model::analyze(prog);
@@ -174,58 +199,18 @@ int cmd_analyze(const ir::Program& prog, const Governor* gov) {
 int cmd_misses(const ir::Program& prog, const sym::Env& env,
                std::int64_t cap, bool simulate, trace::TraceMode mode,
                const Governor* gov, bool json) {
-  const auto an = model::analyze(prog);
-  const auto pred = model::predict_misses(an, env, cap);
-  cachesim::SimResult sim;
-  if (simulate) {
-    trace::CompiledProgram cp(prog, env);
-    sim = cachesim::simulate_sweep(
-        cp, {{cap, 1, 0, cachesim::Replacement::kLru}}, nullptr, mode,
-        gov)[0];
-  }
-  const bool truncated =
-      simulate && sim.completeness == Completeness::kTruncated;
+  analysis::MissesOptions opts;
+  opts.capacity = cap;
+  opts.simulate = simulate;
+  opts.mode = mode;
+  const analysis::MissesOutcome oc =
+      analysis::run_misses(prog, env, opts, gov);
   if (json) {
-    std::cout << "{\"version\":\"" << kVersionNumber << "\""
-              << ",\"capacity\":" << cap
-              << ",\"accesses\":" << pred.total_accesses
-              << ",\"predicted_misses\":" << pred.misses
-              << ",\"confidence\":\""
-              << model::confidence_name(pred.confidence) << "\"";
-    if (simulate) {
-      std::cout << ",\"simulated_misses\":" << sim.misses
-                << ",\"simulated_accesses\":" << sim.accesses
-                << ",\"completeness\":\""
-                << json_completeness(sim.completeness) << "\"";
-    }
-    std::cout << "}\n";
+    analysis::render_misses_json(oc, std::cout);
   } else {
-    std::cout << "capacity " << cap << " elements\n"
-              << "accesses  " << with_commas(pred.total_accesses) << "\n"
-              << "predicted " << with_commas(pred.misses) << " misses ("
-              << format_double(100.0 * pred.miss_ratio(), 3) << "%)\n"
-              << "confidence " << model::confidence_name(pred.confidence)
-              << (pred.confidence == model::Confidence::kApproximate
-                      ? " (interpolated partitions; see sdlo lint)"
-                      : "")
-              << "\n";
-    if (simulate) {
-      std::cout << "simulated " << with_commas(
-                       static_cast<std::int64_t>(sim.misses))
-                << " misses — ";
-      if (truncated) {
-        std::cout << "truncated by budget after "
-                  << with_commas(static_cast<std::int64_t>(sim.accesses))
-                  << " accesses (exact lower bound; no comparison)\n";
-      } else {
-        std::cout << (sim.misses == static_cast<std::uint64_t>(pred.misses)
-                          ? "exact match"
-                          : "MISMATCH")
-                  << "\n";
-      }
-    }
+    analysis::render_misses_text(oc, std::cout);
   }
-  return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
+  return oc.exit_code();
 }
 
 using analysis::sweep_ladder;
@@ -510,34 +495,6 @@ int cmd_fuzz_replay(const std::string& path,
   return 1;
 }
 
-/// Applies `--only FAMILY,FAMILY`: disables every oracle family, then
-/// re-enables the named ones. Unknown names fail loudly.
-void apply_family_filter(fuzz::OracleOptions& o, const std::string& only) {
-  if (only.empty()) return;
-  o.check_roundtrip = o.check_walker = o.check_model = o.check_symbolic =
-      o.check_profile = o.check_sweep = o.check_partitioned =
-          o.check_set_assoc = o.check_lint = o.check_parallel =
-              o.check_budgeted = o.check_dependence = o.check_advise = false;
-  std::stringstream ss(only);
-  std::string name;
-  while (std::getline(ss, name, ',')) {
-    if (name == "roundtrip") o.check_roundtrip = true;
-    else if (name == "walker") o.check_walker = true;
-    else if (name == "model") o.check_model = true;
-    else if (name == "symbolic") o.check_symbolic = true;
-    else if (name == "profile") o.check_profile = true;
-    else if (name == "sweep") o.check_sweep = true;
-    else if (name == "partitioned") o.check_partitioned = true;
-    else if (name == "set-assoc") o.check_set_assoc = true;
-    else if (name == "lint") o.check_lint = true;
-    else if (name == "parallel") o.check_parallel = true;
-    else if (name == "budgeted") o.check_budgeted = true;
-    else if (name == "dependence") o.check_dependence = true;
-    else if (name == "advise") o.check_advise = true;
-    else throw Error("unknown oracle family: " + name);
-  }
-}
-
 int cmd_fuzz(std::uint64_t seed, std::int64_t count,
              std::int64_t time_budget_sec, const std::string& artifact_dir,
              const std::string& only, const Governor* gov) {
@@ -557,7 +514,9 @@ int cmd_fuzz(std::uint64_t seed, std::int64_t count,
   bool truncated = false;
   fuzz::OracleOptions oopts;
   oopts.governor = gov;
-  apply_family_filter(oopts, only);
+  // Throws a typed Error listing every valid family name on an unknown
+  // --only value (exit 1 via main's taxonomy).
+  fuzz::apply_family_filter(oopts, only);
   for (std::int64_t i = 0; i < count; ++i) {
     if (budget.expired()) {
       std::cout << "time budget reached after " << checked << " programs\n";
@@ -601,6 +560,82 @@ int cmd_fuzz(std::uint64_t seed, std::int64_t count,
   return to_int(truncated ? ExitCode::kTruncated : ExitCode::kOk);
 }
 
+// ---------------------------------------------------------------------------
+// serve / client: the multi-tenant analysis daemon and its bundled client.
+// ---------------------------------------------------------------------------
+
+int cmd_serve(const std::string& socket_path, int workers,
+              std::int64_t max_active, std::int64_t cache_entries,
+              double deadline_sec, std::int64_t mem_budget_mb) {
+  if (socket_path.empty()) {
+    std::cerr << "sdlo serve: --socket PATH is required\n";
+    return to_int(ExitCode::kError);
+  }
+  serve::ServerOptions opts;
+  opts.socket_path = socket_path;
+  opts.workers = workers;
+  opts.service.max_active = static_cast<int>(max_active);
+  opts.service.cache_entries = static_cast<std::size_t>(cache_entries);
+  opts.service.default_deadline_sec = deadline_sec;
+  opts.service.memory_budget_bytes =
+      mem_budget_mb > 0
+          ? static_cast<std::uint64_t>(mem_budget_mb) * 1024 * 1024
+          : 0;
+  serve::Server server(opts);
+  server.start();
+  std::cerr << "sdlo serve: listening on " << socket_path << " ("
+            << opts.workers << " workers, max " << opts.service.max_active
+            << " in flight)\n";
+  server.run();  // returns after a client's `shutdown` verb
+  std::cerr << "sdlo serve: shut down\n";
+  return to_int(ExitCode::kOk);
+}
+
+int cmd_client(const std::string& socket_path, const std::string& source,
+               bool envelope, std::int64_t retries) {
+  if (socket_path.empty()) {
+    std::cerr << "sdlo client: --socket PATH is required\n";
+    return to_int(ExitCode::kError);
+  }
+  serve::Client client(socket_path);
+  serve::BackoffPolicy policy;
+  if (retries >= 0) policy.max_attempts = static_cast<int>(retries) + 1;
+  const auto run_one = [&](const std::string& line) {
+    const serve::RetryOutcome out =
+        serve::request_with_retry(client, line, policy);
+    const serve::Response& r = out.response;
+    if (envelope) {
+      std::cout << serve::render_response(r) << "\n";
+    } else {
+      if (!r.payload.empty()) std::cout << r.payload << "\n";
+      for (const serve::Response& sub : r.batch) {
+        if (!sub.payload.empty()) std::cout << sub.payload << "\n";
+        if (!sub.error.empty()) {
+          std::cerr << "sdlo client: " << sub.error << "\n";
+        }
+      }
+      if (!r.error.empty()) std::cerr << "sdlo client: " << r.error << "\n";
+      if (r.status == serve::Status::kRejected) {
+        std::cerr << "sdlo client: rejected after " << out.attempts
+                  << " attempt(s); server says retry after "
+                  << r.retry_after_ms << " ms\n";
+      }
+    }
+    return serve::status_exit_code(r.status);
+  };
+  if (source == "-") {
+    int worst = to_int(ExitCode::kOk);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      const int code = run_one(line);
+      if (code > worst) worst = code;
+    }
+    return worst;
+  }
+  return run_one(source);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -621,7 +656,8 @@ int main(int argc, char** argv) {
         .flag("time-budget", "stop fuzzing after SEC seconds (0 = off)")
         .flag("artifact-dir", "directory for minimized counterexamples")
         .flag("replay", "re-check a counterexample artifact (fuzz)")
-        .flag("json", "machine-readable report (lint/misses/sweep)")
+        .flag("json", "machine-readable report (analyze/lint/misses/sweep/"
+                      "advise)")
         .flag("deadline",
               "wall-clock ceiling in seconds; partial results exit 2")
         .flag("mem-budget",
@@ -647,7 +683,20 @@ int main(int argc, char** argv) {
         .flag("only",
               "comma-separated oracle families to run (fuzz): roundtrip, "
               "walker, model, symbolic, profile, sweep, partitioned, "
-              "set-assoc, lint, parallel, budgeted, dependence, advise");
+              "set-assoc, lint, parallel, budgeted, dependence, advise, "
+              "serve (unknown names exit 1 listing the valid families)")
+        .flag("socket", "Unix-domain socket path (serve/client)")
+        .flag("workers", "serve: worker threads (default 4)")
+        .flag("max-active",
+              "serve: admission bound on in-flight requests; beyond it "
+              "requests are shed with a typed rejected response "
+              "(default 64)")
+        .flag("cache-entries",
+              "serve: memo cache entries (default 256; 0 disables)")
+        .flag("envelope", "client: print the full response envelope line")
+        .flag("retries",
+              "client: retries after a rejected response (default 7, with "
+              "exponential backoff honoring the server's retry_after_ms)");
     if (!cli.finish()) return to_int(ExitCode::kOk);
 
     const auto& pos = cli.positional();
@@ -656,7 +705,11 @@ int main(int argc, char** argv) {
                    "[NAME=VALUE...] [flags]\n"
                    "       sdlo fuzz [--seed S] [--count N] "
                    "[--time-budget SEC] [--artifact-dir DIR] "
-                   "[--replay artifact.sdlo]\n";
+                   "[--replay artifact.sdlo]\n"
+                   "       sdlo serve --socket PATH [--workers N] "
+                   "[--max-active N] [--cache-entries N]\n"
+                   "       sdlo client --socket PATH {REQUEST-JSON|-} "
+                   "[--envelope] [--retries N]\n";
       return to_int(ExitCode::kError);
     }
     const std::string& verb = pos[0];
@@ -679,6 +732,24 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(cli.get_int("seed", 1)),
           cli.get_int("count", 500), cli.get_int("time-budget", 0),
           artifact_dir, cli.get_string("only", ""), governor.get());
+    }
+    if (verb == "serve") {
+      return cmd_serve(cli.get_string("socket", ""),
+                       static_cast<int>(cli.get_int("workers", 4)),
+                       cli.get_int("max-active", 64),
+                       cli.get_int("cache-entries", 256),
+                       cli.get_double("deadline", 0),
+                       cli.get_int("mem-budget", 0));
+    }
+    if (verb == "client") {
+      if (pos.size() < 2) {
+        std::cerr << "usage: sdlo client --socket PATH {REQUEST-JSON|-} "
+                     "[--envelope] [--retries N]\n";
+        return to_int(ExitCode::kError);
+      }
+      return cmd_client(cli.get_string("socket", ""), pos[1],
+                        cli.get_bool("envelope", false),
+                        cli.get_int("retries", -1));
     }
     if (pos.size() < 2) {
       std::cerr << "usage: sdlo {analyze|lint|misses|sweep|trace|advise} <file|-> "
@@ -710,7 +781,7 @@ int main(int argc, char** argv) {
     }
     ir::Program prog = ir::parse_program(read_input(pos[1]));
 
-    if (verb == "analyze") return cmd_analyze(prog, governor.get());
+    if (verb == "analyze") return cmd_analyze(prog, governor.get(), json);
     if (verb == "misses") {
       return cmd_misses(prog, env, cli.get_int("cap", 8192),
                         cli.get_bool("simulate", false), trace_mode,
